@@ -1,0 +1,29 @@
+//! Figure 5: running time vs data size for CMC, optimized CMC, CWSC, and
+//! optimized CWSC on the synthetic LBL-like trace.
+
+use scwsc_bench::cli::{args_or_exit, emit, required};
+use scwsc_bench::measure::RunParams;
+use scwsc_bench::{experiments, printers};
+
+const USAGE: &str = "fig5_runtime_vs_size [--sizes 25000,50000,...] [--seed N] [--k N] \
+[--coverage F] [--b F] [--eps F] [--csv PATH]
+Defaults: sizes 25000,50000,100000,200000; k=10, coverage=0.3, b=1, eps=1 (the paper's settings).";
+
+fn main() {
+    let args = args_or_exit(USAGE);
+    let sizes: Vec<usize> = required(args.get_list_or("sizes", &[25_000, 50_000, 100_000, 200_000]));
+    let seed: u64 = required(args.get_or("seed", 7));
+    let params = RunParams {
+        k: required(args.get_or("k", 10)),
+        coverage: required(args.get_or("coverage", 0.3)),
+        b: required(args.get_or("b", 1.0)),
+        eps: required(args.get_or("eps", 1.0)),
+        ..RunParams::default()
+    };
+    let ms = experiments::scaling(&sizes, seed, &params);
+    emit(
+        "Figure 5: running time (s) vs number of tuples",
+        &printers::fig5(&ms),
+        &args,
+    );
+}

@@ -1,0 +1,28 @@
+//! Figure 6: number of patterns considered vs data size (the reason the
+//! Section V-C optimizations win: far fewer benefit-set materializations).
+
+use scwsc_bench::cli::{args_or_exit, emit, required};
+use scwsc_bench::measure::RunParams;
+use scwsc_bench::{experiments, printers};
+
+const USAGE: &str = "fig6_patterns_considered [--sizes 25000,50000,...] [--seed N] [--k N] \
+[--coverage F] [--b F] [--eps F] [--csv PATH]";
+
+fn main() {
+    let args = args_or_exit(USAGE);
+    let sizes: Vec<usize> = required(args.get_list_or("sizes", &[25_000, 50_000, 100_000, 200_000]));
+    let seed: u64 = required(args.get_or("seed", 7));
+    let params = RunParams {
+        k: required(args.get_or("k", 10)),
+        coverage: required(args.get_or("coverage", 0.3)),
+        b: required(args.get_or("b", 1.0)),
+        eps: required(args.get_or("eps", 1.0)),
+        ..RunParams::default()
+    };
+    let ms = experiments::scaling(&sizes, seed, &params);
+    emit(
+        "Figure 6: patterns considered vs number of tuples",
+        &printers::fig6(&ms),
+        &args,
+    );
+}

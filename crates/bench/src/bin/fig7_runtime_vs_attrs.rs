@@ -1,0 +1,28 @@
+//! Figure 7: running time vs the number of pattern attributes (removing
+//! one attribute of the 5-attribute LBL schema at a time).
+
+use scwsc_bench::cli::{args_or_exit, emit, required};
+use scwsc_bench::measure::RunParams;
+use scwsc_bench::{experiments, printers};
+
+const USAGE: &str =
+    "fig7_runtime_vs_attrs [--rows N] [--seed N] [--k N] [--coverage F] [--b F] [--eps F] [--csv PATH]";
+
+fn main() {
+    let args = args_or_exit(USAGE);
+    let rows: usize = required(args.get_or("rows", 100_000));
+    let seed: u64 = required(args.get_or("seed", 7));
+    let params = RunParams {
+        k: required(args.get_or("k", 10)),
+        coverage: required(args.get_or("coverage", 0.3)),
+        b: required(args.get_or("b", 1.0)),
+        eps: required(args.get_or("eps", 1.0)),
+        ..RunParams::default()
+    };
+    let ms = experiments::attrs_scaling(rows, seed, &params);
+    emit(
+        "Figure 7: running time (s) vs number of attributes",
+        &printers::fig7(&ms),
+        &args,
+    );
+}

@@ -1,0 +1,29 @@
+//! Figure 8: running time vs the maximum number of patterns `k` — CWSC
+//! slows down with k (more iterations) while CMC speeds up (feasible
+//! budgets are found sooner).
+
+use scwsc_bench::cli::{args_or_exit, emit, required};
+use scwsc_bench::measure::RunParams;
+use scwsc_bench::{experiments, printers};
+
+const USAGE: &str =
+    "fig8_runtime_vs_k [--rows N] [--seed N] [--ks 2,5,10,...] [--coverage F] [--b F] [--eps F] [--csv PATH]";
+
+fn main() {
+    let args = args_or_exit(USAGE);
+    let rows: usize = required(args.get_or("rows", 100_000));
+    let seed: u64 = required(args.get_or("seed", 7));
+    let ks: Vec<usize> = required(args.get_list_or("ks", &[2, 5, 10, 15, 20, 25]));
+    let base = RunParams {
+        coverage: required(args.get_or("coverage", 0.3)),
+        b: required(args.get_or("b", 1.0)),
+        eps: required(args.get_or("eps", 1.0)),
+        ..RunParams::default()
+    };
+    let ms = experiments::k_scaling(rows, seed, &ks, &base);
+    emit(
+        "Figure 8: running time (s) vs maximum number of patterns k",
+        &printers::fig8(&ms),
+        &args,
+    );
+}

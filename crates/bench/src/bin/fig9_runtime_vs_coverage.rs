@@ -1,0 +1,29 @@
+//! Figure 9: running time vs the coverage threshold ŝ — flat for CWSC,
+//! increasing for CMC (harder coverage needs more budget guesses).
+
+use scwsc_bench::cli::{args_or_exit, emit, required};
+use scwsc_bench::measure::RunParams;
+use scwsc_bench::{experiments, printers};
+
+const USAGE: &str =
+    "fig9_runtime_vs_coverage [--rows N] [--seed N] [--coverages 0.2,0.3,...] [--k N] [--b F] [--eps F] [--csv PATH]";
+
+fn main() {
+    let args = args_or_exit(USAGE);
+    let rows: usize = required(args.get_or("rows", 100_000));
+    let seed: u64 = required(args.get_or("seed", 7));
+    let coverages: Vec<f64> =
+        required(args.get_list_or("coverages", &[0.2, 0.3, 0.4, 0.5, 0.6, 0.7]));
+    let base = RunParams {
+        k: required(args.get_or("k", 10)),
+        b: required(args.get_or("b", 1.0)),
+        eps: required(args.get_or("eps", 1.0)),
+        ..RunParams::default()
+    };
+    let ms = experiments::coverage_scaling(rows, seed, &coverages, &base);
+    emit(
+        "Figure 9: running time (s) vs coverage threshold",
+        &printers::fig9(&ms),
+        &args,
+    );
+}

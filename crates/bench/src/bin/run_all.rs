@@ -1,0 +1,97 @@
+//! Runs the full experiment suite (every figure and table of Section VI)
+//! and writes the rendered outputs under `results/`.
+//!
+//! `--quick` shrinks workloads for a smoke run; `--rows`/`--seed` scale
+//! the standard run. Expect a few minutes at the defaults in release mode.
+
+use scwsc_bench::cli::{args_or_exit, required};
+use scwsc_bench::measure::RunParams;
+use scwsc_bench::report::{num, secs, TextTable};
+use scwsc_bench::{experiments, printers};
+use scwsc_patterns::CostFn;
+use std::fs;
+use std::path::Path;
+use std::time::Instant;
+
+const USAGE: &str = "run_all [--rows N] [--seed N] [--quick] [--out DIR]";
+
+fn save(dir: &Path, name: &str, title: &str, table: &TextTable) {
+    let text = format!("== {title} ==\n{}", table.render());
+    println!("{text}");
+    let path = dir.join(format!("{name}.txt"));
+    fs::write(&path, &text).unwrap_or_else(|e| panic!("cannot write {}: {e}", path.display()));
+    let csv_path = dir.join(format!("{name}.csv"));
+    fs::write(&csv_path, table.to_csv())
+        .unwrap_or_else(|e| panic!("cannot write {}: {e}", csv_path.display()));
+}
+
+fn main() {
+    let args = args_or_exit(USAGE);
+    let quick = args.flag("quick");
+    let base_rows: usize = required(args.get_or("rows", if quick { 4_000 } else { 100_000 }));
+    let seed: u64 = required(args.get_or("seed", 7));
+    let out_dir = args.get("out").unwrap_or("results").to_owned();
+    let dir = Path::new(&out_dir);
+    fs::create_dir_all(dir).expect("cannot create results directory");
+
+    let started = Instant::now();
+    let params = RunParams::default();
+
+    // Figures 5 & 6 share one sweep.
+    let sizes: Vec<usize> = if quick {
+        vec![1_000, 2_000, 4_000]
+    } else {
+        vec![25_000, 50_000, 100_000, 200_000]
+    };
+    eprintln!("[1/9] figures 5-6: scaling over {sizes:?}");
+    let ms = experiments::scaling(&sizes, seed, &params);
+    save(dir, "fig5_runtime_vs_size", "Figure 5: running time (s) vs number of tuples", &printers::fig5(&ms));
+    save(dir, "fig6_patterns_considered", "Figure 6: patterns considered vs number of tuples", &printers::fig6(&ms));
+
+    eprintln!("[2/9] figure 7: attribute scaling");
+    let ms = experiments::attrs_scaling(base_rows, seed, &params);
+    save(dir, "fig7_runtime_vs_attrs", "Figure 7: running time (s) vs number of attributes", &printers::fig7(&ms));
+
+    eprintln!("[3/9] figure 8: k scaling");
+    let ks: Vec<usize> = if quick { vec![2, 5, 10] } else { vec![2, 5, 10, 15, 20, 25] };
+    let ms = experiments::k_scaling(base_rows, seed, &ks, &params);
+    save(dir, "fig8_runtime_vs_k", "Figure 8: running time (s) vs maximum number of patterns k", &printers::fig8(&ms));
+
+    eprintln!("[4/9] figure 9: coverage scaling");
+    let coverages = [0.2, 0.3, 0.4, 0.5, 0.6, 0.7];
+    let ms = experiments::coverage_scaling(base_rows, seed, &coverages, &params);
+    save(dir, "fig9_runtime_vs_coverage", "Figure 9: running time (s) vs coverage threshold", &printers::fig9(&ms));
+
+    eprintln!("[5/9] tables IV-V: quality/time grid");
+    let table = experiments::workload(base_rows, seed);
+    let t45_coverages = [0.3, 0.4, 0.5, 0.6];
+    let grid = experiments::quality_grid(&table, &t45_coverages, 10);
+    save(dir, "table4_solution_quality", "Table IV: solution quality (total cost) of CMC and CWSC", &printers::grid(&grid, &t45_coverages, |m| num(m.cost)));
+    save(dir, "table5_runtime_comparison", "Table V: running time (s) of CMC and CWSC", &printers::grid(&grid, &t45_coverages, |m| secs(m.seconds)));
+
+    eprintln!("[6/9] table VI: weighted set cover baseline");
+    let wsc_rows = if quick { base_rows } else { 50_000 };
+    let wsc_table = experiments::workload(wsc_rows, seed);
+    let rows_out = experiments::wsc_baseline(&wsc_table, &[0.5, 0.6, 0.7, 0.8, 0.9], CostFn::Max);
+    save(dir, "table6_wsc_size", "Table VI: patterns required by standard weighted set cover", &printers::table6(&rows_out));
+
+    eprintln!("[7/9] section VI-C: max coverage comparison");
+    let rows_out = experiments::maxcov_comparison(&wsc_table, &[0.3, 0.4, 0.5, 0.6], 10, CostFn::Max);
+    save(dir, "sec6c_maxcov_cost", "Section VI-C: partial max coverage vs CWSC (total cost)", &printers::maxcov(&rows_out));
+
+    eprintln!("[8/9] section VI-B: synthetic weights");
+    let deltas = [0.0, 0.25, 0.5, 0.75, 1.0];
+    let sigmas = [1.0, 2.0, 3.0, 4.0];
+    let rows_out = experiments::perturbed_quality(wsc_rows, seed, 10, 0.3, &deltas, &sigmas);
+    save(dir, "sec6b_synthetic_weights", "Section VI-B: CWSC vs CMC on synthetic weight distributions", &printers::perturb(&rows_out));
+
+    eprintln!("[9/9] section VI-D: vs optimal");
+    let rows_out = experiments::vs_optimal(&[30, 50, 80], seed, 5, 0.5);
+    save(dir, "sec6d_vs_optimal", "Section VI-D: comparison to the optimal solution", &printers::vs_optimal(&rows_out));
+
+    eprintln!(
+        "done in {:.1}s; outputs in {}",
+        started.elapsed().as_secs_f64(),
+        dir.display()
+    );
+}

@@ -1,0 +1,107 @@
+//! Command-line solver: summarize a CSV table (or a generated synthetic
+//! trace) with at most `k` patterns covering a required fraction.
+//!
+//! ```text
+//! scwsc_solve --csv data.csv --k 8 --coverage 0.4 --algorithm cwsc
+//! scwsc_solve --rows 50000 --k 10 --coverage 0.3 --algorithm cmc --b 1 --eps 1
+//! ```
+//!
+//! The CSV's last column is the numeric measure; all others are pattern
+//! attributes (the format `scwsc_data::csv` writes).
+
+use scwsc_bench::cli::{args_or_exit, bail, required};
+use scwsc_bench::measure::RunParams;
+use scwsc_core::Stats;
+use scwsc_data::csv::read_table;
+use scwsc_data::lbl::LblConfig;
+use scwsc_patterns::{opt_cmc, opt_cwsc, CostFn, PatternSolution, PatternSpace, Table};
+use std::path::Path;
+
+const USAGE: &str = "scwsc_solve [--csv PATH | --rows N [--seed N]] \
+[--k N] [--coverage F] [--algorithm cwsc|cmc] [--b F] [--eps F] \
+[--cost-fn max|sum|mean|count]
+Solves size-constrained weighted set cover over the table's pattern cube and
+prints the chosen patterns. Without --csv, a synthetic LBL-like trace of
+--rows records is generated.";
+
+fn cost_fn_of(name: &str) -> CostFn {
+    match name {
+        "max" => CostFn::Max,
+        "sum" => CostFn::Sum,
+        "mean" => CostFn::Mean,
+        "count" => CostFn::Count,
+        other => bail(&format!("unknown cost function {other:?}")),
+    }
+}
+
+fn load(args: &scwsc_bench::Args) -> Table {
+    if let Some(path) = args.get("csv") {
+        match read_table(Path::new(path)) {
+            Ok(t) => t,
+            Err(e) => bail(&format!("cannot read {path}: {e}")),
+        }
+    } else {
+        let rows: usize = required(args.get_or("rows", 20_000));
+        let seed: u64 = required(args.get_or("seed", 7));
+        LblConfig {
+            seed,
+            ..LblConfig::scaled(rows)
+        }
+        .generate()
+    }
+}
+
+fn main() {
+    let args = args_or_exit(USAGE);
+    let table = load(&args);
+    let params = RunParams {
+        k: required(args.get_or("k", 10)),
+        coverage: required(args.get_or("coverage", 0.3)),
+        b: required(args.get_or("b", 1.0)),
+        eps: required(args.get_or("eps", 1.0)),
+        cost_fn: cost_fn_of(args.get("cost-fn").unwrap_or("max")),
+        ..RunParams::default()
+    };
+    let algorithm = args.get("algorithm").unwrap_or("cwsc");
+
+    eprintln!(
+        "solving: {} rows, {} attributes, k={}, coverage>={:.0}%, algorithm={algorithm}",
+        table.num_rows(),
+        table.num_attrs(),
+        params.k,
+        params.coverage * 100.0
+    );
+    let space = PatternSpace::new(&table, params.cost_fn);
+    let mut stats = Stats::new();
+    let solution: PatternSolution = match algorithm {
+        "cwsc" => opt_cwsc(&space, params.k, params.coverage, &mut stats)
+            .unwrap_or_else(|e| bail(&format!("no solution: {e}"))),
+        "cmc" => opt_cmc(&space, &params.cmc_params(), &mut stats)
+            .unwrap_or_else(|e| bail(&format!("no solution: {e}"))),
+        other => bail(&format!("unknown algorithm {other:?} (use cwsc or cmc)")),
+    };
+    solution.verify(&space);
+
+    println!(
+        "{} patterns, total weight {:.3}, covering {}/{} records ({:.1}%)",
+        solution.size(),
+        solution.total_cost,
+        solution.covered,
+        table.num_rows(),
+        100.0 * solution.covered as f64 / table.num_rows().max(1) as f64
+    );
+    for p in &solution.patterns {
+        let rows = space.benefit(p);
+        println!(
+            "  {}\t({} records, weight {:.3})",
+            p.display(&table),
+            rows.len(),
+            space.cost(&rows)
+        );
+    }
+    eprintln!(
+        "considered {} patterns in {} budget guess(es)",
+        stats.considered,
+        stats.budget_guesses.max(1)
+    );
+}

@@ -1,0 +1,24 @@
+//! Section VI-C: the cost-blind partial maximum coverage heuristic pays
+//! many times CWSC's cost for the same coverage.
+
+use scwsc_bench::cli::{args_or_exit, emit, required};
+use scwsc_bench::{experiments, printers};
+use scwsc_patterns::CostFn;
+
+const USAGE: &str =
+    "sec6c_maxcov_cost [--rows N] [--seed N] [--k N] [--coverages 0.3,...,0.6] [--csv PATH]";
+
+fn main() {
+    let args = args_or_exit(USAGE);
+    let rows: usize = required(args.get_or("rows", 50_000));
+    let seed: u64 = required(args.get_or("seed", 7));
+    let k: usize = required(args.get_or("k", 10));
+    let coverages: Vec<f64> = required(args.get_list_or("coverages", &[0.3, 0.4, 0.5, 0.6]));
+    let table = experiments::workload(rows, seed);
+    let rows_out = experiments::maxcov_comparison(&table, &coverages, k, CostFn::Max);
+    emit(
+        "Section VI-C: partial max coverage vs CWSC (total cost)",
+        &printers::maxcov(&rows_out),
+        &args,
+    );
+}

@@ -1,0 +1,22 @@
+//! Section VI-D: CWSC and CMC vs the exact optimum (branch and bound) on
+//! samples small enough to solve exactly.
+
+use scwsc_bench::cli::{args_or_exit, emit, required};
+use scwsc_bench::{experiments, printers};
+
+const USAGE: &str =
+    "sec6d_vs_optimal [--sizes 30,50,80] [--seed N] [--k N] [--coverage F] [--csv PATH]";
+
+fn main() {
+    let args = args_or_exit(USAGE);
+    let sizes: Vec<usize> = required(args.get_list_or("sizes", &[30, 50, 80]));
+    let seed: u64 = required(args.get_or("seed", 7));
+    let k: usize = required(args.get_or("k", 5));
+    let coverage: f64 = required(args.get_or("coverage", 0.5));
+    let rows_out = experiments::vs_optimal(&sizes, seed, k, coverage);
+    emit(
+        "Section VI-D: comparison to the optimal solution",
+        &printers::vs_optimal(&rows_out),
+        &args,
+    );
+}

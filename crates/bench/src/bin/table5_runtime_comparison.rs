@@ -1,0 +1,23 @@
+//! Table V: running time (seconds) of CWSC vs CMC over the `(b, ε)` grid.
+
+use scwsc_bench::cli::{args_or_exit, emit, required};
+use scwsc_bench::report::secs;
+use scwsc_bench::{experiments, printers};
+
+const USAGE: &str =
+    "table5_runtime_comparison [--rows N] [--seed N] [--k N] [--coverages 0.3,0.4,0.5,0.6] [--csv PATH]";
+
+fn main() {
+    let args = args_or_exit(USAGE);
+    let rows: usize = required(args.get_or("rows", 100_000));
+    let seed: u64 = required(args.get_or("seed", 7));
+    let k: usize = required(args.get_or("k", 10));
+    let coverages: Vec<f64> = required(args.get_list_or("coverages", &[0.3, 0.4, 0.5, 0.6]));
+    let table = experiments::workload(rows, seed);
+    let grid = experiments::quality_grid(&table, &coverages, k);
+    emit(
+        "Table V: running time (s) of CMC and CWSC",
+        &printers::grid(&grid, &coverages, |m| secs(m.seconds)),
+        &args,
+    );
+}

@@ -1,0 +1,23 @@
+//! Table VI: how many patterns the standard greedy *weighted set cover*
+//! heuristic needs to reach each coverage threshold — it optimizes cost
+//! and coverage but cannot bound the solution size.
+
+use scwsc_bench::cli::{args_or_exit, emit, required};
+use scwsc_bench::{experiments, printers};
+use scwsc_patterns::CostFn;
+
+const USAGE: &str = "table6_wsc_size [--rows N] [--seed N] [--coverages 0.5,...,0.9] [--csv PATH]";
+
+fn main() {
+    let args = args_or_exit(USAGE);
+    let rows: usize = required(args.get_or("rows", 50_000));
+    let seed: u64 = required(args.get_or("seed", 7));
+    let coverages: Vec<f64> = required(args.get_list_or("coverages", &[0.5, 0.6, 0.7, 0.8, 0.9]));
+    let table = experiments::workload(rows, seed);
+    let rows_out = experiments::wsc_baseline(&table, &coverages, CostFn::Max);
+    emit(
+        "Table VI: patterns required by standard weighted set cover",
+        &printers::table6(&rows_out),
+        &args,
+    );
+}

@@ -1,0 +1,45 @@
+//! Shared entry-point plumbing for the experiment binaries.
+
+use crate::args::Args;
+use crate::report::TextTable;
+
+/// Parses process arguments or exits with code 2 and a usage hint.
+pub fn args_or_exit(usage: &str) -> Args {
+    match Args::from_env() {
+        Ok(args) => {
+            if args.flag("help") {
+                eprintln!("{usage}");
+                std::process::exit(0);
+            }
+            args
+        }
+        Err(e) => {
+            eprintln!("error: {e}\n{usage}");
+            std::process::exit(2);
+        }
+    }
+}
+
+/// Prints a titled table; with `--csv <path>` also writes it as CSV.
+pub fn emit(title: &str, table: &TextTable, args: &Args) {
+    println!("== {title} ==");
+    println!("{}", table.render());
+    if let Some(path) = args.get("csv") {
+        if let Err(e) = std::fs::write(path, table.to_csv()) {
+            eprintln!("failed to write {path}: {e}");
+            std::process::exit(1);
+        }
+        eprintln!("csv written to {path}");
+    }
+}
+
+/// Exits with a parse error message.
+pub fn bail(message: &str) -> ! {
+    eprintln!("error: {message}");
+    std::process::exit(2)
+}
+
+/// Unwraps an argument parse result via [`bail`].
+pub fn required<T>(result: Result<T, String>) -> T {
+    result.unwrap_or_else(|e| bail(&e))
+}

@@ -1,0 +1,22 @@
+//! # scwsc-bench
+//!
+//! Experiment harness reproducing every figure and table of the ICDE 2015
+//! evaluation (Section VI). Each `src/bin/*` binary regenerates one
+//! figure/table; `run_all` executes the full suite and writes the results
+//! under `results/`. Criterion micro-benchmarks live in `benches/`.
+//!
+//! Workloads are synthetic LBL-CONN-7-like traces (see `scwsc-data` and
+//! DESIGN.md §4); every binary accepts `--rows` and `--seed` so runs are
+//! reproducible and scalable to the machine at hand.
+
+#![warn(missing_docs)]
+
+pub mod args;
+pub mod experiments;
+pub mod cli;
+pub mod measure;
+pub mod printers;
+pub mod report;
+
+pub use args::Args;
+pub use measure::{run, Algo, Measurement, RunParams};

@@ -1,0 +1,223 @@
+//! Turns experiment results into the paper's figure/table layouts.
+
+use crate::experiments::{GridRow, OptRow, PerturbRow};
+use crate::measure::{Algo, Measurement};
+use crate::report::{num, secs, TextTable};
+
+/// Pivots measurements into `key × algorithm` cells.
+///
+/// `key` extracts the x-axis value (data size, #attrs, k, ŝ); `value`
+/// extracts the plotted quantity (seconds, patterns considered). Rows are
+/// emitted in first-seen key order; columns follow [`Algo::ALL`].
+pub fn pivot(
+    ms: &[Measurement],
+    key_name: &str,
+    key: impl Fn(&Measurement) -> String,
+    value: impl Fn(&Measurement) -> String,
+) -> TextTable {
+    let mut keys: Vec<String> = Vec::new();
+    for m in ms {
+        let k = key(m);
+        if !keys.contains(&k) {
+            keys.push(k);
+        }
+    }
+    let mut header = vec![key_name.to_owned()];
+    header.extend(Algo::ALL.iter().map(|a| a.name().to_owned()));
+    let mut table = TextTable::new(header);
+    for k in keys {
+        let mut row = vec![k.clone()];
+        for algo in Algo::ALL {
+            let cell = ms
+                .iter()
+                .find(|m| m.algo == algo && key(m) == k)
+                .map_or_else(|| "-".to_owned(), &value);
+            row.push(cell);
+        }
+        table.row(row);
+    }
+    table
+}
+
+/// Figure 5: running time (seconds) vs data size.
+pub fn fig5(ms: &[Measurement]) -> TextTable {
+    pivot(ms, "rows", |m| m.rows.to_string(), |m| secs(m.seconds))
+}
+
+/// Figure 6: patterns considered vs data size.
+pub fn fig6(ms: &[Measurement]) -> TextTable {
+    pivot(ms, "rows", |m| m.rows.to_string(), |m| m.considered.to_string())
+}
+
+/// Figure 7: running time vs number of pattern attributes.
+pub fn fig7(ms: &[Measurement]) -> TextTable {
+    pivot(ms, "attrs", |m| m.attrs.to_string(), |m| secs(m.seconds))
+}
+
+/// Figure 8: running time vs the size bound `k`.
+pub fn fig8(ms: &[Measurement]) -> TextTable {
+    pivot(ms, "k", |m| m.k.to_string(), |m| secs(m.seconds))
+}
+
+/// Figure 9: running time vs coverage fraction.
+pub fn fig9(ms: &[Measurement]) -> TextTable {
+    pivot(ms, "coverage", |m| num(m.coverage), |m| secs(m.seconds))
+}
+
+/// Tables IV/V: the `(algorithm config) × coverage` grid; `value` picks
+/// cost (Table IV) or seconds (Table V).
+pub fn grid(rows: &[GridRow], coverages: &[f64], value: impl Fn(&Measurement) -> String) -> TextTable {
+    let mut header = vec!["Algorithm".to_owned()];
+    header.extend(coverages.iter().map(|&s| format!("s={}", num(s))));
+    let mut table = TextTable::new(header);
+    for row in rows {
+        let mut cells = vec![row.label.clone()];
+        cells.extend(row.cells.iter().map(&value));
+        table.row(cells);
+    }
+    table
+}
+
+/// Table VI: `(coverage, #patterns, cost)` of the weighted-set-cover
+/// baseline.
+pub fn table6(rows: &[(f64, usize, f64)]) -> TextTable {
+    let mut t = TextTable::new(["coverage fraction", "number of patterns", "total cost"]);
+    for &(s, size, cost) in rows {
+        t.row([num(s), size.to_string(), num(cost)]);
+    }
+    t
+}
+
+/// Section VI-C comparison rows.
+pub fn maxcov(rows: &[(f64, f64, usize, f64)]) -> TextTable {
+    let mut t = TextTable::new(["coverage", "max-coverage cost", "max-coverage size", "CWSC cost"]);
+    for &(s, mc_cost, mc_size, cwsc_cost) in rows {
+        t.row([num(s), num(mc_cost), mc_size.to_string(), num(cwsc_cost)]);
+    }
+    t
+}
+
+/// Section VI-B perturbation rows.
+pub fn perturb(rows: &[PerturbRow]) -> TextTable {
+    let mut t = TextTable::new(["weights", "CWSC cost", "CMC min cost", "CMC max cost"]);
+    for r in rows {
+        t.row([
+            r.label.clone(),
+            num(r.cwsc_cost),
+            num(r.cmc_min),
+            num(r.cmc_max),
+        ]);
+    }
+    t
+}
+
+/// Section VI-D optimality rows.
+pub fn vs_optimal(rows: &[OptRow]) -> TextTable {
+    let mut t = TextTable::new([
+        "rows", "target", "optimal cost", "CWSC cost", "CMC cost", "CMC covered",
+    ]);
+    for r in rows {
+        t.row([
+            r.rows.to_string(),
+            r.target.to_string(),
+            num(r.optimal),
+            num(r.cwsc),
+            num(r.cmc),
+            r.cmc_covered.to_string(),
+        ]);
+    }
+    t
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn m(algo: Algo, rows: usize, seconds: f64) -> Measurement {
+        Measurement {
+            algo,
+            rows,
+            attrs: 5,
+            k: 10,
+            coverage: 0.3,
+            seconds,
+            considered: 100,
+            guesses: 1,
+            cost: 1.0,
+            size: 2,
+            covered: 10,
+            ok: true,
+        }
+    }
+
+    #[test]
+    fn pivot_groups_by_key_and_algo() {
+        let ms = vec![
+            m(Algo::CmcUnopt, 100, 1.0),
+            m(Algo::CwscOpt, 100, 0.2),
+            m(Algo::CmcUnopt, 200, 2.0),
+        ];
+        let t = fig5(&ms);
+        let text = t.render();
+        assert!(text.contains("rows"));
+        assert_eq!(t.len(), 2);
+        assert!(text.contains("1.000"));
+        assert!(text.contains("-"), "missing cells rendered as dash");
+    }
+
+    #[test]
+    fn fig6_uses_considered() {
+        let ms = vec![m(Algo::CwscOpt, 100, 0.2)];
+        assert!(fig6(&ms).render().contains("100"));
+    }
+
+    #[test]
+    fn grid_layout_uses_coverage_headers() {
+        use crate::experiments::GridRow;
+        let rows = vec![GridRow {
+            label: "CWSC".to_owned(),
+            cells: vec![m(Algo::CwscOpt, 100, 0.5)],
+        }];
+        let t = grid(&rows, &[0.3], |c| crate::report::num(c.cost));
+        let text = t.render();
+        assert!(text.contains("s=0.30"), "{text}");
+        assert!(text.contains("CWSC"), "{text}");
+    }
+
+    #[test]
+    fn vs_optimal_layout() {
+        use crate::experiments::OptRow;
+        let t = vs_optimal(&[OptRow {
+            rows: 30,
+            optimal: 10.0,
+            cwsc: 11.0,
+            cmc: 9.5,
+            cmc_covered: 15,
+            target: 15,
+        }]);
+        let text = t.render();
+        assert!(text.contains("optimal cost"), "{text}");
+        assert!(text.contains("9.50"), "{text}");
+    }
+
+    #[test]
+    fn perturb_layout() {
+        use crate::experiments::PerturbRow;
+        let t = perturb(&[PerturbRow {
+            label: "uniform delta=0.5".to_owned(),
+            cwsc_cost: 10.0,
+            cmc_min: 11.0,
+            cmc_max: 14.0,
+        }]);
+        assert!(t.render().contains("uniform delta=0.5"));
+        assert_eq!(t.len(), 1);
+    }
+
+    #[test]
+    fn table6_layout() {
+        let t = table6(&[(0.5, 15, 120.0), (0.9, 58, 300.0)]);
+        let text = t.render();
+        assert!(text.contains("number of patterns"));
+        assert!(text.contains("58"));
+    }
+}

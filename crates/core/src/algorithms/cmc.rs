@@ -1,0 +1,588 @@
+//! Cheap Max Coverage (CMC) — Figure 1, the `(1+ε)k` variant of
+//! Section V-A3, and the generalized `(1+l)`-ary variant of Section V-A2.
+//!
+//! CMC guesses the optimal cost `B` (doubling by `1+b` until feasible),
+//! partitions sets into geometric cost levels under `B`, and runs the
+//! greedy maximum-coverage heuristic within per-level quotas. Theorem 4:
+//! with the classic schedule it returns at most `5k` sets of total cost at
+//! most `(1+b)(2⌈log₂k⌉+1)·OPT` covering at least `(1−1/e)·ŝ·n` elements;
+//! Theorem 5: the ε-schedule uses at most `(1+ε)k` sets at cost
+//! `O(((1+b)/ε)·log k·OPT)`.
+
+use crate::cover_state::CoverState;
+use crate::set_system::{coverage_target, SetId, SetSystem};
+use crate::solution::{Solution, SolveError};
+use crate::stats::Stats;
+
+/// Fraction of the requested coverage that CMC guarantees (Fig. 1 line 06).
+pub const CMC_COVERAGE_DISCOUNT: f64 = 1.0 - std::f64::consts::E.recip();
+
+/// How CMC partitions the cost range `(0, B]` into levels with quotas.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum LevelSchedule {
+    /// Figure 1: levels `(B/2^i, B/2^{i-1}]` with quota `2^i` for
+    /// `i = 1..⌈log₂k⌉` (the last clipped below at `B/k`), plus a final
+    /// level `[0, B/k]` with quota `k`. At most `5k − 2` sets.
+    Classic,
+    /// Section V-A3: geometric levels while `εk ≥ 2^{i+1} − 2`, then a
+    /// final level holding everything cheaper with quota `k`. At most
+    /// `(1+ε)k` sets.
+    Epsilon(f64),
+    /// Section V-A2 closing remark: `(1+l)`-ary levels with quota
+    /// `(1+l)^i`; `Generalized(1)` coincides with `Classic`. At most
+    /// `k(1 + (1+l)²/l)` sets.
+    Generalized(u32),
+}
+
+/// A concrete level partition for one budget guess `B`.
+///
+/// Level `i` holds sets with cost in `(lower[i], upper[i]]`; the final
+/// level's range is closed below (`[0, upper]`) so zero-cost sets — which
+/// the paper implicitly excludes but Definition 1 permits — always belong
+/// to the cheapest level.
+#[derive(Debug, Clone)]
+pub struct Levels {
+    /// `(lower, upper]` cost bounds per level, outermost (most expensive)
+    /// first. The final level is `[0, upper]`.
+    bounds: Vec<(f64, f64)>,
+    /// Maximum number of sets pickable from each level (`k_i`).
+    quotas: Vec<usize>,
+}
+
+impl Levels {
+    /// Builds the level partition for budget `B` and size bound `k`.
+    ///
+    /// # Panics
+    /// Panics if `k == 0`, `budget` is not finite/positive, or the
+    /// schedule's parameter is out of range (`ε > 0`, `l ≥ 1`).
+    pub fn build(schedule: LevelSchedule, budget: f64, k: usize) -> Levels {
+        assert!(k >= 1, "k must be at least 1");
+        assert!(
+            budget.is_finite() && budget > 0.0,
+            "budget must be positive and finite, got {budget}"
+        );
+        let mut bounds = Vec::new();
+        let mut quotas = Vec::new();
+        match schedule {
+            LevelSchedule::Classic => {
+                // Levels 1..=⌈log₂ k⌉ with quota 2^i, clipped below at B/k.
+                let levels = (k as f64).log2().ceil() as u32;
+                let floor = budget / k as f64;
+                for i in 1..=levels {
+                    let upper = budget / 2f64.powi(i as i32 - 1);
+                    let lower = (budget / 2f64.powi(i as i32)).max(floor);
+                    if lower < upper {
+                        bounds.push((lower, upper));
+                        quotas.push(1usize << i);
+                    }
+                }
+                bounds.push((0.0, floor));
+                quotas.push(k);
+            }
+            LevelSchedule::Epsilon(eps) => {
+                assert!(eps > 0.0, "epsilon must be positive, got {eps}");
+                // Modified lines 07-14: geometric levels while εk ≥ 2^{i+1}-2.
+                let mut i = 1u32;
+                while eps * k as f64 >= (2f64.powi(i as i32 + 1) - 2.0)
+                    && 2f64.powi(i as i32 - 1) < k as f64
+                {
+                    let upper = budget / 2f64.powi(i as i32 - 1);
+                    let lower = budget / 2f64.powi(i as i32);
+                    bounds.push((lower, upper));
+                    quotas.push(1usize << i);
+                    i += 1;
+                }
+                bounds.push((0.0, budget / 2f64.powi(i as i32 - 1)));
+                quotas.push(k);
+            }
+            LevelSchedule::Generalized(l) => {
+                assert!(l >= 1, "l must be at least 1, got {l}");
+                let base = (1 + l) as f64;
+                let levels = (k as f64).log(base).ceil() as u32;
+                let floor = budget / k as f64;
+                for i in 1..=levels {
+                    let upper = budget / base.powi(i as i32 - 1);
+                    let lower = (budget / base.powi(i as i32)).max(floor);
+                    if lower < upper {
+                        bounds.push((lower, upper));
+                        quotas.push(base.powi(i as i32) as usize);
+                    }
+                }
+                bounds.push((0.0, floor));
+                quotas.push(k);
+            }
+        }
+        Levels { bounds, quotas }
+    }
+
+    /// Number of levels.
+    pub fn len(&self) -> usize {
+        self.bounds.len()
+    }
+
+    /// True when there are no levels (never produced by [`Levels::build`]).
+    pub fn is_empty(&self) -> bool {
+        self.bounds.is_empty()
+    }
+
+    /// Quota `k_i` of level `i`.
+    pub fn quota(&self, level: usize) -> usize {
+        self.quotas[level]
+    }
+
+    /// The level a cost belongs to under this partition, or `None` when the
+    /// cost exceeds the budget.
+    pub fn level_of(&self, cost: f64) -> Option<usize> {
+        let last = self.bounds.len() - 1;
+        for (i, &(lower, upper)) in self.bounds.iter().enumerate() {
+            let contains = if i == last {
+                cost <= upper // final level is closed below: [0, upper]
+            } else {
+                cost > lower && cost <= upper
+            };
+            if contains {
+                return Some(i);
+            }
+        }
+        None
+    }
+
+    /// Sum of quotas: the maximum number of sets a single guess can select.
+    pub fn max_selections(&self) -> usize {
+        self.quotas.iter().sum()
+    }
+}
+
+/// Tunable parameters of a CMC run.
+#[derive(Debug, Clone, Copy)]
+pub struct CmcParams {
+    /// Size bound `k` from Definition 1.
+    pub k: usize,
+    /// Requested coverage fraction `ŝ`.
+    pub coverage_fraction: f64,
+    /// Budget growth factor `b` (Fig. 1 line 28 multiplies by `1+b`).
+    pub budget_growth: f64,
+    /// Level schedule (classic 5k, ε-variant, or generalized).
+    pub schedule: LevelSchedule,
+    /// Whether to target `(1−1/e)·ŝ·n` (faithful, Fig. 1 line 06) or the
+    /// full `ŝ·n`. The discounted target is what Theorems 4–5 guarantee;
+    /// the undiscounted variant is exposed for the ablation benches.
+    pub discount_coverage: bool,
+}
+
+impl CmcParams {
+    /// Faithful Figure 1 parameters: classic schedule, discounted target.
+    pub fn classic(k: usize, coverage_fraction: f64, budget_growth: f64) -> CmcParams {
+        CmcParams {
+            k,
+            coverage_fraction,
+            budget_growth,
+            schedule: LevelSchedule::Classic,
+            discount_coverage: true,
+        }
+    }
+
+    /// Section V-A3 parameters: at most `(1+ε)k` sets.
+    pub fn epsilon(k: usize, coverage_fraction: f64, budget_growth: f64, eps: f64) -> CmcParams {
+        CmcParams {
+            schedule: LevelSchedule::Epsilon(eps),
+            ..CmcParams::classic(k, coverage_fraction, budget_growth)
+        }
+    }
+
+    fn target(&self, n: usize) -> usize {
+        let fraction = if self.discount_coverage {
+            self.coverage_fraction * CMC_COVERAGE_DISCOUNT
+        } else {
+            self.coverage_fraction
+        };
+        coverage_target(n, fraction)
+    }
+}
+
+/// Outcome of a CMC run: the solution plus the budget that produced it.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CmcOutcome {
+    /// The selected sub-collection.
+    pub solution: Solution,
+    /// The budget guess `B` under which the solution was found.
+    pub final_budget: f64,
+}
+
+/// Runs Cheap Max Coverage (Figure 1 / Section V-A3 depending on
+/// `params.schedule`).
+///
+/// `stats.considered` accumulates, per budget guess, the number of sets
+/// whose marginal benefit is computed (all of them, Fig. 1 lines 04–05) —
+/// the Figure 6 metric; `stats.budget_guesses` counts the guesses.
+///
+/// Returns [`SolveError::BudgetExhausted`] when even `B` larger than the
+/// total weight of all sets cannot reach the target — impossible when a
+/// universe set exists. Fig. 1's literal `until B > total` check stops
+/// *before* running a guess that exceeds the total; we run that final
+/// guess too, otherwise feasible instances whose optimum needs nearly the
+/// whole collection would be rejected (see DESIGN.md §3).
+///
+/// ```
+/// use scwsc_core::{algorithms::{cmc, CmcParams}, SetSystem, Stats};
+///
+/// let mut b = SetSystem::builder(10);
+/// for e in 0..10u32 {
+///     b.add_set([e], 1.0); // ten unit singletons
+/// }
+/// b.add_universe_set(8.0); // one cheap covering set
+/// let system = b.build().unwrap();
+///
+/// // Theorem 4 bounds: ≤ 5k sets covering ≥ (1−1/e)·ŝ·n elements.
+/// let params = CmcParams::classic(2, 1.0, 1.0);
+/// let outcome = cmc(&system, &params, &mut Stats::new()).unwrap();
+/// assert!(outcome.solution.size() <= 10);
+/// assert!(outcome.solution.covered() >= 7); // ⌈(1−1/e)·10⌉
+/// ```
+pub fn cmc(system: &SetSystem, params: &CmcParams, stats: &mut Stats) -> Result<CmcOutcome, SolveError> {
+    if params.k == 0 {
+        return Err(SolveError::ZeroSizeBound);
+    }
+    assert!(
+        params.budget_growth > 0.0,
+        "budget growth factor b must be positive"
+    );
+
+    let target = params.target(system.num_elements());
+    if target == 0 {
+        return Ok(CmcOutcome {
+            solution: Solution::from_sets(system, Vec::new()),
+            final_budget: 0.0,
+        });
+    }
+
+    let total_cost = system.total_cost().value();
+    // Line 01: B = cost of the k cheapest sets. Guard degenerate zero
+    // budgets (all-k-cheapest free) so the geometric growth can start.
+    let mut budget = {
+        let b0 = system.k_cheapest_cost(params.k).value();
+        if b0 > 0.0 {
+            b0
+        } else {
+            let min_positive = system
+                .iter()
+                .map(|(_, s)| s.cost().value())
+                .filter(|&c| c > 0.0)
+                .fold(f64::INFINITY, f64::min);
+            if min_positive.is_finite() {
+                min_positive
+            } else {
+                1.0 // every set is free; a single pass suffices
+            }
+        }
+    };
+
+    loop {
+        stats.new_guess();
+        if let Some(solution) = run_guess(system, params, budget, target, stats) {
+            return Ok(CmcOutcome {
+                solution,
+                final_budget: budget,
+            });
+        }
+        if budget > total_cost {
+            return Err(SolveError::BudgetExhausted);
+        }
+        budget *= 1.0 + params.budget_growth; // line 28
+    }
+}
+
+/// One iteration of the outer repeat loop (Fig. 1 lines 03–27) for a fixed
+/// budget `B`. Returns the solution when the coverage target is met.
+fn run_guess(
+    system: &SetSystem,
+    params: &CmcParams,
+    budget: f64,
+    target: usize,
+    stats: &mut Stats,
+) -> Option<Solution> {
+    // Lines 04-05: fresh marginal benefits for every set.
+    let mut state = CoverState::new(system);
+    stats.consider(system.num_sets() as u64);
+
+    let levels = Levels::build(params.schedule, budget, params.k);
+    // Precompute each set's level under this budget so the inner argmax
+    // filter is a table lookup.
+    let set_level: Vec<Option<usize>> = (0..system.num_sets() as SetId)
+        .map(|id| levels.level_of(system.cost(id).value()))
+        .collect();
+
+    let mut chosen: Vec<SetId> = Vec::new();
+    let mut rem = target; // line 06
+
+    for level in 0..levels.len() {
+        for _ in 0..levels.quota(level) {
+            // Line 17: argmax of marginal benefit within the level.
+            let q = state.argmax_benefit(|id| set_level[id as usize] == Some(level));
+            let Some(q) = q else {
+                break; // line 18: level exhausted
+            };
+            chosen.push(q); // line 19
+            stats.select();
+            let newly = state.select(q); // lines 20-21, 24-27
+            rem = rem.saturating_sub(newly);
+            if rem == 0 {
+                return Some(Solution::from_sets(system, chosen)); // lines 22-23
+            }
+        }
+    }
+    None
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::solution::{verify, Requirements};
+
+    fn system() -> SetSystem {
+        let mut b = SetSystem::builder(12);
+        b.add_set([0], 1.0)
+            .add_set([1], 1.0)
+            .add_set([2], 1.0)
+            .add_set([0, 1, 2, 3, 4, 5], 6.0)
+            .add_set([6, 7, 8, 9, 10, 11], 7.0)
+            .add_universe_set(30.0);
+        b.build().unwrap()
+    }
+
+    #[test]
+    fn classic_levels_for_k4() {
+        let l = Levels::build(LevelSchedule::Classic, 8.0, 4);
+        // ⌈log2 4⌉ = 2 levels + final: (4,8] q2, (2,4] q4, [0,2] q4
+        assert_eq!(l.len(), 3);
+        assert_eq!(l.quota(0), 2);
+        assert_eq!(l.quota(1), 4);
+        assert_eq!(l.quota(2), 4);
+        assert_eq!(l.level_of(8.0), Some(0));
+        assert_eq!(l.level_of(5.0), Some(0));
+        assert_eq!(l.level_of(4.0), Some(1));
+        assert_eq!(l.level_of(2.0), Some(2));
+        assert_eq!(l.level_of(0.0), Some(2), "zero cost in final level");
+        assert_eq!(l.level_of(8.1), None, "above budget excluded");
+    }
+
+    #[test]
+    fn classic_levels_k1_single_level() {
+        let l = Levels::build(LevelSchedule::Classic, 10.0, 1);
+        assert_eq!(l.len(), 1);
+        assert_eq!(l.quota(0), 1);
+        assert_eq!(l.level_of(10.0), Some(0));
+        assert_eq!(l.level_of(11.0), None);
+    }
+
+    #[test]
+    fn classic_levels_clip_at_budget_over_k() {
+        // k = 3: ⌈log2 3⌉ = 2 levels; level 2's lower bound clips at B/3.
+        let l = Levels::build(LevelSchedule::Classic, 12.0, 3);
+        assert_eq!(l.len(), 3);
+        // (6,12] q2, (4,6] q4 (clipped: B/4=3 < B/3=4), [0,4] q3
+        assert_eq!(l.level_of(5.0), Some(1));
+        assert_eq!(l.level_of(4.0), Some(2));
+        assert_eq!(l.max_selections(), 2 + 4 + 3);
+    }
+
+    #[test]
+    fn classic_max_selections_bounded_by_5k() {
+        for k in 1..=64 {
+            let l = Levels::build(LevelSchedule::Classic, 100.0, k);
+            assert!(
+                l.max_selections() <= 5 * k,
+                "k={k}: {} > 5k",
+                l.max_selections()
+            );
+        }
+    }
+
+    #[test]
+    fn epsilon_levels_match_paper_example() {
+        // Paper example: k = 12, ε = 0.5 -> levels q2, q4, final q12.
+        let l = Levels::build(LevelSchedule::Epsilon(0.5), 8.0, 12);
+        assert_eq!(l.len(), 3);
+        assert_eq!(l.quota(0), 2);
+        assert_eq!(l.quota(1), 4);
+        assert_eq!(l.quota(2), 12);
+        // H1=(4,8], H2=(2,4], H3=[0,2]
+        assert_eq!(l.level_of(3.0), Some(1));
+        assert_eq!(l.level_of(2.0), Some(2));
+        assert_eq!(l.max_selections(), 18); // (1+ε)k = 18
+    }
+
+    #[test]
+    fn epsilon_max_selections_bounded() {
+        for &eps in &[0.25, 0.5, 1.0, 2.0] {
+            for k in 1..=40 {
+                let l = Levels::build(LevelSchedule::Epsilon(eps), 50.0, k);
+                let bound = ((1.0 + eps) * k as f64).floor() as usize;
+                assert!(
+                    l.max_selections() <= bound.max(k),
+                    "eps={eps} k={k}: {} > {}",
+                    l.max_selections(),
+                    bound
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn generalized_l1_equals_classic() {
+        for k in [1usize, 2, 3, 7, 16] {
+            let a = Levels::build(LevelSchedule::Classic, 64.0, k);
+            let b = Levels::build(LevelSchedule::Generalized(1), 64.0, k);
+            assert_eq!(a.quotas, b.quotas, "k={k}");
+            assert_eq!(a.bounds, b.bounds, "k={k}");
+        }
+    }
+
+    #[test]
+    fn generalized_l3_has_fewer_levels() {
+        let a = Levels::build(LevelSchedule::Classic, 64.0, 16);
+        let b = Levels::build(LevelSchedule::Generalized(3), 64.0, 16);
+        assert!(b.len() < a.len());
+    }
+
+    #[test]
+    fn generalized_high_l_single_level_for_small_k() {
+        // base 6 with k=4: ceil(log_6 4) = 1 level + final.
+        let l = Levels::build(LevelSchedule::Generalized(5), 60.0, 4);
+        assert!(l.len() <= 2);
+        assert_eq!(l.quota(l.len() - 1), 4, "final level quota is k");
+        assert_eq!(l.level_of(60.0), Some(0));
+        assert_eq!(l.level_of(61.0), None);
+    }
+
+    #[test]
+    fn generalized_k1() {
+        let l = Levels::build(LevelSchedule::Generalized(3), 10.0, 1);
+        assert_eq!(l.len(), 1);
+        assert_eq!(l.quota(0), 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "budget must be positive")]
+    fn levels_reject_nonpositive_budget() {
+        Levels::build(LevelSchedule::Classic, 0.0, 3);
+    }
+
+    #[test]
+    #[should_panic(expected = "epsilon must be positive")]
+    fn levels_reject_nonpositive_epsilon() {
+        Levels::build(LevelSchedule::Epsilon(0.0), 10.0, 3);
+    }
+
+    #[test]
+    #[should_panic(expected = "l must be at least 1")]
+    fn levels_reject_zero_l() {
+        Levels::build(LevelSchedule::Generalized(0), 10.0, 3);
+    }
+
+    #[test]
+    fn cmc_meets_discounted_coverage_and_size_bound() {
+        let sys = system();
+        let mut stats = Stats::new();
+        let params = CmcParams::classic(2, 0.75, 1.0);
+        let out = cmc(&sys, &params, &mut stats).unwrap();
+        let discounted = coverage_target(12, 0.75 * CMC_COVERAGE_DISCOUNT);
+        let req = Requirements {
+            max_sets: 5 * 2,
+            min_covered: discounted,
+        };
+        let v = verify(&sys, &out.solution, req);
+        assert!(v.is_valid(), "{v:?}");
+        assert!(stats.budget_guesses >= 1);
+        assert_eq!(
+            stats.considered,
+            stats.budget_guesses as u64 * sys.num_sets() as u64
+        );
+    }
+
+    #[test]
+    fn cmc_budget_grows_until_feasible() {
+        let sys = system();
+        // High coverage forces budgets big enough for the large sets.
+        let params = CmcParams::classic(2, 1.0, 1.0);
+        let mut stats = Stats::new();
+        let out = cmc(&sys, &params, &mut stats).unwrap();
+        assert!(out.solution.covered() >= coverage_target(12, CMC_COVERAGE_DISCOUNT));
+        assert!(out.final_budget >= 6.0, "needs the big sets: {}", out.final_budget);
+    }
+
+    #[test]
+    fn cmc_zero_k_and_zero_target() {
+        let sys = system();
+        assert_eq!(
+            cmc(&sys, &CmcParams::classic(0, 0.5, 1.0), &mut Stats::new()),
+            Err(SolveError::ZeroSizeBound)
+        );
+        let out = cmc(&sys, &CmcParams::classic(2, 0.0, 1.0), &mut Stats::new()).unwrap();
+        assert_eq!(out.solution.size(), 0);
+    }
+
+    #[test]
+    fn cmc_budget_exhausted_without_universe() {
+        let mut b = SetSystem::builder(4);
+        b.add_set([0], 1.0).add_set([1], 1.0);
+        let sys = b.build().unwrap();
+        // k=1, need (1-1/e)*1.0*4 = ceil(2.52) = 3 covered: impossible.
+        assert_eq!(
+            cmc(&sys, &CmcParams::classic(1, 1.0, 1.0), &mut Stats::new()),
+            Err(SolveError::BudgetExhausted)
+        );
+    }
+
+    #[test]
+    fn cmc_final_guess_above_total_cost_runs() {
+        // Optimal needs the most expensive set; ensure the guess loop
+        // reaches a budget admitting it (the DESIGN.md §3 off-by-one fix).
+        let mut b = SetSystem::builder(10);
+        b.add_set([0], 1.0).add_universe_set(1.9);
+        let sys = b.build().unwrap();
+        let params = CmcParams::classic(1, 1.0, 10.0); // huge growth factor
+        let out = cmc(&sys, &params, &mut Stats::new()).unwrap();
+        assert_eq!(out.solution.sets(), &[1]);
+    }
+
+    #[test]
+    fn cmc_zero_cost_sets_are_usable() {
+        let mut b = SetSystem::builder(6);
+        b.add_set([0, 1, 2], 0.0).add_set([3, 4, 5], 0.0).add_universe_set(5.0);
+        let sys = b.build().unwrap();
+        let out = cmc(&sys, &CmcParams::classic(2, 1.0, 1.0), &mut Stats::new()).unwrap();
+        assert!(out.solution.covered() >= coverage_target(6, CMC_COVERAGE_DISCOUNT));
+    }
+
+    #[test]
+    fn cmc_epsilon_respects_size_bound() {
+        let sys = system();
+        for &eps in &[0.5, 1.0, 2.0] {
+            let params = CmcParams::epsilon(2, 0.9, 1.0, eps);
+            let out = cmc(&sys, &params, &mut Stats::new()).unwrap();
+            let bound = ((1.0 + eps) * 2.0).floor() as usize;
+            assert!(
+                out.solution.size() <= bound.max(2),
+                "eps={eps}: {} sets",
+                out.solution.size()
+            );
+        }
+    }
+
+    #[test]
+    fn cmc_undiscounted_target_covers_more() {
+        let sys = system();
+        let mut p = CmcParams::classic(2, 0.9, 1.0);
+        p.discount_coverage = false;
+        let out = cmc(&sys, &p, &mut Stats::new()).unwrap();
+        assert!(out.solution.covered() >= coverage_target(12, 0.9));
+    }
+
+    #[test]
+    #[should_panic(expected = "budget growth")]
+    fn cmc_rejects_nonpositive_b() {
+        let sys = system();
+        let _ = cmc(&sys, &CmcParams::classic(2, 0.5, 0.0), &mut Stats::new());
+    }
+}

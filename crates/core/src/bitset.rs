@@ -1,0 +1,344 @@
+//! Dense fixed-capacity bitset used to track covered elements.
+//!
+//! Coverage tracking is the hottest data structure in every greedy cover
+//! algorithm in this crate: each selection updates the covered-element set
+//! and each candidate evaluation counts how many of a set's elements are
+//! still uncovered. A flat `Vec<u64>` with popcount gives both operations
+//! in a handful of instructions per 64 elements.
+
+use std::fmt;
+
+const WORD_BITS: usize = 64;
+
+/// A fixed-capacity set of `usize` ids in `0..len`, stored one bit per id.
+#[derive(Clone, PartialEq, Eq, Hash)]
+pub struct BitSet {
+    words: Vec<u64>,
+    /// Number of addressable bits (ids are `0..len`).
+    len: usize,
+}
+
+impl BitSet {
+    /// Creates an empty bitset able to hold ids `0..len`.
+    pub fn new(len: usize) -> Self {
+        BitSet {
+            words: vec![0u64; len.div_ceil(WORD_BITS)],
+            len,
+        }
+    }
+
+    /// Number of addressable bits (not the number of set bits).
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// True when the bitset has zero capacity.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// Sets bit `i`. Returns `true` if the bit was previously unset.
+    ///
+    /// # Panics
+    /// Panics if `i >= self.len()`.
+    #[inline]
+    pub fn insert(&mut self, i: usize) -> bool {
+        assert!(i < self.len, "bit index {i} out of range {}", self.len);
+        let word = &mut self.words[i / WORD_BITS];
+        let mask = 1u64 << (i % WORD_BITS);
+        let was_unset = *word & mask == 0;
+        *word |= mask;
+        was_unset
+    }
+
+    /// Clears bit `i`. Returns `true` if the bit was previously set.
+    ///
+    /// # Panics
+    /// Panics if `i >= self.len()`.
+    #[inline]
+    pub fn remove(&mut self, i: usize) -> bool {
+        assert!(i < self.len, "bit index {i} out of range {}", self.len);
+        let word = &mut self.words[i / WORD_BITS];
+        let mask = 1u64 << (i % WORD_BITS);
+        let was_set = *word & mask != 0;
+        *word &= !mask;
+        was_set
+    }
+
+    /// Returns whether bit `i` is set.
+    ///
+    /// # Panics
+    /// Panics if `i >= self.len()`.
+    #[inline]
+    pub fn contains(&self, i: usize) -> bool {
+        assert!(i < self.len, "bit index {i} out of range {}", self.len);
+        self.words[i / WORD_BITS] & (1u64 << (i % WORD_BITS)) != 0
+    }
+
+    /// Number of set bits.
+    pub fn count_ones(&self) -> usize {
+        self.words.iter().map(|w| w.count_ones() as usize).sum()
+    }
+
+    /// Clears every bit, keeping capacity.
+    pub fn clear(&mut self) {
+        self.words.fill(0);
+    }
+
+    /// Sets every bit in `0..len`.
+    pub fn fill(&mut self) {
+        self.words.fill(!0u64);
+        self.mask_tail();
+    }
+
+    /// Zeroes the bits beyond `len` in the last word so popcounts stay exact.
+    fn mask_tail(&mut self) {
+        let tail = self.len % WORD_BITS;
+        if tail != 0 {
+            if let Some(last) = self.words.last_mut() {
+                *last &= (1u64 << tail) - 1;
+            }
+        }
+    }
+
+    /// `self |= other`.
+    ///
+    /// # Panics
+    /// Panics if capacities differ.
+    pub fn union_with(&mut self, other: &BitSet) {
+        assert_eq!(self.len, other.len, "bitset capacity mismatch");
+        for (a, b) in self.words.iter_mut().zip(&other.words) {
+            *a |= *b;
+        }
+    }
+
+    /// `self &= other`.
+    ///
+    /// # Panics
+    /// Panics if capacities differ.
+    pub fn intersect_with(&mut self, other: &BitSet) {
+        assert_eq!(self.len, other.len, "bitset capacity mismatch");
+        for (a, b) in self.words.iter_mut().zip(&other.words) {
+            *a &= *b;
+        }
+    }
+
+    /// `self &= !other` (set difference).
+    ///
+    /// # Panics
+    /// Panics if capacities differ.
+    pub fn difference_with(&mut self, other: &BitSet) {
+        assert_eq!(self.len, other.len, "bitset capacity mismatch");
+        for (a, b) in self.words.iter_mut().zip(&other.words) {
+            *a &= !*b;
+        }
+    }
+
+    /// `|self ∩ other|` without materializing the intersection.
+    ///
+    /// # Panics
+    /// Panics if capacities differ.
+    pub fn intersection_count(&self, other: &BitSet) -> usize {
+        assert_eq!(self.len, other.len, "bitset capacity mismatch");
+        self.words
+            .iter()
+            .zip(&other.words)
+            .map(|(a, b)| (a & b).count_ones() as usize)
+            .sum()
+    }
+
+    /// Counts ids in `ids` whose bit is **not** set in `self`.
+    ///
+    /// This is the marginal-benefit primitive: with `self` = covered
+    /// elements and `ids` = a set's element list, the result is
+    /// `|MBen(s, S)|` from the paper.
+    ///
+    /// # Panics
+    /// Panics if any id is out of range.
+    pub fn count_unset<I>(&self, ids: I) -> usize
+    where
+        I: IntoIterator,
+        I::Item: Into<usize>,
+    {
+        ids.into_iter()
+            .map(Into::into)
+            .filter(|&i| !self.contains(i))
+            .count()
+    }
+
+    /// Iterates over set bit indices in increasing order.
+    pub fn iter_ones(&self) -> Ones<'_> {
+        Ones {
+            set: self,
+            word_idx: 0,
+            current: self.words.first().copied().unwrap_or(0),
+        }
+    }
+
+    /// Returns the set bits as a sorted `Vec`.
+    pub fn to_vec(&self) -> Vec<usize> {
+        self.iter_ones().collect()
+    }
+}
+
+impl fmt::Debug for BitSet {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_set().entries(self.iter_ones()).finish()
+    }
+}
+
+impl FromIterator<usize> for BitSet {
+    /// Builds a bitset sized to the largest id + 1.
+    fn from_iter<I: IntoIterator<Item = usize>>(iter: I) -> Self {
+        let ids: Vec<usize> = iter.into_iter().collect();
+        let len = ids.iter().max().map_or(0, |m| m + 1);
+        let mut set = BitSet::new(len);
+        for i in ids {
+            set.insert(i);
+        }
+        set
+    }
+}
+
+/// Iterator over set bit indices of a [`BitSet`].
+pub struct Ones<'a> {
+    set: &'a BitSet,
+    word_idx: usize,
+    current: u64,
+}
+
+impl Iterator for Ones<'_> {
+    type Item = usize;
+
+    fn next(&mut self) -> Option<usize> {
+        while self.current == 0 {
+            self.word_idx += 1;
+            if self.word_idx >= self.set.words.len() {
+                return None;
+            }
+            self.current = self.set.words[self.word_idx];
+        }
+        let bit = self.current.trailing_zeros() as usize;
+        self.current &= self.current - 1; // clear lowest set bit
+        Some(self.word_idx * WORD_BITS + bit)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn new_is_empty() {
+        let b = BitSet::new(100);
+        assert_eq!(b.len(), 100);
+        assert_eq!(b.count_ones(), 0);
+        assert!(!b.contains(0));
+        assert!(!b.contains(99));
+    }
+
+    #[test]
+    fn insert_remove_contains() {
+        let mut b = BitSet::new(130);
+        assert!(b.insert(0));
+        assert!(b.insert(64));
+        assert!(b.insert(129));
+        assert!(!b.insert(64), "second insert reports already-set");
+        assert!(b.contains(0) && b.contains(64) && b.contains(129));
+        assert_eq!(b.count_ones(), 3);
+        assert!(b.remove(64));
+        assert!(!b.remove(64));
+        assert!(!b.contains(64));
+        assert_eq!(b.count_ones(), 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn out_of_range_panics() {
+        let mut b = BitSet::new(10);
+        b.insert(10);
+    }
+
+    #[test]
+    fn fill_respects_len() {
+        let mut b = BitSet::new(70);
+        b.fill();
+        assert_eq!(b.count_ones(), 70);
+        b.clear();
+        assert_eq!(b.count_ones(), 0);
+    }
+
+    #[test]
+    fn fill_exact_word_boundary() {
+        let mut b = BitSet::new(128);
+        b.fill();
+        assert_eq!(b.count_ones(), 128);
+    }
+
+    #[test]
+    fn union_intersect_difference() {
+        let mut a = BitSet::new(200);
+        let mut b = BitSet::new(200);
+        for i in [1usize, 5, 70, 150] {
+            a.insert(i);
+        }
+        for i in [5usize, 70, 199] {
+            b.insert(i);
+        }
+        assert_eq!(a.intersection_count(&b), 2);
+
+        let mut u = a.clone();
+        u.union_with(&b);
+        assert_eq!(u.to_vec(), vec![1, 5, 70, 150, 199]);
+
+        let mut i = a.clone();
+        i.intersect_with(&b);
+        assert_eq!(i.to_vec(), vec![5, 70]);
+
+        let mut d = a.clone();
+        d.difference_with(&b);
+        assert_eq!(d.to_vec(), vec![1, 150]);
+    }
+
+    #[test]
+    fn count_unset_is_marginal_benefit() {
+        let mut covered = BitSet::new(10);
+        covered.insert(2);
+        covered.insert(4);
+        let members: Vec<u32> = vec![1, 2, 3, 4, 5];
+        assert_eq!(covered.count_unset(members.iter().map(|&x| x as usize)), 3);
+    }
+
+    #[test]
+    fn iter_ones_order_and_boundaries() {
+        let mut b = BitSet::new(300);
+        let ids = [0usize, 63, 64, 127, 128, 255, 299];
+        for &i in &ids {
+            b.insert(i);
+        }
+        assert_eq!(b.to_vec(), ids.to_vec());
+    }
+
+    #[test]
+    fn from_iter_sizes_to_max() {
+        let b: BitSet = [3usize, 9, 1].into_iter().collect();
+        assert_eq!(b.len(), 10);
+        assert_eq!(b.to_vec(), vec![1, 3, 9]);
+    }
+
+    #[test]
+    fn empty_capacity() {
+        let b = BitSet::new(0);
+        assert!(b.is_empty());
+        assert_eq!(b.count_ones(), 0);
+        assert_eq!(b.iter_ones().count(), 0);
+    }
+
+    #[test]
+    fn debug_format_lists_members() {
+        let b: BitSet = [2usize, 4].into_iter().collect();
+        assert_eq!(format!("{b:?}"), "{2, 4}");
+    }
+}

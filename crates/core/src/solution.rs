@@ -1,0 +1,248 @@
+//! Solution representation and an independent verifier.
+//!
+//! Every algorithm in this crate returns a [`Solution`]: the chosen set ids
+//! in selection order plus derived totals. The [`verify`] function recomputes
+//! coverage and cost from the raw [`SetSystem`] so tests and callers never
+//! have to trust an algorithm's own bookkeeping.
+
+use crate::cost::Cost;
+use crate::set_system::{coverage_target, SetId, SetSystem};
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// A sub-collection of sets chosen by a cover algorithm, in selection order.
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub struct Solution {
+    sets: Vec<SetId>,
+    total_cost: Cost,
+    covered: usize,
+}
+
+impl Solution {
+    /// Assembles a solution and recomputes its totals from `system`.
+    pub fn from_sets(system: &SetSystem, sets: Vec<SetId>) -> Solution {
+        let covered = system.coverage_of(&sets).count_ones();
+        let total_cost = system.cost_of(&sets);
+        Solution {
+            sets,
+            total_cost,
+            covered,
+        }
+    }
+
+    /// Chosen set ids in the order the algorithm selected them.
+    #[inline]
+    pub fn sets(&self) -> &[SetId] {
+        &self.sets
+    }
+
+    /// Number of chosen sets.
+    #[inline]
+    pub fn size(&self) -> usize {
+        self.sets.len()
+    }
+
+    /// Sum of weights of the chosen sets.
+    #[inline]
+    pub fn total_cost(&self) -> Cost {
+        self.total_cost
+    }
+
+    /// Number of elements covered by the union of the chosen sets.
+    #[inline]
+    pub fn covered(&self) -> usize {
+        self.covered
+    }
+}
+
+impl fmt::Display for Solution {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{} sets, cost {}, covering {} elements: {:?}",
+            self.size(),
+            self.total_cost,
+            self.covered,
+            self.sets
+        )
+    }
+}
+
+/// Why an algorithm failed to produce a solution.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum SolveError {
+    /// CWSC line 07: no candidate set has the required marginal benefit.
+    ///
+    /// Cannot occur when the input satisfies Definition 1 (contains a
+    /// universe set).
+    NoSolution,
+    /// CMC exhausted every budget guess without reaching its coverage
+    /// target. Cannot occur when the input contains a universe set.
+    BudgetExhausted,
+    /// The requested size bound was zero.
+    ZeroSizeBound,
+}
+
+impl fmt::Display for SolveError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SolveError::NoSolution => write!(f, "no feasible solution found"),
+            SolveError::BudgetExhausted => {
+                write!(f, "budget guesses exhausted without reaching coverage")
+            }
+            SolveError::ZeroSizeBound => write!(f, "size bound k must be at least 1"),
+        }
+    }
+}
+
+impl std::error::Error for SolveError {}
+
+/// The three simultaneous requirements of Definition 1, used by [`verify`].
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Requirements {
+    /// Maximum number of sets.
+    pub max_sets: usize,
+    /// Minimum number of covered elements (already scaled by `n`).
+    pub min_covered: usize,
+}
+
+impl Requirements {
+    /// Builds requirements from `k` and a coverage fraction `ŝ`.
+    pub fn new(system: &SetSystem, k: usize, coverage_fraction: f64) -> Requirements {
+        Requirements {
+            max_sets: k,
+            min_covered: coverage_target(system.num_elements(), coverage_fraction),
+        }
+    }
+
+    /// Relaxes the size bound to `factor * k` (e.g. CMC's `5k`), rounding up.
+    pub fn relax_size(self, factor: f64) -> Requirements {
+        Requirements {
+            max_sets: (self.max_sets as f64 * factor).ceil() as usize,
+            ..self
+        }
+    }
+}
+
+/// Result of independently re-checking a solution against requirements.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Verification {
+    /// Recomputed number of covered elements.
+    pub covered: usize,
+    /// Recomputed total cost.
+    pub total_cost: Cost,
+    /// Whether the size bound holds.
+    pub size_ok: bool,
+    /// Whether the coverage requirement holds.
+    pub coverage_ok: bool,
+    /// Whether the solution's cached totals match the recomputation.
+    pub totals_consistent: bool,
+}
+
+impl Verification {
+    /// All checks passed.
+    pub fn is_valid(&self) -> bool {
+        self.size_ok && self.coverage_ok && self.totals_consistent
+    }
+}
+
+/// Recomputes a solution's coverage and cost from scratch and checks the
+/// requirements. Never trusts the solution's cached totals.
+pub fn verify(system: &SetSystem, solution: &Solution, req: Requirements) -> Verification {
+    let covered = system.coverage_of(solution.sets()).count_ones();
+    let total_cost = system.cost_of(solution.sets());
+    Verification {
+        covered,
+        total_cost,
+        size_ok: solution.size() <= req.max_sets,
+        coverage_ok: covered >= req.min_covered,
+        totals_consistent: covered == solution.covered() && total_cost == solution.total_cost(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn system() -> SetSystem {
+        let mut b = SetSystem::builder(6);
+        b.add_set([0, 1, 2], 3.0)
+            .add_set([2, 3], 1.0)
+            .add_set([4, 5], 2.0)
+            .add_universe_set(100.0);
+        b.build().unwrap()
+    }
+
+    #[test]
+    fn from_sets_computes_totals() {
+        let sys = system();
+        let sol = Solution::from_sets(&sys, vec![0, 1]);
+        assert_eq!(sol.size(), 2);
+        assert_eq!(sol.covered(), 4); // {0,1,2,3}
+        assert_eq!(sol.total_cost().value(), 4.0);
+        assert_eq!(sol.sets(), &[0, 1]);
+    }
+
+    #[test]
+    fn overlapping_sets_do_not_double_count() {
+        let sys = system();
+        let sol = Solution::from_sets(&sys, vec![0, 0, 1]);
+        assert_eq!(sol.covered(), 4);
+        // cost *is* double counted: the solution is a multiset of choices
+        assert_eq!(sol.total_cost().value(), 7.0);
+    }
+
+    #[test]
+    fn verify_accepts_valid_solution() {
+        let sys = system();
+        let sol = Solution::from_sets(&sys, vec![0, 2]);
+        let req = Requirements::new(&sys, 2, 5.0 / 6.0);
+        let v = verify(&sys, &sol, req);
+        assert_eq!(v.covered, 5);
+        assert!(v.is_valid(), "{v:?}");
+    }
+
+    #[test]
+    fn verify_flags_size_violation() {
+        let sys = system();
+        let sol = Solution::from_sets(&sys, vec![0, 1, 2]);
+        let req = Requirements::new(&sys, 2, 0.5);
+        let v = verify(&sys, &sol, req);
+        assert!(!v.size_ok);
+        assert!(!v.is_valid());
+    }
+
+    #[test]
+    fn verify_flags_coverage_violation() {
+        let sys = system();
+        let sol = Solution::from_sets(&sys, vec![1]);
+        let req = Requirements::new(&sys, 2, 0.9);
+        let v = verify(&sys, &sol, req);
+        assert!(!v.coverage_ok);
+    }
+
+    #[test]
+    fn relax_size_rounds_up() {
+        let sys = system();
+        let req = Requirements::new(&sys, 3, 0.5).relax_size(1.5);
+        assert_eq!(req.max_sets, 5);
+        let req5k = Requirements::new(&sys, 3, 0.5).relax_size(5.0);
+        assert_eq!(req5k.max_sets, 15);
+    }
+
+    #[test]
+    fn display_mentions_size_and_cost() {
+        let sys = system();
+        let sol = Solution::from_sets(&sys, vec![1]);
+        let text = sol.to_string();
+        assert!(text.contains("1 sets"), "{text}");
+        assert!(text.contains("cost 1"), "{text}");
+    }
+
+    #[test]
+    fn solve_error_messages() {
+        assert!(SolveError::NoSolution.to_string().contains("no feasible"));
+        assert!(SolveError::BudgetExhausted.to_string().contains("budget"));
+        assert!(SolveError::ZeroSizeBound.to_string().contains("k"));
+    }
+}

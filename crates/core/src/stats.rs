@@ -1,0 +1,76 @@
+//! Instrumentation counters behind the paper's Figure 6.
+//!
+//! "Patterns considered" in the evaluation counts every set/pattern whose
+//! (marginal) benefit an algorithm computed; for CMC that is summed over
+//! all budget guesses. Algorithms thread a [`Stats`] through their run so
+//! the experiment harness can report the same metric.
+
+use serde::{Deserialize, Serialize};
+use std::time::Duration;
+
+/// Counters accumulated during one algorithm run.
+#[derive(Clone, Debug, Default, PartialEq, Serialize, Deserialize)]
+pub struct Stats {
+    /// Sets/patterns whose (marginal) benefit was computed, summed over all
+    /// budget guesses (the paper's Fig. 6 y-axis).
+    pub considered: u64,
+    /// Number of budget values `B` tried (CMC only; 1 for CWSC).
+    pub budget_guesses: u32,
+    /// Number of sets selected into candidate solutions, including
+    /// selections from discarded budget guesses.
+    pub selections: u32,
+    /// Wall-clock time of the run, filled by the harness.
+    #[serde(skip)]
+    pub elapsed: Duration,
+}
+
+impl Stats {
+    /// Fresh, zeroed counters.
+    pub fn new() -> Stats {
+        Stats::default()
+    }
+
+    /// Records that `count` more sets/patterns had benefits computed.
+    #[inline]
+    pub fn consider(&mut self, count: u64) {
+        self.considered += count;
+    }
+
+    /// Records the start of a budget-guess round.
+    #[inline]
+    pub fn new_guess(&mut self) {
+        self.budget_guesses += 1;
+    }
+
+    /// Records one greedy selection.
+    #[inline]
+    pub fn select(&mut self) {
+        self.selections += 1;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_is_zeroed() {
+        let s = Stats::new();
+        assert_eq!(s.considered, 0);
+        assert_eq!(s.budget_guesses, 0);
+        assert_eq!(s.selections, 0);
+    }
+
+    #[test]
+    fn counters_accumulate() {
+        let mut s = Stats::new();
+        s.consider(10);
+        s.consider(5);
+        s.new_guess();
+        s.new_guess();
+        s.select();
+        assert_eq!(s.considered, 15);
+        assert_eq!(s.budget_guesses, 2);
+        assert_eq!(s.selections, 1);
+    }
+}

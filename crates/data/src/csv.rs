@@ -1,0 +1,271 @@
+//! Minimal CSV persistence for [`Table`]s.
+//!
+//! Format: a header row with the pattern attribute names followed by the
+//! measure name; then one row per record. Values are quoted with `"` only
+//! when they contain a comma, quote, or newline (RFC-4180 style). This is
+//! intentionally small — enough to round-trip generated workloads and to
+//! load externally prepared traces with the same schema.
+
+use scwsc_patterns::{Table, TableError};
+use std::fmt::Write as _;
+use std::fs;
+use std::io;
+use std::path::Path;
+
+/// Errors raised by CSV reading.
+#[derive(Debug)]
+pub enum CsvError {
+    /// Underlying I/O failure.
+    Io(io::Error),
+    /// Structural problem with the CSV text.
+    Parse {
+        /// 1-based line number.
+        line: usize,
+        /// What went wrong.
+        message: String,
+    },
+    /// The parsed row was rejected by the table builder.
+    Table(TableError),
+}
+
+impl std::fmt::Display for CsvError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            CsvError::Io(e) => write!(f, "I/O error: {e}"),
+            CsvError::Parse { line, message } => write!(f, "line {line}: {message}"),
+            CsvError::Table(e) => write!(f, "bad row: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for CsvError {}
+
+impl From<io::Error> for CsvError {
+    fn from(e: io::Error) -> Self {
+        CsvError::Io(e)
+    }
+}
+
+fn quote_field(field: &str, out: &mut String) {
+    if field.contains([',', '"', '\n', '\r']) {
+        out.push('"');
+        for ch in field.chars() {
+            if ch == '"' {
+                out.push('"');
+            }
+            out.push(ch);
+        }
+        out.push('"');
+    } else {
+        out.push_str(field);
+    }
+}
+
+/// Serializes a table to CSV text.
+pub fn table_to_csv(table: &Table) -> String {
+    let mut out = String::new();
+    for (i, name) in table.attr_names().iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        quote_field(name, &mut out);
+    }
+    out.push(',');
+    quote_field(table.measure_name(), &mut out);
+    out.push('\n');
+    for row in 0..table.num_rows() as u32 {
+        for attr in 0..table.num_attrs() {
+            quote_field(table.value_str(row, attr), &mut out);
+            out.push(',');
+        }
+        let _ = write!(out, "{}", table.measure(row));
+        out.push('\n');
+    }
+    out
+}
+
+/// Writes a table to a CSV file.
+pub fn write_table(table: &Table, path: &Path) -> io::Result<()> {
+    fs::write(path, table_to_csv(table))
+}
+
+/// Splits one CSV line into fields (handling quoted fields).
+fn split_line(line: &str, line_no: usize) -> Result<Vec<String>, CsvError> {
+    let mut fields = Vec::new();
+    let mut field = String::new();
+    let mut chars = line.chars().peekable();
+    let mut in_quotes = false;
+    while let Some(ch) = chars.next() {
+        if in_quotes {
+            match ch {
+                '"' => {
+                    if chars.peek() == Some(&'"') {
+                        chars.next();
+                        field.push('"');
+                    } else {
+                        in_quotes = false;
+                    }
+                }
+                _ => field.push(ch),
+            }
+        } else {
+            match ch {
+                '"' if field.is_empty() => in_quotes = true,
+                ',' => fields.push(std::mem::take(&mut field)),
+                _ => field.push(ch),
+            }
+        }
+    }
+    if in_quotes {
+        return Err(CsvError::Parse {
+            line: line_no,
+            message: "unterminated quoted field".to_owned(),
+        });
+    }
+    fields.push(field);
+    Ok(fields)
+}
+
+/// Parses CSV text (as produced by [`table_to_csv`], or any file with the
+/// same layout) back into a table. The last column is the measure.
+pub fn table_from_csv(text: &str) -> Result<Table, CsvError> {
+    // `str::lines` keeps a trailing carriage return on CRLF files; strip it
+    // so Windows-written CSVs parse identically.
+    let mut lines = text
+        .lines()
+        .map(|l| l.strip_suffix('\r').unwrap_or(l))
+        .enumerate()
+        .filter(|(_, l)| !l.is_empty());
+    let (_, header) = lines.next().ok_or(CsvError::Parse {
+        line: 1,
+        message: "empty input".to_owned(),
+    })?;
+    let header = split_line(header, 1)?;
+    if header.len() < 2 {
+        return Err(CsvError::Parse {
+            line: 1,
+            message: "need at least one attribute and a measure column".to_owned(),
+        });
+    }
+    let (measure_name, attr_names) = header.split_last().expect("len >= 2");
+    let attr_refs: Vec<&str> = attr_names.iter().map(String::as_str).collect();
+    let mut b = Table::builder(&attr_refs, measure_name);
+    for (idx, line) in lines {
+        let line_no = idx + 1;
+        let fields = split_line(line, line_no)?;
+        if fields.len() != header.len() {
+            return Err(CsvError::Parse {
+                line: line_no,
+                message: format!("{} fields, expected {}", fields.len(), header.len()),
+            });
+        }
+        let (measure, attrs) = fields.split_last().expect("len checked");
+        let measure: f64 = measure.trim().parse().map_err(|e| CsvError::Parse {
+            line: line_no,
+            message: format!("bad measure {measure:?}: {e}"),
+        })?;
+        let refs: Vec<&str> = attrs.iter().map(String::as_str).collect();
+        b.push_row(&refs, measure).map_err(CsvError::Table)?;
+    }
+    Ok(b.build())
+}
+
+/// Reads a table from a CSV file.
+pub fn read_table(path: &Path) -> Result<Table, CsvError> {
+    table_from_csv(&fs::read_to_string(path)?)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::entities::entities_table;
+
+    #[test]
+    fn roundtrip_entities() {
+        let t = entities_table();
+        let csv = table_to_csv(&t);
+        let back = table_from_csv(&csv).unwrap();
+        assert_eq!(back.num_rows(), t.num_rows());
+        assert_eq!(back.attr_names(), t.attr_names());
+        assert_eq!(back.measure_name(), t.measure_name());
+        for r in 0..t.num_rows() as u32 {
+            for a in 0..t.num_attrs() {
+                assert_eq!(back.value_str(r, a), t.value_str(r, a));
+            }
+            assert_eq!(back.measure(r), t.measure(r));
+        }
+    }
+
+    #[test]
+    fn quoting_roundtrip() {
+        let mut b = Table::builder(&["name"], "m");
+        b.push_row(&["has,comma"], 1.0).unwrap();
+        b.push_row(&["has\"quote"], 2.0).unwrap();
+        b.push_row(&["plain"], 3.0).unwrap();
+        let t = b.build();
+        let csv = table_to_csv(&t);
+        let back = table_from_csv(&csv).unwrap();
+        assert_eq!(back.value_str(0, 0), "has,comma");
+        assert_eq!(back.value_str(1, 0), "has\"quote");
+        assert_eq!(back.value_str(2, 0), "plain");
+    }
+
+    #[test]
+    fn header_produced() {
+        let t = entities_table();
+        let csv = table_to_csv(&t);
+        assert!(csv.starts_with("Type,Location,Cost\n"), "{csv}");
+    }
+
+    #[test]
+    fn crlf_files_parse_identically() {
+        let unix = "Type,Cost\nA,1.5\nB,2\n";
+        let windows = unix.replace('\n', "\r\n");
+        let a = table_from_csv(unix).unwrap();
+        let b = table_from_csv(&windows).unwrap();
+        assert_eq!(a, b);
+        assert_eq!(b.measure(1), 2.0);
+        assert_eq!(b.value_str(1, 0), "B");
+    }
+
+    #[test]
+    fn rejects_empty_and_short_headers() {
+        assert!(matches!(table_from_csv(""), Err(CsvError::Parse { .. })));
+        assert!(matches!(
+            table_from_csv("only_measure\n"),
+            Err(CsvError::Parse { .. })
+        ));
+    }
+
+    #[test]
+    fn rejects_ragged_rows() {
+        let e = table_from_csv("a,b,m\nx,1.0\n").unwrap_err();
+        assert!(matches!(e, CsvError::Parse { line: 2, .. }), "{e}");
+    }
+
+    #[test]
+    fn rejects_bad_measure() {
+        let e = table_from_csv("a,m\nx,notanumber\n").unwrap_err();
+        assert!(e.to_string().contains("bad measure"), "{e}");
+        let e = table_from_csv("a,m\nx,-5\n").unwrap_err();
+        assert!(matches!(e, CsvError::Table(_)), "{e}");
+    }
+
+    #[test]
+    fn rejects_unterminated_quote() {
+        let e = table_from_csv("a,m\n\"unterminated,1\n").unwrap_err();
+        assert!(e.to_string().contains("unterminated"), "{e}");
+    }
+
+    #[test]
+    fn file_roundtrip() {
+        let t = entities_table();
+        let dir = std::env::temp_dir().join("scwsc_csv_test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("entities.csv");
+        write_table(&t, &path).unwrap();
+        let back = read_table(&path).unwrap();
+        assert_eq!(back.num_rows(), 16);
+        std::fs::remove_file(&path).ok();
+    }
+}

@@ -1,0 +1,142 @@
+//! Samplers used by the synthetic workload generators.
+//!
+//! The approved dependency set includes `rand` but not `rand_distr`, so
+//! the Zipf and log-normal samplers the LBL-like generator needs are
+//! implemented here: Zipf via a precomputed CDF + binary search, normal
+//! deviates via Box–Muller.
+
+use rand::Rng;
+
+/// Zipf(α) over ranks `0..n`: probability of rank `r` proportional to
+/// `1/(r+1)^α`. Sampled by binary search on a precomputed CDF — O(log n)
+/// per draw, exact for any `α ≥ 0`.
+#[derive(Debug, Clone)]
+pub struct Zipf {
+    cdf: Vec<f64>,
+}
+
+impl Zipf {
+    /// Builds the sampler.
+    ///
+    /// # Panics
+    /// Panics if `n == 0` or `alpha` is negative/non-finite.
+    pub fn new(n: usize, alpha: f64) -> Zipf {
+        assert!(n > 0, "Zipf needs a non-empty support");
+        assert!(
+            alpha.is_finite() && alpha >= 0.0,
+            "Zipf exponent must be non-negative, got {alpha}"
+        );
+        let mut cdf = Vec::with_capacity(n);
+        let mut acc = 0.0;
+        for r in 0..n {
+            acc += (r as f64 + 1.0).powf(-alpha);
+            cdf.push(acc);
+        }
+        let total = acc;
+        for v in &mut cdf {
+            *v /= total;
+        }
+        Zipf { cdf }
+    }
+
+    /// Support size.
+    pub fn support(&self) -> usize {
+        self.cdf.len()
+    }
+
+    /// Draws a rank in `0..n`.
+    pub fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> usize {
+        let u: f64 = rng.gen();
+        self.cdf.partition_point(|&c| c < u).min(self.cdf.len() - 1)
+    }
+}
+
+/// One standard-normal deviate via Box–Muller.
+pub fn standard_normal<R: Rng + ?Sized>(rng: &mut R) -> f64 {
+    // Avoid ln(0) by nudging u1 away from zero.
+    let u1: f64 = rng.gen::<f64>().max(f64::MIN_POSITIVE);
+    let u2: f64 = rng.gen();
+    (-2.0 * u1.ln()).sqrt() * (std::f64::consts::TAU * u2).cos()
+}
+
+/// A log-normal draw `exp(mu + sigma · Z)`.
+pub fn log_normal<R: Rng + ?Sized>(rng: &mut R, mu: f64, sigma: f64) -> f64 {
+    assert!(sigma >= 0.0, "sigma must be non-negative");
+    (mu + sigma * standard_normal(rng)).exp()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn zipf_is_head_heavy() {
+        let z = Zipf::new(100, 1.0);
+        let mut rng = StdRng::seed_from_u64(7);
+        let mut counts = vec![0usize; 100];
+        for _ in 0..20_000 {
+            counts[z.sample(&mut rng)] += 1;
+        }
+        assert!(counts[0] > counts[10] && counts[10] > counts[90]);
+        // Rank 0 should hold roughly 1/H_100 ≈ 19% of the mass.
+        let share = counts[0] as f64 / 20_000.0;
+        assert!((0.12..0.28).contains(&share), "head share {share}");
+    }
+
+    #[test]
+    fn zipf_alpha_zero_is_uniformish() {
+        let z = Zipf::new(10, 0.0);
+        let mut rng = StdRng::seed_from_u64(11);
+        let mut counts = vec![0usize; 10];
+        for _ in 0..50_000 {
+            counts[z.sample(&mut rng)] += 1;
+        }
+        for &c in &counts {
+            let share = c as f64 / 50_000.0;
+            assert!((0.08..0.12).contains(&share), "{counts:?}");
+        }
+    }
+
+    #[test]
+    fn zipf_stays_in_support() {
+        let z = Zipf::new(3, 2.5);
+        let mut rng = StdRng::seed_from_u64(13);
+        for _ in 0..1000 {
+            assert!(z.sample(&mut rng) < 3);
+        }
+        assert_eq!(z.support(), 3);
+    }
+
+    #[test]
+    #[should_panic(expected = "non-empty")]
+    fn zipf_rejects_empty_support() {
+        Zipf::new(0, 1.0);
+    }
+
+    #[test]
+    fn normal_moments_are_roughly_right() {
+        let mut rng = StdRng::seed_from_u64(17);
+        let n = 50_000;
+        let samples: Vec<f64> = (0..n).map(|_| standard_normal(&mut rng)).collect();
+        let mean = samples.iter().sum::<f64>() / n as f64;
+        let var = samples.iter().map(|x| (x - mean).powi(2)).sum::<f64>() / n as f64;
+        assert!(mean.abs() < 0.03, "mean {mean}");
+        assert!((var - 1.0).abs() < 0.05, "variance {var}");
+    }
+
+    #[test]
+    fn log_normal_is_positive_and_skewed() {
+        let mut rng = StdRng::seed_from_u64(19);
+        let samples: Vec<f64> = (0..10_000).map(|_| log_normal(&mut rng, 2.0, 1.0)).collect();
+        assert!(samples.iter().all(|&x| x > 0.0));
+        let mean = samples.iter().sum::<f64>() / samples.len() as f64;
+        let mut sorted = samples.clone();
+        sorted.sort_by(f64::total_cmp);
+        let median = sorted[samples.len() / 2];
+        assert!(mean > median, "log-normal mean exceeds median");
+        // Median of log-normal is e^mu ≈ 7.39.
+        assert!((6.5..8.3).contains(&median), "median {median}");
+    }
+}

@@ -1,0 +1,163 @@
+//! The paper's running example: the Table I "real-world entities" data
+//! set (16 records over `Type`, `Location` with a `Cost` measure) and
+//! helpers naming the Table II patterns (P1–P24).
+//!
+//! The introduction derives several reference solutions from this data;
+//! tests and `examples/quickstart.rs` assert all of them:
+//! * partial weighted set cover at ŝ=9/16 → 7 patterns, total cost 24;
+//! * size-constrained (k=2, ŝ=9/16) optimum → {P6, P16}, cost 27;
+//! * cheapest 2 sets ignoring coverage → {P6, P8}, covering only 3/16;
+//! * coverage-only k=2 solutions can cost 120 (e.g. {P11, P15}).
+
+use scwsc_patterns::{Pattern, Table};
+
+/// Builds the Table I data set. Row `i` is entity `ID = i + 1`.
+pub fn entities_table() -> Table {
+    let mut b = Table::builder(&["Type", "Location"], "Cost");
+    for (t, l, c) in [
+        ("A", "West", 10.0),      // 1
+        ("A", "Northeast", 32.0), // 2
+        ("B", "South", 2.0),      // 3
+        ("A", "North", 4.0),      // 4
+        ("B", "East", 7.0),       // 5
+        ("A", "Northwest", 20.0), // 6
+        ("B", "West", 4.0),       // 7
+        ("B", "Southwest", 24.0), // 8
+        ("A", "Southwest", 4.0),  // 9
+        ("B", "Northwest", 4.0),  // 10
+        ("A", "North", 3.0),      // 11
+        ("B", "Northeast", 3.0),  // 12
+        ("B", "South", 1.0),      // 13
+        ("B", "North", 20.0),     // 14
+        ("A", "East", 3.0),       // 15
+        ("A", "South", 96.0),     // 16
+    ] {
+        b.push_row(&[t, l], c).expect("static data is valid");
+    }
+    b.build()
+}
+
+/// The Table II pattern specifications `(type, location)` for P1..P24,
+/// where `None` is `ALL`. Index `i` holds `P(i+1)`.
+pub const TABLE2_SPECS: [(Option<&str>, Option<&str>); 24] = [
+    (Some("A"), Some("West")),      // P1
+    (Some("A"), Some("Northeast")), // P2
+    (Some("A"), Some("North")),     // P3
+    (Some("A"), Some("Northwest")), // P4
+    (Some("A"), Some("Southwest")), // P5
+    (Some("A"), Some("East")),      // P6
+    (Some("A"), Some("South")),     // P7
+    (Some("B"), Some("South")),     // P8
+    (Some("B"), Some("East")),      // P9
+    (Some("B"), Some("West")),      // P10
+    (Some("B"), Some("Southwest")), // P11
+    (Some("B"), Some("Northwest")), // P12
+    (Some("B"), Some("Northeast")), // P13
+    (Some("B"), Some("North")),     // P14
+    (Some("A"), None),              // P15
+    (Some("B"), None),              // P16
+    (None, Some("North")),          // P17
+    (None, Some("South")),          // P18
+    (None, Some("East")),           // P19
+    (None, Some("West")),           // P20
+    (None, Some("Northeast")),      // P21
+    (None, Some("Southwest")),      // P22
+    (None, Some("Northwest")),      // P23
+    (None, None),                   // P24
+];
+
+/// Table II's `(Cost, Benefit)` columns for P1..P24.
+pub const TABLE2_COST_BENEFIT: [(f64, usize); 24] = [
+    (10.0, 1),
+    (32.0, 1),
+    (4.0, 2),
+    (20.0, 1),
+    (4.0, 1),
+    (3.0, 1),
+    (96.0, 1),
+    (2.0, 2),
+    (7.0, 1),
+    (4.0, 1),
+    (24.0, 1),
+    (4.0, 1),
+    (3.0, 1),
+    (20.0, 1),
+    (96.0, 8),
+    (24.0, 8),
+    (20.0, 3),
+    (96.0, 3),
+    (7.0, 2),
+    (10.0, 2),
+    (32.0, 2),
+    (24.0, 2),
+    (20.0, 2),
+    (96.0, 16),
+];
+
+/// Resolves Table II's pattern number (1-based, `P1..P24`) against a
+/// built entities table. Returns `None` for out-of-range numbers.
+pub fn table2_pattern(table: &Table, number: usize) -> Option<Pattern> {
+    let (ty, loc) = *TABLE2_SPECS.get(number.checked_sub(1)?)?;
+    let resolve = |attr: usize, v: Option<&str>| -> Option<Option<u32>> {
+        match v {
+            None => Some(None),
+            Some(s) => table.dictionary(attr).lookup(s).map(Some),
+        }
+    };
+    Some(Pattern::new(vec![resolve(0, ty)?, resolve(1, loc)?]))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use scwsc_patterns::{enumerate_all, CostFn, PatternSpace};
+
+    #[test]
+    fn table1_shape() {
+        let t = entities_table();
+        assert_eq!(t.num_rows(), 16);
+        assert_eq!(t.num_attrs(), 2);
+        assert_eq!(t.measure(15), 96.0);
+    }
+
+    #[test]
+    fn table2_costs_and_benefits_match_paper() {
+        let t = entities_table();
+        let sp = PatternSpace::new(&t, CostFn::Max);
+        for (i, &(cost, benefit)) in TABLE2_COST_BENEFIT.iter().enumerate() {
+            let p = table2_pattern(&t, i + 1).expect("pattern exists");
+            let rows = sp.benefit(&p);
+            assert_eq!(rows.len(), benefit, "P{} benefit", i + 1);
+            assert_eq!(sp.cost(&rows), cost, "P{} cost", i + 1);
+        }
+    }
+
+    #[test]
+    fn full_cube_is_exactly_table2() {
+        let t = entities_table();
+        let m = enumerate_all(&t, CostFn::Max);
+        assert_eq!(m.num_patterns(), 24, "Table II lists all 24 patterns");
+        for i in 1..=24 {
+            let p = table2_pattern(&t, i).unwrap();
+            assert!(m.id_of(&p).is_some(), "P{i} missing from enumeration");
+        }
+    }
+
+    #[test]
+    fn out_of_range_pattern_number() {
+        let t = entities_table();
+        assert!(table2_pattern(&t, 0).is_none());
+        assert!(table2_pattern(&t, 25).is_none());
+    }
+
+    /// Intro reference: P3 covers records 3 and 13 (ids 4, 11 zero-based
+    /// would be wrong — the paper's record IDs are 1-based: records 4 and
+    /// 11 have Type=A, Location=North).
+    #[test]
+    fn p3_covers_the_two_north_a_records() {
+        let t = entities_table();
+        let sp = PatternSpace::new(&t, CostFn::Max);
+        let p3 = table2_pattern(&t, 3).unwrap();
+        assert_eq!(sp.benefit(&p3), vec![3, 10]); // rows of IDs 4 and 11
+    }
+}

@@ -1,0 +1,242 @@
+//! Synthetic LBL-CONN-7-like TCP connection trace.
+//!
+//! The paper's experiments run on "LBL", ~700,000 TCP connection traces
+//! with five pattern attributes (`protocol`, `localhost`, `remotehost`,
+//! `endstate`, `flags`) and the session length as the numeric measure
+//! (Section VI, <http://ita.ee.lbl.gov/html/contrib/LBL-CONN-7.html>).
+//! The original 1993 trace is not redistributable here, so this module
+//! generates a trace with the same *shape*: the same schema, head-heavy
+//! Zipf-distributed categorical domains of realistic cardinality (a few
+//! application protocols dominate; hosts follow a long tail; few end
+//! states and flag combinations), correlation between protocol and end
+//! state, and log-normally distributed session lengths. The experiments
+//! measure algorithm behaviour (runtime scaling, patterns considered,
+//! relative solution costs), which depends on exactly these shape
+//! parameters — see DESIGN.md §4 for the substitution argument.
+
+use crate::distributions::{log_normal, Zipf};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use scwsc_patterns::Table;
+use serde::{Deserialize, Serialize};
+
+/// Shape parameters of the synthetic trace.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct LblConfig {
+    /// Number of connection records.
+    pub rows: usize,
+    /// RNG seed (every run with the same config is identical).
+    pub seed: u64,
+    /// Active-domain size of `protocol` (nntp, smtp, telnet, ftp, …).
+    pub protocols: usize,
+    /// Active-domain size of `localhost`.
+    pub local_hosts: usize,
+    /// Active-domain size of `remotehost`.
+    pub remote_hosts: usize,
+    /// Active-domain size of `endstate`.
+    pub end_states: usize,
+    /// Active-domain size of `flags`.
+    pub flags: usize,
+    /// Zipf exponent for the protocol/host popularity skew.
+    pub skew: f64,
+    /// `μ` of the log-normal session length (the paper's synthetic
+    /// re-weighting uses mean 2 in log space).
+    pub length_mu: f64,
+    /// Between-group `σ`: each `(protocol, endstate)` combination gets its
+    /// own typical length `exp(μ + σ·Z)`. Session lengths in real traces
+    /// are strongly determined by the application protocol (bulk transfer
+    /// vs interactive vs lookup), and this correlation is what gives large
+    /// patterns small max-weights — without it the all-`ALL` pattern
+    /// dominates every cover.
+    pub length_sigma: f64,
+    /// Within-group `σ`: spread of individual sessions around their
+    /// group's typical length.
+    pub length_within_sigma: f64,
+}
+
+impl Default for LblConfig {
+    /// Defaults sized like the real trace: 700k rows, 12 protocols,
+    /// 1,600/2,500 hosts, 8 end states, 6 flag combinations.
+    fn default() -> LblConfig {
+        LblConfig {
+            rows: 700_000,
+            seed: 0x1b1_c077,
+            protocols: 12,
+            local_hosts: 1_600,
+            remote_hosts: 2_500,
+            end_states: 8,
+            flags: 6,
+            skew: 1.1,
+            length_mu: 2.0,
+            length_sigma: 2.0,
+            length_within_sigma: 0.8,
+        }
+    }
+}
+
+impl LblConfig {
+    /// A laptop-friendly configuration: `rows` records with domain sizes
+    /// scaled down proportionally (so pattern-lattice density stays
+    /// comparable to the full-size default).
+    pub fn scaled(rows: usize) -> LblConfig {
+        let f = (rows as f64 / 700_000.0).max(0.005);
+        LblConfig {
+            rows,
+            local_hosts: ((1_600.0 * f) as usize).clamp(8, 1_600),
+            remote_hosts: ((2_500.0 * f) as usize).clamp(8, 2_500),
+            ..LblConfig::default()
+        }
+    }
+
+    /// Generates the trace.
+    pub fn generate(&self) -> Table {
+        let mut rng = StdRng::seed_from_u64(self.seed);
+        let proto_dist = Zipf::new(self.protocols.max(1), self.skew);
+        let local_dist = Zipf::new(self.local_hosts.max(1), self.skew);
+        let remote_dist = Zipf::new(self.remote_hosts.max(1), self.skew);
+        let state_dist = Zipf::new(self.end_states.max(1), self.skew);
+        let flag_dist = Zipf::new(self.flags.max(1), self.skew);
+
+        // Each (protocol, endstate) group gets its own typical session
+        // length: bulk protocols run long, lookups run short. Individual
+        // sessions scatter around the group level.
+        let states = self.end_states.max(1);
+        let group_mu: Vec<f64> = (0..self.protocols.max(1) * states)
+            .map(|_| self.length_mu + self.length_sigma * crate::distributions::standard_normal(&mut rng))
+            .collect();
+
+        let mut b = Table::builder(
+            &["protocol", "localhost", "remotehost", "endstate", "flags"],
+            "session_length",
+        );
+        for _ in 0..self.rows {
+            let proto = proto_dist.sample(&mut rng);
+            // End state correlates with protocol: interactive protocols
+            // (low ranks) mostly close cleanly; rarer ones are noisier.
+            let state = if rng.gen_bool(0.7) {
+                (proto + state_dist.sample(&mut rng)) % states
+            } else {
+                state_dist.sample(&mut rng)
+            };
+            let row = [
+                format!("proto{proto}"),
+                format!("lh{:04}", local_dist.sample(&mut rng)),
+                format!("rh{:04}", remote_dist.sample(&mut rng)),
+                format!("state{state}"),
+                format!("flags{}", flag_dist.sample(&mut rng)),
+            ];
+            let refs: [&str; 5] = [&row[0], &row[1], &row[2], &row[3], &row[4]];
+            let length = log_normal(
+                &mut rng,
+                group_mu[proto * states + state],
+                self.length_within_sigma,
+            );
+            b.push_row(&refs, length).expect("generated rows are valid");
+        }
+        b.build()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn small() -> LblConfig {
+        LblConfig {
+            rows: 2_000,
+            local_hosts: 40,
+            remote_hosts: 60,
+            ..LblConfig::default()
+        }
+    }
+
+    #[test]
+    fn schema_matches_the_paper() {
+        let t = small().generate();
+        assert_eq!(
+            t.attr_names(),
+            &[
+                "protocol".to_owned(),
+                "localhost".to_owned(),
+                "remotehost".to_owned(),
+                "endstate".to_owned(),
+                "flags".to_owned()
+            ]
+        );
+        assert_eq!(t.measure_name(), "session_length");
+        assert_eq!(t.num_rows(), 2_000);
+    }
+
+    #[test]
+    fn generation_is_deterministic() {
+        let a = small().generate();
+        let b = small().generate();
+        assert_eq!(a, b);
+        let c = LblConfig {
+            seed: 99,
+            ..small()
+        }
+        .generate();
+        assert_ne!(a, c);
+    }
+
+    #[test]
+    fn domains_are_bounded_and_skewed() {
+        let t = small().generate();
+        assert!(t.dictionary(0).len() <= 12);
+        assert!(t.dictionary(3).len() <= 8);
+        // Protocol head dominates: most common value > 3x the 6th.
+        let mut counts = vec![0usize; t.dictionary(0).len()];
+        for &v in t.column(0) {
+            counts[v as usize] += 1;
+        }
+        counts.sort_unstable_by(|a, b| b.cmp(a));
+        if counts.len() > 5 {
+            assert!(counts[0] > counts[5] * 2, "{counts:?}");
+        }
+    }
+
+    #[test]
+    fn session_lengths_positive_and_heavy_tailed() {
+        let t = small().generate();
+        assert!(t.measures().iter().all(|&m| m > 0.0));
+        let mean = t.measures().iter().sum::<f64>() / t.num_rows() as f64;
+        let mut sorted = t.measures().to_vec();
+        sorted.sort_by(f64::total_cmp);
+        let median = sorted[sorted.len() / 2];
+        assert!(mean > 2.0 * median, "heavy tail: mean {mean}, median {median}");
+    }
+
+    /// The correlation that makes covers interesting: some protocol's
+    /// maximum session length is far below the global maximum, so large
+    /// patterns with small weights exist (unlike i.i.d. measures, where
+    /// every large pattern would contain the global maximum).
+    #[test]
+    fn lengths_correlate_with_protocol() {
+        let t = small().generate();
+        let global_max = t.measures().iter().cloned().fold(0.0, f64::max);
+        let mut per_proto_max = vec![0.0f64; t.dictionary(0).len()];
+        let mut per_proto_count = vec![0usize; t.dictionary(0).len()];
+        for (row, &v) in t.column(0).iter().enumerate() {
+            per_proto_max[v as usize] = per_proto_max[v as usize].max(t.measure(row as u32));
+            per_proto_count[v as usize] += 1;
+        }
+        let cheap_big_group = per_proto_max
+            .iter()
+            .zip(&per_proto_count)
+            .any(|(&max, &count)| count > 100 && max < global_max / 10.0);
+        assert!(
+            cheap_big_group,
+            "expected some popular protocol with small max length: maxima {per_proto_max:?}, global {global_max}"
+        );
+    }
+
+    #[test]
+    fn scaled_config_shrinks_domains() {
+        let c = LblConfig::scaled(7_000);
+        assert_eq!(c.rows, 7_000);
+        assert!(c.local_hosts < 100);
+        assert!(c.remote_hosts < 100);
+        assert!(c.local_hosts >= 8);
+    }
+}

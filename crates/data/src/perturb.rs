@@ -1,0 +1,133 @@
+//! The Section VI-B synthetic weight perturbations.
+//!
+//! To probe CWSC's solution quality under different weight regimes, the
+//! paper builds two groups of synthetic data sets from LBL:
+//!
+//! 1. **δ-uniform noise** — each measure `m` is replaced by a uniform draw
+//!    from `[(1−δ)·m, (1+δ)·m]`, for δ between 0 and 1;
+//! 2. **log-normal re-ranking** — fresh measures are drawn from a
+//!    log-normal with `μ = 2` and a chosen σ, then assigned to records *in
+//!    the same rank order* as the original measures.
+
+use crate::distributions::log_normal;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use scwsc_patterns::Table;
+
+/// Group 1: replaces each measure `m` with a uniform draw from
+/// `[(1−δ)m, (1+δ)m]`.
+///
+/// # Panics
+/// Panics if `delta` is outside `[0, 1]`.
+pub fn uniform_noise(table: &Table, delta: f64, seed: u64) -> Table {
+    assert!(
+        (0.0..=1.0).contains(&delta),
+        "delta must be in [0, 1], got {delta}"
+    );
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut out = table.clone();
+    let measures = table
+        .measures()
+        .iter()
+        .map(|&m| {
+            if delta == 0.0 || m == 0.0 {
+                m
+            } else {
+                rng.gen_range((1.0 - delta) * m..=(1.0 + delta) * m)
+            }
+        })
+        .collect();
+    out.set_measures(measures);
+    out
+}
+
+/// Group 2: draws `n` fresh log-normal(μ, σ) measures and installs them in
+/// the same rank order as the original measures (the largest original
+/// measure gets the largest new one, and so on).
+pub fn lognormal_rerank(table: &Table, mu: f64, sigma: f64, seed: u64) -> Table {
+    let n = table.num_rows();
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut fresh: Vec<f64> = (0..n).map(|_| log_normal(&mut rng, mu, sigma)).collect();
+    fresh.sort_by(f64::total_cmp);
+
+    // rank[i] = position of row i when rows are sorted by original measure
+    let mut order: Vec<usize> = (0..n).collect();
+    order.sort_by(|&a, &b| table.measure(a as u32).total_cmp(&table.measure(b as u32)));
+    let mut measures = vec![0.0; n];
+    for (rank, &row) in order.iter().enumerate() {
+        measures[row] = fresh[rank];
+    }
+
+    let mut out = table.clone();
+    out.set_measures(measures);
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn table() -> Table {
+        let mut b = Table::builder(&["X"], "m");
+        for (v, m) in [("a", 10.0), ("b", 2.0), ("c", 30.0), ("d", 5.0)] {
+            b.push_row(&[v], m).unwrap();
+        }
+        b.build()
+    }
+
+    #[test]
+    fn zero_delta_is_identity() {
+        let t = table();
+        let p = uniform_noise(&t, 0.0, 1);
+        assert_eq!(p.measures(), t.measures());
+    }
+
+    #[test]
+    fn noise_stays_in_band() {
+        let t = table();
+        for seed in 0..20 {
+            let p = uniform_noise(&t, 0.5, seed);
+            for (orig, noisy) in t.measures().iter().zip(p.measures()) {
+                assert!(*noisy >= 0.5 * orig - 1e-12 && *noisy <= 1.5 * orig + 1e-12);
+            }
+        }
+    }
+
+    #[test]
+    fn noise_is_deterministic_per_seed() {
+        let t = table();
+        assert_eq!(
+            uniform_noise(&t, 0.3, 42).measures(),
+            uniform_noise(&t, 0.3, 42).measures()
+        );
+        assert_ne!(
+            uniform_noise(&t, 0.3, 42).measures(),
+            uniform_noise(&t, 0.3, 43).measures()
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "delta")]
+    fn delta_validated() {
+        uniform_noise(&table(), 1.5, 1);
+    }
+
+    #[test]
+    fn rerank_preserves_rank_order() {
+        let t = table();
+        let p = lognormal_rerank(&t, 2.0, 1.5, 7);
+        // original order by measure: b(2) < d(5) < a(10) < c(30)
+        let m = p.measures();
+        assert!(m[1] <= m[3] && m[3] <= m[0] && m[0] <= m[2], "{m:?}");
+        assert!(m.iter().all(|&x| x > 0.0));
+    }
+
+    #[test]
+    fn rerank_changes_values_but_not_schema() {
+        let t = table();
+        let p = lognormal_rerank(&t, 2.0, 2.0, 7);
+        assert_eq!(p.num_rows(), t.num_rows());
+        assert_eq!(p.column(0), t.column(0));
+        assert_ne!(p.measures(), t.measures());
+    }
+}

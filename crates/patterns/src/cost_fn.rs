@@ -1,0 +1,134 @@
+//! Pattern weight functions.
+//!
+//! "The details of computing set (or pattern) weights are orthogonal to
+//! our algorithms" (Section II); the paper's running example and
+//! experiments use the **maximum** of the covered records' measure values
+//! (Table II, and session length for LBL), and Section IV notes the
+//! hardness carries over to sum and Lp-norms. All of those are provided.
+
+use crate::table::{RowId, Table};
+use serde::{Deserialize, Serialize};
+
+/// How a pattern's weight is derived from the measures of the records it
+/// covers.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub enum CostFn {
+    /// `max_{t ∈ Ben(p)} t[M]` — the paper's default (Section I).
+    Max,
+    /// `Σ_{t ∈ Ben(p)} t[M]`.
+    Sum,
+    /// Arithmetic mean of the covered measures.
+    Mean,
+    /// `|Ben(p)|` — cost equals coverage; degenerates to unweighted cover.
+    Count,
+    /// `(Σ |t[M]|^p)^{1/p}` for `p ≥ 1` (Section IV's "other functions").
+    LpNorm(f64),
+}
+
+impl CostFn {
+    /// Evaluates the weight of a pattern covering `rows` of `table`.
+    ///
+    /// An empty benefit set yields weight 0 (such patterns are never
+    /// candidates anyway — a set must cover something to be useful).
+    ///
+    /// # Panics
+    /// Panics if `LpNorm(p)` has `p < 1` or non-finite `p`.
+    pub fn evaluate(&self, table: &Table, rows: &[RowId]) -> f64 {
+        if rows.is_empty() {
+            return 0.0;
+        }
+        let measures = rows.iter().map(|&r| table.measure(r));
+        match *self {
+            CostFn::Max => measures.fold(f64::NEG_INFINITY, f64::max),
+            CostFn::Sum => measures.sum(),
+            CostFn::Mean => measures.sum::<f64>() / rows.len() as f64,
+            CostFn::Count => rows.len() as f64,
+            CostFn::LpNorm(p) => {
+                assert!(p.is_finite() && p >= 1.0, "LpNorm requires p >= 1, got {p}");
+                measures.map(|m| m.abs().powf(p)).sum::<f64>().powf(p.recip())
+            }
+        }
+    }
+
+    /// Whether the function is monotone along the pattern lattice
+    /// (children never cost more than parents). `Max`, `Sum`, `Count`, and
+    /// `LpNorm` are (assuming non-negative measures); `Mean` is not.
+    pub fn is_lattice_monotone(&self) -> bool {
+        !matches!(self, CostFn::Mean)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn table() -> Table {
+        let mut b = Table::builder(&["X"], "m");
+        for (v, m) in [("a", 3.0), ("a", 4.0), ("b", 12.0), ("b", 5.0)] {
+            b.push_row(&[v], m).unwrap();
+        }
+        b.build()
+    }
+
+    #[test]
+    fn max_matches_paper_convention() {
+        let t = table();
+        assert_eq!(CostFn::Max.evaluate(&t, &[0, 1]), 4.0);
+        assert_eq!(CostFn::Max.evaluate(&t, &[0, 1, 2, 3]), 12.0);
+    }
+
+    #[test]
+    fn sum_mean_count() {
+        let t = table();
+        assert_eq!(CostFn::Sum.evaluate(&t, &[0, 1, 3]), 12.0);
+        assert_eq!(CostFn::Mean.evaluate(&t, &[0, 1, 3]), 4.0);
+        assert_eq!(CostFn::Count.evaluate(&t, &[0, 1, 3]), 3.0);
+    }
+
+    #[test]
+    fn lp_norms() {
+        let t = table();
+        // L1 over rows 0,1 = 7; L2 = sqrt(9+16) = 5
+        assert_eq!(CostFn::LpNorm(1.0).evaluate(&t, &[0, 1]), 7.0);
+        assert!((CostFn::LpNorm(2.0).evaluate(&t, &[0, 1]) - 5.0).abs() < 1e-12);
+    }
+
+    #[test]
+    #[should_panic(expected = "p >= 1")]
+    fn lp_norm_rejects_small_p() {
+        CostFn::LpNorm(0.5).evaluate(&table(), &[0]);
+    }
+
+    #[test]
+    fn empty_rows_cost_zero() {
+        let t = table();
+        for f in [CostFn::Max, CostFn::Sum, CostFn::Mean, CostFn::Count, CostFn::LpNorm(2.0)] {
+            assert_eq!(f.evaluate(&t, &[]), 0.0);
+        }
+    }
+
+    #[test]
+    fn monotonicity_flags() {
+        assert!(CostFn::Max.is_lattice_monotone());
+        assert!(CostFn::Sum.is_lattice_monotone());
+        assert!(CostFn::Count.is_lattice_monotone());
+        assert!(CostFn::LpNorm(2.0).is_lattice_monotone());
+        assert!(!CostFn::Mean.is_lattice_monotone());
+    }
+
+    #[test]
+    fn max_is_monotone_on_nested_row_sets() {
+        let t = table();
+        let small = CostFn::Max.evaluate(&t, &[0]);
+        let large = CostFn::Max.evaluate(&t, &[0, 2]);
+        assert!(small <= large);
+    }
+
+    #[test]
+    fn mean_is_not_monotone_on_nested_row_sets() {
+        let t = table();
+        let child = CostFn::Mean.evaluate(&t, &[2]); // 12
+        let parent = CostFn::Mean.evaluate(&t, &[2, 3]); // 8.5
+        assert!(child > parent);
+    }
+}

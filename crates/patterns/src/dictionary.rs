@@ -1,0 +1,144 @@
+//! Dictionary encoding for categorical pattern attributes.
+//!
+//! Pattern algorithms never compare strings: each attribute's active
+//! domain `dom(D_i)` is mapped to dense value ids `0..|dom|` once at load
+//! time, and everything downstream (columns, patterns, posting lists)
+//! works on `u32`s. The dictionary retains the id→string mapping for
+//! display.
+
+use crate::fxhash::FxHashMap;
+use serde::{Deserialize, Serialize};
+
+/// Dense id for a categorical value within one attribute's active domain.
+pub type ValueId = u32;
+
+/// Bidirectional mapping between category strings and dense [`ValueId`]s.
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+pub struct Dictionary {
+    values: Vec<String>,
+    #[serde(skip)]
+    index: FxHashMap<String, ValueId>,
+}
+
+impl Dictionary {
+    /// Creates an empty dictionary.
+    pub fn new() -> Dictionary {
+        Dictionary::default()
+    }
+
+    /// Returns the id for `value`, interning it on first sight.
+    pub fn intern(&mut self, value: &str) -> ValueId {
+        if let Some(&id) = self.index.get(value) {
+            return id;
+        }
+        let id = self.values.len() as ValueId;
+        self.values.push(value.to_owned());
+        self.index.insert(value.to_owned(), id);
+        id
+    }
+
+    /// Looks up an already-interned value.
+    pub fn lookup(&self, value: &str) -> Option<ValueId> {
+        self.index.get(value).copied()
+    }
+
+    /// The string for an id.
+    ///
+    /// # Panics
+    /// Panics if `id` was never interned.
+    pub fn resolve(&self, id: ValueId) -> &str {
+        &self.values[id as usize]
+    }
+
+    /// Size of the active domain.
+    pub fn len(&self) -> usize {
+        self.values.len()
+    }
+
+    /// True when nothing has been interned.
+    pub fn is_empty(&self) -> bool {
+        self.values.is_empty()
+    }
+
+    /// Iterates `(id, value)` in id order.
+    pub fn iter(&self) -> impl Iterator<Item = (ValueId, &str)> {
+        self.values
+            .iter()
+            .enumerate()
+            .map(|(i, v)| (i as ValueId, v.as_str()))
+    }
+
+    /// Rebuilds the string→id index (needed after deserialization, which
+    /// skips the index).
+    pub fn rebuild_index(&mut self) {
+        self.index = self
+            .values
+            .iter()
+            .enumerate()
+            .map(|(i, v)| (v.clone(), i as ValueId))
+            .collect();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn intern_is_idempotent() {
+        let mut d = Dictionary::new();
+        let a = d.intern("West");
+        let b = d.intern("East");
+        assert_eq!(d.intern("West"), a);
+        assert_ne!(a, b);
+        assert_eq!(d.len(), 2);
+    }
+
+    #[test]
+    fn ids_are_dense_in_first_seen_order() {
+        let mut d = Dictionary::new();
+        assert_eq!(d.intern("x"), 0);
+        assert_eq!(d.intern("y"), 1);
+        assert_eq!(d.intern("z"), 2);
+    }
+
+    #[test]
+    fn resolve_and_lookup_roundtrip() {
+        let mut d = Dictionary::new();
+        let id = d.intern("tcp");
+        assert_eq!(d.resolve(id), "tcp");
+        assert_eq!(d.lookup("tcp"), Some(id));
+        assert_eq!(d.lookup("udp"), None);
+    }
+
+    #[test]
+    fn iter_in_id_order() {
+        let mut d = Dictionary::new();
+        d.intern("a");
+        d.intern("b");
+        let pairs: Vec<_> = d.iter().collect();
+        assert_eq!(pairs, vec![(0, "a"), (1, "b")]);
+    }
+
+    #[test]
+    fn rebuild_index_restores_lookup() {
+        let mut d = Dictionary::new();
+        d.intern("p");
+        d.intern("q");
+        let mut copy = Dictionary {
+            values: d.values.clone(),
+            index: FxHashMap::default(),
+        };
+        assert_eq!(copy.lookup("q"), None, "index empty before rebuild");
+        copy.rebuild_index();
+        assert_eq!(copy.lookup("q"), Some(1));
+    }
+
+    #[test]
+    fn empty_dictionary() {
+        let d = Dictionary::new();
+        assert!(d.is_empty());
+        assert_eq!(d.len(), 0);
+        assert_eq!(d.iter().count(), 0);
+    }
+}

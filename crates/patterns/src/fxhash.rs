@@ -1,0 +1,118 @@
+//! A fast, non-cryptographic hasher for pattern keys.
+//!
+//! Pattern-lattice algorithms keep hash maps keyed by patterns (small
+//! arrays of value ids) on their hot path; the standard library's SipHash
+//! is needlessly defensive for that use. This is the well-known `FxHash`
+//! multiply-xor scheme used by rustc, implemented locally because the
+//! `rustc-hash` crate is outside this project's approved dependency set.
+//! HashDoS resistance is irrelevant here: keys are derived from the data
+//! set being summarized, not from untrusted network input.
+
+use std::collections::{HashMap, HashSet};
+use std::hash::{BuildHasherDefault, Hasher};
+
+const SEED: u64 = 0x51_7c_c1_b7_27_22_0a_95;
+const ROTATE: u32 = 5;
+
+/// Multiply-xor hasher (the rustc `FxHasher` scheme).
+#[derive(Debug, Clone, Copy, Default)]
+pub struct FxHasher {
+    hash: u64,
+}
+
+impl FxHasher {
+    #[inline]
+    fn add_to_hash(&mut self, word: u64) {
+        self.hash = (self.hash.rotate_left(ROTATE) ^ word).wrapping_mul(SEED);
+    }
+}
+
+impl Hasher for FxHasher {
+    #[inline]
+    fn finish(&self) -> u64 {
+        self.hash
+    }
+
+    #[inline]
+    fn write(&mut self, bytes: &[u8]) {
+        let mut chunks = bytes.chunks_exact(8);
+        for chunk in &mut chunks {
+            self.add_to_hash(u64::from_le_bytes(chunk.try_into().expect("8-byte chunk")));
+        }
+        let rest = chunks.remainder();
+        if !rest.is_empty() {
+            let mut word = [0u8; 8];
+            word[..rest.len()].copy_from_slice(rest);
+            self.add_to_hash(u64::from_le_bytes(word));
+        }
+    }
+
+    #[inline]
+    fn write_u32(&mut self, n: u32) {
+        self.add_to_hash(u64::from(n));
+    }
+
+    #[inline]
+    fn write_u64(&mut self, n: u64) {
+        self.add_to_hash(n);
+    }
+
+    #[inline]
+    fn write_usize(&mut self, n: usize) {
+        self.add_to_hash(n as u64);
+    }
+}
+
+/// `HashMap` with the Fx hasher.
+pub type FxHashMap<K, V> = HashMap<K, V, BuildHasherDefault<FxHasher>>;
+
+/// `HashSet` with the Fx hasher.
+pub type FxHashSet<T> = HashSet<T, BuildHasherDefault<FxHasher>>;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::hash::Hash;
+
+    fn hash_of<T: Hash>(value: &T) -> u64 {
+        let mut h = FxHasher::default();
+        value.hash(&mut h);
+        h.finish()
+    }
+
+    #[test]
+    fn deterministic() {
+        assert_eq!(hash_of(&42u32), hash_of(&42u32));
+        assert_eq!(hash_of(&"hello"), hash_of(&"hello"));
+    }
+
+    #[test]
+    fn discriminates_values() {
+        assert_ne!(hash_of(&1u32), hash_of(&2u32));
+        assert_ne!(hash_of(&[1u32, 2]), hash_of(&[2u32, 1]));
+        assert_ne!(hash_of(&"ab"), hash_of(&"ba"));
+    }
+
+    #[test]
+    fn handles_unaligned_byte_tails() {
+        // 9 bytes: one full chunk + 1-byte remainder.
+        let a: &[u8] = &[1, 2, 3, 4, 5, 6, 7, 8, 9];
+        let b: &[u8] = &[1, 2, 3, 4, 5, 6, 7, 8, 10];
+        let mut ha = FxHasher::default();
+        ha.write(a);
+        let mut hb = FxHasher::default();
+        hb.write(b);
+        assert_ne!(ha.finish(), hb.finish());
+    }
+
+    #[test]
+    fn map_and_set_work() {
+        let mut m: FxHashMap<Vec<Option<u32>>, usize> = FxHashMap::default();
+        m.insert(vec![None, Some(3)], 1);
+        m.insert(vec![Some(2), None], 2);
+        assert_eq!(m.get(&vec![None, Some(3)]), Some(&1));
+        let mut s: FxHashSet<u32> = FxHashSet::default();
+        assert!(s.insert(9));
+        assert!(!s.insert(9));
+    }
+}

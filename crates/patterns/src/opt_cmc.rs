@@ -1,0 +1,501 @@
+//! Optimized Cheap Max Coverage for patterned sets — Figure 4.
+//!
+//! The general CMC (Fig. 1) scans every set per budget guess. The
+//! optimized version walks the lattice top-down instead: the candidate set
+//! `C` starts with the all-wildcards pattern; the globally largest
+//! marginal-benefit candidate is popped, and is either *selected* (if its
+//! cost level under the current budget `B` still has quota, lines 21–29)
+//! or *visited* (line 31) — and only visited patterns have their children
+//! expanded, each child entering `C` once all of its parents have been
+//! visited (lines 32–35). Children of selected patterns never need
+//! expansion: their benefit sets are already fully covered.
+//!
+//! Unlike optimized CWSC, this is *not* step-identical to Fig. 1 — the
+//! paper's Fig. 4 picks the global benefit argmax across levels rather
+//! than exhausting levels in order (see DESIGN.md §3) — but it carries the
+//! same Theorem 4/5 guarantees, which is what the tests check.
+//!
+//! Implementation note: Fig. 4 recomputes `Cost(m)` and `Ben(m)` afresh on
+//! every budget guess. Benefit sets and costs do not depend on the budget,
+//! so this implementation materializes each pattern once and reuses it
+//! across guesses — the walk, selections, and the per-guess "patterns
+//! considered" count (Fig. 6's metric) are exactly those of the
+//! pseudocode, only the redundant recomputation is gone.
+
+use crate::fxhash::FxHashMap;
+use crate::pattern::Pattern;
+use crate::pattern_solution::PatternSolution;
+use crate::space::{LatticeSpace, PatternSpace};
+use crate::table::RowId;
+use scwsc_core::algorithms::cmc::{CmcParams, Levels};
+use scwsc_core::{coverage_target, BitSet, SolveError, Stats};
+use std::collections::BinaryHeap;
+
+/// Runs the optimized CMC (Fig. 4) over a pattern space.
+///
+/// Parameters mirror [`scwsc_core::algorithms::cmc()`]: the schedule bounds
+/// the solution size (`5k` classic, `(1+ε)k` for the ε-schedule) and the
+/// coverage target is `(1−1/e)·ŝ·n` unless `params.discount_coverage` is
+/// unset.
+///
+/// `stats.considered` counts pattern examinations per budget guess
+/// (Fig. 4 lines 12 and 35), the Figure 6 metric; `stats.budget_guesses`
+/// counts the guesses.
+pub fn opt_cmc(
+    space: &PatternSpace<'_>,
+    params: &CmcParams,
+    stats: &mut Stats,
+) -> Result<PatternSolution, SolveError> {
+    opt_cmc_in(space, params, stats)
+}
+
+/// The Figure 4 algorithm over any [`LatticeSpace`] — the flat pattern
+/// cube or the hierarchy-enriched lattice of
+/// [`crate::hierarchy::HierarchicalSpace`].
+pub fn opt_cmc_in<S: LatticeSpace>(
+    space: &S,
+    params: &CmcParams,
+    stats: &mut Stats,
+) -> Result<PatternSolution, SolveError> {
+    if params.k == 0 {
+        return Err(SolveError::ZeroSizeBound);
+    }
+    assert!(
+        params.budget_growth > 0.0,
+        "budget growth factor b must be positive"
+    );
+    let n = space.num_rows();
+    let fraction = if params.discount_coverage {
+        params.coverage_fraction * scwsc_core::algorithms::CMC_COVERAGE_DISCOUNT
+    } else {
+        params.coverage_fraction
+    };
+    let target = coverage_target(n, fraction);
+    if target == 0 {
+        return Ok(PatternSolution {
+            patterns: Vec::new(),
+            covered: 0,
+            total_cost: 0.0,
+        });
+    }
+
+    // Line 01: "B = cost of the k cheapest patterns". Knowing the true k
+    // cheapest patterns would itself require enumeration, so we seed with
+    // the sum of the k smallest single-record weights — a lower bound for
+    // monotone cost functions, costing at most O(log_{1+b}) extra guesses
+    // (DESIGN.md §3).
+    let mut measures: Vec<f64> = space.table().measures().to_vec();
+    measures.sort_unstable_by(f64::total_cmp);
+    let seed: f64 = measures.iter().take(params.k).sum();
+    let total_weight: f64 = measures.iter().sum();
+    let mut budget = if seed > 0.0 {
+        seed
+    } else {
+        measures.iter().copied().find(|&m| m > 0.0).unwrap_or(1.0)
+    };
+
+    let mut lattice = Lattice::new(space);
+
+    loop {
+        stats.new_guess();
+        if let Some(solution) = run_guess(&mut lattice, params, budget, target, stats) {
+            return Ok(solution);
+        }
+        // Line 37: stop once even a budget admitting every pattern failed.
+        // The all-wildcards pattern is the most expensive one under any
+        // lattice-monotone cost function, and a budget above the total
+        // weight is a universal upper bound otherwise.
+        if budget > lattice.root_cost() && budget > total_weight {
+            return Err(SolveError::BudgetExhausted);
+        }
+        budget *= 1.0 + params.budget_growth; // line 36
+    }
+}
+
+/// Pattern materializations shared across budget guesses: benefit sets,
+/// costs, and child links do not depend on the budget or on coverage.
+struct Lattice<'a, S: LatticeSpace> {
+    space: &'a S,
+    patterns: Vec<Pattern>,
+    rows: Vec<Vec<RowId>>,
+    costs: Vec<f64>,
+    /// Number of parents (= specificity): used for the pending-parents
+    /// gating that implements line 33 without per-check hashing.
+    num_parents: Vec<u8>,
+    /// children[id] = Some(child ids) once expanded.
+    children: Vec<Option<Vec<u32>>>,
+    by_pattern: FxHashMap<Pattern, u32>,
+}
+
+impl<'a, S: LatticeSpace> Lattice<'a, S> {
+    fn new(space: &'a S) -> Self {
+        let root = space.root();
+        let root_rows = space.root_rows();
+        let root_cost = space.cost(&root_rows);
+        let mut by_pattern = FxHashMap::default();
+        by_pattern.insert(root.clone(), 0u32);
+        Lattice {
+            space,
+            num_parents: vec![0],
+            patterns: vec![root],
+            rows: vec![root_rows],
+            costs: vec![root_cost],
+            children: vec![None],
+            by_pattern,
+        }
+    }
+
+    fn root_cost(&self) -> f64 {
+        self.costs[0]
+    }
+
+    /// Ids of `id`'s non-empty children, materializing them on first use.
+    fn children_of(&mut self, id: u32) -> Vec<u32> {
+        if let Some(kids) = &self.children[id as usize] {
+            return kids.clone();
+        }
+        let expanded = self
+            .space
+            .children_with_rows(&self.patterns[id as usize], &self.rows[id as usize]);
+        let mut kids = Vec::with_capacity(expanded.len());
+        for (child, child_rows) in expanded {
+            let child_id = match self.by_pattern.get(&child) {
+                Some(&cid) => cid,
+                None => {
+                    let cid = self.patterns.len() as u32;
+                    self.by_pattern.insert(child.clone(), cid);
+                    self.num_parents.push(self.space.parents(&child).len() as u8);
+                    self.patterns.push(child);
+                    self.costs.push(self.space.cost(&child_rows));
+                    self.rows.push(child_rows);
+                    self.children.push(None);
+                    cid
+                }
+            };
+            kids.push(child_id);
+        }
+        self.children[id as usize] = Some(kids.clone());
+        kids
+    }
+}
+
+/// One budget guess (Fig. 4 lines 08–35). Returns the solution if the
+/// coverage target was reached.
+fn run_guess<S: LatticeSpace>(
+    lattice: &mut Lattice<'_, S>,
+    params: &CmcParams,
+    budget: f64,
+    target: usize,
+    stats: &mut Stats,
+) -> Option<PatternSolution> {
+    let n = lattice.space.num_rows();
+    let levels = Levels::build(params.schedule, budget, params.k);
+    let mut counts = vec![0usize; levels.len()]; // lines 15-16
+    let mut selected_total = 0usize;
+    let max_selections = levels.max_selections();
+
+    let mut covered = BitSet::new(n);
+    // Per-guess per-pattern state, keyed by lattice id (lazily grown).
+    let len = lattice.patterns.len();
+    let mut in_c = vec![false; len];
+    let mut visited = vec![false; len];
+    let mut selected = vec![false; len];
+    // pending[id] = parents of id not yet visited this guess; line 33's
+    // "all parents of m are in V" is exactly pending[id] == 0, reached by
+    // decrementing when each parent is visited (no hashing per check).
+    let mut pending: Vec<u8> = lattice.num_parents[..len].to_vec();
+
+    // Lines 11-13: C = {all-wildcards}.
+    in_c[0] = true;
+    stats.consider(1);
+
+    // Max-heap on (mben, cheaper first, older first), with lazy
+    // revalidation: marginal benefits only decrease, so a stale entry is
+    // an upper bound and the first fresh pop is the true argmax (line 18).
+    let mut heap: BinaryHeap<HeapEntry> = BinaryHeap::new();
+    heap.push(HeapEntry {
+        mben: lattice.rows[0].len(),
+        cost_bits: lattice.costs[0].to_bits(),
+        id: 0,
+    });
+
+    let mut solution = PatternSolution {
+        patterns: Vec::new(),
+        covered: 0,
+        total_cost: 0.0,
+    };
+    let mut rem = target; // line 14
+
+    while let Some(entry) = heap.pop() {
+        // line 17's ΣΣ guard: once every level quota is full no further
+        // selection can happen.
+        if selected_total >= max_selections {
+            break;
+        }
+        let id = entry.id as usize;
+        if !in_c[id] {
+            continue; // stale duplicate of a removed candidate
+        }
+        let current = lattice.rows[id]
+            .iter()
+            .filter(|&&r| !covered.contains(r as usize))
+            .count();
+        if current == 0 {
+            in_c[id] = false; // lines 28-29 analogue
+            continue;
+        }
+        if current != entry.mben {
+            heap.push(HeapEntry {
+                mben: current,
+                cost_bits: entry.cost_bits,
+                id: entry.id,
+            });
+            continue;
+        }
+
+        // Line 19: q leaves C.
+        in_c[id] = false;
+        let q_cost = lattice.costs[id];
+        let level = levels.level_of(q_cost); // line 20
+
+        let selectable = level.is_some_and(|l| counts[l] < levels.quota(l));
+        if selectable {
+            // Lines 21-25: select q.
+            let l = level.expect("selectable implies a level");
+            counts[l] += 1;
+            selected_total += 1;
+            selected[id] = true;
+            solution.patterns.push(lattice.patterns[id].clone());
+            solution.total_cost += q_cost;
+            stats.select();
+            for &r in &lattice.rows[id] {
+                covered.insert(r as usize);
+            }
+            solution.covered = covered.count_ones();
+            rem = rem.saturating_sub(current);
+            if rem == 0 {
+                return Some(solution);
+            }
+            // Lines 26-29 happen lazily at pop time via the recount above.
+        } else {
+            // Lines 30-35: visit q and expand its children.
+            visited[id] = true;
+            for child_id in lattice.children_of(entry.id) {
+                let cid = child_id as usize;
+                if pending.len() <= cid {
+                    // Newly materialized: extend per-guess state.
+                    in_c.resize(cid + 1, false);
+                    visited.resize(cid + 1, false);
+                    selected.resize(cid + 1, false);
+                    let from = pending.len();
+                    pending.extend_from_slice(&lattice.num_parents[from..=cid]);
+                }
+                if in_c[cid] || visited[cid] || selected[cid] {
+                    continue;
+                }
+                // Line 33: "all parents of m are in V" — the decrement
+                // for this visit of q; zero pending means every parent
+                // has been visited.
+                pending[cid] = pending[cid].saturating_sub(1);
+                if pending[cid] != 0 {
+                    continue;
+                }
+                // Line 35: compute Cost(m) and MBen(m) — served from the
+                // lattice cache, but still one "considered" event per
+                // guess, matching what Fig. 4 would compute.
+                stats.consider(1);
+                let child_mben = lattice.rows[cid]
+                    .iter()
+                    .filter(|&&r| !covered.contains(r as usize))
+                    .count();
+                if child_mben == 0 {
+                    continue; // would be dropped by lines 28-29 immediately
+                }
+                in_c[cid] = true;
+                heap.push(HeapEntry {
+                    mben: child_mben,
+                    cost_bits: lattice.costs[cid].to_bits(),
+                    id: child_id,
+                });
+            }
+        }
+    }
+    None
+}
+
+/// Heap entry: candidate keyed by (mben desc, cost asc, id asc).
+///
+/// Ids are assigned in first-materialization order, which is itself
+/// deterministic (children are expanded in (attribute, value) order), so
+/// runs are reproducible.
+struct HeapEntry {
+    mben: usize,
+    /// `f64::to_bits` of a non-negative cost orders like the number.
+    cost_bits: u64,
+    id: u32,
+}
+
+impl PartialEq for HeapEntry {
+    fn eq(&self, other: &Self) -> bool {
+        self.cmp(other) == std::cmp::Ordering::Equal
+    }
+}
+
+impl Eq for HeapEntry {}
+
+impl PartialOrd for HeapEntry {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl Ord for HeapEntry {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        self.mben
+            .cmp(&other.mben)
+            .then_with(|| other.cost_bits.cmp(&self.cost_bits))
+            .then_with(|| other.id.cmp(&self.id))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::cost_fn::CostFn;
+    use crate::enumerate::enumerate_all;
+    use crate::table::Table;
+    use scwsc_core::algorithms::{cmc, CMC_COVERAGE_DISCOUNT};
+
+    fn entities() -> Table {
+        let mut b = Table::builder(&["Type", "Location"], "Cost");
+        for (t, l, c) in [
+            ("A", "West", 10.0),
+            ("A", "Northeast", 32.0),
+            ("B", "South", 2.0),
+            ("A", "North", 4.0),
+            ("B", "East", 7.0),
+            ("A", "Northwest", 20.0),
+            ("B", "West", 4.0),
+            ("B", "Southwest", 24.0),
+            ("A", "Southwest", 4.0),
+            ("B", "Northwest", 4.0),
+            ("A", "North", 3.0),
+            ("B", "Northeast", 3.0),
+            ("B", "South", 1.0),
+            ("B", "North", 20.0),
+            ("A", "East", 3.0),
+            ("A", "South", 96.0),
+        ] {
+            b.push_row(&[t, l], c).unwrap();
+        }
+        b.build()
+    }
+
+    #[test]
+    fn meets_coverage_and_size_bounds() {
+        let t = entities();
+        let sp = PatternSpace::new(&t, CostFn::Max);
+        for (k, s) in [(2usize, 9.0 / 16.0), (3, 0.5), (2, 1.0), (5, 0.8)] {
+            let params = CmcParams::classic(k, s, 1.0);
+            let sol = opt_cmc(&sp, &params, &mut Stats::new()).unwrap();
+            let target = coverage_target(16, s * CMC_COVERAGE_DISCOUNT);
+            assert!(sol.covered >= target, "k={k} s={s}: {} < {target}", sol.covered);
+            assert!(sol.size() <= 5 * k, "k={k}: {} sets", sol.size());
+            sol.verify(&sp);
+        }
+    }
+
+    #[test]
+    fn epsilon_variant_bounds_size() {
+        let t = entities();
+        let sp = PatternSpace::new(&t, CostFn::Max);
+        for &eps in &[0.5, 1.0, 2.0] {
+            let params = CmcParams::epsilon(4, 0.9, 1.0, eps);
+            let sol = opt_cmc(&sp, &params, &mut Stats::new()).unwrap();
+            let bound = ((1.0 + eps) * 4.0).floor() as usize;
+            assert!(sol.size() <= bound.max(4), "eps={eps}: {}", sol.size());
+        }
+    }
+
+    /// The Figure 6 effect needs a data set big enough for pruning to
+    /// matter; the 16-record example is too small (the walkthrough itself
+    /// touches most of Table II's patterns).
+    #[test]
+    fn considers_fewer_patterns_than_unoptimized_at_scale() {
+        let t = crate::test_util::skewed_table(600, 4, 7);
+        let sp = PatternSpace::new(&t, CostFn::Max);
+        let mut opt_stats = Stats::new();
+        let params = CmcParams::classic(10, 0.3, 1.0);
+        let sol = opt_cmc(&sp, &params, &mut opt_stats).unwrap();
+        sol.verify(&sp);
+        let m = enumerate_all(&t, CostFn::Max);
+        let mut unopt_stats = Stats::new();
+        let _ = cmc(&m.system, &params, &mut unopt_stats).unwrap();
+        assert!(
+            opt_stats.considered < unopt_stats.considered,
+            "optimized {} >= unoptimized {}",
+            opt_stats.considered,
+            unopt_stats.considered
+        );
+    }
+
+    #[test]
+    fn cost_within_theorem4_factor_of_unoptimized() {
+        // Both satisfy Theorem 4, so both costs are within
+        // (1+b)(2⌈log k⌉+1) of optimal; sanity-check they're in the same
+        // ballpark rather than equal (different traversal orders).
+        let t = entities();
+        let sp = PatternSpace::new(&t, CostFn::Max);
+        let params = CmcParams::classic(2, 9.0 / 16.0, 1.0);
+        let opt = opt_cmc(&sp, &params, &mut Stats::new()).unwrap();
+        let m = enumerate_all(&t, CostFn::Max);
+        let unopt = cmc(&m.system, &params, &mut Stats::new()).unwrap();
+        let bound = 2.0 * (2.0 * (2f64).log2().ceil() + 1.0);
+        assert!(opt.total_cost <= bound * unopt.solution.total_cost().value() + 1e-9);
+        assert!(unopt.solution.total_cost().value() <= bound * opt.total_cost + 1e-9);
+    }
+
+    #[test]
+    fn zero_k_rejected_and_zero_target_empty() {
+        let t = entities();
+        let sp = PatternSpace::new(&t, CostFn::Max);
+        assert_eq!(
+            opt_cmc(&sp, &CmcParams::classic(0, 0.5, 1.0), &mut Stats::new()),
+            Err(SolveError::ZeroSizeBound)
+        );
+        let sol = opt_cmc(&sp, &CmcParams::classic(2, 0.0, 1.0), &mut Stats::new()).unwrap();
+        assert_eq!(sol.size(), 0);
+    }
+
+    #[test]
+    fn budget_guesses_increase_with_tight_instances() {
+        let t = entities();
+        let sp = PatternSpace::new(&t, CostFn::Max);
+        let mut stats = Stats::new();
+        let params = CmcParams::classic(2, 1.0, 1.0);
+        let _ = opt_cmc(&sp, &params, &mut stats).unwrap();
+        assert!(stats.budget_guesses >= 2, "seed budget is tiny by design");
+    }
+
+    #[test]
+    fn works_with_mean_cost_function() {
+        // Mean is not lattice-monotone; the exhaustion bound still holds
+        // because budgets also grow past the total weight.
+        let t = entities();
+        let sp = PatternSpace::new(&t, CostFn::Mean);
+        let params = CmcParams::classic(3, 0.6, 1.0);
+        let sol = opt_cmc(&sp, &params, &mut Stats::new()).unwrap();
+        assert!(sol.covered >= coverage_target(16, 0.6 * CMC_COVERAGE_DISCOUNT));
+        sol.verify(&sp);
+    }
+
+    #[test]
+    fn deterministic_across_runs() {
+        let t = crate::test_util::skewed_table(300, 3, 5);
+        let sp = PatternSpace::new(&t, CostFn::Max);
+        let params = CmcParams::classic(5, 0.4, 1.0);
+        let a = opt_cmc(&sp, &params, &mut Stats::new()).unwrap();
+        let b = opt_cmc(&sp, &params, &mut Stats::new()).unwrap();
+        assert_eq!(a, b);
+    }
+}

@@ -1,0 +1,340 @@
+//! Optimized Concise Weighted Set Cover for patterned sets — Figure 3.
+//!
+//! Instead of materializing the full pattern cube, the candidate set `C`
+//! starts with just the all-wildcards pattern and is expanded downwards
+//! only where a child can still meet the current eligibility floor
+//! `rem/i`. Because benefit is anti-monotone along the lattice, a child is
+//! examined only when *all* of its parents are candidates (if any parent
+//! fell below the floor, the child must be below it too). The waitlist `W`
+//! processes candidates parents-before-children by always taking the
+//! highest marginal benefit next.
+//!
+//! Provided both break ties the same way (they do — see
+//! [`crate::candidates::gain_order`]), the optimized algorithm selects
+//! exactly the same patterns in the same order as running the unoptimized
+//! CWSC over the full materialization; the property tests assert this.
+
+use crate::candidates::{gain_order, CandidatePool};
+use crate::pattern::Pattern;
+use crate::pattern_solution::PatternSolution;
+use crate::space::{LatticeSpace, PatternSpace};
+use scwsc_core::{coverage_target, BitSet, SolveError, Stats};
+use std::cmp::Reverse;
+use std::collections::BinaryHeap;
+
+/// Runs the optimized CWSC (Fig. 3): at most `k` patterns covering at
+/// least `⌈coverage_fraction·n⌉` records of the space's table.
+///
+/// `stats.considered` counts every pattern whose benefit set and cost are
+/// materialized (Fig. 3 lines 05 and 17) — the Figure 6 metric.
+///
+/// ```
+/// use scwsc_patterns::{opt_cwsc, CostFn, PatternSpace, Table};
+/// use scwsc_core::Stats;
+///
+/// let mut b = Table::builder(&["Type", "Location"], "Cost");
+/// b.push_row(&["A", "West"], 10.0).unwrap();
+/// b.push_row(&["B", "South"], 2.0).unwrap();
+/// b.push_row(&["B", "West"], 4.0).unwrap();
+/// let table = b.build();
+///
+/// let space = PatternSpace::new(&table, CostFn::Max);
+/// let summary = opt_cwsc(&space, 2, 2.0 / 3.0, &mut Stats::new()).unwrap();
+/// assert!(summary.size() <= 2);
+/// assert!(summary.covered >= 2);
+/// summary.verify(&space); // recomputes coverage/cost independently
+/// ```
+pub fn opt_cwsc(
+    space: &PatternSpace<'_>,
+    k: usize,
+    coverage_fraction: f64,
+    stats: &mut Stats,
+) -> Result<PatternSolution, SolveError> {
+    let n = space.num_rows();
+    opt_cwsc_in(space, k, coverage_target(n, coverage_fraction), stats)
+}
+
+/// [`opt_cwsc`] with an explicit element-count target.
+pub fn opt_cwsc_with_target(
+    space: &PatternSpace<'_>,
+    k: usize,
+    target: usize,
+    stats: &mut Stats,
+) -> Result<PatternSolution, SolveError> {
+    opt_cwsc_in(space, k, target, stats)
+}
+
+/// The Figure 3 algorithm over any [`LatticeSpace`] — the flat pattern
+/// cube or the hierarchy-enriched lattice of
+/// [`crate::hierarchy::HierarchicalSpace`].
+pub fn opt_cwsc_in<S: LatticeSpace>(
+    space: &S,
+    k: usize,
+    target: usize,
+    stats: &mut Stats,
+) -> Result<PatternSolution, SolveError> {
+    if k == 0 {
+        return Err(SolveError::ZeroSizeBound);
+    }
+    let n = space.num_rows();
+    let mut covered = BitSet::new(n);
+    let mut solution = PatternSolution {
+        patterns: Vec::with_capacity(k),
+        covered: 0,
+        total_cost: 0.0,
+    };
+    if target == 0 {
+        return Ok(solution);
+    }
+
+    // Lines 01-06: C starts as just the all-wildcards pattern.
+    let mut pool = CandidatePool::new();
+    let root = space.root();
+    let root_rows = space.root_rows();
+    let root_cost = space.cost(&root_rows);
+    pool.insert(root, root_rows, root_cost, &covered);
+    stats.consider(1);
+    // Patterns selected into S (line 15's "not in ... S" check).
+    let mut selected: Vec<Pattern> = Vec::new();
+
+    let mut rem = target; // line 03
+
+    for i in (1..=k).rev() {
+        // Lines 08-10: drop candidates below the eligibility floor rem/i.
+        // (Marginal benefits are already current: recount_all runs after
+        // every selection.)
+        let i_u = i as u64;
+        let rem_u = rem as u64;
+        let below_floor =
+            |mben: usize| -> bool { i_u * (mben as u64) < rem_u };
+        let to_drop: Vec<usize> = pool
+            .alive_ids()
+            .filter(|&id| below_floor(pool.get(id).mben))
+            .collect();
+        for id in to_drop {
+            pool.remove(id);
+        }
+
+        // Line 11: the waitlist starts as all of C. Within the while loop
+        // no selection happens, so marginal benefits are static and a
+        // plain max-heap (mben desc, pattern asc) gives line 13's argmax.
+        let mut waitlist: BinaryHeap<(usize, Reverse<Pattern>, usize)> = pool
+            .alive_ids()
+            .map(|id| (pool.get(id).mben, Reverse(pool.get(id).pattern.clone()), id))
+            .collect();
+
+        // Lines 12-20: expand children that can meet the floor.
+        while let Some((_, _, q_id)) = waitlist.pop() {
+            if !pool.is_alive(q_id) {
+                continue; // pruned since being enqueued (defensive)
+            }
+            let children = {
+                let q = pool.get(q_id);
+                space.children_with_rows(&q.pattern, &q.rows)
+            };
+            for (child, child_rows) in children {
+                if pool.contains(&child) || selected.contains(&child) {
+                    continue; // line 15
+                }
+                // Line 16: all parents must currently be candidates.
+                if !space.parents(&child).iter().all(|p| pool.contains(p)) {
+                    continue;
+                }
+                // Line 17: materialize cost and marginal benefit.
+                stats.consider(1);
+                let child_mben = child_rows
+                    .iter()
+                    .filter(|&&r| !covered.contains(r as usize))
+                    .count();
+                if below_floor(child_mben) {
+                    continue; // line 18 fails: stays out of C and W
+                }
+                let cost = space.cost(&child_rows);
+                let id = pool.insert(child.clone(), child_rows, cost, &covered);
+                waitlist.push((pool.get(id).mben, Reverse(child), id));
+            }
+        }
+
+        // Line 21: argmax of marginal gain over C.
+        let mut best: Option<usize> = None;
+        for id in pool.alive_ids() {
+            best = Some(match best {
+                None => id,
+                Some(b) => {
+                    if gain_order(pool.get(id), pool.get(b)) == std::cmp::Ordering::Greater {
+                        id
+                    } else {
+                        b
+                    }
+                }
+            });
+        }
+        let Some(q_id) = best else {
+            return Err(SolveError::NoSolution); // line 22
+        };
+
+        // Lines 23-26: select q.
+        let q = pool.get(q_id);
+        let q_mben = q.mben;
+        solution.patterns.push(q.pattern.clone());
+        solution.total_cost += q.cost;
+        selected.push(q.pattern.clone());
+        stats.select();
+        for &r in &pool.get(q_id).rows {
+            covered.insert(r as usize);
+        }
+        solution.covered = covered.count_ones();
+        pool.remove(q_id);
+        rem = rem.saturating_sub(q_mben);
+        if rem == 0 {
+            return Ok(solution); // line 25
+        }
+        // Lines 27-30: refresh marginal benefits, dropping exhausted ones.
+        pool.recount_all(&covered);
+    }
+
+    // Eligibility guarantees each pick covers ≥ rem/i, so k picks always
+    // reach the target; defensive fallthrough.
+    Err(SolveError::NoSolution)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::cost_fn::CostFn;
+    use crate::enumerate::enumerate_all;
+    use crate::table::Table;
+    use scwsc_core::algorithms::cwsc;
+
+    /// The paper's Table I entities data set (16 records).
+    fn entities() -> Table {
+        let mut b = Table::builder(&["Type", "Location"], "Cost");
+        for (t, l, c) in [
+            ("A", "West", 10.0),
+            ("A", "Northeast", 32.0),
+            ("B", "South", 2.0),
+            ("A", "North", 4.0),
+            ("B", "East", 7.0),
+            ("A", "Northwest", 20.0),
+            ("B", "West", 4.0),
+            ("B", "Southwest", 24.0),
+            ("A", "Southwest", 4.0),
+            ("B", "Northwest", 4.0),
+            ("A", "North", 3.0),
+            ("B", "Northeast", 3.0),
+            ("B", "South", 1.0),
+            ("B", "North", 20.0),
+            ("A", "East", 3.0),
+            ("A", "South", 96.0),
+        ] {
+            b.push_row(&[t, l], c).unwrap();
+        }
+        b.build()
+    }
+
+    /// Section V-B's worked example: k=2, ŝ=9/16 selects P16 {B,ALL}
+    /// (gain 8/24) and then P3 {A,North} (gain 2/4), total cost 28.
+    #[test]
+    fn paper_worked_example() {
+        let t = entities();
+        let sp = PatternSpace::new(&t, CostFn::Max);
+        let sol = opt_cwsc(&sp, 2, 9.0 / 16.0, &mut Stats::new()).unwrap();
+        assert_eq!(sol.size(), 2);
+        assert_eq!(sol.patterns[0].display(&t), "{Type=B, Location=ALL}");
+        assert_eq!(sol.patterns[1].display(&t), "{Type=A, Location=North}");
+        assert_eq!(sol.total_cost, 24.0 + 4.0);
+        assert!(sol.covered >= 9);
+        sol.verify(&sp);
+    }
+
+    /// On a data set big enough for the lattice pruning to matter, the
+    /// optimized algorithm materializes far fewer patterns than the full
+    /// cube (the Figure 6 effect). The 16-record paper example is too
+    /// small to show it — there every pattern ends up eligible.
+    #[test]
+    fn considers_fewer_patterns_than_full_cube_at_scale() {
+        let t = crate::test_util::skewed_table(600, 4, 7);
+        let sp = PatternSpace::new(&t, CostFn::Max);
+        let mut stats = Stats::new();
+        let sol = opt_cwsc(&sp, 10, 0.3, &mut stats).unwrap();
+        sol.verify(&sp);
+        let unopt = enumerate_all(&t, CostFn::Max);
+        assert!(
+            (stats.considered as usize) < unopt.num_patterns() / 2,
+            "optimized considered {} vs full cube {}",
+            stats.considered,
+            unopt.num_patterns()
+        );
+    }
+
+    #[test]
+    fn matches_unoptimized_selection_on_entities() {
+        let t = entities();
+        let sp = PatternSpace::new(&t, CostFn::Max);
+        let m = enumerate_all(&t, CostFn::Max);
+        for (k, s) in [(2usize, 9.0 / 16.0), (3, 0.5), (5, 0.8), (4, 1.0), (1, 0.25)] {
+            let opt = opt_cwsc(&sp, k, s, &mut Stats::new());
+            let unopt = cwsc(&m.system, k, s, &mut Stats::new());
+            match (opt, unopt) {
+                (Ok(o), Ok(u)) => {
+                    let u_patterns: Vec<&Pattern> = m.solution_patterns(&u);
+                    let o_patterns: Vec<&Pattern> = o.patterns.iter().collect();
+                    assert_eq!(o_patterns, u_patterns, "k={k} s={s}");
+                    assert!((o.total_cost - u.total_cost().value()).abs() < 1e-9);
+                    assert_eq!(o.covered, u.covered());
+                }
+                (Err(a), Err(b)) => assert_eq!(a, b),
+                (a, b) => panic!("k={k} s={s}: optimized {a:?} vs unoptimized {b:?}"),
+            }
+        }
+    }
+
+    #[test]
+    fn respects_k_and_coverage() {
+        let t = entities();
+        let sp = PatternSpace::new(&t, CostFn::Max);
+        for k in 1..=6 {
+            let sol = opt_cwsc(&sp, k, 0.75, &mut Stats::new()).unwrap();
+            assert!(sol.size() <= k);
+            assert!(sol.covered >= 12);
+            sol.verify(&sp);
+        }
+    }
+
+    #[test]
+    fn zero_target_returns_empty() {
+        let t = entities();
+        let sp = PatternSpace::new(&t, CostFn::Max);
+        let sol = opt_cwsc(&sp, 3, 0.0, &mut Stats::new()).unwrap();
+        assert_eq!(sol.size(), 0);
+    }
+
+    #[test]
+    fn zero_k_is_an_error() {
+        let t = entities();
+        let sp = PatternSpace::new(&t, CostFn::Max);
+        assert_eq!(
+            opt_cwsc(&sp, 0, 0.5, &mut Stats::new()),
+            Err(SolveError::ZeroSizeBound)
+        );
+    }
+
+    #[test]
+    fn k1_full_coverage_selects_root() {
+        let t = entities();
+        let sp = PatternSpace::new(&t, CostFn::Max);
+        let sol = opt_cwsc(&sp, 1, 1.0, &mut Stats::new()).unwrap();
+        assert_eq!(sol.size(), 1);
+        assert!(sol.patterns[0].is_root());
+        assert_eq!(sol.covered, 16);
+    }
+
+    #[test]
+    fn works_with_sum_cost_function() {
+        let t = entities();
+        let sp = PatternSpace::new(&t, CostFn::Sum);
+        let sol = opt_cwsc(&sp, 3, 0.5, &mut Stats::new()).unwrap();
+        assert!(sol.covered >= 8);
+        sol.verify(&sp);
+    }
+}

@@ -1,0 +1,273 @@
+//! Patterns: conjunctions of attribute values with wildcards.
+//!
+//! A pattern has, for each pattern attribute `D_i`, either a value from
+//! `dom(D_i)` or the wildcard `ALL` (Section II). A record matches a
+//! pattern when they agree on every non-wildcard attribute. Patterns form
+//! a lattice: *parents* generalize (one constant → `ALL`), *children*
+//! specialize (one `ALL` → a constant); benefit is anti-monotone along it,
+//! the property Section V-C's optimizations exploit.
+
+use crate::dictionary::ValueId;
+use crate::table::{RowId, Table};
+use serde::{Deserialize, Serialize};
+use std::fmt::Write as _;
+
+/// A pattern over `j` attributes; `None` is the wildcard `ALL`.
+#[derive(Debug, Clone, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub struct Pattern {
+    values: Box<[Option<ValueId>]>,
+}
+
+impl Pattern {
+    /// The all-wildcards pattern over `num_attrs` attributes — the set that
+    /// covers every record, guaranteeing feasibility (Definition 1).
+    pub fn all_wildcards(num_attrs: usize) -> Pattern {
+        Pattern {
+            values: vec![None; num_attrs].into_boxed_slice(),
+        }
+    }
+
+    /// Builds a pattern from explicit per-attribute values.
+    pub fn new(values: Vec<Option<ValueId>>) -> Pattern {
+        Pattern {
+            values: values.into_boxed_slice(),
+        }
+    }
+
+    /// Builds a fully-specified pattern matching exactly `row`'s values.
+    pub fn of_row(table: &Table, row: RowId) -> Pattern {
+        Pattern {
+            values: (0..table.num_attrs())
+                .map(|a| Some(table.value(row, a)))
+                .collect(),
+        }
+    }
+
+    /// Number of attributes `j`.
+    #[inline]
+    pub fn num_attrs(&self) -> usize {
+        self.values.len()
+    }
+
+    /// Value at `attr` (`None` = `ALL`).
+    #[inline]
+    pub fn get(&self, attr: usize) -> Option<ValueId> {
+        self.values[attr]
+    }
+
+    /// Per-attribute values.
+    #[inline]
+    pub fn values(&self) -> &[Option<ValueId>] {
+        &self.values
+    }
+
+    /// Number of non-wildcard attributes (depth in the lattice).
+    pub fn specificity(&self) -> usize {
+        self.values.iter().filter(|v| v.is_some()).count()
+    }
+
+    /// True for the all-wildcards pattern.
+    pub fn is_root(&self) -> bool {
+        self.values.iter().all(|v| v.is_none())
+    }
+
+    /// Whether `row` of `table` matches this pattern: agreement on every
+    /// non-wildcard attribute (Section II).
+    ///
+    /// # Panics
+    /// Panics if the pattern arity differs from the table's.
+    pub fn matches(&self, table: &Table, row: RowId) -> bool {
+        assert_eq!(self.num_attrs(), table.num_attrs(), "pattern arity");
+        self.values
+            .iter()
+            .enumerate()
+            .all(|(a, v)| v.is_none_or(|v| table.value(row, a) == v))
+    }
+
+    /// The patterns obtained by replacing one constant with `ALL` — this
+    /// pattern's parents in the lattice. The root has none.
+    pub fn parents(&self) -> Vec<Pattern> {
+        let mut out = Vec::with_capacity(self.specificity());
+        for (a, v) in self.values.iter().enumerate() {
+            if v.is_some() {
+                let mut vals = self.values.to_vec();
+                vals[a] = None;
+                out.push(Pattern::new(vals));
+            }
+        }
+        out
+    }
+
+    /// The child replacing the wildcard at `attr` with `value`.
+    ///
+    /// # Panics
+    /// Panics if `attr` is not a wildcard.
+    pub fn child(&self, attr: usize, value: ValueId) -> Pattern {
+        assert!(self.values[attr].is_none(), "attribute {attr} is not ALL");
+        let mut vals = self.values.to_vec();
+        vals[attr] = Some(value);
+        Pattern::new(vals)
+    }
+
+    /// Whether `other` is this pattern with exactly one wildcard filled in.
+    pub fn is_parent_of(&self, other: &Pattern) -> bool {
+        if self.num_attrs() != other.num_attrs() {
+            return false;
+        }
+        let mut diffs = 0;
+        for (s, o) in self.values.iter().zip(other.values.iter()) {
+            match (s, o) {
+                (None, Some(_)) => diffs += 1,
+                (a, b) if a == b => {}
+                _ => return false,
+            }
+        }
+        diffs == 1
+    }
+
+    /// Whether every record matching `other` also matches this pattern
+    /// (this pattern is equal to or an ancestor of `other`).
+    pub fn generalizes(&self, other: &Pattern) -> bool {
+        self.num_attrs() == other.num_attrs()
+            && self
+                .values
+                .iter()
+                .zip(other.values.iter())
+                .all(|(s, o)| s.is_none() || s == o)
+    }
+
+    /// Human-readable rendering using the table's dictionaries, e.g.
+    /// `{Type=B, Location=ALL}`.
+    pub fn display(&self, table: &Table) -> String {
+        let mut out = String::from("{");
+        for (a, v) in self.values.iter().enumerate() {
+            if a > 0 {
+                out.push_str(", ");
+            }
+            let _ = write!(out, "{}=", table.attr_names()[a]);
+            match v {
+                Some(id) => out.push_str(table.dictionary(a).resolve(*id)),
+                None => out.push_str("ALL"),
+            }
+        }
+        out.push('}');
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn table() -> Table {
+        let mut b = Table::builder(&["Type", "Location"], "Cost");
+        b.push_row(&["A", "West"], 10.0).unwrap();
+        b.push_row(&["B", "South"], 2.0).unwrap();
+        b.push_row(&["B", "West"], 4.0).unwrap();
+        b.build()
+    }
+
+    #[test]
+    fn root_matches_everything() {
+        let t = table();
+        let root = Pattern::all_wildcards(2);
+        assert!(root.is_root());
+        assert_eq!(root.specificity(), 0);
+        for r in 0..t.num_rows() as RowId {
+            assert!(root.matches(&t, r));
+        }
+    }
+
+    #[test]
+    fn of_row_matches_exactly_that_shape() {
+        let t = table();
+        let p = Pattern::of_row(&t, 0); // {A, West}
+        assert!(p.matches(&t, 0));
+        assert!(!p.matches(&t, 1));
+        assert!(!p.matches(&t, 2), "B/West differs on Type");
+        assert_eq!(p.specificity(), 2);
+    }
+
+    #[test]
+    fn partial_pattern_matching() {
+        let t = table();
+        let west = t.dictionary(1).lookup("West").unwrap();
+        let p = Pattern::new(vec![None, Some(west)]); // {ALL, West}
+        assert!(p.matches(&t, 0));
+        assert!(!p.matches(&t, 1));
+        assert!(p.matches(&t, 2));
+    }
+
+    #[test]
+    fn parents_replace_one_constant() {
+        let t = table();
+        let p = Pattern::of_row(&t, 1); // {B, South}
+        let parents = p.parents();
+        assert_eq!(parents.len(), 2);
+        assert!(parents.iter().all(|q| q.specificity() == 1));
+        assert!(parents.iter().all(|q| q.is_parent_of(&p)));
+        assert!(Pattern::all_wildcards(2).parents().is_empty());
+    }
+
+    #[test]
+    fn child_fills_one_wildcard() {
+        let root = Pattern::all_wildcards(2);
+        let c = root.child(0, 3);
+        assert_eq!(c.get(0), Some(3));
+        assert_eq!(c.get(1), None);
+        assert!(root.is_parent_of(&c));
+        assert!(!c.is_parent_of(&root));
+    }
+
+    #[test]
+    #[should_panic(expected = "not ALL")]
+    fn child_of_constant_panics() {
+        Pattern::new(vec![Some(1), None]).child(0, 2);
+    }
+
+    #[test]
+    fn is_parent_of_requires_exactly_one_step() {
+        let root = Pattern::all_wildcards(2);
+        let leaf = Pattern::new(vec![Some(1), Some(2)]);
+        assert!(!root.is_parent_of(&leaf), "two steps apart");
+        assert!(!root.is_parent_of(&root));
+        let mid = Pattern::new(vec![Some(1), None]);
+        assert!(root.is_parent_of(&mid));
+        assert!(mid.is_parent_of(&leaf));
+        // different value at a shared constant is not a parent
+        let other = Pattern::new(vec![Some(9), Some(2)]);
+        assert!(!mid.is_parent_of(&other));
+    }
+
+    #[test]
+    fn generalizes_is_reflexive_and_transitive_on_chain() {
+        let root = Pattern::all_wildcards(2);
+        let mid = Pattern::new(vec![Some(1), None]);
+        let leaf = Pattern::new(vec![Some(1), Some(2)]);
+        assert!(root.generalizes(&mid) && mid.generalizes(&leaf));
+        assert!(root.generalizes(&leaf));
+        assert!(leaf.generalizes(&leaf));
+        assert!(!leaf.generalizes(&mid));
+    }
+
+    #[test]
+    fn display_uses_dictionaries() {
+        let t = table();
+        let p = Pattern::of_row(&t, 1);
+        assert_eq!(p.display(&t), "{Type=B, Location=South}");
+        assert_eq!(
+            Pattern::all_wildcards(2).display(&t),
+            "{Type=ALL, Location=ALL}"
+        );
+    }
+
+    #[test]
+    fn ordering_is_deterministic() {
+        let a = Pattern::new(vec![None, Some(1)]);
+        let b = Pattern::new(vec![Some(0), None]);
+        assert!(a < b, "ALL sorts before any constant");
+        let mut v = vec![b.clone(), a.clone()];
+        v.sort();
+        assert_eq!(v, vec![a, b]);
+    }
+}

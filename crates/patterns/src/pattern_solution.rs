@@ -1,0 +1,131 @@
+//! Solutions expressed as patterns (rather than opaque set ids), plus an
+//! independent verifier that re-derives coverage and cost from the table.
+
+use crate::pattern::Pattern;
+use crate::space::{LatticeSpace, PatternSpace};
+use scwsc_core::BitSet;
+use serde::{Deserialize, Serialize};
+
+/// A sub-collection of patterns chosen by an optimized algorithm, in
+/// selection order.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct PatternSolution {
+    /// Chosen patterns, in selection order.
+    pub patterns: Vec<Pattern>,
+    /// Number of records covered by their union.
+    pub covered: usize,
+    /// Sum of pattern weights.
+    pub total_cost: f64,
+}
+
+impl PatternSolution {
+    /// Number of chosen patterns.
+    pub fn size(&self) -> usize {
+        self.patterns.len()
+    }
+
+    /// Recomputes coverage and cost from the space's index and checks the
+    /// cached totals, returning the recomputed `(covered, total_cost)`.
+    ///
+    /// # Panics
+    /// Panics when the cached totals disagree with the recomputation —
+    /// that is an algorithm bug, not a user error.
+    pub fn verify(&self, space: &PatternSpace<'_>) -> (usize, f64) {
+        self.verify_in(space)
+    }
+
+    /// [`PatternSolution::verify`] over any [`LatticeSpace`] (including
+    /// hierarchical ones).
+    pub fn verify_in<S: LatticeSpace>(&self, space: &S) -> (usize, f64) {
+        let mut covered = BitSet::new(space.num_rows());
+        let mut total_cost = 0.0;
+        for p in &self.patterns {
+            let rows = space.benefit(p);
+            total_cost += space.cost(&rows);
+            for r in rows {
+                covered.insert(r as usize);
+            }
+        }
+        let covered = covered.count_ones();
+        assert_eq!(covered, self.covered, "cached coverage is wrong");
+        assert!(
+            (total_cost - self.total_cost).abs() <= 1e-9 * total_cost.abs().max(1.0),
+            "cached cost {} != recomputed {}",
+            self.total_cost,
+            total_cost
+        );
+        (covered, total_cost)
+    }
+
+    /// Human-readable rendering of the chosen patterns.
+    pub fn display(&self, space: &PatternSpace<'_>) -> String {
+        let pats: Vec<String> = self
+            .patterns
+            .iter()
+            .map(|p| p.display(space.table()))
+            .collect();
+        format!(
+            "{} patterns, cost {}, covering {}: [{}]",
+            self.size(),
+            self.total_cost,
+            self.covered,
+            pats.join(", ")
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::cost_fn::CostFn;
+    use crate::table::Table;
+
+    fn table() -> Table {
+        let mut b = Table::builder(&["X"], "m");
+        b.push_row(&["a"], 3.0).unwrap();
+        b.push_row(&["b"], 5.0).unwrap();
+        b.push_row(&["a"], 1.0).unwrap();
+        b.build()
+    }
+
+    #[test]
+    fn verify_accepts_consistent_solution() {
+        let t = table();
+        let sp = PatternSpace::new(&t, CostFn::Max);
+        let a = t.dictionary(0).lookup("a").unwrap();
+        let sol = PatternSolution {
+            patterns: vec![Pattern::new(vec![Some(a)])],
+            covered: 2,
+            total_cost: 3.0,
+        };
+        assert_eq!(sol.verify(&sp), (2, 3.0));
+        assert_eq!(sol.size(), 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "cached coverage")]
+    fn verify_rejects_wrong_coverage() {
+        let t = table();
+        let sp = PatternSpace::new(&t, CostFn::Max);
+        let sol = PatternSolution {
+            patterns: vec![Pattern::all_wildcards(1)],
+            covered: 1,
+            total_cost: 5.0,
+        };
+        sol.verify(&sp);
+    }
+
+    #[test]
+    fn display_shows_patterns() {
+        let t = table();
+        let sp = PatternSpace::new(&t, CostFn::Max);
+        let sol = PatternSolution {
+            patterns: vec![Pattern::all_wildcards(1)],
+            covered: 3,
+            total_cost: 5.0,
+        };
+        let text = sol.display(&sp);
+        assert!(text.contains("{X=ALL}"), "{text}");
+        assert!(text.contains("covering 3"), "{text}");
+    }
+}

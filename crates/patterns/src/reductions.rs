@@ -1,0 +1,281 @@
+//! The paper's reduction constructions (Section IV), reified as code.
+//!
+//! These are not needed to *run* the algorithms — they exist so the
+//! complexity analysis is executable: tests use them as oracles (vertex
+//! covers of a tripartite graph ↔ pattern covers of the Lemma 1 data set;
+//! arbitrary set systems ↔ patterned systems under Theorem 3's
+//! approximation-preserving mapping).
+
+use crate::pattern::Pattern;
+use crate::table::{Table, TableError};
+use scwsc_core::{SetSystem, SolveError};
+
+/// A tripartite graph with vertex parts `A`, `B`, `C` (sizes given) and
+/// edges between different parts.
+#[derive(Debug, Clone)]
+pub struct TripartiteGraph {
+    /// Sizes of the three vertex parts.
+    pub part_sizes: [usize; 3],
+    /// Edges as `((part, index), (part, index))` with `part ∈ {0,1,2}`.
+    pub edges: Vec<((usize, usize), (usize, usize))>,
+}
+
+/// Errors from the reduction constructions.
+#[derive(Debug, Clone, PartialEq)]
+pub enum ReductionError {
+    /// An edge endpoint referenced a vertex outside its part.
+    BadVertex {
+        /// Part index (0, 1, or 2).
+        part: usize,
+        /// Vertex index within the part.
+        index: usize,
+    },
+    /// An edge connected two vertices of the same part (not tripartite).
+    SamePartEdge(usize),
+    /// Table construction failed.
+    Table(TableError),
+}
+
+impl std::fmt::Display for ReductionError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ReductionError::BadVertex { part, index } => {
+                write!(f, "vertex {index} out of range for part {part}")
+            }
+            ReductionError::SamePartEdge(p) => {
+                write!(f, "edge inside part {p}: graph is not tripartite")
+            }
+            ReductionError::Table(e) => write!(f, "table construction failed: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for ReductionError {}
+
+/// Output of the Lemma 1 construction.
+#[derive(Debug, Clone)]
+pub struct Lemma1Instance {
+    /// The constructed data set: one record per edge plus `(x, y, z | W)`.
+    pub table: Table,
+    /// The cost threshold `τ` (every edge record's measure).
+    pub tau: f64,
+    /// The blocking weight `W > τ` of the extra record.
+    pub big_w: f64,
+    /// Required coverage fraction `m/(m+1)`.
+    pub coverage_fraction: f64,
+}
+
+/// Builds the Lemma 1 data set from a tripartite graph: pattern attributes
+/// `D1, D2, D3` with `dom(D1) = A ∪ {x}` etc.; each edge becomes a record
+/// with the third attribute filled by the fresh vertex, measure `τ`; one
+/// final record `(x, y, z | W)`; coverage `m/(m+1)`. Under the `Max` cost
+/// function, a smallest pattern cover of the required fraction has exactly
+/// the size of a minimum vertex cover of the graph.
+pub fn lemma1_instance(graph: &TripartiteGraph, tau: f64, big_w: f64) -> Result<Lemma1Instance, ReductionError> {
+    assert!(big_w > tau, "construction requires W > τ");
+    for (e, &((pa, ia), (pb, ib))) in graph.edges.iter().enumerate() {
+        for &(p, i) in &[(pa, ia), (pb, ib)] {
+            if p > 2 {
+                return Err(ReductionError::BadVertex { part: p, index: i });
+            }
+            if i >= graph.part_sizes[p] {
+                return Err(ReductionError::BadVertex { part: p, index: i });
+            }
+        }
+        if pa == pb {
+            return Err(ReductionError::SamePartEdge(e));
+        }
+    }
+
+    let name = |part: usize, i: usize| -> String {
+        match part {
+            0 => format!("a{i}"),
+            1 => format!("b{i}"),
+            _ => format!("c{i}"),
+        }
+    };
+    let fresh = ["x", "y", "z"];
+
+    let mut b = Table::builder(&["D1", "D2", "D3"], "M");
+    for &((pa, ia), (pb, ib)) in &graph.edges {
+        // Normalize so the pair is ordered by part.
+        let (first, second) = if pa < pb { ((pa, ia), (pb, ib)) } else { ((pb, ib), (pa, ia)) };
+        let mut vals = [fresh[0].to_owned(), fresh[1].to_owned(), fresh[2].to_owned()];
+        vals[first.0] = name(first.0, first.1);
+        vals[second.0] = name(second.0, second.1);
+        let refs: Vec<&str> = vals.iter().map(String::as_str).collect();
+        b.push_row(&refs, tau).map_err(ReductionError::Table)?;
+    }
+    let refs: Vec<&str> = fresh.to_vec();
+    b.push_row(&refs, big_w).map_err(ReductionError::Table)?;
+    let m = graph.edges.len();
+    Ok(Lemma1Instance {
+        table: b.build(),
+        tau,
+        big_w,
+        coverage_fraction: m as f64 / (m + 1) as f64,
+    })
+}
+
+impl Lemma1Instance {
+    /// The single-vertex pattern `(v, ALL, ALL)` / `(ALL, v, ALL)` /
+    /// `(ALL, ALL, v)` for a graph vertex, if it appears in the data.
+    pub fn vertex_pattern(&self, part: usize, index: usize) -> Option<Pattern> {
+        let name = match part {
+            0 => format!("a{index}"),
+            1 => format!("b{index}"),
+            2 => format!("c{index}"),
+            _ => return None,
+        };
+        let id = self.table.dictionary(part).lookup(&name)?;
+        let mut vals = vec![None, None, None];
+        vals[part] = Some(id);
+        Some(Pattern::new(vals))
+    }
+}
+
+/// Theorem 3's approximation-preserving mapping of an arbitrary set system
+/// to a patterned one: `n` pattern attributes over `{0, 1}`; element `i`
+/// becomes the record that is 1 in attribute `i` and 0 elsewhere; set
+/// `S = {i1..il}` becomes the pattern with `ALL` in attributes `i1..il`
+/// and 0 elsewhere, keeping its weight.
+///
+/// Returns the table plus, per original set, its pattern. (The paper gives
+/// the *other* patterns infinite weight so they are never chosen; rather
+/// than materialize infinitely many patterns, callers solve over exactly
+/// the returned patterns — the same restriction.)
+pub fn set_system_to_patterns(system: &SetSystem) -> Result<(Table, Vec<Pattern>), SolveError> {
+    let n = system.num_elements();
+    let attr_names: Vec<String> = (0..n).map(|i| format!("e{i}")).collect();
+    let attr_refs: Vec<&str> = attr_names.iter().map(String::as_str).collect();
+    let mut b = Table::builder(&attr_refs, "M");
+    for i in 0..n {
+        let vals: Vec<&str> = (0..n).map(|j| if i == j { "1" } else { "0" }).collect();
+        b.push_row(&vals, 0.0).expect("construction rows are well-formed");
+    }
+    let table = b.build();
+    let mut patterns = Vec::with_capacity(system.num_sets());
+    for (_, set) in system.iter() {
+        // Default every attribute to the constant 0; members become ALL.
+        // (With n ≥ 2 every attribute's active domain contains "0"; for
+        // the degenerate n ≤ 1 case the lookup may fail, in which case the
+        // pattern pins the only record's value.)
+        let mut vals: Vec<Option<u32>> = (0..n)
+            .map(|attr| table.dictionary(attr).lookup("0").or(Some(0)))
+            .collect();
+        for &e in set.members() {
+            vals[e as usize] = None;
+        }
+        patterns.push(Pattern::new(vals));
+    }
+    Ok((table, patterns))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::cost_fn::CostFn;
+    use crate::index::InvertedIndex;
+    use crate::space::PatternSpace;
+    use scwsc_core::BitSet;
+
+    /// Triangle-ish tripartite graph: a0-b0, b0-c0, a0-c0 (minimum vertex
+    /// cover has size 2) plus a pendant edge a1-b0.
+    fn graph() -> TripartiteGraph {
+        TripartiteGraph {
+            part_sizes: [2, 1, 1],
+            edges: vec![
+                ((0, 0), (1, 0)),
+                ((1, 0), (2, 0)),
+                ((0, 0), (2, 0)),
+                ((0, 1), (1, 0)),
+            ],
+        }
+    }
+
+    #[test]
+    fn construction_shape() {
+        let inst = lemma1_instance(&graph(), 1.0, 10.0).unwrap();
+        assert_eq!(inst.table.num_rows(), 5, "m + 1 records");
+        assert_eq!(inst.table.num_attrs(), 3);
+        assert_eq!(inst.coverage_fraction, 4.0 / 5.0);
+        // The blocking record carries weight W.
+        assert_eq!(inst.table.measure(4), 10.0);
+    }
+
+    #[test]
+    fn vertex_cover_yields_pattern_cover_of_cost_tau() {
+        let inst = lemma1_instance(&graph(), 1.0, 10.0).unwrap();
+        let sp = PatternSpace::new(&inst.table, CostFn::Max);
+        // {b0, a0} is a vertex cover (covers all 4 edges).
+        let cover = [inst.vertex_pattern(1, 0).unwrap(), inst.vertex_pattern(0, 0).unwrap()];
+        let mut covered = BitSet::new(5);
+        for p in &cover {
+            let rows = sp.benefit(p);
+            assert_eq!(sp.cost(&rows), 1.0, "vertex patterns cost τ");
+            for r in rows {
+                covered.insert(r as usize);
+            }
+        }
+        assert!(covered.count_ones() >= 4, "covers m of m+1 records");
+        assert!(!covered.contains(4), "the (x,y,z|W) record stays uncovered");
+    }
+
+    #[test]
+    fn non_vertex_cover_misses_edges() {
+        let inst = lemma1_instance(&graph(), 1.0, 10.0).unwrap();
+        let sp = PatternSpace::new(&inst.table, CostFn::Max);
+        // {a0} alone covers only its incident edges (2 of 4... a0-b0,
+        // a0-c0), not b0-c0 or a1-b0.
+        let rows = sp.benefit(&inst.vertex_pattern(0, 0).unwrap());
+        assert_eq!(rows.len(), 2);
+    }
+
+    #[test]
+    fn blocking_patterns_cost_w() {
+        let inst = lemma1_instance(&graph(), 1.0, 10.0).unwrap();
+        let sp = PatternSpace::new(&inst.table, CostFn::Max);
+        // The all-wildcards pattern covers (x,y,z|W) and costs W.
+        let root_rows = sp.benefit(&Pattern::all_wildcards(3));
+        assert_eq!(sp.cost(&root_rows), 10.0);
+    }
+
+    #[test]
+    fn rejects_malformed_graphs() {
+        let mut g = graph();
+        g.edges.push(((0, 5), (1, 0)));
+        assert!(matches!(
+            lemma1_instance(&g, 1.0, 10.0),
+            Err(ReductionError::BadVertex { .. })
+        ));
+        let mut g = graph();
+        g.edges.push(((0, 0), (0, 1)));
+        assert!(matches!(
+            lemma1_instance(&g, 1.0, 10.0),
+            Err(ReductionError::SamePartEdge(_))
+        ));
+    }
+
+    #[test]
+    #[should_panic(expected = "W > τ")]
+    fn requires_w_above_tau() {
+        let _ = lemma1_instance(&graph(), 5.0, 5.0);
+    }
+
+    #[test]
+    fn theorem3_patterns_cover_exactly_their_sets() {
+        let mut b = SetSystem::builder(4);
+        b.add_set([0, 2], 3.0).add_set([1, 2, 3], 5.0).add_universe_set(9.0);
+        let system = b.build().unwrap();
+        let (table, patterns) = set_system_to_patterns(&system).unwrap();
+        assert_eq!(table.num_rows(), 4);
+        assert_eq!(patterns.len(), 3);
+        let idx = InvertedIndex::build(&table);
+        for (id, set) in system.iter() {
+            let rows = idx.benefit(&patterns[id as usize]);
+            let expected: Vec<u32> = set.members().to_vec();
+            assert_eq!(rows, expected, "set {id}");
+        }
+        assert!(patterns[2].is_root(), "universe set maps to all-ALL");
+    }
+}

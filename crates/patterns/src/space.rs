@@ -1,0 +1,260 @@
+//! The pattern search space: table + inverted index + cost function.
+//!
+//! [`PatternSpace`] is what the optimized algorithms of Section V-C walk:
+//! it hands out the all-wildcards root, computes benefit sets on demand,
+//! evaluates pattern weights, and enumerates the *non-empty* children of a
+//! pattern by bucketing the parent's benefit set (a child's benefit set is
+//! exactly the parent's rows having the child's extra value, so expansion
+//! never rescans the table).
+
+use crate::cost_fn::CostFn;
+use crate::fxhash::FxHashMap;
+use crate::index::InvertedIndex;
+use crate::pattern::Pattern;
+use crate::table::{RowId, Table};
+
+/// The lattice operations the optimized algorithms (Figures 3–4) need.
+///
+/// Implemented by [`PatternSpace`] (the paper's flat pattern cube) and by
+/// [`HierarchicalSpace`](crate::hierarchy::HierarchicalSpace) (the §II
+/// tree-hierarchy extension). Requirements on implementors:
+///
+/// * benefit is anti-monotone: `Ben(child) ⊆ Ben(parent)`;
+/// * [`LatticeSpace::children_with_rows`] returns each non-empty child of
+///   a pattern exactly once, with its exact benefit rows (sorted), in a
+///   deterministic order;
+/// * [`LatticeSpace::parents`] returns the patterns whose child the
+///   argument is, each of which is non-empty whenever the argument is.
+pub trait LatticeSpace {
+    /// The underlying table.
+    fn table(&self) -> &Table;
+
+    /// Number of records `n = |T|`.
+    fn num_rows(&self) -> usize {
+        self.table().num_rows()
+    }
+
+    /// The all-wildcards pattern (covers every record).
+    fn root(&self) -> Pattern;
+
+    /// The root's benefit rows (all of `0..n`).
+    fn root_rows(&self) -> Vec<RowId> {
+        (0..self.num_rows() as RowId).collect()
+    }
+
+    /// `Cost(p)` given its benefit rows.
+    fn cost(&self, rows: &[RowId]) -> f64;
+
+    /// The non-empty children of `pattern` with their benefit sets.
+    fn children_with_rows(&self, pattern: &Pattern, parent_rows: &[RowId])
+        -> Vec<(Pattern, Vec<RowId>)>;
+
+    /// The parents of `pattern` in the lattice.
+    fn parents(&self, pattern: &Pattern) -> Vec<Pattern>;
+
+    /// `Ben(p)` — used by verification and display, not by the solvers
+    /// (they only ever bucket parent rows).
+    fn benefit(&self, pattern: &Pattern) -> Vec<RowId>;
+}
+
+/// Lattice navigation handle over one table.
+pub struct PatternSpace<'a> {
+    table: &'a Table,
+    index: InvertedIndex,
+    cost_fn: CostFn,
+}
+
+impl LatticeSpace for PatternSpace<'_> {
+    fn table(&self) -> &Table {
+        self.table
+    }
+
+    fn root(&self) -> Pattern {
+        PatternSpace::root(self)
+    }
+
+    fn cost(&self, rows: &[RowId]) -> f64 {
+        PatternSpace::cost(self, rows)
+    }
+
+    fn children_with_rows(
+        &self,
+        pattern: &Pattern,
+        parent_rows: &[RowId],
+    ) -> Vec<(Pattern, Vec<RowId>)> {
+        PatternSpace::children_with_rows(self, pattern, parent_rows)
+    }
+
+    fn parents(&self, pattern: &Pattern) -> Vec<Pattern> {
+        pattern.parents()
+    }
+
+    fn benefit(&self, pattern: &Pattern) -> Vec<RowId> {
+        PatternSpace::benefit(self, pattern)
+    }
+}
+
+impl<'a> PatternSpace<'a> {
+    /// Builds the inverted index and wraps the table.
+    pub fn new(table: &'a Table, cost_fn: CostFn) -> PatternSpace<'a> {
+        PatternSpace {
+            table,
+            index: InvertedIndex::build(table),
+            cost_fn,
+        }
+    }
+
+    /// The underlying table.
+    pub fn table(&self) -> &'a Table {
+        self.table
+    }
+
+    /// The cost function in use.
+    pub fn cost_fn(&self) -> CostFn {
+        self.cost_fn
+    }
+
+    /// The all-wildcards pattern (covers every record).
+    pub fn root(&self) -> Pattern {
+        Pattern::all_wildcards(self.table.num_attrs())
+    }
+
+    /// `Ben(p)` as sorted row ids.
+    pub fn benefit(&self, pattern: &Pattern) -> Vec<RowId> {
+        self.index.benefit(pattern)
+    }
+
+    /// `Cost(p)` given its benefit rows (callers always have them at hand).
+    pub fn cost(&self, rows: &[RowId]) -> f64 {
+        self.cost_fn.evaluate(self.table, rows)
+    }
+
+    /// The non-empty children of `pattern` with their benefit sets,
+    /// computed by bucketing `parent_rows` (which must be `Ben(pattern)`).
+    /// Children are returned in deterministic `(attribute, value)` order;
+    /// each child's rows stay sorted because the parent's were.
+    pub fn children_with_rows(
+        &self,
+        pattern: &Pattern,
+        parent_rows: &[RowId],
+    ) -> Vec<(Pattern, Vec<RowId>)> {
+        let mut out = Vec::new();
+        for attr in 0..pattern.num_attrs() {
+            if pattern.get(attr).is_some() {
+                continue; // not a wildcard: cannot specialize here
+            }
+            let column = self.table.column(attr);
+            let mut buckets: FxHashMap<u32, Vec<RowId>> = FxHashMap::default();
+            for &row in parent_rows {
+                buckets.entry(column[row as usize]).or_default().push(row);
+            }
+            let mut values: Vec<u32> = buckets.keys().copied().collect();
+            values.sort_unstable();
+            for v in values {
+                let rows = buckets.remove(&v).expect("key came from the map");
+                out.push((pattern.child(attr, v), rows));
+            }
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn table() -> Table {
+        let mut b = Table::builder(&["Type", "Location"], "Cost");
+        for (t, l, c) in [
+            ("A", "West", 10.0),
+            ("B", "South", 2.0),
+            ("B", "West", 4.0),
+            ("B", "South", 1.0),
+        ] {
+            b.push_row(&[t, l], c).unwrap();
+        }
+        b.build()
+    }
+
+    #[test]
+    fn root_covers_all_rows() {
+        let t = table();
+        let sp = PatternSpace::new(&t, CostFn::Max);
+        let root = sp.root();
+        assert!(root.is_root());
+        assert_eq!(sp.benefit(&root), vec![0, 1, 2, 3]);
+        assert_eq!(sp.cost(&sp.benefit(&root)), 10.0);
+    }
+
+    #[test]
+    fn children_partition_parent_rows_per_attribute() {
+        let t = table();
+        let sp = PatternSpace::new(&t, CostFn::Max);
+        let root = sp.root();
+        let rows = sp.benefit(&root);
+        let children = sp.children_with_rows(&root, &rows);
+        // Type: A, B; Location: West, South -> 4 children
+        assert_eq!(children.len(), 4);
+        for (child, child_rows) in &children {
+            assert_eq!(child.specificity(), 1);
+            assert_eq!(&sp.benefit(child), child_rows, "{}", child.display(&t));
+            assert!(child_rows.windows(2).all(|w| w[0] < w[1]), "sorted");
+        }
+        // Per attribute, the children partition the parent's rows.
+        let type_rows: usize = children
+            .iter()
+            .filter(|(c, _)| c.get(0).is_some())
+            .map(|(_, r)| r.len())
+            .sum();
+        assert_eq!(type_rows, 4);
+    }
+
+    #[test]
+    fn children_of_specific_pattern_only_fill_wildcards() {
+        let t = table();
+        let sp = PatternSpace::new(&t, CostFn::Max);
+        let b = t.dictionary(0).lookup("B").unwrap();
+        let p = Pattern::new(vec![Some(b), None]);
+        let rows = sp.benefit(&p);
+        assert_eq!(rows, vec![1, 2, 3]);
+        let children = sp.children_with_rows(&p, &rows);
+        // Only Location can specialize: {B,South} and {B,West}.
+        assert_eq!(children.len(), 2);
+        assert!(children.iter().all(|(c, _)| c.get(0) == Some(b)));
+        let souths: Vec<_> = children
+            .iter()
+            .filter(|(c, _)| c.display(&t).contains("South"))
+            .collect();
+        assert_eq!(souths.len(), 1);
+        assert_eq!(souths[0].1, vec![1, 3]);
+    }
+
+    #[test]
+    fn leaf_pattern_has_no_children() {
+        let t = table();
+        let sp = PatternSpace::new(&t, CostFn::Max);
+        let p = Pattern::of_row(&t, 0);
+        let rows = sp.benefit(&p);
+        assert!(sp.children_with_rows(&p, &rows).is_empty());
+    }
+
+    #[test]
+    fn cost_uses_configured_function() {
+        let t = table();
+        let sp = PatternSpace::new(&t, CostFn::Sum);
+        let rows = sp.benefit(&sp.root());
+        assert_eq!(sp.cost(&rows), 17.0);
+        assert_eq!(sp.cost_fn(), CostFn::Sum);
+    }
+
+    #[test]
+    fn children_order_is_deterministic() {
+        let t = table();
+        let sp = PatternSpace::new(&t, CostFn::Max);
+        let root = sp.root();
+        let rows = sp.benefit(&root);
+        let a = sp.children_with_rows(&root, &rows);
+        let b = sp.children_with_rows(&root, &rows);
+        assert_eq!(a, b);
+    }
+}

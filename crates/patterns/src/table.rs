@@ -1,0 +1,326 @@
+//! Columnar relational table for the patterned-set special case.
+//!
+//! Section II's input: records with `j` categorical *pattern attributes*
+//! `D_1..D_j` plus a numeric *measure attribute* used to weigh patterns.
+//! Storage is columnar with dictionary-encoded values, which makes pattern
+//! matching, benefit-set bucketing, and the attribute projections of
+//! Figure 7 cheap.
+
+use crate::dictionary::{Dictionary, ValueId};
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// Row index within a [`Table`].
+pub type RowId = u32;
+
+/// A dictionary-encoded columnar table: `j` pattern attributes + measure.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Table {
+    attr_names: Vec<String>,
+    dicts: Vec<Dictionary>,
+    /// columns[attr][row] = value id
+    columns: Vec<Vec<ValueId>>,
+    measure_name: String,
+    measure: Vec<f64>,
+}
+
+/// Errors raised while building or manipulating a [`Table`].
+#[derive(Debug, Clone, PartialEq)]
+pub enum TableError {
+    /// A row had the wrong number of attribute values.
+    WrongArity {
+        /// Values supplied.
+        got: usize,
+        /// Attributes expected.
+        expected: usize,
+    },
+    /// A measure value was NaN, infinite, or negative (measures feed
+    /// pattern weights, which Definition 1 requires to be non-negative).
+    InvalidMeasure(f64),
+    /// A projection referenced an unknown attribute index.
+    UnknownAttribute(usize),
+}
+
+impl fmt::Display for TableError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            TableError::WrongArity { got, expected } => {
+                write!(f, "row has {got} values, expected {expected}")
+            }
+            TableError::InvalidMeasure(m) => {
+                write!(f, "measure value {m} must be finite and non-negative")
+            }
+            TableError::UnknownAttribute(a) => write!(f, "unknown attribute index {a}"),
+        }
+    }
+}
+
+impl std::error::Error for TableError {}
+
+/// Incremental [`Table`] constructor.
+#[derive(Debug, Clone)]
+pub struct TableBuilder {
+    table: Table,
+}
+
+impl TableBuilder {
+    /// Starts a table with the given pattern-attribute and measure names.
+    pub fn new(attr_names: &[&str], measure_name: &str) -> TableBuilder {
+        TableBuilder {
+            table: Table {
+                attr_names: attr_names.iter().map(|s| (*s).to_owned()).collect(),
+                dicts: vec![Dictionary::new(); attr_names.len()],
+                columns: vec![Vec::new(); attr_names.len()],
+                measure_name: measure_name.to_owned(),
+                measure: Vec::new(),
+            },
+        }
+    }
+
+    /// Appends one record. `values` must have one entry per attribute.
+    pub fn push_row(&mut self, values: &[&str], measure: f64) -> Result<&mut Self, TableError> {
+        let t = &mut self.table;
+        if values.len() != t.attr_names.len() {
+            return Err(TableError::WrongArity {
+                got: values.len(),
+                expected: t.attr_names.len(),
+            });
+        }
+        if !measure.is_finite() || measure < 0.0 {
+            return Err(TableError::InvalidMeasure(measure));
+        }
+        for (attr, &v) in values.iter().enumerate() {
+            let id = t.dicts[attr].intern(v);
+            t.columns[attr].push(id);
+        }
+        t.measure.push(measure);
+        Ok(self)
+    }
+
+    /// Finalizes the table.
+    pub fn build(self) -> Table {
+        self.table
+    }
+}
+
+impl Table {
+    /// Starts building a table.
+    pub fn builder(attr_names: &[&str], measure_name: &str) -> TableBuilder {
+        TableBuilder::new(attr_names, measure_name)
+    }
+
+    /// Number of records `n = |T|`.
+    #[inline]
+    pub fn num_rows(&self) -> usize {
+        self.measure.len()
+    }
+
+    /// Number of pattern attributes `j`.
+    #[inline]
+    pub fn num_attrs(&self) -> usize {
+        self.attr_names.len()
+    }
+
+    /// Attribute names in order.
+    pub fn attr_names(&self) -> &[String] {
+        &self.attr_names
+    }
+
+    /// Name of the measure attribute.
+    pub fn measure_name(&self) -> &str {
+        &self.measure_name
+    }
+
+    /// The dictionary of attribute `attr`.
+    pub fn dictionary(&self, attr: usize) -> &Dictionary {
+        &self.dicts[attr]
+    }
+
+    /// Value id at `(row, attr)`.
+    #[inline]
+    pub fn value(&self, row: RowId, attr: usize) -> ValueId {
+        self.columns[attr][row as usize]
+    }
+
+    /// The full column of attribute `attr`.
+    #[inline]
+    pub fn column(&self, attr: usize) -> &[ValueId] {
+        &self.columns[attr]
+    }
+
+    /// Measure value of `row`.
+    #[inline]
+    pub fn measure(&self, row: RowId) -> f64 {
+        self.measure[row as usize]
+    }
+
+    /// All measure values.
+    #[inline]
+    pub fn measures(&self) -> &[f64] {
+        &self.measure
+    }
+
+    /// Replaces the measure column (used by the §VI-B weight
+    /// perturbations).
+    ///
+    /// # Panics
+    /// Panics if the length differs from the row count or a value is not
+    /// finite and non-negative.
+    pub fn set_measures(&mut self, measures: Vec<f64>) {
+        assert_eq!(measures.len(), self.num_rows(), "measure column length");
+        assert!(
+            measures.iter().all(|m| m.is_finite() && *m >= 0.0),
+            "measures must be finite and non-negative"
+        );
+        self.measure = measures;
+    }
+
+    /// Resolves `(row, attr)` to its category string.
+    pub fn value_str(&self, row: RowId, attr: usize) -> &str {
+        self.dicts[attr].resolve(self.value(row, attr))
+    }
+
+    /// Keeps only the attributes in `attrs` (order preserved as given) —
+    /// the Figure 7 "remove one pattern attribute at a time" experiment.
+    pub fn project(&self, attrs: &[usize]) -> Result<Table, TableError> {
+        if let Some(&bad) = attrs.iter().find(|&&a| a >= self.num_attrs()) {
+            return Err(TableError::UnknownAttribute(bad));
+        }
+        Ok(Table {
+            attr_names: attrs.iter().map(|&a| self.attr_names[a].clone()).collect(),
+            dicts: attrs.iter().map(|&a| self.dicts[a].clone()).collect(),
+            columns: attrs.iter().map(|&a| self.columns[a].clone()).collect(),
+            measure_name: self.measure_name.clone(),
+            measure: self.measure.clone(),
+        })
+    }
+
+    /// Keeps only the rows in `rows` (in the order given) — the Figure 5/6
+    /// "random sample of the data set" experiments.
+    pub fn select_rows(&self, rows: &[RowId]) -> Table {
+        Table {
+            attr_names: self.attr_names.clone(),
+            dicts: self.dicts.clone(),
+            columns: self
+                .columns
+                .iter()
+                .map(|col| rows.iter().map(|&r| col[r as usize]).collect())
+                .collect(),
+            measure_name: self.measure_name.clone(),
+            measure: rows.iter().map(|&r| self.measure[r as usize]).collect(),
+        }
+    }
+
+    /// Convenience: the first `n` rows.
+    pub fn head(&self, n: usize) -> Table {
+        let rows: Vec<RowId> = (0..self.num_rows().min(n) as RowId).collect();
+        self.select_rows(&rows)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn table() -> Table {
+        let mut b = Table::builder(&["Type", "Location"], "Cost");
+        b.push_row(&["A", "West"], 10.0).unwrap();
+        b.push_row(&["A", "Northeast"], 32.0).unwrap();
+        b.push_row(&["B", "South"], 2.0).unwrap();
+        b.push_row(&["B", "West"], 4.0).unwrap();
+        b.build()
+    }
+
+    #[test]
+    fn basic_shape() {
+        let t = table();
+        assert_eq!(t.num_rows(), 4);
+        assert_eq!(t.num_attrs(), 2);
+        assert_eq!(t.attr_names(), &["Type".to_owned(), "Location".to_owned()]);
+        assert_eq!(t.measure_name(), "Cost");
+    }
+
+    #[test]
+    fn dictionary_encoding_shares_ids() {
+        let t = table();
+        assert_eq!(t.value(0, 0), t.value(1, 0), "both 'A'");
+        assert_eq!(t.value(0, 1), t.value(3, 1), "both 'West'");
+        assert_ne!(t.value(0, 0), t.value(2, 0));
+        assert_eq!(t.value_str(2, 1), "South");
+        assert_eq!(t.dictionary(0).len(), 2);
+        assert_eq!(t.dictionary(1).len(), 3);
+    }
+
+    #[test]
+    fn measures() {
+        let t = table();
+        assert_eq!(t.measure(2), 2.0);
+        assert_eq!(t.measures(), &[10.0, 32.0, 2.0, 4.0]);
+    }
+
+    #[test]
+    fn set_measures_replaces() {
+        let mut t = table();
+        t.set_measures(vec![1.0, 1.0, 1.0, 1.0]);
+        assert_eq!(t.measure(0), 1.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "measure column length")]
+    fn set_measures_length_checked() {
+        table().set_measures(vec![1.0]);
+    }
+
+    #[test]
+    fn wrong_arity_rejected() {
+        let mut b = Table::builder(&["A", "B"], "m");
+        assert_eq!(
+            b.push_row(&["x"], 1.0).unwrap_err(),
+            TableError::WrongArity { got: 1, expected: 2 }
+        );
+    }
+
+    #[test]
+    fn invalid_measure_rejected() {
+        let mut b = Table::builder(&["A"], "m");
+        assert!(matches!(
+            b.push_row(&["x"], f64::NAN).unwrap_err(),
+            TableError::InvalidMeasure(_)
+        ));
+        assert!(matches!(
+            b.push_row(&["x"], -1.0).unwrap_err(),
+            TableError::InvalidMeasure(_)
+        ));
+        assert!(b.push_row(&["x"], 0.0).is_ok());
+    }
+
+    #[test]
+    fn project_keeps_selected_attributes() {
+        let t = table();
+        let p = t.project(&[1]).unwrap();
+        assert_eq!(p.num_attrs(), 1);
+        assert_eq!(p.attr_names(), &["Location".to_owned()]);
+        assert_eq!(p.num_rows(), 4);
+        assert_eq!(p.value_str(0, 0), "West");
+        assert!(t.project(&[5]).is_err());
+    }
+
+    #[test]
+    fn select_rows_and_head() {
+        let t = table();
+        let s = t.select_rows(&[2, 0]);
+        assert_eq!(s.num_rows(), 2);
+        assert_eq!(s.value_str(0, 0), "B");
+        assert_eq!(s.measure(1), 10.0);
+        let h = t.head(3);
+        assert_eq!(h.num_rows(), 3);
+        assert_eq!(t.head(99).num_rows(), 4);
+    }
+
+    #[test]
+    fn empty_table() {
+        let t = Table::builder(&["X"], "m").build();
+        assert_eq!(t.num_rows(), 0);
+        assert_eq!(t.head(5).num_rows(), 0);
+    }
+}

@@ -1,0 +1,85 @@
+//! End-to-end test of the `scwsc_solve` CLI binary: write a CSV, solve it
+//! from the command line, and check the printed summary.
+
+use scwsc::data::csv::write_table;
+use scwsc::data::entities_table;
+use std::path::PathBuf;
+use std::process::Command;
+
+/// Locates the compiled `scwsc_solve` binary next to the test binary.
+fn solver_path() -> PathBuf {
+    let mut path = std::env::current_exe().expect("test binary path");
+    path.pop(); // test binary name
+    path.pop(); // deps/
+    path.push("scwsc_solve");
+    path
+}
+
+fn solver_available() -> bool {
+    solver_path().exists()
+}
+
+#[test]
+fn solve_entities_csv_with_cwsc() {
+    if !solver_available() {
+        eprintln!("scwsc_solve not built (run `cargo build --workspace`); skipping");
+        return;
+    }
+    let dir = std::env::temp_dir().join("scwsc_cli_test");
+    std::fs::create_dir_all(&dir).unwrap();
+    let csv = dir.join("entities.csv");
+    write_table(&entities_table(), &csv).unwrap();
+
+    let output = Command::new(solver_path())
+        .args([
+            "--csv",
+            csv.to_str().unwrap(),
+            "--k",
+            "2",
+            "--coverage",
+            "0.5625", // 9/16
+            "--algorithm",
+            "cwsc",
+        ])
+        .output()
+        .expect("solver runs");
+    assert!(output.status.success(), "stderr: {}", String::from_utf8_lossy(&output.stderr));
+    let stdout = String::from_utf8_lossy(&output.stdout);
+    // The §V-B walkthrough: P16 then P3, total 28, covering 10.
+    assert!(stdout.contains("2 patterns"), "{stdout}");
+    assert!(stdout.contains("total weight 28"), "{stdout}");
+    assert!(stdout.contains("{Type=B, Location=ALL}"), "{stdout}");
+    assert!(stdout.contains("{Type=A, Location=North}"), "{stdout}");
+    std::fs::remove_file(&csv).ok();
+}
+
+#[test]
+fn solve_generated_trace_with_cmc() {
+    if !solver_available() {
+        eprintln!("scwsc_solve not built; skipping");
+        return;
+    }
+    let output = Command::new(solver_path())
+        .args(["--rows", "800", "--k", "5", "--coverage", "0.3", "--algorithm", "cmc"])
+        .output()
+        .expect("solver runs");
+    assert!(output.status.success());
+    let stdout = String::from_utf8_lossy(&output.stdout);
+    assert!(stdout.contains("patterns, total weight"), "{stdout}");
+    assert!(stdout.contains("protocol="), "{stdout}");
+}
+
+#[test]
+fn rejects_unknown_algorithm() {
+    if !solver_available() {
+        eprintln!("scwsc_solve not built; skipping");
+        return;
+    }
+    let output = Command::new(solver_path())
+        .args(["--rows", "100", "--algorithm", "magic"])
+        .output()
+        .expect("solver runs");
+    assert!(!output.status.success());
+    let stderr = String::from_utf8_lossy(&output.stderr);
+    assert!(stderr.contains("unknown algorithm"), "{stderr}");
+}
