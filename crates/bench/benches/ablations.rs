@@ -98,7 +98,9 @@ fn bench_lazy_vs_eager(c: &mut Criterion) {
             let mut state = CoverState::new(&m.system);
             let mut picked = 0usize;
             for _ in 0..k {
-                let Some(q) = state.argmax_benefit(|_| true) else { break };
+                let Some(q) = state.argmax_benefit(|_| true) else {
+                    break;
+                };
                 state.select(q);
                 picked += 1;
             }
@@ -114,11 +116,8 @@ fn bench_lazy_vs_eager(c: &mut Criterion) {
 /// Max-k-coverage via the lazy heap (returns how many sets were picked).
 fn lazy_max_coverage(system: &SetSystem, k: usize) -> usize {
     let mut covered = scwsc_core::BitSet::new(system.num_elements());
-    let mut lg = LazyGreedy::with_candidates(
-        system
-            .iter()
-            .map(|(id, s)| (id, s.benefit() as f64, 0.0)),
-    );
+    let mut lg =
+        LazyGreedy::with_candidates(system.iter().map(|(id, s)| (id, s.benefit() as f64, 0.0)));
     let mut picked = 0usize;
     for _ in 0..k {
         let popped = lg.pop_max(|id| {
@@ -166,8 +165,7 @@ fn bench_incremental_strategies(c: &mut Criterion) {
     ] {
         group.bench_function(name, |b| {
             b.iter(|| {
-                let mut inc =
-                    IncrementalCover::with_strategy(&costs, 6, 0.6, strategy).unwrap();
+                let mut inc = IncrementalCover::with_strategy(&costs, 6, 0.6, strategy).unwrap();
                 for memberships in &arrivals {
                     inc.push_element(memberships).unwrap();
                 }

@@ -33,13 +33,23 @@ fn bench_algorithms(c: &mut Criterion) {
     let mut group = c.benchmark_group("fig5_10k_rows");
     group.bench_function("cwsc_unoptimized_presolved_cube", |b| {
         b.iter(|| {
-            black_box(cwsc(&materialized.system, params.k, params.coverage, &mut Stats::new()))
+            black_box(cwsc(
+                &materialized.system,
+                params.k,
+                params.coverage,
+                &mut Stats::new(),
+            ))
         })
     });
     group.bench_function("cwsc_optimized", |b| {
         b.iter(|| {
             let space = PatternSpace::new(&table, CostFn::Max);
-            black_box(opt_cwsc(&space, params.k, params.coverage, &mut Stats::new()))
+            black_box(opt_cwsc(
+                &space,
+                params.k,
+                params.coverage,
+                &mut Stats::new(),
+            ))
         })
     });
     group.bench_function("cmc_unoptimized_presolved_cube", |b| {
@@ -55,14 +65,30 @@ fn bench_algorithms(c: &mut Criterion) {
 
     let mut group = c.benchmark_group("baselines_10k_rows");
     group.bench_function("greedy_weighted_set_cover", |b| {
-        b.iter(|| black_box(greedy_weighted_set_cover(&materialized.system, 0.3, &mut Stats::new())))
+        b.iter(|| {
+            black_box(greedy_weighted_set_cover(
+                &materialized.system,
+                0.3,
+                &mut Stats::new(),
+            ))
+        })
     });
     group.bench_function("greedy_max_coverage_k10", |b| {
-        b.iter(|| black_box(greedy_max_coverage(&materialized.system, 10, &mut Stats::new())))
+        b.iter(|| {
+            black_box(greedy_max_coverage(
+                &materialized.system,
+                10,
+                &mut Stats::new(),
+            ))
+        })
     });
     group.bench_function("greedy_partial_max_coverage", |b| {
         b.iter(|| {
-            black_box(greedy_partial_max_coverage(&materialized.system, 0.3, &mut Stats::new()))
+            black_box(greedy_partial_max_coverage(
+                &materialized.system,
+                0.3,
+                &mut Stats::new(),
+            ))
         })
     });
     group.finish();

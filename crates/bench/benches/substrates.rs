@@ -167,9 +167,42 @@ fn bench_hashing(c: &mut Criterion) {
     group.finish();
 }
 
+fn bench_telemetry(c: &mut Criterion) {
+    use scwsc_core::algorithms::{cmc, CmcParams};
+    use scwsc_core::{MetricsRecorder, NoopObserver, Stats};
+    let table = LblConfig {
+        seed: 7,
+        ..LblConfig::scaled(2_000)
+    }
+    .generate();
+    let m = enumerate_all(&table, CostFn::Max);
+    let params = CmcParams::epsilon(10, 0.3, 1.0, 1.0);
+    // The three observer tiers on the same solve: the no-op path should be
+    // indistinguishable from the Stats path (static dispatch, default
+    // methods), with MetricsRecorder paying only for histogram updates.
+    let mut group = c.benchmark_group("telemetry_overhead");
+    group.bench_function("cmc_noop_observer", |b| {
+        b.iter(|| black_box(cmc(&m.system, &params, &mut NoopObserver).is_ok()))
+    });
+    group.bench_function("cmc_stats", |b| {
+        b.iter(|| {
+            let mut stats = Stats::new();
+            black_box(cmc(&m.system, &params, &mut stats).is_ok())
+        })
+    });
+    group.bench_function("cmc_metrics_recorder", |b| {
+        b.iter(|| {
+            let mut metrics = MetricsRecorder::new();
+            black_box(cmc(&m.system, &params, &mut metrics).is_ok())
+        })
+    });
+    group.finish();
+}
+
 criterion_group! {
     name = benches;
     config = config();
-    targets = bench_bitset, bench_index, bench_enumeration, bench_distributions, bench_hashing
+    targets = bench_bitset, bench_index, bench_enumeration, bench_distributions, bench_hashing,
+        bench_telemetry
 }
 criterion_main!(benches);

@@ -11,7 +11,8 @@ Defaults: sizes 25000,50000,100000,200000; k=10, coverage=0.3, b=1, eps=1 (the p
 
 fn main() {
     let args = args_or_exit(USAGE);
-    let sizes: Vec<usize> = required(args.get_list_or("sizes", &[25_000, 50_000, 100_000, 200_000]));
+    let sizes: Vec<usize> =
+        required(args.get_list_or("sizes", &[25_000, 50_000, 100_000, 200_000]));
     let seed: u64 = required(args.get_or("seed", 7));
     let params = RunParams {
         k: required(args.get_or("k", 10)),

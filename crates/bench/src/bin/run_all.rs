@@ -45,49 +45,109 @@ fn main() {
     };
     eprintln!("[1/9] figures 5-6: scaling over {sizes:?}");
     let ms = experiments::scaling(&sizes, seed, &params);
-    save(dir, "fig5_runtime_vs_size", "Figure 5: running time (s) vs number of tuples", &printers::fig5(&ms));
-    save(dir, "fig6_patterns_considered", "Figure 6: patterns considered vs number of tuples", &printers::fig6(&ms));
+    save(
+        dir,
+        "fig5_runtime_vs_size",
+        "Figure 5: running time (s) vs number of tuples",
+        &printers::fig5(&ms),
+    );
+    save(
+        dir,
+        "fig6_patterns_considered",
+        "Figure 6: patterns considered vs number of tuples",
+        &printers::fig6(&ms),
+    );
 
     eprintln!("[2/9] figure 7: attribute scaling");
     let ms = experiments::attrs_scaling(base_rows, seed, &params);
-    save(dir, "fig7_runtime_vs_attrs", "Figure 7: running time (s) vs number of attributes", &printers::fig7(&ms));
+    save(
+        dir,
+        "fig7_runtime_vs_attrs",
+        "Figure 7: running time (s) vs number of attributes",
+        &printers::fig7(&ms),
+    );
 
     eprintln!("[3/9] figure 8: k scaling");
-    let ks: Vec<usize> = if quick { vec![2, 5, 10] } else { vec![2, 5, 10, 15, 20, 25] };
+    let ks: Vec<usize> = if quick {
+        vec![2, 5, 10]
+    } else {
+        vec![2, 5, 10, 15, 20, 25]
+    };
     let ms = experiments::k_scaling(base_rows, seed, &ks, &params);
-    save(dir, "fig8_runtime_vs_k", "Figure 8: running time (s) vs maximum number of patterns k", &printers::fig8(&ms));
+    save(
+        dir,
+        "fig8_runtime_vs_k",
+        "Figure 8: running time (s) vs maximum number of patterns k",
+        &printers::fig8(&ms),
+    );
 
     eprintln!("[4/9] figure 9: coverage scaling");
     let coverages = [0.2, 0.3, 0.4, 0.5, 0.6, 0.7];
     let ms = experiments::coverage_scaling(base_rows, seed, &coverages, &params);
-    save(dir, "fig9_runtime_vs_coverage", "Figure 9: running time (s) vs coverage threshold", &printers::fig9(&ms));
+    save(
+        dir,
+        "fig9_runtime_vs_coverage",
+        "Figure 9: running time (s) vs coverage threshold",
+        &printers::fig9(&ms),
+    );
 
     eprintln!("[5/9] tables IV-V: quality/time grid");
     let table = experiments::workload(base_rows, seed);
     let t45_coverages = [0.3, 0.4, 0.5, 0.6];
     let grid = experiments::quality_grid(&table, &t45_coverages, 10);
-    save(dir, "table4_solution_quality", "Table IV: solution quality (total cost) of CMC and CWSC", &printers::grid(&grid, &t45_coverages, |m| num(m.cost)));
-    save(dir, "table5_runtime_comparison", "Table V: running time (s) of CMC and CWSC", &printers::grid(&grid, &t45_coverages, |m| secs(m.seconds)));
+    save(
+        dir,
+        "table4_solution_quality",
+        "Table IV: solution quality (total cost) of CMC and CWSC",
+        &printers::grid(&grid, &t45_coverages, |m| num(m.cost)),
+    );
+    save(
+        dir,
+        "table5_runtime_comparison",
+        "Table V: running time (s) of CMC and CWSC",
+        &printers::grid(&grid, &t45_coverages, |m| secs(m.seconds)),
+    );
 
     eprintln!("[6/9] table VI: weighted set cover baseline");
     let wsc_rows = if quick { base_rows } else { 50_000 };
     let wsc_table = experiments::workload(wsc_rows, seed);
     let rows_out = experiments::wsc_baseline(&wsc_table, &[0.5, 0.6, 0.7, 0.8, 0.9], CostFn::Max);
-    save(dir, "table6_wsc_size", "Table VI: patterns required by standard weighted set cover", &printers::table6(&rows_out));
+    save(
+        dir,
+        "table6_wsc_size",
+        "Table VI: patterns required by standard weighted set cover",
+        &printers::table6(&rows_out),
+    );
 
     eprintln!("[7/9] section VI-C: max coverage comparison");
-    let rows_out = experiments::maxcov_comparison(&wsc_table, &[0.3, 0.4, 0.5, 0.6], 10, CostFn::Max);
-    save(dir, "sec6c_maxcov_cost", "Section VI-C: partial max coverage vs CWSC (total cost)", &printers::maxcov(&rows_out));
+    let rows_out =
+        experiments::maxcov_comparison(&wsc_table, &[0.3, 0.4, 0.5, 0.6], 10, CostFn::Max);
+    save(
+        dir,
+        "sec6c_maxcov_cost",
+        "Section VI-C: partial max coverage vs CWSC (total cost)",
+        &printers::maxcov(&rows_out),
+    );
 
     eprintln!("[8/9] section VI-B: synthetic weights");
     let deltas = [0.0, 0.25, 0.5, 0.75, 1.0];
     let sigmas = [1.0, 2.0, 3.0, 4.0];
     let rows_out = experiments::perturbed_quality(wsc_rows, seed, 10, 0.3, &deltas, &sigmas);
-    save(dir, "sec6b_synthetic_weights", "Section VI-B: CWSC vs CMC on synthetic weight distributions", &printers::perturb(&rows_out));
+    save(
+        dir,
+        "sec6b_synthetic_weights",
+        "Section VI-B: CWSC vs CMC on synthetic weight distributions",
+        &printers::perturb(&rows_out),
+    );
 
     eprintln!("[9/9] section VI-D: vs optimal");
     let rows_out = experiments::vs_optimal(&[30, 50, 80], seed, 5, 0.5);
-    save(dir, "sec6d_vs_optimal", "Section VI-D: comparison to the optimal solution", &printers::vs_optimal(&rows_out));
+    save(
+        dir,
+        "sec6d_vs_optimal",
+        "Section VI-D: comparison to the optimal solution",
+        &printers::vs_optimal(&rows_out),
+    );
 
     eprintln!(
         "done in {:.1}s; outputs in {}",

@@ -11,18 +11,23 @@
 
 use scwsc_bench::cli::{args_or_exit, bail, required};
 use scwsc_bench::measure::RunParams;
-use scwsc_core::Stats;
+use scwsc_bench::report::{secs, TextTable};
+use scwsc_core::{Fanout, JsonlSink, MetricsRecorder, Stats};
 use scwsc_data::csv::read_table;
 use scwsc_data::lbl::LblConfig;
 use scwsc_patterns::{opt_cmc, opt_cwsc, CostFn, PatternSolution, PatternSpace, Table};
+use std::fs::File;
+use std::io::BufWriter;
 use std::path::Path;
 
 const USAGE: &str = "scwsc_solve [--csv PATH | --rows N [--seed N]] \
 [--k N] [--coverage F] [--algorithm cwsc|cmc] [--b F] [--eps F] \
-[--cost-fn max|sum|mean|count]
+[--cost-fn max|sum|mean|count] [--trace-jsonl PATH] [--metrics]
 Solves size-constrained weighted set cover over the table's pattern cube and
 prints the chosen patterns. Without --csv, a synthetic LBL-like trace of
---rows records is generated.";
+--rows records is generated. --trace-jsonl streams every solver event as one
+JSON object per line; --metrics prints aggregated counters and per-phase
+timings.";
 
 fn cost_fn_of(name: &str) -> CostFn {
     match name {
@@ -73,14 +78,38 @@ fn main() {
     );
     let space = PatternSpace::new(&table, params.cost_fn);
     let mut stats = Stats::new();
-    let solution: PatternSolution = match algorithm {
-        "cwsc" => opt_cwsc(&space, params.k, params.coverage, &mut stats)
-            .unwrap_or_else(|e| bail(&format!("no solution: {e}"))),
-        "cmc" => opt_cmc(&space, &params.cmc_params(), &mut stats)
-            .unwrap_or_else(|e| bail(&format!("no solution: {e}"))),
-        other => bail(&format!("unknown algorithm {other:?} (use cwsc or cmc)")),
+    let mut metrics = MetricsRecorder::new();
+    let trace_path = args.get("trace-jsonl");
+    let mut sink = trace_path.map(|path| {
+        let file =
+            File::create(path).unwrap_or_else(|e| bail(&format!("cannot create {path}: {e}")));
+        JsonlSink::new(BufWriter::new(file))
+    });
+    let solution: PatternSolution = {
+        let mut obs = Fanout::new();
+        obs.attach(&mut stats).attach(&mut metrics);
+        if let Some(s) = sink.as_mut() {
+            obs.attach(s);
+        }
+        match algorithm {
+            "cwsc" => opt_cwsc(&space, params.k, params.coverage, &mut obs)
+                .unwrap_or_else(|e| bail(&format!("no solution: {e}"))),
+            "cmc" => opt_cmc(&space, &params.cmc_params(), &mut obs)
+                .unwrap_or_else(|e| bail(&format!("no solution: {e}"))),
+            other => bail(&format!("unknown algorithm {other:?} (use cwsc or cmc)")),
+        }
     };
     solution.verify(&space);
+    if let Some(s) = sink {
+        let path = trace_path.expect("sink implies a path");
+        if s.has_failed() {
+            bail(&format!("trace write to {path} failed"));
+        }
+        match s.into_inner() {
+            Ok(_) => eprintln!("trace written to {path}"),
+            Err(e) => bail(&format!("cannot flush {path}: {e}")),
+        }
+    }
 
     println!(
         "{} patterns, total weight {:.3}, covering {}/{} records ({:.1}%)",
@@ -101,7 +130,42 @@ fn main() {
     }
     eprintln!(
         "considered {} patterns in {} budget guess(es)",
-        stats.considered,
-        stats.budget_guesses.max(1)
+        stats.considered, stats.budget_guesses
     );
+    if args.flag("metrics") {
+        print_metrics(&metrics);
+    }
+}
+
+/// Prints the aggregated telemetry: counters, then per-phase timings.
+fn print_metrics(metrics: &MetricsRecorder) {
+    let mut counters = TextTable::new(["counter", "value"]);
+    for (name, value) in [
+        ("budget guesses", metrics.guesses),
+        ("levels entered", metrics.levels_entered),
+        ("selections", metrics.selections),
+        ("benefits computed", metrics.benefits_computed),
+        ("candidates pruned", metrics.candidates_pruned_total()),
+        ("subtrees pruned", metrics.subtrees_pruned_total()),
+        ("heap stale pops", metrics.heap_stale_pops),
+        ("postings scanned", metrics.postings_scanned),
+    ] {
+        counters.row([name.to_string(), value.to_string()]);
+    }
+    println!("== metrics ==");
+    println!("{}", counters.render());
+    if !metrics.marginal_benefit_hist.is_empty() {
+        println!(
+            "marginal benefit: mean {:.1}, max {}",
+            metrics.marginal_benefit_hist.mean(),
+            metrics.marginal_benefit_hist.max()
+        );
+    }
+    let mut phases = TextTable::new(["phase", "seconds", "runs"]);
+    for p in metrics.phases() {
+        phases.row([p.name.to_string(), secs(p.seconds), p.count.to_string()]);
+    }
+    if !phases.is_empty() {
+        println!("{}", phases.render());
+    }
 }

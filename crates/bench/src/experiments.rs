@@ -142,7 +142,11 @@ pub fn quality_grid(table: &Table, coverages: &[f64], k: usize) -> Vec<GridRow> 
                 )
             })
             .collect();
-        let b_label = if b == 0.5 { "1/2".to_owned() } else { crate::report::num(b) };
+        let b_label = if b == 0.5 {
+            "1/2".to_owned()
+        } else {
+            crate::report::num(b)
+        };
         rows.push(GridRow {
             label: format!("CMC (b={b_label}, eps={})", crate::report::num(eps)),
             cells,
@@ -215,12 +219,18 @@ pub fn perturbed_quality(
     let mut out = Vec::new();
     let variants: Vec<(String, Table)> = deltas
         .iter()
-        .map(|&d| (format!("uniform delta={d}"), uniform_noise(&base, d, seed ^ 0xd)))
-        .chain(
-            sigmas
-                .iter()
-                .map(|&s| (format!("lognormal sigma={s}"), lognormal_rerank(&base, 2.0, s, seed ^ 0x5))),
-        )
+        .map(|&d| {
+            (
+                format!("uniform delta={d}"),
+                uniform_noise(&base, d, seed ^ 0xd),
+            )
+        })
+        .chain(sigmas.iter().map(|&s| {
+            (
+                format!("lognormal sigma={s}"),
+                lognormal_rerank(&base, 2.0, s, seed ^ 0x5),
+            )
+        }))
         .collect();
     for (label, table) in variants {
         let space = PatternSpace::new(&table, CostFn::Max);
@@ -312,7 +322,14 @@ mod tests {
 
     #[test]
     fn scaling_produces_four_rows_per_size() {
-        let ms = scaling(&[150, 300], 7, &RunParams { k: 5, ..RunParams::default() });
+        let ms = scaling(
+            &[150, 300],
+            7,
+            &RunParams {
+                k: 5,
+                ..RunParams::default()
+            },
+        );
         assert_eq!(ms.len(), 8);
         assert!(ms.iter().all(|m| m.ok));
         assert_eq!(ms[0].rows, 150);
@@ -321,7 +338,14 @@ mod tests {
 
     #[test]
     fn attrs_scaling_covers_one_to_five() {
-        let ms = attrs_scaling(200, 7, &RunParams { k: 4, ..RunParams::default() });
+        let ms = attrs_scaling(
+            200,
+            7,
+            &RunParams {
+                k: 4,
+                ..RunParams::default()
+            },
+        );
         assert_eq!(ms.len(), 20);
         assert_eq!(ms[0].attrs, 1);
         assert_eq!(ms[19].attrs, 5);

@@ -12,8 +12,8 @@
 #![warn(missing_docs)]
 
 pub mod args;
-pub mod experiments;
 pub mod cli;
+pub mod experiments;
 pub mod measure;
 pub mod printers;
 pub mod report;

@@ -2,7 +2,7 @@
 //! plots: unoptimized/optimized CMC and CWSC (Figures 5–9).
 
 use scwsc_core::algorithms::{cmc, cwsc, CmcParams};
-use scwsc_core::Stats;
+use scwsc_core::{Fanout, MetricsRecorder, NoopObserver, Observer, Stats};
 use scwsc_patterns::{enumerate_all, opt_cmc, opt_cwsc, CostFn, PatternSpace, Table};
 use serde::{Deserialize, Serialize};
 use std::time::Instant;
@@ -112,43 +112,62 @@ pub struct Measurement {
 
 /// Runs one algorithm variant on `table`, timing it end to end.
 pub fn run(algo: Algo, table: &Table, params: &RunParams) -> Measurement {
+    run_traced(algo, table, params, &mut NoopObserver).0
+}
+
+/// Like [`run`], but also aggregates the solver's telemetry stream into a
+/// [`MetricsRecorder`] (per-phase timings, prune counters, histograms) and
+/// forwards every event to `extra` — pass a
+/// [`JsonlSink`](scwsc_core::JsonlSink) for a trace file, or
+/// [`NoopObserver`] for none.
+pub fn run_traced(
+    algo: Algo,
+    table: &Table,
+    params: &RunParams,
+    extra: &mut dyn Observer,
+) -> (Measurement, MetricsRecorder) {
     let mut stats = Stats::new();
+    let mut metrics = MetricsRecorder::new();
     let start = Instant::now();
-    let outcome: Option<(f64, usize, usize)> = match algo {
-        Algo::CmcUnopt => {
-            let m = enumerate_all(table, params.cost_fn);
-            cmc(&m.system, &params.cmc_params(), &mut stats)
-                .ok()
-                .map(|o| {
-                    (
-                        o.solution.total_cost().value(),
-                        o.solution.size(),
-                        o.solution.covered(),
-                    )
-                })
-        }
-        Algo::CwscUnopt => {
-            let m = enumerate_all(table, params.cost_fn);
-            cwsc(&m.system, params.k, params.coverage, &mut stats)
-                .ok()
-                .map(|s| (s.total_cost().value(), s.size(), s.covered()))
-        }
-        Algo::CmcOpt => {
-            let space = PatternSpace::new(table, params.cost_fn);
-            opt_cmc(&space, &params.cmc_params(), &mut stats)
-                .ok()
-                .map(|s| (s.total_cost, s.size(), s.covered))
-        }
-        Algo::CwscOpt => {
-            let space = PatternSpace::new(table, params.cost_fn);
-            opt_cwsc(&space, params.k, params.coverage, &mut stats)
-                .ok()
-                .map(|s| (s.total_cost, s.size(), s.covered))
+    let outcome: Option<(f64, usize, usize)> = {
+        let mut obs = Fanout::new();
+        obs.attach(&mut stats).attach(&mut metrics).attach(extra);
+        match algo {
+            Algo::CmcUnopt => {
+                let m = enumerate_all(table, params.cost_fn);
+                cmc(&m.system, &params.cmc_params(), &mut obs)
+                    .ok()
+                    .map(|o| {
+                        (
+                            o.solution.total_cost().value(),
+                            o.solution.size(),
+                            o.solution.covered(),
+                        )
+                    })
+            }
+            Algo::CwscUnopt => {
+                let m = enumerate_all(table, params.cost_fn);
+                cwsc(&m.system, params.k, params.coverage, &mut obs)
+                    .ok()
+                    .map(|s| (s.total_cost().value(), s.size(), s.covered()))
+            }
+            Algo::CmcOpt => {
+                let space = PatternSpace::new(table, params.cost_fn);
+                opt_cmc(&space, &params.cmc_params(), &mut obs)
+                    .ok()
+                    .map(|s| (s.total_cost, s.size(), s.covered))
+            }
+            Algo::CwscOpt => {
+                let space = PatternSpace::new(table, params.cost_fn);
+                opt_cwsc(&space, params.k, params.coverage, &mut obs)
+                    .ok()
+                    .map(|s| (s.total_cost, s.size(), s.covered))
+            }
         }
     };
     let seconds = start.elapsed().as_secs_f64();
     let (cost, size, covered) = outcome.unwrap_or((f64::NAN, 0, 0));
-    Measurement {
+    let measurement = Measurement {
         algo,
         rows: table.num_rows(),
         attrs: table.num_attrs(),
@@ -156,12 +175,13 @@ pub fn run(algo: Algo, table: &Table, params: &RunParams) -> Measurement {
         coverage: params.coverage,
         seconds,
         considered: stats.considered,
-        guesses: stats.budget_guesses.max(1),
+        guesses: stats.budget_guesses,
         cost,
         size,
         covered,
         ok: outcome.is_some(),
-    }
+    };
+    (measurement, metrics)
 }
 
 #[cfg(test)]
@@ -227,6 +247,31 @@ mod tests {
         let m = run(Algo::CwscOpt, &t, &params);
         assert!(m.size <= 7);
         assert!(m.covered >= (0.4f64 * 400.0).ceil() as usize);
+    }
+
+    #[test]
+    fn traced_run_aggregates_matching_counters() {
+        let t = small_table();
+        let params = RunParams {
+            k: 5,
+            ..RunParams::default()
+        };
+        for algo in [Algo::CwscOpt, Algo::CmcOpt] {
+            let (m, metrics) = run_traced(algo, &t, &params, &mut NoopObserver);
+            assert!(m.ok, "{algo:?} failed");
+            assert_eq!(metrics.benefits_computed, m.considered, "{algo:?}");
+            // CMC also selects during failed budget guesses, so the event
+            // count can exceed the final solution size; CWSC is one round.
+            match algo {
+                Algo::CwscOpt => assert_eq!(metrics.selections as usize, m.size),
+                _ => assert!(metrics.selections as usize >= m.size),
+            }
+            assert_eq!(metrics.guesses, u64::from(m.guesses), "{algo:?}");
+            let total = metrics
+                .phase_seconds(scwsc_core::PHASE_TOTAL)
+                .expect("solver records a total phase");
+            assert!(total >= 0.0 && total <= m.seconds);
+        }
     }
 
     #[test]

@@ -46,7 +46,12 @@ pub fn fig5(ms: &[Measurement]) -> TextTable {
 
 /// Figure 6: patterns considered vs data size.
 pub fn fig6(ms: &[Measurement]) -> TextTable {
-    pivot(ms, "rows", |m| m.rows.to_string(), |m| m.considered.to_string())
+    pivot(
+        ms,
+        "rows",
+        |m| m.rows.to_string(),
+        |m| m.considered.to_string(),
+    )
 }
 
 /// Figure 7: running time vs number of pattern attributes.
@@ -66,7 +71,11 @@ pub fn fig9(ms: &[Measurement]) -> TextTable {
 
 /// Tables IV/V: the `(algorithm config) × coverage` grid; `value` picks
 /// cost (Table IV) or seconds (Table V).
-pub fn grid(rows: &[GridRow], coverages: &[f64], value: impl Fn(&Measurement) -> String) -> TextTable {
+pub fn grid(
+    rows: &[GridRow],
+    coverages: &[f64],
+    value: impl Fn(&Measurement) -> String,
+) -> TextTable {
     let mut header = vec!["Algorithm".to_owned()];
     header.extend(coverages.iter().map(|&s| format!("s={}", num(s))));
     let mut table = TextTable::new(header);
@@ -90,7 +99,12 @@ pub fn table6(rows: &[(f64, usize, f64)]) -> TextTable {
 
 /// Section VI-C comparison rows.
 pub fn maxcov(rows: &[(f64, f64, usize, f64)]) -> TextTable {
-    let mut t = TextTable::new(["coverage", "max-coverage cost", "max-coverage size", "CWSC cost"]);
+    let mut t = TextTable::new([
+        "coverage",
+        "max-coverage cost",
+        "max-coverage size",
+        "CWSC cost",
+    ]);
     for &(s, mc_cost, mc_size, cwsc_cost) in rows {
         t.row([num(s), num(mc_cost), mc_size.to_string(), num(cwsc_cost)]);
     }
@@ -114,7 +128,12 @@ pub fn perturb(rows: &[PerturbRow]) -> TextTable {
 /// Section VI-D optimality rows.
 pub fn vs_optimal(rows: &[OptRow]) -> TextTable {
     let mut t = TextTable::new([
-        "rows", "target", "optimal cost", "CWSC cost", "CMC cost", "CMC covered",
+        "rows",
+        "target",
+        "optimal cost",
+        "CWSC cost",
+        "CMC cost",
+        "CMC covered",
     ]);
     for r in rows {
         t.row([

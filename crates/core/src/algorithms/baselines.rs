@@ -4,19 +4,31 @@
 use crate::cover_state::CoverState;
 use crate::set_system::{coverage_target, SetId, SetSystem};
 use crate::solution::{Solution, SolveError};
-use crate::stats::Stats;
+use crate::telemetry::{Observer, PhaseSpan, PHASE_TOTAL};
 
 /// Greedy *partial weighted set cover*: repeatedly picks the set with the
 /// highest marginal gain until the coverage target is met (optimizes cost
 /// and coverage, ignores size — Table VI's baseline).
-pub fn greedy_weighted_set_cover(
+pub fn greedy_weighted_set_cover<O: Observer + ?Sized>(
     system: &SetSystem,
     coverage_fraction: f64,
-    stats: &mut Stats,
+    obs: &mut O,
+) -> Result<Solution, SolveError> {
+    let span = PhaseSpan::enter(obs, PHASE_TOTAL);
+    let result = wsc_run(system, coverage_fraction, obs);
+    span.exit(obs);
+    result
+}
+
+fn wsc_run<O: Observer + ?Sized>(
+    system: &SetSystem,
+    coverage_fraction: f64,
+    obs: &mut O,
 ) -> Result<Solution, SolveError> {
     let target = coverage_target(system.num_elements(), coverage_fraction);
+    obs.guess_started(None);
     let mut state = CoverState::new(system);
-    stats.consider(system.num_sets() as u64);
+    obs.benefit_computed(system.num_sets() as u64);
     let mut chosen: Vec<SetId> = Vec::new();
     let mut rem = target;
     while rem > 0 {
@@ -24,8 +36,9 @@ pub fn greedy_weighted_set_cover(
             return Err(SolveError::NoSolution);
         };
         chosen.push(q);
-        stats.select();
-        rem = rem.saturating_sub(state.select(q));
+        let newly = state.select(q);
+        obs.set_selected(q as u64, newly as u64, system.cost(q).value());
+        rem = rem.saturating_sub(newly);
     }
     Ok(Solution::from_sets(system, chosen))
 }
@@ -33,18 +46,25 @@ pub fn greedy_weighted_set_cover(
 /// Greedy *maximum coverage*: picks exactly up to `k` sets with the largest
 /// marginal benefit (optimizes coverage and size, ignores cost). The
 /// classic `(1−1/e)` heuristic of \[10\].
-pub fn greedy_max_coverage(system: &SetSystem, k: usize, stats: &mut Stats) -> Solution {
+pub fn greedy_max_coverage<O: Observer + ?Sized>(
+    system: &SetSystem,
+    k: usize,
+    obs: &mut O,
+) -> Solution {
+    let span = PhaseSpan::enter(obs, PHASE_TOTAL);
+    obs.guess_started(None);
     let mut state = CoverState::new(system);
-    stats.consider(system.num_sets() as u64);
+    obs.benefit_computed(system.num_sets() as u64);
     let mut chosen: Vec<SetId> = Vec::new();
     for _ in 0..k {
         let Some(q) = state.argmax_benefit(|_| true) else {
             break;
         };
         chosen.push(q);
-        stats.select();
-        state.select(q);
+        let newly = state.select(q);
+        obs.set_selected(q as u64, newly as u64, system.cost(q).value());
     }
+    span.exit(obs);
     Solution::from_sets(system, chosen)
 }
 
@@ -52,14 +72,26 @@ pub fn greedy_max_coverage(system: &SetSystem, k: usize, stats: &mut Stats) -> S
 /// benefit until the coverage target is met, ignoring cost entirely. This
 /// is the Section VI-C comparator whose solutions cost up to 10× more than
 /// CWSC/CMC.
-pub fn greedy_partial_max_coverage(
+pub fn greedy_partial_max_coverage<O: Observer + ?Sized>(
     system: &SetSystem,
     coverage_fraction: f64,
-    stats: &mut Stats,
+    obs: &mut O,
+) -> Result<Solution, SolveError> {
+    let span = PhaseSpan::enter(obs, PHASE_TOTAL);
+    let result = pmc_run(system, coverage_fraction, obs);
+    span.exit(obs);
+    result
+}
+
+fn pmc_run<O: Observer + ?Sized>(
+    system: &SetSystem,
+    coverage_fraction: f64,
+    obs: &mut O,
 ) -> Result<Solution, SolveError> {
     let target = coverage_target(system.num_elements(), coverage_fraction);
+    obs.guess_started(None);
     let mut state = CoverState::new(system);
-    stats.consider(system.num_sets() as u64);
+    obs.benefit_computed(system.num_sets() as u64);
     let mut chosen: Vec<SetId> = Vec::new();
     let mut rem = target;
     while rem > 0 {
@@ -67,8 +99,9 @@ pub fn greedy_partial_max_coverage(
             return Err(SolveError::NoSolution);
         };
         chosen.push(q);
-        stats.select();
-        rem = rem.saturating_sub(state.select(q));
+        let newly = state.select(q);
+        obs.set_selected(q as u64, newly as u64, system.cost(q).value());
+        rem = rem.saturating_sub(newly);
     }
     Ok(Solution::from_sets(system, chosen))
 }
@@ -78,14 +111,16 @@ pub fn greedy_partial_max_coverage(
 /// (optimizes coverage under a cost cap, ignores size). Section III shows
 /// by counter-example that truncating this to `O(k)` picks can cover
 /// arbitrarily poorly; `max_sets` exposes that truncation for tests.
-pub fn budgeted_max_coverage(
+pub fn budgeted_max_coverage<O: Observer + ?Sized>(
     system: &SetSystem,
     budget: f64,
     max_sets: Option<usize>,
-    stats: &mut Stats,
+    obs: &mut O,
 ) -> Solution {
+    let span = PhaseSpan::enter(obs, PHASE_TOTAL);
+    obs.guess_started(None);
     let mut state = CoverState::new(system);
-    stats.consider(system.num_sets() as u64);
+    obs.benefit_computed(system.num_sets() as u64);
     let mut chosen: Vec<SetId> = Vec::new();
     let mut spent = 0.0f64;
     let cap = max_sets.unwrap_or(usize::MAX);
@@ -93,16 +128,18 @@ pub fn budgeted_max_coverage(
         let q = state.argmax_gain(|id| spent + system.cost(id).value() <= budget);
         let Some(q) = q else { break };
         chosen.push(q);
-        stats.select();
         spent += system.cost(q).value();
-        state.select(q);
+        let newly = state.select(q);
+        obs.set_selected(q as u64, newly as u64, system.cost(q).value());
     }
+    span.exit(obs);
     Solution::from_sets(system, chosen)
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::stats::Stats;
 
     fn system() -> SetSystem {
         let mut b = SetSystem::builder(8);
@@ -152,7 +189,11 @@ mod tests {
     #[test]
     fn max_coverage_stops_when_everything_covered() {
         let sol = greedy_max_coverage(&system(), 5, &mut Stats::new());
-        assert_eq!(sol.size(), 1, "nothing left to cover after the universe set");
+        assert_eq!(
+            sol.size(),
+            1,
+            "nothing left to cover after the universe set"
+        );
     }
 
     #[test]

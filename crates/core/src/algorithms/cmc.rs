@@ -12,7 +12,7 @@
 use crate::cover_state::CoverState;
 use crate::set_system::{coverage_target, SetId, SetSystem};
 use crate::solution::{Solution, SolveError};
-use crate::stats::Stats;
+use crate::telemetry::{Observer, PhaseSpan, PHASE_TOTAL};
 
 /// Fraction of the requested coverage that CMC guarantees (Fig. 1 line 06).
 pub const CMC_COVERAGE_DISCOUNT: f64 = 1.0 - std::f64::consts::E.recip();
@@ -212,9 +212,13 @@ pub struct CmcOutcome {
 /// Runs Cheap Max Coverage (Figure 1 / Section V-A3 depending on
 /// `params.schedule`).
 ///
-/// `stats.considered` accumulates, per budget guess, the number of sets
-/// whose marginal benefit is computed (all of them, Fig. 1 lines 04–05) —
-/// the Figure 6 metric; `stats.budget_guesses` counts the guesses.
+/// The run reports its work through any [`Observer`]: one `guess_started`
+/// per budget guess (with the guessed `B`), `level_entered` for every level
+/// of that guess's schedule, `benefit_computed` counting the sets whose
+/// marginal benefit is computed per guess (all of them, Fig. 1 lines
+/// 04–05 — the Figure 6 metric), `set_selected` per pick, and a `"total"`
+/// phase span. Passing `&mut Stats` aggregates these into the classic
+/// counters (`considered`, `budget_guesses`, `selections`).
 ///
 /// Returns [`SolveError::BudgetExhausted`] when even `B` larger than the
 /// total weight of all sets cannot reach the target — impossible when a
@@ -239,7 +243,11 @@ pub struct CmcOutcome {
 /// assert!(outcome.solution.size() <= 10);
 /// assert!(outcome.solution.covered() >= 7); // ⌈(1−1/e)·10⌉
 /// ```
-pub fn cmc(system: &SetSystem, params: &CmcParams, stats: &mut Stats) -> Result<CmcOutcome, SolveError> {
+pub fn cmc<O: Observer + ?Sized>(
+    system: &SetSystem,
+    params: &CmcParams,
+    obs: &mut O,
+) -> Result<CmcOutcome, SolveError> {
     if params.k == 0 {
         return Err(SolveError::ZeroSizeBound);
     }
@@ -255,7 +263,19 @@ pub fn cmc(system: &SetSystem, params: &CmcParams, stats: &mut Stats) -> Result<
             final_budget: 0.0,
         });
     }
+    let span = PhaseSpan::enter(obs, PHASE_TOTAL);
+    let result = guess_loop(system, params, target, obs);
+    span.exit(obs);
+    result
+}
 
+/// The Fig. 1 outer repeat loop, wrapped by [`cmc`]'s phase span.
+fn guess_loop<O: Observer + ?Sized>(
+    system: &SetSystem,
+    params: &CmcParams,
+    target: usize,
+    obs: &mut O,
+) -> Result<CmcOutcome, SolveError> {
     let total_cost = system.total_cost().value();
     // Line 01: B = cost of the k cheapest sets. Guard degenerate zero
     // budgets (all-k-cheapest free) so the geometric growth can start.
@@ -278,8 +298,8 @@ pub fn cmc(system: &SetSystem, params: &CmcParams, stats: &mut Stats) -> Result<
     };
 
     loop {
-        stats.new_guess();
-        if let Some(solution) = run_guess(system, params, budget, target, stats) {
+        obs.guess_started(Some(budget));
+        if let Some(solution) = run_guess(system, params, budget, target, obs) {
             return Ok(CmcOutcome {
                 solution,
                 final_budget: budget,
@@ -294,18 +314,23 @@ pub fn cmc(system: &SetSystem, params: &CmcParams, stats: &mut Stats) -> Result<
 
 /// One iteration of the outer repeat loop (Fig. 1 lines 03–27) for a fixed
 /// budget `B`. Returns the solution when the coverage target is met.
-fn run_guess(
+fn run_guess<O: Observer + ?Sized>(
     system: &SetSystem,
     params: &CmcParams,
     budget: f64,
     target: usize,
-    stats: &mut Stats,
+    obs: &mut O,
 ) -> Option<Solution> {
     // Lines 04-05: fresh marginal benefits for every set.
     let mut state = CoverState::new(system);
-    stats.consider(system.num_sets() as u64);
+    obs.benefit_computed(system.num_sets() as u64);
 
     let levels = Levels::build(params.schedule, budget, params.k);
+    // Announce the whole schedule up front (even levels an early return
+    // skips) so observers see each guess's complete level partition.
+    for level in 0..levels.len() {
+        obs.level_entered(level, levels.quota(level));
+    }
     // Precompute each set's level under this budget so the inner argmax
     // filter is a table lookup.
     let set_level: Vec<Option<usize>> = (0..system.num_sets() as SetId)
@@ -323,8 +348,8 @@ fn run_guess(
                 break; // line 18: level exhausted
             };
             chosen.push(q); // line 19
-            stats.select();
             let newly = state.select(q); // lines 20-21, 24-27
+            obs.set_selected(q as u64, newly as u64, system.cost(q).value());
             rem = rem.saturating_sub(newly);
             if rem == 0 {
                 return Some(Solution::from_sets(system, chosen)); // lines 22-23
@@ -338,6 +363,7 @@ fn run_guess(
 mod tests {
     use super::*;
     use crate::solution::{verify, Requirements};
+    use crate::stats::Stats;
 
     fn system() -> SetSystem {
         let mut b = SetSystem::builder(12);
@@ -508,7 +534,11 @@ mod tests {
         let mut stats = Stats::new();
         let out = cmc(&sys, &params, &mut stats).unwrap();
         assert!(out.solution.covered() >= coverage_target(12, CMC_COVERAGE_DISCOUNT));
-        assert!(out.final_budget >= 6.0, "needs the big sets: {}", out.final_budget);
+        assert!(
+            out.final_budget >= 6.0,
+            "needs the big sets: {}",
+            out.final_budget
+        );
     }
 
     #[test]
@@ -549,7 +579,9 @@ mod tests {
     #[test]
     fn cmc_zero_cost_sets_are_usable() {
         let mut b = SetSystem::builder(6);
-        b.add_set([0, 1, 2], 0.0).add_set([3, 4, 5], 0.0).add_universe_set(5.0);
+        b.add_set([0, 1, 2], 0.0)
+            .add_set([3, 4, 5], 0.0)
+            .add_universe_set(5.0);
         let sys = b.build().unwrap();
         let out = cmc(&sys, &CmcParams::classic(2, 1.0, 1.0), &mut Stats::new()).unwrap();
         assert!(out.solution.covered() >= coverage_target(6, CMC_COVERAGE_DISCOUNT));

@@ -11,7 +11,7 @@
 use crate::cover_state::CoverState;
 use crate::set_system::{coverage_target, SetId, SetSystem};
 use crate::solution::{Solution, SolveError};
-use crate::stats::Stats;
+use crate::telemetry::{Observer, PhaseSpan, PHASE_TOTAL};
 
 /// Runs CWSC: at most `k` sets covering at least `⌈coverage_fraction·n⌉`
 /// elements.
@@ -21,9 +21,12 @@ use crate::stats::Stats;
 /// the system contains a universe set. A zero coverage target returns the
 /// empty solution (cost 0), the unique optimum for that degenerate input.
 ///
-/// `stats.considered` counts every set whose marginal benefit is computed,
-/// i.e. all of them (Fig. 2 lines 03–04) — this is the unoptimized count
-/// plotted in Figure 6.
+/// The run reports its work through any [`Observer`]: one `guess_started`
+/// for the single round, `benefit_computed` for every set whose marginal
+/// benefit is computed — all of them (Fig. 2 lines 03–04), the unoptimized
+/// count plotted in Figure 6 — `set_selected` per pick, and a `"total"`
+/// phase span. Passing `&mut Stats` aggregates these into the classic
+/// counters, as below.
 ///
 /// ```
 /// use scwsc_core::{algorithms::cwsc, SetSystem, Stats};
@@ -40,25 +43,25 @@ use crate::stats::Stats;
 /// assert!(solution.covered() >= 6); // ⌈0.75 · 8⌉
 /// assert_eq!(solution.total_cost().value(), 6.0); // 4 + 1 + 1
 /// ```
-pub fn cwsc(
+pub fn cwsc<O: Observer + ?Sized>(
     system: &SetSystem,
     k: usize,
     coverage_fraction: f64,
-    stats: &mut Stats,
+    obs: &mut O,
 ) -> Result<Solution, SolveError> {
     if k == 0 {
         return Err(SolveError::ZeroSizeBound);
     }
     let target = coverage_target(system.num_elements(), coverage_fraction);
-    cwsc_with_target(system, k, target, stats)
+    cwsc_with_target(system, k, target, obs)
 }
 
 /// CWSC with an explicit element-count target instead of a fraction.
-pub fn cwsc_with_target(
+pub fn cwsc_with_target<O: Observer + ?Sized>(
     system: &SetSystem,
     k: usize,
     target: usize,
-    stats: &mut Stats,
+    obs: &mut O,
 ) -> Result<Solution, SolveError> {
     if k == 0 {
         return Err(SolveError::ZeroSizeBound);
@@ -66,10 +69,25 @@ pub fn cwsc_with_target(
     if target == 0 {
         return Ok(Solution::from_sets(system, Vec::new()));
     }
+    let span = PhaseSpan::enter(obs, PHASE_TOTAL);
+    let result = run(system, k, target, obs);
+    span.exit(obs);
+    result
+}
+
+/// The Fig. 2 body, wrapped by [`cwsc_with_target`]'s phase span.
+fn run<O: Observer + ?Sized>(
+    system: &SetSystem,
+    k: usize,
+    target: usize,
+    obs: &mut O,
+) -> Result<Solution, SolveError> {
+    // CWSC is a single round: record it so `budget_guesses` is 1, not 0.
+    obs.guess_started(None);
 
     // Fig. 2 lines 03-04: compute MBen of every set.
     let mut state = CoverState::new(system);
-    stats.consider(system.num_sets() as u64);
+    obs.benefit_computed(system.num_sets() as u64);
 
     let mut chosen: Vec<SetId> = Vec::with_capacity(k);
     let mut rem = target; // line 02
@@ -79,14 +97,13 @@ pub fn cwsc_with_target(
         // evaluated in exact integer arithmetic.
         let i_u = i as u64;
         let rem_u = rem as u64;
-        let q = state
-            .argmax_gain(|id| i_u * state.marginal_benefit(id) as u64 >= rem_u);
+        let q = state.argmax_gain(|id| i_u * state.marginal_benefit(id) as u64 >= rem_u);
         let Some(q) = q else {
             return Err(SolveError::NoSolution); // line 07
         };
         chosen.push(q); // line 08
-        stats.select();
         let newly = state.select(q); // lines 09, 11-15 (state updates MBens)
+        obs.set_selected(q as u64, newly as u64, system.cost(q).value());
         rem = rem.saturating_sub(newly);
         if rem == 0 {
             return Ok(Solution::from_sets(system, chosen)); // line 10
@@ -102,6 +119,7 @@ pub fn cwsc_with_target(
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::stats::Stats;
 
     /// The paper's worked example systems are exercised in the data crate;
     /// here we use small hand-built systems.
@@ -205,9 +223,21 @@ mod tests {
     }
 
     #[test]
+    fn single_round_is_recorded() {
+        let mut stats = Stats::new();
+        let _ = cwsc(&system(), 2, 0.75, &mut stats).unwrap();
+        assert_eq!(stats.budget_guesses, 1, "CWSC is one budget round");
+        let mut stats = Stats::new();
+        let _ = cwsc(&system(), 3, 0.0, &mut stats).unwrap();
+        assert_eq!(stats.budget_guesses, 0, "trivial target does no work");
+    }
+
+    #[test]
     fn stops_as_soon_as_covered() {
         let mut b = SetSystem::builder(4);
-        b.add_set([0, 1, 2, 3], 4.0).add_set([0], 0.5).add_universe_set(9.0);
+        b.add_set([0, 1, 2, 3], 4.0)
+            .add_set([0], 0.5)
+            .add_universe_set(9.0);
         let sys = b.build().unwrap();
         let sol = cwsc(&sys, 3, 1.0, &mut Stats::new()).unwrap();
         assert_eq!(sol.size(), 1, "covered in one pick, must stop");

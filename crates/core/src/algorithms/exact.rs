@@ -15,16 +15,41 @@
 use crate::bitset::BitSet;
 use crate::set_system::{coverage_target, SetId, SetSystem};
 use crate::solution::Solution;
+use crate::telemetry::{NoopObserver, Observer, PhaseSpan, PruneReason, PHASE_TOTAL};
 
 /// Finds a minimum-cost sub-collection of at most `k` sets covering at
 /// least `⌈coverage_fraction·n⌉` elements, or `None` when infeasible.
 pub fn exact_optimal(system: &SetSystem, k: usize, coverage_fraction: f64) -> Option<Solution> {
-    let target = coverage_target(system.num_elements(), coverage_fraction);
-    exact_optimal_with_target(system, k, target)
+    exact_optimal_observed(system, k, coverage_fraction, &mut NoopObserver)
 }
 
 /// [`exact_optimal`] with an explicit element-count target.
 pub fn exact_optimal_with_target(system: &SetSystem, k: usize, target: usize) -> Option<Solution> {
+    exact_optimal_with_target_observed(system, k, target, &mut NoopObserver)
+}
+
+/// [`exact_optimal`] reporting search effort through an
+/// [`Observer`]: `benefit_computed` per take-branch marginal-coverage
+/// computation, `set_selected` per tentative take, `candidate_pruned` with
+/// [`PruneReason::CostBound`] / [`PruneReason::CoverageBound`] per cut
+/// branch, and a `"total"` phase span.
+pub fn exact_optimal_observed<O: Observer + ?Sized>(
+    system: &SetSystem,
+    k: usize,
+    coverage_fraction: f64,
+    obs: &mut O,
+) -> Option<Solution> {
+    let target = coverage_target(system.num_elements(), coverage_fraction);
+    exact_optimal_with_target_observed(system, k, target, obs)
+}
+
+/// [`exact_optimal_observed`] with an explicit element-count target.
+pub fn exact_optimal_with_target_observed<O: Observer + ?Sized>(
+    system: &SetSystem,
+    k: usize,
+    target: usize,
+    obs: &mut O,
+) -> Option<Solution> {
     if target == 0 {
         return Some(Solution::from_sets(system, Vec::new()));
     }
@@ -47,8 +72,10 @@ pub fn exact_optimal_with_target(system: &SetSystem, k: usize, target: usize) ->
     let benefits: Vec<usize> = order.iter().map(|&id| system.set(id).benefit()).collect();
     // top_sum[i] = sum of the k largest benefits in benefits[i..]
     // (loose but monotone upper bound on any r ≤ k picks).
+    let span = PhaseSpan::enter(obs, PHASE_TOTAL);
     let mut search = Search {
         system,
+        obs,
         order: &order,
         benefits: &benefits,
         k,
@@ -61,12 +88,14 @@ pub fn exact_optimal_with_target(system: &SetSystem, k: usize, target: usize) ->
         current_cost: 0.0,
     };
     search.recurse(0);
-    let best = search.best.take()?;
-    Some(Solution::from_sets(system, best))
+    let best = search.best.take();
+    span.exit(obs);
+    Some(Solution::from_sets(system, best?))
 }
 
-struct Search<'a> {
+struct Search<'a, O: Observer + ?Sized> {
     system: &'a SetSystem,
+    obs: &'a mut O,
     order: &'a [SetId],
     benefits: &'a [usize],
     k: usize,
@@ -79,7 +108,7 @@ struct Search<'a> {
     current_cost: f64,
 }
 
-impl Search<'_> {
+impl<O: Observer + ?Sized> Search<'_, O> {
     /// Upper bound on additional coverage using at most `r` more sets from
     /// `order[i..]`: the sum of their `r` largest raw benefits.
     fn coverage_bound(&self, i: usize, r: usize) -> usize {
@@ -99,10 +128,12 @@ impl Search<'_> {
             return;
         }
         if self.current_cost >= self.best_cost {
+            self.obs.candidate_pruned(PruneReason::CostBound);
             return; // cost prune
         }
         let remaining_picks = self.k - self.chosen.len();
         if self.covered_count + self.coverage_bound(i, remaining_picks) < self.target {
+            self.obs.candidate_pruned(PruneReason::CoverageBound);
             return; // coverage prune
         }
 
@@ -110,6 +141,7 @@ impl Search<'_> {
         // Branch 1: take `id` (unless it alone busts the cost bound).
         let cost = self.system.cost(id).value();
         if self.current_cost + cost < self.best_cost {
+            self.obs.benefit_computed(1);
             let newly: Vec<usize> = self
                 .system
                 .members(id)
@@ -118,6 +150,7 @@ impl Search<'_> {
                 .filter(|&e| !self.covered.contains(e))
                 .collect();
             if !newly.is_empty() {
+                self.obs.set_selected(id as u64, newly.len() as u64, cost);
                 for &e in &newly {
                     self.covered.insert(e);
                 }
@@ -209,6 +242,19 @@ mod tests {
                 );
             }
         }
+    }
+
+    #[test]
+    fn observed_variant_reports_search_effort() {
+        use crate::telemetry::{MetricsRecorder, PHASE_TOTAL};
+        let sys = system();
+        let mut m = MetricsRecorder::new();
+        let observed = exact_optimal_observed(&sys, 2, 1.0, &mut m).unwrap();
+        let plain = exact_optimal(&sys, 2, 1.0).unwrap();
+        assert_eq!(observed.total_cost(), plain.total_cost());
+        assert!(m.benefits_computed >= 1);
+        assert!(m.selections >= 1, "take branches are tentative selections");
+        assert!(m.phase_seconds(PHASE_TOTAL).is_some());
     }
 
     #[test]

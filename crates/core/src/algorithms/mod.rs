@@ -20,4 +20,7 @@ pub use baselines::{
 };
 pub use cmc::{cmc, CmcOutcome, CmcParams, LevelSchedule, Levels, CMC_COVERAGE_DISCOUNT};
 pub use cwsc::{cwsc, cwsc_with_target};
-pub use exact::{exact_optimal, exact_optimal_with_target};
+pub use exact::{
+    exact_optimal, exact_optimal_observed, exact_optimal_with_target,
+    exact_optimal_with_target_observed,
+};

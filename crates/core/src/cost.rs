@@ -5,14 +5,14 @@
 //! contract at construction and supplies a total order, so the greedy
 //! algorithms can sort and take maxima without per-comparison checks.
 
-use serde::{Deserialize, Serialize};
 use std::fmt;
 use std::iter::Sum;
 use std::ops::Add;
 
 /// A non-negative, finite set weight.
-#[derive(Clone, Copy, PartialEq, Serialize, Deserialize)]
-#[serde(transparent)]
+#[derive(Clone, Copy, PartialEq)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
+#[cfg_attr(feature = "serde", serde(transparent))]
 pub struct Cost(f64);
 
 /// Error returned when constructing a [`Cost`] from an invalid `f64`.

@@ -17,7 +17,12 @@
 use crate::algorithms::cwsc::cwsc_with_target;
 use crate::set_system::{coverage_target, SetId, SetSystem};
 use crate::solution::{Solution, SolveError};
-use crate::stats::Stats;
+use crate::telemetry::{NoopObserver, Observer, PhaseSpan};
+
+/// Phase-span name covering a greedy patch repair.
+pub const PHASE_REPAIR_PATCH: &str = "repair_patch";
+/// Phase-span name covering a from-scratch re-solve repair.
+pub const PHASE_REPAIR_RESOLVE: &str = "repair_resolve";
 
 /// How [`IncrementalCover`] restores feasibility after an arrival breaks
 /// the coverage requirement.
@@ -133,7 +138,10 @@ impl IncrementalCover {
 
     /// Total cost of the current solution.
     pub fn solution_cost(&self) -> f64 {
-        self.solution.iter().map(|&s| self.set_costs[s as usize]).sum()
+        self.solution
+            .iter()
+            .map(|&s| self.set_costs[s as usize])
+            .sum()
     }
 
     /// Elements covered by the current solution.
@@ -160,6 +168,19 @@ impl IncrementalCover {
     /// together with the ids of the sets containing it. Returns `true`
     /// when the arrival forced a repair (patch or re-solve).
     pub fn push_element(&mut self, in_sets: &[SetId]) -> Result<bool, IncrementalError> {
+        self.push_element_observed(in_sets, &mut NoopObserver)
+    }
+
+    /// [`push_element`](IncrementalCover::push_element) reporting repair
+    /// work through an [`Observer`]: a [`PHASE_REPAIR_PATCH`] or
+    /// [`PHASE_REPAIR_RESOLVE`] span per repair, `benefit_computed` for
+    /// marginal-benefit scans, and `set_selected` per installed set (the
+    /// re-solve path additionally relays the inner CWSC events).
+    pub fn push_element_observed<O: Observer + ?Sized>(
+        &mut self,
+        in_sets: &[SetId],
+        obs: &mut O,
+    ) -> Result<bool, IncrementalError> {
         for &s in in_sets {
             if s as usize >= self.num_sets {
                 return Err(IncrementalError::UnknownSet(s));
@@ -182,10 +203,10 @@ impl IncrementalCover {
             return Ok(false);
         }
         match self.strategy {
-            RepairStrategy::Resolve => self.resolve()?,
+            RepairStrategy::Resolve => self.resolve(obs)?,
             RepairStrategy::Patch => {
-                if !self.patch() {
-                    self.resolve()?;
+                if !self.patch(obs) {
+                    self.resolve(obs)?;
                 }
             }
         }
@@ -194,10 +215,12 @@ impl IncrementalCover {
 
     /// Greedy patch: add max-marginal-gain sets while room remains.
     /// Returns whether the target was reached.
-    fn patch(&mut self) -> bool {
+    fn patch<O: Observer + ?Sized>(&mut self, obs: &mut O) -> bool {
+        let span = PhaseSpan::enter(obs, PHASE_REPAIR_PATCH);
         let target = self.target();
         while self.covered < target && self.solution.len() < self.k {
             let mut best: Option<(SetId, usize)> = None; // (set, mben)
+            let mut scanned = 0u64;
             for s in 0..self.num_sets {
                 if self.chosen_mask[s] {
                     continue;
@@ -206,6 +229,7 @@ impl IncrementalCover {
                     .iter()
                     .filter(|&&e| !self.covered_mask[e as usize])
                     .count();
+                scanned += 1;
                 if mben == 0 {
                     continue;
                 }
@@ -226,15 +250,17 @@ impl IncrementalCover {
                     best = Some((s as SetId, mben));
                 }
             }
-            let Some((s, _)) = best else { break };
+            obs.benefit_computed(scanned);
+            let Some((s, mben)) = best else { break };
+            obs.set_selected(s as u64, mben as u64, self.set_costs[s as usize]);
             self.install_one(s);
         }
-        if self.covered >= target {
+        let repaired = self.covered >= target;
+        if repaired {
             self.patches += 1;
-            true
-        } else {
-            false
         }
+        span.exit(obs);
+        repaired
     }
 
     fn install_one(&mut self, s: SetId) {
@@ -251,10 +277,12 @@ impl IncrementalCover {
 
     /// Rebuilds the solution from scratch with CWSC over the elements seen
     /// so far.
-    fn resolve(&mut self) -> Result<(), IncrementalError> {
+    fn resolve<O: Observer + ?Sized>(&mut self, obs: &mut O) -> Result<(), IncrementalError> {
+        let span = PhaseSpan::enter(obs, PHASE_REPAIR_RESOLVE);
         let system = self.snapshot();
-        let sol = cwsc_with_target(&system, self.k, self.target(), &mut Stats::new())
-            .map_err(IncrementalError::Solve)?;
+        let result = cwsc_with_target(&system, self.k, self.target(), obs);
+        span.exit(obs);
+        let sol = result.map_err(IncrementalError::Solve)?;
         self.install(&system, sol);
         self.resolves += 1;
         Ok(())
@@ -289,6 +317,7 @@ impl IncrementalCover {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::stats::Stats;
 
     /// 3 sets: two halves and a universe (every element reports it).
     fn maintainer() -> IncrementalCover {
@@ -394,12 +423,27 @@ mod tests {
     }
 
     #[test]
+    fn observed_push_reports_repair_phases() {
+        use crate::telemetry::MetricsRecorder;
+        let mut m =
+            IncrementalCover::with_strategy(&[2.0, 3.0, 10.0], 2, 0.8, RepairStrategy::Patch)
+                .unwrap();
+        let mut rec = MetricsRecorder::new();
+        for i in 0..20u32 {
+            let sets: &[SetId] = if i % 2 == 0 { &[0, 2] } else { &[1, 2] };
+            m.push_element_observed(sets, &mut rec).unwrap();
+        }
+        let patched = rec.phase_seconds(PHASE_REPAIR_PATCH).is_some();
+        let resolved = rec.phase_seconds(PHASE_REPAIR_RESOLVE).is_some();
+        assert!(patched || resolved, "some repair must have been spanned");
+        assert!(rec.benefits_computed >= 1);
+        assert!(rec.selections >= 1);
+    }
+
+    #[test]
     fn unknown_set_is_rejected() {
         let mut m = maintainer();
-        assert_eq!(
-            m.push_element(&[7]),
-            Err(IncrementalError::UnknownSet(7))
-        );
+        assert_eq!(m.push_element(&[7]), Err(IncrementalError::UnknownSet(7)));
         assert_eq!(m.num_elements(), 0, "failed arrival must not be recorded");
     }
 

@@ -11,6 +11,7 @@
 //!
 //! [`CoverState`]: crate::cover_state::CoverState
 
+use crate::telemetry::{NoopObserver, Observer};
 use std::cmp::Ordering;
 use std::collections::BinaryHeap;
 
@@ -105,12 +106,24 @@ impl LazyGreedy {
     /// upper bound and the first fresh top-of-heap is the true maximum.
     pub fn pop_max(
         &mut self,
+        rescore: impl FnMut(u32) -> Option<(f64, f64)>,
+    ) -> Option<(u32, f64)> {
+        self.pop_max_observed(&mut NoopObserver, rescore)
+    }
+
+    /// [`pop_max`](LazyGreedy::pop_max) reporting each stale pop as a
+    /// `heap_stale_pop` event (the run length between selections is the
+    /// heap's "re-heapify depth").
+    pub fn pop_max_observed<O: Observer + ?Sized>(
+        &mut self,
+        obs: &mut O,
         mut rescore: impl FnMut(u32) -> Option<(f64, f64)>,
     ) -> Option<(u32, f64)> {
         while let Some(top) = self.heap.pop() {
             if top.epoch == self.epoch {
                 return Some((top.id, top.score));
             }
+            obs.heap_stale_pop();
             self.recomputations += 1;
             if let Some((score, tie)) = rescore(top.id) {
                 debug_assert!(
@@ -182,8 +195,9 @@ mod tests {
     fn sequence_of_selections_matches_eager() {
         // Simulated coverage instance: scores decay after each pick.
         let mut scores = [4.0, 3.0, 5.0, 1.0];
-        let mut lg =
-            LazyGreedy::with_candidates(scores.iter().enumerate().map(|(i, &s)| (i as u32, s, 0.0)));
+        let mut lg = LazyGreedy::with_candidates(
+            scores.iter().enumerate().map(|(i, &s)| (i as u32, s, 0.0)),
+        );
         let mut picked = Vec::new();
         for _ in 0..3 {
             let (id, _) = lg
@@ -201,6 +215,21 @@ mod tests {
             lg.invalidate();
         }
         assert_eq!(picked, vec![2, 0, 1]);
+    }
+
+    #[test]
+    fn observed_pop_counts_stale_pops() {
+        use crate::telemetry::MetricsRecorder;
+        let mut lg = LazyGreedy::with_candidates([(0, 10.0, 0.0), (1, 5.0, 0.0)]);
+        lg.invalidate();
+        let mut m = MetricsRecorder::new();
+        let current = [1.0, 5.0];
+        let (id, _) = lg
+            .pop_max_observed(&mut m, |i| Some((current[i as usize], 0.0)))
+            .unwrap();
+        assert_eq!(id, 1);
+        assert_eq!(m.heap_stale_pops, lg.recomputations);
+        assert!(m.heap_stale_pops >= 1);
     }
 
     #[test]

@@ -49,6 +49,7 @@ pub mod multiweight;
 pub mod set_system;
 pub mod solution;
 pub mod stats;
+pub mod telemetry;
 
 pub use bitset::BitSet;
 pub use cost::{Cost, CostError};
@@ -56,3 +57,7 @@ pub use cover_state::CoverState;
 pub use set_system::{coverage_target, BuildError, ElementId, SetId, SetSystem, WeightedSet};
 pub use solution::{verify, Requirements, Solution, SolveError, Verification};
 pub use stats::Stats;
+pub use telemetry::{
+    Fanout, JsonlSink, LogHistogram, MetricsRecorder, NoopObserver, Observer, PhaseMetric,
+    PhaseSpan, PruneReason, PHASE_TOTAL,
+};

@@ -187,7 +187,10 @@ pub fn pareto_sweep(
     // Pareto filter (also drops duplicate weight vectors).
     let mut frontier: Vec<ParetoPoint> = Vec::new();
     for p in points {
-        if frontier.iter().any(|q| dominates(&q.weights, &p.weights) || q.weights == p.weights) {
+        if frontier
+            .iter()
+            .any(|q| dominates(&q.weights, &p.weights) || q.weights == p.weights)
+        {
             continue;
         }
         frontier.retain(|q| !dominates(&p.weights, &q.weights));
@@ -216,7 +219,11 @@ mod tests {
         let mut s = MultiWeightSystem::new(4, 2);
         assert!(matches!(
             s.add_set([0], vec![1.0]),
-            Err(MultiWeightError::WrongArity { got: 1, expected: 2, .. })
+            Err(MultiWeightError::WrongArity {
+                got: 1,
+                expected: 2,
+                ..
+            })
         ));
         assert!(matches!(
             s.add_set([0], vec![1.0, -3.0]),
@@ -245,7 +252,10 @@ mod tests {
     #[test]
     fn dominates_semantics() {
         assert!(dominates(&[1.0, 2.0], &[2.0, 2.0]));
-        assert!(!dominates(&[1.0, 2.0], &[1.0, 2.0]), "equal is not dominated");
+        assert!(
+            !dominates(&[1.0, 2.0], &[1.0, 2.0]),
+            "equal is not dominated"
+        );
         assert!(!dominates(&[1.0, 3.0], &[2.0, 2.0]), "incomparable");
         assert!(!dominates(&[2.0, 2.0], &[1.0, 2.0]));
     }

@@ -9,7 +9,6 @@
 
 use crate::bitset::BitSet;
 use crate::cost::{Cost, CostError};
-use serde::{Deserialize, Serialize};
 use std::fmt;
 
 /// Dense element identifier (`0..n`).
@@ -19,7 +18,8 @@ pub type ElementId = u32;
 pub type SetId = u32;
 
 /// One weighted set: a sorted posting list of elements plus a cost.
-#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+#[derive(Clone, Debug, PartialEq)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 pub struct WeightedSet {
     members: Vec<ElementId>,
     cost: Cost,
@@ -108,7 +108,11 @@ impl SetSystemBuilder {
     ///
     /// Members are sorted and deduplicated; errors are deferred to
     /// [`SetSystemBuilder::build`].
-    pub fn add_set(&mut self, members: impl IntoIterator<Item = ElementId>, cost: f64) -> &mut Self {
+    pub fn add_set(
+        &mut self,
+        members: impl IntoIterator<Item = ElementId>,
+        cost: f64,
+    ) -> &mut Self {
         if self.error.is_some() {
             return self;
         }
@@ -154,7 +158,8 @@ impl SetSystemBuilder {
 }
 
 /// A finalized collection of weighted sets over `0..n` elements.
-#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+#[derive(Clone, Debug, PartialEq)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 pub struct SetSystem {
     num_elements: usize,
     sets: Vec<WeightedSet>,
@@ -189,10 +194,7 @@ impl SetSystem {
 
     /// Iterates over `(id, set)` pairs.
     pub fn iter(&self) -> impl Iterator<Item = (SetId, &WeightedSet)> {
-        self.sets
-            .iter()
-            .enumerate()
-            .map(|(i, s)| (i as SetId, s))
+        self.sets.iter().enumerate().map(|(i, s)| (i as SetId, s))
     }
 
     /// Shorthand for `self.set(id).cost()`.
@@ -224,7 +226,9 @@ impl SetSystem {
     /// Whether some set covers every element (Definition 1's feasibility
     /// requirement).
     pub fn has_universe_set(&self) -> bool {
-        self.sets.iter().any(|s| s.members.len() == self.num_elements)
+        self.sets
+            .iter()
+            .any(|s| s.members.len() == self.num_elements)
     }
 
     /// Union coverage of a sub-collection, as a bitset over elements.

@@ -7,11 +7,11 @@
 
 use crate::cost::Cost;
 use crate::set_system::{coverage_target, SetId, SetSystem};
-use serde::{Deserialize, Serialize};
 use std::fmt;
 
 /// A sub-collection of sets chosen by a cover algorithm, in selection order.
-#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+#[derive(Clone, Debug, PartialEq)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 pub struct Solution {
     sets: Vec<SetId>,
     total_cost: Cost,

@@ -2,26 +2,30 @@
 //!
 //! "Patterns considered" in the evaluation counts every set/pattern whose
 //! (marginal) benefit an algorithm computed; for CMC that is summed over
-//! all budget guesses. Algorithms thread a [`Stats`] through their run so
-//! the experiment harness can report the same metric.
+//! all budget guesses. [`Stats`] is the classic three-counter view of a
+//! run, kept as a thin adapter over the richer
+//! [`Observer`](crate::telemetry::Observer) event stream: solvers emit
+//! events, and a `&mut Stats` passed as the observer aggregates them into
+//! the same counters the experiment harness always reported.
 
-use serde::{Deserialize, Serialize};
-use std::time::Duration;
+use crate::telemetry::{Observer, PHASE_TOTAL};
 
 /// Counters accumulated during one algorithm run.
-#[derive(Clone, Debug, Default, PartialEq, Serialize, Deserialize)]
+#[derive(Clone, Debug, Default, PartialEq)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 pub struct Stats {
     /// Sets/patterns whose (marginal) benefit was computed, summed over all
     /// budget guesses (the paper's Fig. 6 y-axis).
     pub considered: u64,
-    /// Number of budget values `B` tried (CMC only; 1 for CWSC).
+    /// Number of budget values `B` tried (CMC; 1 for single-round solvers).
     pub budget_guesses: u32,
     /// Number of sets selected into candidate solutions, including
     /// selections from discarded budget guesses.
     pub selections: u32,
-    /// Wall-clock time of the run, filled by the harness.
-    #[serde(skip)]
-    pub elapsed: Duration,
+    /// Wall-clock seconds of the solver's `"total"` phase span, recorded by
+    /// the solver itself (not the harness), so it serializes with the rest.
+    #[cfg_attr(feature = "serde", serde(default))]
+    pub elapsed_secs: f64,
 }
 
 impl Stats {
@@ -49,6 +53,30 @@ impl Stats {
     }
 }
 
+impl Observer for Stats {
+    #[inline]
+    fn guess_started(&mut self, _budget: Option<f64>) {
+        self.new_guess();
+    }
+
+    #[inline]
+    fn set_selected(&mut self, _id: u64, _marginal_benefit: u64, _cost: f64) {
+        self.select();
+    }
+
+    #[inline]
+    fn benefit_computed(&mut self, count: u64) {
+        self.consider(count);
+    }
+
+    #[inline]
+    fn phase_ended(&mut self, name: &'static str, seconds: f64) {
+        if name == PHASE_TOTAL {
+            self.elapsed_secs = seconds;
+        }
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -59,6 +87,7 @@ mod tests {
         assert_eq!(s.considered, 0);
         assert_eq!(s.budget_guesses, 0);
         assert_eq!(s.selections, 0);
+        assert_eq!(s.elapsed_secs, 0.0);
     }
 
     #[test]
@@ -72,5 +101,20 @@ mod tests {
         assert_eq!(s.considered, 15);
         assert_eq!(s.budget_guesses, 2);
         assert_eq!(s.selections, 1);
+    }
+
+    #[test]
+    fn observer_events_feed_the_same_counters() {
+        let mut s = Stats::new();
+        s.benefit_computed(7);
+        s.guess_started(Some(3.0));
+        s.guess_started(None);
+        s.set_selected(4, 2, 1.0);
+        s.phase_ended("inner", 9.0);
+        s.phase_ended(PHASE_TOTAL, 0.5);
+        assert_eq!(s.considered, 7);
+        assert_eq!(s.budget_guesses, 2);
+        assert_eq!(s.selections, 1);
+        assert_eq!(s.elapsed_secs, 0.5, "only the total span is kept");
     }
 }

@@ -1,0 +1,811 @@
+//! Structured solver observability: lifecycle events, aggregated metrics,
+//! and JSONL trace export.
+//!
+//! The paper's empirical section is built on *internal* solver metrics —
+//! "patterns considered" (Fig. 6), budget-guess rounds, per-phase runtime.
+//! This module turns those into an explicit event stream: solvers emit
+//! lifecycle events through an [`Observer`], and callers choose what to do
+//! with them:
+//!
+//! * [`NoopObserver`] — ignore everything; every method is a default no-op
+//!   the optimizer erases, so uninstrumented callers pay nothing;
+//! * [`Stats`](crate::stats::Stats) — the classic three-counter struct,
+//!   kept as a thin [`Observer`] adapter so existing call sites work
+//!   unchanged;
+//! * [`MetricsRecorder`] — counters, per-phase monotonic timings, and
+//!   log-bucketed histograms (marginal-benefit distribution, heap
+//!   re-heapify depth);
+//! * [`JsonlSink`] — one JSON object per event to any [`io::Write`];
+//! * [`Fanout`] — broadcast each event to several observers at once.
+//!
+//! Event vocabulary (see DESIGN.md §Observability for the full mapping to
+//! the paper's figures):
+//!
+//! | event | emitted when |
+//! |---|---|
+//! | `guess_started` | a budget-guess round begins (`None` for single-round solvers) |
+//! | `level_entered` | a geometric cost level of the CMC schedule is scheduled |
+//! | `set_selected` | a set/pattern enters a candidate solution |
+//! | `benefit_computed` | (marginal) benefits were computed for `count` candidates |
+//! | `candidate_pruned` | a candidate was discarded before selection |
+//! | `subtree_pruned` | a whole lattice subtree was cut (pattern solvers) |
+//! | `posting_scanned` | index posting entries were scanned to expand a node |
+//! | `heap_stale_pop` | the lazy-greedy heap popped a stale entry and re-scored it |
+//! | `phase_started` / `phase_ended` | a named span (e.g. [`PHASE_TOTAL`]) opened / closed |
+
+use std::fmt::Write as _;
+use std::io;
+use std::time::Instant;
+
+/// Span name covering a solver's whole run; [`Stats`](crate::stats::Stats)
+/// copies its duration into `elapsed_secs`.
+pub const PHASE_TOTAL: &str = "total";
+
+/// Why a candidate (or lattice subtree) was discarded before selection.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum PruneReason {
+    /// Marginal benefit below the CWSC eligibility floor `rem/i`.
+    BelowFloor,
+    /// Marginal benefit dropped to zero (nothing new to cover).
+    Exhausted,
+    /// A cost bound proved the candidate cannot beat the incumbent.
+    CostBound,
+    /// A coverage bound proved the target is unreachable from here.
+    CoverageBound,
+}
+
+impl PruneReason {
+    /// Number of distinct reasons (array-indexing aid for aggregators).
+    pub const COUNT: usize = 4;
+
+    /// Stable snake_case name used in traces and reports.
+    pub fn as_str(self) -> &'static str {
+        match self {
+            PruneReason::BelowFloor => "below_floor",
+            PruneReason::Exhausted => "exhausted",
+            PruneReason::CostBound => "cost_bound",
+            PruneReason::CoverageBound => "coverage_bound",
+        }
+    }
+
+    /// Dense index in `0..COUNT`, in declaration order.
+    pub fn index(self) -> usize {
+        match self {
+            PruneReason::BelowFloor => 0,
+            PruneReason::Exhausted => 1,
+            PruneReason::CostBound => 2,
+            PruneReason::CoverageBound => 3,
+        }
+    }
+
+    /// All reasons in [`index`](PruneReason::index) order.
+    pub fn all() -> [PruneReason; PruneReason::COUNT] {
+        [
+            PruneReason::BelowFloor,
+            PruneReason::Exhausted,
+            PruneReason::CostBound,
+            PruneReason::CoverageBound,
+        ]
+    }
+}
+
+/// Receiver of solver lifecycle events. Every method has an empty default
+/// body, so observers implement only what they care about and the
+/// [`NoopObserver`] path compiles away entirely.
+///
+/// Solvers take `&mut O where O: Observer + ?Sized`, so both concrete
+/// observers (`&mut Stats`) and trait objects (`&mut dyn Observer`, as
+/// inside [`Fanout`]) work.
+pub trait Observer {
+    /// A budget-guess round began. `budget` is the guessed `B` for CMC's
+    /// outer loop, `None` for single-round solvers (CWSC, the baselines).
+    fn guess_started(&mut self, budget: Option<f64>) {
+        let _ = budget;
+    }
+
+    /// Level `level` of the CMC cost schedule was scheduled with a quota
+    /// (`allowance`) of picks. Emitted for the full schedule of each guess.
+    fn level_entered(&mut self, level: usize, allowance: usize) {
+        let _ = (level, allowance);
+    }
+
+    /// A set/pattern entered a candidate solution.
+    fn set_selected(&mut self, id: u64, marginal_benefit: u64, cost: f64) {
+        let _ = (id, marginal_benefit, cost);
+    }
+
+    /// `count` candidates had their (marginal) benefit computed — the
+    /// paper's Fig. 6 "patterns considered" unit of work.
+    fn benefit_computed(&mut self, count: u64) {
+        let _ = count;
+    }
+
+    /// A candidate was discarded before selection.
+    fn candidate_pruned(&mut self, reason: PruneReason) {
+        let _ = reason;
+    }
+
+    /// A whole lattice subtree was cut without materializing it
+    /// (pattern-lattice solvers only).
+    fn subtree_pruned(&mut self, reason: PruneReason) {
+        let _ = reason;
+    }
+
+    /// `entries` inverted-index posting entries (parent rows) were scanned
+    /// to expand a lattice node into its children.
+    fn posting_scanned(&mut self, entries: u64) {
+        let _ = entries;
+    }
+
+    /// The lazy-greedy heap popped a stale entry and had to re-score it.
+    fn heap_stale_pop(&mut self) {}
+
+    /// A named span opened. Pair with [`phase_ended`](Observer::phase_ended).
+    fn phase_started(&mut self, name: &'static str) {
+        let _ = name;
+    }
+
+    /// A named span closed after `seconds` of wall-clock time. The solver
+    /// measures the duration itself so observers stay stateless.
+    fn phase_ended(&mut self, name: &'static str, seconds: f64) {
+        let _ = (name, seconds);
+    }
+}
+
+/// The do-nothing observer: all default methods, zero cost after inlining.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct NoopObserver;
+
+impl Observer for NoopObserver {}
+
+/// RAII-style helper for emitting a paired
+/// [`phase_started`](Observer::phase_started) /
+/// [`phase_ended`](Observer::phase_ended) span. Not `Drop`-based — the
+/// observer borrow cannot be held across the span — so call
+/// [`exit`](PhaseSpan::exit) explicitly.
+#[derive(Debug)]
+pub struct PhaseSpan {
+    name: &'static str,
+    start: Instant,
+}
+
+impl PhaseSpan {
+    /// Emits `phase_started(name)` and starts the clock.
+    pub fn enter<O: Observer + ?Sized>(obs: &mut O, name: &'static str) -> PhaseSpan {
+        obs.phase_started(name);
+        PhaseSpan {
+            name,
+            start: Instant::now(),
+        }
+    }
+
+    /// Emits `phase_ended(name, seconds)` and returns the measured seconds.
+    pub fn exit<O: Observer + ?Sized>(self, obs: &mut O) -> f64 {
+        let seconds = self.start.elapsed().as_secs_f64();
+        obs.phase_ended(self.name, seconds);
+        seconds
+    }
+}
+
+/// A histogram with power-of-two buckets: bucket `0` holds zeros, bucket
+/// `i ≥ 1` holds values in `[2^(i-1), 2^i)`. Hand-rolled (no deps) and
+/// allocation-light: the bucket vector grows to the highest observed
+/// magnitude only.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct LogHistogram {
+    buckets: Vec<u64>,
+    count: u64,
+    sum: u64,
+    max: u64,
+}
+
+impl LogHistogram {
+    /// An empty histogram.
+    pub fn new() -> LogHistogram {
+        LogHistogram::default()
+    }
+
+    /// Index of the bucket `value` falls into.
+    pub fn bucket_of(value: u64) -> usize {
+        if value == 0 {
+            0
+        } else {
+            64 - value.leading_zeros() as usize
+        }
+    }
+
+    /// Inclusive-exclusive value range `[lo, hi)` of bucket `i` (bucket 0
+    /// is the point range `[0, 1)`).
+    pub fn bucket_range(i: usize) -> (u64, u64) {
+        if i == 0 {
+            (0, 1)
+        } else {
+            (1u64 << (i - 1), (1u64 << (i - 1)).saturating_mul(2))
+        }
+    }
+
+    /// Records one observation.
+    pub fn record(&mut self, value: u64) {
+        let b = LogHistogram::bucket_of(value);
+        if b >= self.buckets.len() {
+            self.buckets.resize(b + 1, 0);
+        }
+        self.buckets[b] += 1;
+        self.count += 1;
+        self.sum = self.sum.saturating_add(value);
+        self.max = self.max.max(value);
+    }
+
+    /// Per-bucket observation counts (index = [`bucket_of`](LogHistogram::bucket_of)).
+    pub fn buckets(&self) -> &[u64] {
+        &self.buckets
+    }
+
+    /// Total observations recorded.
+    pub fn count(&self) -> u64 {
+        self.count
+    }
+
+    /// Sum of all recorded values (saturating).
+    pub fn sum(&self) -> u64 {
+        self.sum
+    }
+
+    /// Largest recorded value (0 when empty).
+    pub fn max(&self) -> u64 {
+        self.max
+    }
+
+    /// Mean of recorded values (0.0 when empty).
+    pub fn mean(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.sum as f64 / self.count as f64
+        }
+    }
+
+    /// Whether nothing has been recorded yet.
+    pub fn is_empty(&self) -> bool {
+        self.count == 0
+    }
+}
+
+/// Accumulated wall-clock time of one named phase.
+#[derive(Debug, Clone, PartialEq)]
+pub struct PhaseMetric {
+    /// Span name as passed to [`Observer::phase_started`].
+    pub name: &'static str,
+    /// Total seconds across all spans with this name.
+    pub seconds: f64,
+    /// Number of completed spans with this name.
+    pub count: u64,
+}
+
+/// An [`Observer`] that aggregates every event into counters, per-phase
+/// monotonic timings, and log-bucketed histograms — the in-process
+/// equivalent of the numbers behind the paper's Figures 5–9.
+#[derive(Debug, Clone, Default)]
+pub struct MetricsRecorder {
+    /// Budget-guess rounds started.
+    pub guesses: u64,
+    /// Cost levels scheduled across all guesses.
+    pub levels_entered: u64,
+    /// Sum of level quotas across all guesses (`Σ allowance`).
+    pub level_allowance: u64,
+    /// Sets/patterns selected into candidate solutions.
+    pub selections: u64,
+    /// Benefit computations — the Fig. 6 "considered" metric.
+    pub benefits_computed: u64,
+    /// Candidates pruned, indexed by [`PruneReason::index`].
+    pub candidates_pruned: [u64; PruneReason::COUNT],
+    /// Lattice subtrees pruned, indexed by [`PruneReason::index`].
+    pub subtrees_pruned: [u64; PruneReason::COUNT],
+    /// Stale lazy-greedy heap pops (each one re-scored a candidate).
+    pub heap_stale_pops: u64,
+    /// Inverted-index posting entries scanned during lattice expansion.
+    pub postings_scanned: u64,
+    /// Distribution of marginal benefits at selection time.
+    pub marginal_benefit_hist: LogHistogram,
+    /// Distribution of consecutive stale pops preceding each selection —
+    /// the heap "re-heapify depth".
+    pub stale_run_hist: LogHistogram,
+    phases: Vec<PhaseMetric>,
+    stale_run: u64,
+}
+
+impl MetricsRecorder {
+    /// A fresh, zeroed recorder.
+    pub fn new() -> MetricsRecorder {
+        MetricsRecorder::default()
+    }
+
+    /// Completed phases in first-seen order.
+    pub fn phases(&self) -> &[PhaseMetric] {
+        &self.phases
+    }
+
+    /// Total seconds recorded for `name`, if any span with it completed.
+    pub fn phase_seconds(&self, name: &str) -> Option<f64> {
+        self.phases
+            .iter()
+            .find(|p| p.name == name)
+            .map(|p| p.seconds)
+    }
+
+    /// All candidates pruned, summed over reasons.
+    pub fn candidates_pruned_total(&self) -> u64 {
+        self.candidates_pruned.iter().sum()
+    }
+
+    /// All subtrees pruned, summed over reasons.
+    pub fn subtrees_pruned_total(&self) -> u64 {
+        self.subtrees_pruned.iter().sum()
+    }
+}
+
+impl Observer for MetricsRecorder {
+    fn guess_started(&mut self, _budget: Option<f64>) {
+        self.guesses += 1;
+    }
+
+    fn level_entered(&mut self, _level: usize, allowance: usize) {
+        self.levels_entered += 1;
+        self.level_allowance += allowance as u64;
+    }
+
+    fn set_selected(&mut self, _id: u64, marginal_benefit: u64, _cost: f64) {
+        self.selections += 1;
+        self.marginal_benefit_hist.record(marginal_benefit);
+        self.stale_run_hist.record(self.stale_run);
+        self.stale_run = 0;
+    }
+
+    fn benefit_computed(&mut self, count: u64) {
+        self.benefits_computed += count;
+    }
+
+    fn candidate_pruned(&mut self, reason: PruneReason) {
+        self.candidates_pruned[reason.index()] += 1;
+    }
+
+    fn subtree_pruned(&mut self, reason: PruneReason) {
+        self.subtrees_pruned[reason.index()] += 1;
+    }
+
+    fn posting_scanned(&mut self, entries: u64) {
+        self.postings_scanned += entries;
+    }
+
+    fn heap_stale_pop(&mut self) {
+        self.heap_stale_pops += 1;
+        self.stale_run += 1;
+    }
+
+    fn phase_ended(&mut self, name: &'static str, seconds: f64) {
+        match self.phases.iter_mut().find(|p| p.name == name) {
+            Some(p) => {
+                p.seconds += seconds;
+                p.count += 1;
+            }
+            None => self.phases.push(PhaseMetric {
+                name,
+                seconds,
+                count: 1,
+            }),
+        }
+    }
+}
+
+/// An [`Observer`] that serializes every event as one JSON object per line
+/// to any [`io::Write`]. Each line carries `"t"`, seconds since the sink
+/// was created, and `"event"`, the event name, plus the event's fields.
+///
+/// The encoder is hand-rolled (the workspace deliberately carries no JSON
+/// serializer); non-finite floats become JSON `null`. Write errors are
+/// latched rather than panicking mid-solve: the first failure silences the
+/// sink and [`has_failed`](JsonlSink::has_failed) reports it.
+#[derive(Debug)]
+pub struct JsonlSink<W: io::Write> {
+    out: W,
+    start: Instant,
+    failed: bool,
+    buf: String,
+}
+
+impl<W: io::Write> JsonlSink<W> {
+    /// Wraps a writer; the trace clock starts now.
+    pub fn new(out: W) -> JsonlSink<W> {
+        JsonlSink {
+            out,
+            start: Instant::now(),
+            failed: false,
+            buf: String::with_capacity(128),
+        }
+    }
+
+    /// Whether any write has failed (later events were dropped).
+    pub fn has_failed(&self) -> bool {
+        self.failed
+    }
+
+    /// Flushes and returns the underlying writer.
+    pub fn into_inner(mut self) -> io::Result<W> {
+        self.out.flush()?;
+        Ok(self.out)
+    }
+
+    /// Emits one line: `{"t":<secs>,"event":"<event>"<fields>}\n`.
+    /// `fields` must be empty or start with a comma.
+    fn emit(&mut self, event: &str, fields: &str) {
+        if self.failed {
+            return;
+        }
+        let t = self.start.elapsed().as_secs_f64();
+        self.buf.clear();
+        let _ = write!(
+            self.buf,
+            "{{\"t\":{},\"event\":\"{event}\"{fields}}}",
+            json_f64(t)
+        );
+        self.buf.push('\n');
+        if self.out.write_all(self.buf.as_bytes()).is_err() {
+            self.failed = true;
+        }
+    }
+}
+
+/// Formats an `f64` as a JSON value (non-finite → `null`).
+fn json_f64(v: f64) -> String {
+    if v.is_finite() {
+        let mut s = format!("{v}");
+        if !s.contains(['.', 'e', 'E']) {
+            s.push_str(".0");
+        }
+        s
+    } else {
+        "null".to_owned()
+    }
+}
+
+impl<W: io::Write> Observer for JsonlSink<W> {
+    fn guess_started(&mut self, budget: Option<f64>) {
+        let b = match budget {
+            Some(v) => json_f64(v),
+            None => "null".to_owned(),
+        };
+        self.emit("guess_started", &format!(",\"budget\":{b}"));
+    }
+
+    fn level_entered(&mut self, level: usize, allowance: usize) {
+        self.emit(
+            "level_entered",
+            &format!(",\"level\":{level},\"allowance\":{allowance}"),
+        );
+    }
+
+    fn set_selected(&mut self, id: u64, marginal_benefit: u64, cost: f64) {
+        self.emit(
+            "set_selected",
+            &format!(
+                ",\"id\":{id},\"marginal_benefit\":{marginal_benefit},\"cost\":{}",
+                json_f64(cost)
+            ),
+        );
+    }
+
+    fn benefit_computed(&mut self, count: u64) {
+        self.emit("benefit_computed", &format!(",\"count\":{count}"));
+    }
+
+    fn candidate_pruned(&mut self, reason: PruneReason) {
+        self.emit(
+            "candidate_pruned",
+            &format!(",\"reason\":\"{}\"", reason.as_str()),
+        );
+    }
+
+    fn subtree_pruned(&mut self, reason: PruneReason) {
+        self.emit(
+            "subtree_pruned",
+            &format!(",\"reason\":\"{}\"", reason.as_str()),
+        );
+    }
+
+    fn posting_scanned(&mut self, entries: u64) {
+        self.emit("posting_scanned", &format!(",\"entries\":{entries}"));
+    }
+
+    fn heap_stale_pop(&mut self) {
+        self.emit("heap_stale_pop", "");
+    }
+
+    fn phase_started(&mut self, name: &'static str) {
+        self.emit("phase_started", &format!(",\"name\":\"{name}\""));
+    }
+
+    fn phase_ended(&mut self, name: &'static str, seconds: f64) {
+        self.emit(
+            "phase_ended",
+            &format!(",\"name\":\"{name}\",\"seconds\":{}", json_f64(seconds)),
+        );
+    }
+}
+
+/// Broadcasts every event to each attached observer, in attachment order.
+/// Lets one solve feed `Stats`, a [`MetricsRecorder`], and a [`JsonlSink`]
+/// simultaneously.
+#[derive(Default)]
+pub struct Fanout<'a> {
+    observers: Vec<&'a mut dyn Observer>,
+}
+
+impl<'a> Fanout<'a> {
+    /// An empty fanout (all events dropped until observers attach).
+    pub fn new() -> Fanout<'a> {
+        Fanout {
+            observers: Vec::new(),
+        }
+    }
+
+    /// Attaches one more observer.
+    pub fn attach(&mut self, observer: &'a mut dyn Observer) -> &mut Self {
+        self.observers.push(observer);
+        self
+    }
+
+    /// Number of attached observers.
+    pub fn len(&self) -> usize {
+        self.observers.len()
+    }
+
+    /// Whether no observer is attached.
+    pub fn is_empty(&self) -> bool {
+        self.observers.is_empty()
+    }
+}
+
+impl Observer for Fanout<'_> {
+    fn guess_started(&mut self, budget: Option<f64>) {
+        for o in &mut self.observers {
+            o.guess_started(budget);
+        }
+    }
+
+    fn level_entered(&mut self, level: usize, allowance: usize) {
+        for o in &mut self.observers {
+            o.level_entered(level, allowance);
+        }
+    }
+
+    fn set_selected(&mut self, id: u64, marginal_benefit: u64, cost: f64) {
+        for o in &mut self.observers {
+            o.set_selected(id, marginal_benefit, cost);
+        }
+    }
+
+    fn benefit_computed(&mut self, count: u64) {
+        for o in &mut self.observers {
+            o.benefit_computed(count);
+        }
+    }
+
+    fn candidate_pruned(&mut self, reason: PruneReason) {
+        for o in &mut self.observers {
+            o.candidate_pruned(reason);
+        }
+    }
+
+    fn subtree_pruned(&mut self, reason: PruneReason) {
+        for o in &mut self.observers {
+            o.subtree_pruned(reason);
+        }
+    }
+
+    fn posting_scanned(&mut self, entries: u64) {
+        for o in &mut self.observers {
+            o.posting_scanned(entries);
+        }
+    }
+
+    fn heap_stale_pop(&mut self) {
+        for o in &mut self.observers {
+            o.heap_stale_pop();
+        }
+    }
+
+    fn phase_started(&mut self, name: &'static str) {
+        for o in &mut self.observers {
+            o.phase_started(name);
+        }
+    }
+
+    fn phase_ended(&mut self, name: &'static str, seconds: f64) {
+        for o in &mut self.observers {
+            o.phase_ended(name, seconds);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn prune_reason_round_trip() {
+        for (i, r) in PruneReason::all().into_iter().enumerate() {
+            assert_eq!(r.index(), i);
+            assert!(!r.as_str().is_empty());
+        }
+    }
+
+    #[test]
+    fn log_histogram_bucketing() {
+        assert_eq!(LogHistogram::bucket_of(0), 0);
+        assert_eq!(LogHistogram::bucket_of(1), 1);
+        assert_eq!(LogHistogram::bucket_of(2), 2);
+        assert_eq!(LogHistogram::bucket_of(3), 2);
+        assert_eq!(LogHistogram::bucket_of(4), 3);
+        assert_eq!(LogHistogram::bucket_of(u64::MAX), 64);
+        assert_eq!(LogHistogram::bucket_range(0), (0, 1));
+        assert_eq!(LogHistogram::bucket_range(2), (2, 4));
+        for v in [0u64, 1, 2, 3, 7, 8, 1023, 1024] {
+            let (lo, hi) = LogHistogram::bucket_range(LogHistogram::bucket_of(v));
+            assert!(lo <= v && v < hi, "{v} outside [{lo},{hi})");
+        }
+    }
+
+    #[test]
+    fn log_histogram_aggregates() {
+        let mut h = LogHistogram::new();
+        assert!(h.is_empty());
+        for v in [0u64, 1, 1, 5, 9] {
+            h.record(v);
+        }
+        assert_eq!(h.count(), 5);
+        assert_eq!(h.sum(), 16);
+        assert_eq!(h.max(), 9);
+        assert_eq!(h.mean(), 3.2);
+        assert_eq!(h.buckets()[0], 1, "one zero");
+        assert_eq!(h.buckets()[1], 2, "two ones");
+        assert_eq!(h.buckets()[3], 1, "5 in [4,8)");
+        assert_eq!(h.buckets()[4], 1, "9 in [8,16)");
+    }
+
+    #[test]
+    fn metrics_recorder_aggregates_events() {
+        let mut m = MetricsRecorder::new();
+        m.guess_started(Some(4.0));
+        m.level_entered(0, 2);
+        m.level_entered(1, 4);
+        m.benefit_computed(10);
+        m.heap_stale_pop();
+        m.heap_stale_pop();
+        m.set_selected(3, 6, 1.5);
+        m.set_selected(1, 2, 0.5);
+        m.candidate_pruned(PruneReason::BelowFloor);
+        m.subtree_pruned(PruneReason::Exhausted);
+        m.posting_scanned(7);
+        m.phase_started("total");
+        m.phase_ended("total", 0.25);
+        m.phase_ended("total", 0.25);
+
+        assert_eq!(m.guesses, 1);
+        assert_eq!(m.levels_entered, 2);
+        assert_eq!(m.level_allowance, 6);
+        assert_eq!(m.selections, 2);
+        assert_eq!(m.benefits_computed, 10);
+        assert_eq!(m.candidates_pruned_total(), 1);
+        assert_eq!(m.subtrees_pruned_total(), 1);
+        assert_eq!(m.heap_stale_pops, 2);
+        assert_eq!(m.postings_scanned, 7);
+        assert_eq!(m.marginal_benefit_hist.count(), 2);
+        assert_eq!(m.marginal_benefit_hist.sum(), 8);
+        // First selection came after 2 stale pops, second after 0.
+        assert_eq!(m.stale_run_hist.count(), 2);
+        assert_eq!(m.stale_run_hist.max(), 2);
+        assert_eq!(m.phase_seconds("total"), Some(0.5));
+        assert_eq!(m.phases()[0].count, 2);
+        assert_eq!(m.phase_seconds("missing"), None);
+    }
+
+    #[test]
+    fn jsonl_sink_emits_one_line_per_event() {
+        let mut sink = JsonlSink::new(Vec::new());
+        sink.guess_started(Some(2.5));
+        sink.guess_started(None);
+        sink.level_entered(0, 2);
+        sink.set_selected(7, 3, 1.0);
+        sink.benefit_computed(12);
+        sink.candidate_pruned(PruneReason::CostBound);
+        sink.subtree_pruned(PruneReason::BelowFloor);
+        sink.posting_scanned(40);
+        sink.heap_stale_pop();
+        sink.phase_started("total");
+        sink.phase_ended("total", 0.125);
+        assert!(!sink.has_failed());
+        let bytes = sink.into_inner().unwrap();
+        let text = String::from_utf8(bytes).unwrap();
+        let lines: Vec<&str> = text.lines().collect();
+        assert_eq!(lines.len(), 11);
+        for line in &lines {
+            assert!(line.starts_with("{\"t\":"), "bad line: {line}");
+            assert!(line.ends_with('}'), "bad line: {line}");
+            assert!(line.contains("\"event\":\""), "bad line: {line}");
+        }
+        assert!(lines[0].contains("\"budget\":2.5"));
+        assert!(lines[1].contains("\"budget\":null"));
+        assert!(lines[3].contains("\"id\":7"));
+        assert!(lines[3].contains("\"marginal_benefit\":3"));
+        assert!(lines[3].contains("\"cost\":1.0"));
+        assert!(lines[5].contains("\"reason\":\"cost_bound\""));
+        assert!(lines[10].contains("\"seconds\":0.125"));
+    }
+
+    #[test]
+    fn jsonl_sink_latches_write_errors() {
+        struct Failing;
+        impl io::Write for Failing {
+            fn write(&mut self, _: &[u8]) -> io::Result<usize> {
+                Err(io::ErrorKind::Other.into())
+            }
+            fn flush(&mut self) -> io::Result<()> {
+                Ok(())
+            }
+        }
+        let mut sink = JsonlSink::new(Failing);
+        sink.heap_stale_pop();
+        assert!(sink.has_failed());
+        sink.heap_stale_pop(); // silently dropped, no panic
+    }
+
+    #[test]
+    fn json_f64_forms() {
+        assert_eq!(json_f64(1.5), "1.5");
+        assert_eq!(json_f64(3.0), "3.0");
+        assert_eq!(json_f64(f64::INFINITY), "null");
+        assert_eq!(json_f64(f64::NAN), "null");
+    }
+
+    #[test]
+    fn fanout_broadcasts() {
+        let mut a = MetricsRecorder::new();
+        let mut b = MetricsRecorder::new();
+        {
+            let mut fan = Fanout::new();
+            fan.attach(&mut a).attach(&mut b);
+            assert_eq!(fan.len(), 2);
+            assert!(!fan.is_empty());
+            fan.benefit_computed(4);
+            fan.set_selected(0, 2, 1.0);
+        }
+        assert_eq!(a.benefits_computed, 4);
+        assert_eq!(b.benefits_computed, 4);
+        assert_eq!(a.selections, 1);
+        assert_eq!(b.selections, 1);
+    }
+
+    #[test]
+    fn noop_observer_accepts_everything() {
+        let mut n = NoopObserver;
+        n.guess_started(Some(1.0));
+        n.level_entered(0, 1);
+        n.set_selected(0, 0, 0.0);
+        n.benefit_computed(1);
+        n.candidate_pruned(PruneReason::Exhausted);
+        n.subtree_pruned(PruneReason::CoverageBound);
+        n.posting_scanned(1);
+        n.heap_stale_pop();
+        n.phase_started("x");
+        n.phase_ended("x", 0.0);
+    }
+
+    #[test]
+    fn phase_span_measures_nonnegative_time() {
+        let mut m = MetricsRecorder::new();
+        let span = PhaseSpan::enter(&mut m, PHASE_TOTAL);
+        let secs = span.exit(&mut m);
+        assert!(secs >= 0.0);
+        assert!(m.phase_seconds(PHASE_TOTAL).is_some());
+    }
+}

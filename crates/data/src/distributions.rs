@@ -129,7 +129,9 @@ mod tests {
     #[test]
     fn log_normal_is_positive_and_skewed() {
         let mut rng = StdRng::seed_from_u64(19);
-        let samples: Vec<f64> = (0..10_000).map(|_| log_normal(&mut rng, 2.0, 1.0)).collect();
+        let samples: Vec<f64> = (0..10_000)
+            .map(|_| log_normal(&mut rng, 2.0, 1.0))
+            .collect();
         assert!(samples.iter().all(|&x| x > 0.0));
         let mean = samples.iter().sum::<f64>() / samples.len() as f64;
         let mut sorted = samples.clone();

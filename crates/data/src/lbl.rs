@@ -102,7 +102,9 @@ impl LblConfig {
         // sessions scatter around the group level.
         let states = self.end_states.max(1);
         let group_mu: Vec<f64> = (0..self.protocols.max(1) * states)
-            .map(|_| self.length_mu + self.length_sigma * crate::distributions::standard_normal(&mut rng))
+            .map(|_| {
+                self.length_mu + self.length_sigma * crate::distributions::standard_normal(&mut rng)
+            })
             .collect();
 
         let mut b = Table::builder(
@@ -204,7 +206,10 @@ mod tests {
         let mut sorted = t.measures().to_vec();
         sorted.sort_by(f64::total_cmp);
         let median = sorted[sorted.len() / 2];
-        assert!(mean > 2.0 * median, "heavy tail: mean {mean}, median {median}");
+        assert!(
+            mean > 2.0 * median,
+            "heavy tail: mean {mean}, median {median}"
+        );
     }
 
     /// The correlation that makes covers interesting: some protocol's

@@ -46,13 +46,22 @@ impl CandidatePool {
     /// Inserts a pattern with its benefit rows and cost, computing its
     /// marginal benefit against `covered`. Re-inserting a pattern that was
     /// previously removed revives the stored entry (recounting `mben`).
-    pub fn insert(&mut self, pattern: Pattern, rows: Vec<RowId>, cost: f64, covered: &BitSet) -> CandId {
+    pub fn insert(
+        &mut self,
+        pattern: Pattern,
+        rows: Vec<RowId>,
+        cost: f64,
+        covered: &BitSet,
+    ) -> CandId {
         if let Some(&id) = self.by_pattern.get(&pattern) {
             self.alive[id] = true;
             self.recount(id, covered);
             return id;
         }
-        let mben = rows.iter().filter(|&&r| !covered.contains(r as usize)).count();
+        let mben = rows
+            .iter()
+            .filter(|&&r| !covered.contains(r as usize))
+            .count();
         let id = self.cands.len();
         self.by_pattern.insert(pattern.clone(), id);
         self.cands.push(Candidate {
@@ -130,10 +139,9 @@ impl CandidatePool {
     /// removing those whose marginal benefit dropped to zero.
     pub fn recount_all(&mut self, covered: &BitSet) {
         for id in 0..self.cands.len() {
-            if self.alive[id]
-                && self.recount(id, covered) == 0 {
-                    self.alive[id] = false;
-                }
+            if self.alive[id] && self.recount(id, covered) == 0 {
+                self.alive[id] = false;
+            }
         }
     }
 }
@@ -234,7 +242,11 @@ mod tests {
         let c = cand(5, 0.5, vec![Some(1)]);
         assert_eq!(benefit_order(&c, &a), Ordering::Greater, "cheaper wins tie");
         let d = cand(5, 0.5, vec![Some(0)]);
-        assert_eq!(benefit_order(&d, &c), Ordering::Greater, "smaller pattern wins");
+        assert_eq!(
+            benefit_order(&d, &c),
+            Ordering::Greater,
+            "smaller pattern wins"
+        );
     }
 
     #[test]

@@ -7,11 +7,11 @@
 //! hardness carries over to sum and Lp-norms. All of those are provided.
 
 use crate::table::{RowId, Table};
-use serde::{Deserialize, Serialize};
 
 /// How a pattern's weight is derived from the measures of the records it
 /// covers.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 pub enum CostFn {
     /// `max_{t ∈ Ben(p)} t[M]` — the paper's default (Section I).
     Max,
@@ -45,7 +45,10 @@ impl CostFn {
             CostFn::Count => rows.len() as f64,
             CostFn::LpNorm(p) => {
                 assert!(p.is_finite() && p >= 1.0, "LpNorm requires p >= 1, got {p}");
-                measures.map(|m| m.abs().powf(p)).sum::<f64>().powf(p.recip())
+                measures
+                    .map(|m| m.abs().powf(p))
+                    .sum::<f64>()
+                    .powf(p.recip())
             }
         }
     }
@@ -102,7 +105,13 @@ mod tests {
     #[test]
     fn empty_rows_cost_zero() {
         let t = table();
-        for f in [CostFn::Max, CostFn::Sum, CostFn::Mean, CostFn::Count, CostFn::LpNorm(2.0)] {
+        for f in [
+            CostFn::Max,
+            CostFn::Sum,
+            CostFn::Mean,
+            CostFn::Count,
+            CostFn::LpNorm(2.0),
+        ] {
             assert_eq!(f.evaluate(&t, &[]), 0.0);
         }
     }

@@ -7,16 +7,16 @@
 //! display.
 
 use crate::fxhash::FxHashMap;
-use serde::{Deserialize, Serialize};
 
 /// Dense id for a categorical value within one attribute's active domain.
 pub type ValueId = u32;
 
 /// Bidirectional mapping between category strings and dense [`ValueId`]s.
-#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Default, PartialEq)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 pub struct Dictionary {
     values: Vec<String>,
-    #[serde(skip)]
+    #[cfg_attr(feature = "serde", serde(skip))]
     index: FxHashMap<String, ValueId>,
 }
 

@@ -47,10 +47,7 @@ impl MaterializedPatterns {
 
     /// Finds the set id of a pattern, if it is non-empty.
     pub fn id_of(&self, pattern: &Pattern) -> Option<u32> {
-        self.patterns
-            .binary_search(pattern)
-            .ok()
-            .map(|i| i as u32)
+        self.patterns.binary_search(pattern).ok().map(|i| i as u32)
     }
 }
 

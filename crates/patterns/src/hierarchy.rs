@@ -25,9 +25,10 @@ use crate::pattern_solution::PatternSolution;
 use crate::space::LatticeSpace;
 use crate::table::{RowId, Table};
 use scwsc_core::algorithms::cmc::CmcParams;
-use scwsc_core::{coverage_target, SolveError, Stats};
+use scwsc_core::telemetry::Observer;
 #[cfg(test)]
 use scwsc_core::BitSet;
+use scwsc_core::{coverage_target, SolveError};
 
 /// Node id within a [`Hierarchy`]. Ids `0..num_leaves` are the attribute's
 /// dictionary value ids; higher ids are internal nodes.
@@ -78,11 +79,7 @@ impl Hierarchy {
 
     /// Adds an internal node grouping existing nodes (leaves or earlier
     /// groups). Members must not already have a parent.
-    pub fn add_group(
-        &mut self,
-        name: &str,
-        members: &[&str],
-    ) -> Result<NodeId, HierarchyError> {
+    pub fn add_group(&mut self, name: &str, members: &[&str]) -> Result<NodeId, HierarchyError> {
         let id = self.names.len() as NodeId;
         let mut member_ids = Vec::with_capacity(members.len());
         for m in members {
@@ -176,7 +173,10 @@ impl Hierarchy {
 pub fn bin_numeric(values: &[f64], bins: usize) -> (Vec<String>, Hierarchy) {
     assert!(bins > 0, "need at least one bin");
     assert!(!values.is_empty(), "need at least one value");
-    assert!(values.iter().all(|v| v.is_finite()), "values must be finite");
+    assert!(
+        values.iter().all(|v| v.is_finite()),
+        "values must be finite"
+    );
     let (min, max) = values
         .iter()
         .fold((f64::INFINITY, f64::NEG_INFINITY), |(lo, hi), &v| {
@@ -383,7 +383,9 @@ impl<'a> HierarchicalSpace<'a> {
 /// the unoptimized path for hierarchy-enriched spaces, used by the
 /// differential tests (each record contributes one pattern per combination
 /// of its values' ancestor chains, `ALL` included).
-pub fn enumerate_hierarchical(space: &HierarchicalSpace<'_>) -> crate::enumerate::MaterializedPatterns {
+pub fn enumerate_hierarchical(
+    space: &HierarchicalSpace<'_>,
+) -> crate::enumerate::MaterializedPatterns {
     use crate::fxhash::FxHashMap;
     let table = space.table();
     let j = table.num_attrs();
@@ -419,7 +421,9 @@ pub fn enumerate_hierarchical(space: &HierarchicalSpace<'_>) -> crate::enumerate
             ben: &mut crate::fxhash::FxHashMap<Pattern, Vec<RowId>>,
         ) {
             if attr == j {
-                ben.entry(Pattern::new(stack.clone())).or_default().push(row);
+                ben.entry(Pattern::new(stack.clone()))
+                    .or_default()
+                    .push(row);
                 return;
             }
             let leaf = table.value(row, attr);
@@ -478,27 +482,27 @@ impl LatticeSpace for HierarchicalSpace<'_> {
 /// (possibly hierarchical) patterns covering `⌈coverage_fraction·n⌉`
 /// records. Same algorithm as [`crate::opt_cwsc::opt_cwsc`], with lattice
 /// navigation delegated to the hierarchies.
-pub fn hier_cwsc(
+pub fn hier_cwsc<O: Observer + ?Sized>(
     space: &HierarchicalSpace<'_>,
     k: usize,
     coverage_fraction: f64,
-    stats: &mut Stats,
+    obs: &mut O,
 ) -> Result<PatternSolution, SolveError> {
     if k == 0 {
         return Err(SolveError::ZeroSizeBound);
     }
     let target = coverage_target(space.table().num_rows(), coverage_fraction);
-    opt_cwsc_in(space, k, target, stats)
+    opt_cwsc_in(space, k, target, obs)
 }
 
 /// Figure 4's optimized CMC over a hierarchical space — same guarantees as
 /// [`crate::opt_cmc::opt_cmc`], with region/range nodes available as sets.
-pub fn hier_cmc(
+pub fn hier_cmc<O: Observer + ?Sized>(
     space: &HierarchicalSpace<'_>,
     params: &CmcParams,
-    stats: &mut Stats,
+    obs: &mut O,
 ) -> Result<PatternSolution, SolveError> {
-    opt_cmc_in(space, params, stats)
+    opt_cmc_in(space, params, obs)
 }
 
 #[cfg(test)]
@@ -506,6 +510,7 @@ mod tests {
     use super::*;
     use crate::opt_cwsc::opt_cwsc;
     use crate::space::PatternSpace;
+    use scwsc_core::Stats;
 
     /// Entities-like table with a regional structure over Location.
     fn table() -> Table {
@@ -528,8 +533,10 @@ mod tests {
     fn location_hierarchy(t: &Table) -> Hierarchy {
         let names: Vec<&str> = t.dictionary(1).iter().map(|(_, v)| v).collect();
         let mut h = Hierarchy::flat(&names);
-        h.add_group("WestCoast", &["West", "Northwest", "Southwest"]).unwrap();
-        h.add_group("EastCoast", &["East", "Northeast", "Southeast"]).unwrap();
+        h.add_group("WestCoast", &["West", "Northwest", "Southwest"])
+            .unwrap();
+        h.add_group("EastCoast", &["East", "Northeast", "Southeast"])
+            .unwrap();
         h
     }
 
@@ -618,7 +625,9 @@ mod tests {
             .find(|(p, _)| sp.display(p).contains("WestCoast"))
             .unwrap();
         let grand = sp.children_with_rows(wc, wc_rows);
-        assert!(grand.iter().any(|(p, _)| sp.display(p).contains("Location=West}")));
+        assert!(grand
+            .iter()
+            .any(|(p, _)| sp.display(p).contains("Location=West}")));
     }
 
     #[test]

@@ -159,7 +159,10 @@ mod tests {
     fn root_benefit_is_all_rows() {
         let t = table();
         let idx = InvertedIndex::build(&t);
-        assert_eq!(idx.benefit(&Pattern::all_wildcards(2)), vec![0, 1, 2, 3, 4, 5]);
+        assert_eq!(
+            idx.benefit(&Pattern::all_wildcards(2)),
+            vec![0, 1, 2, 3, 4, 5]
+        );
         assert_eq!(idx.benefit_count(&Pattern::all_wildcards(2)), 6);
     }
 
@@ -176,7 +179,10 @@ mod tests {
         let t = table();
         let idx = InvertedIndex::build(&t);
         assert_eq!(idx.benefit(&pat(&t, Some("B"), Some("South"))), vec![2, 5]);
-        assert_eq!(idx.benefit(&pat(&t, Some("A"), Some("South"))), Vec::<RowId>::new());
+        assert_eq!(
+            idx.benefit(&pat(&t, Some("A"), Some("South"))),
+            Vec::<RowId>::new()
+        );
         assert_eq!(idx.benefit_count(&pat(&t, Some("B"), Some("West"))), 1);
     }
 

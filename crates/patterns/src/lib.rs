@@ -54,7 +54,7 @@ pub mod test_util;
 pub use cost_fn::CostFn;
 pub use dictionary::{Dictionary, ValueId};
 pub use enumerate::{enumerate_all, MaterializedPatterns};
-pub use hierarchy::{enumerate_hierarchical, hier_cmc, hier_cwsc, Hierarchy, HierarchicalSpace};
+pub use hierarchy::{enumerate_hierarchical, hier_cmc, hier_cwsc, HierarchicalSpace, Hierarchy};
 pub use index::InvertedIndex;
 pub use opt_cmc::{opt_cmc, opt_cmc_in};
 pub use opt_cwsc::{opt_cwsc, opt_cwsc_in, opt_cwsc_with_target};

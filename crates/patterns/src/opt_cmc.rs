@@ -28,7 +28,8 @@ use crate::pattern_solution::PatternSolution;
 use crate::space::{LatticeSpace, PatternSpace};
 use crate::table::RowId;
 use scwsc_core::algorithms::cmc::{CmcParams, Levels};
-use scwsc_core::{coverage_target, BitSet, SolveError, Stats};
+use scwsc_core::telemetry::{Observer, PhaseSpan, PruneReason, PHASE_TOTAL};
+use scwsc_core::{coverage_target, BitSet, SolveError};
 use std::collections::BinaryHeap;
 
 /// Runs the optimized CMC (Fig. 4) over a pattern space.
@@ -38,24 +39,25 @@ use std::collections::BinaryHeap;
 /// coverage target is `(1−1/e)·ŝ·n` unless `params.discount_coverage` is
 /// unset.
 ///
-/// `stats.considered` counts pattern examinations per budget guess
-/// (Fig. 4 lines 12 and 35), the Figure 6 metric; `stats.budget_guesses`
-/// counts the guesses.
-pub fn opt_cmc(
+/// Each pattern examination (Fig. 4 lines 12 and 35), the Figure 6 metric,
+/// is reported to `obs` as a `benefit_computed` event; budget guesses
+/// arrive as `guess_started` events. Passing `&mut Stats` keeps the legacy
+/// counters.
+pub fn opt_cmc<O: Observer + ?Sized>(
     space: &PatternSpace<'_>,
     params: &CmcParams,
-    stats: &mut Stats,
+    obs: &mut O,
 ) -> Result<PatternSolution, SolveError> {
-    opt_cmc_in(space, params, stats)
+    opt_cmc_in(space, params, obs)
 }
 
 /// The Figure 4 algorithm over any [`LatticeSpace`] — the flat pattern
 /// cube or the hierarchy-enriched lattice of
 /// [`crate::hierarchy::HierarchicalSpace`].
-pub fn opt_cmc_in<S: LatticeSpace>(
+pub fn opt_cmc_in<S: LatticeSpace, O: Observer + ?Sized>(
     space: &S,
     params: &CmcParams,
-    stats: &mut Stats,
+    obs: &mut O,
 ) -> Result<PatternSolution, SolveError> {
     if params.k == 0 {
         return Err(SolveError::ZeroSizeBound);
@@ -78,7 +80,19 @@ pub fn opt_cmc_in<S: LatticeSpace>(
             total_cost: 0.0,
         });
     }
+    let span = PhaseSpan::enter(obs, PHASE_TOTAL);
+    let result = guess_loop(space, params, target, obs);
+    span.exit(obs);
+    result
+}
 
+/// The budget-doubling loop (Fig. 4 lines 01–07 and 36–37).
+fn guess_loop<S: LatticeSpace, O: Observer + ?Sized>(
+    space: &S,
+    params: &CmcParams,
+    target: usize,
+    obs: &mut O,
+) -> Result<PatternSolution, SolveError> {
     // Line 01: "B = cost of the k cheapest patterns". Knowing the true k
     // cheapest patterns would itself require enumeration, so we seed with
     // the sum of the k smallest single-record weights — a lower bound for
@@ -97,8 +111,8 @@ pub fn opt_cmc_in<S: LatticeSpace>(
     let mut lattice = Lattice::new(space);
 
     loop {
-        stats.new_guess();
-        if let Some(solution) = run_guess(&mut lattice, params, budget, target, stats) {
+        obs.guess_started(Some(budget));
+        if let Some(solution) = run_guess(&mut lattice, params, budget, target, obs) {
             return Ok(solution);
         }
         // Line 37: stop once even a budget admitting every pattern failed.
@@ -164,7 +178,8 @@ impl<'a, S: LatticeSpace> Lattice<'a, S> {
                 None => {
                     let cid = self.patterns.len() as u32;
                     self.by_pattern.insert(child.clone(), cid);
-                    self.num_parents.push(self.space.parents(&child).len() as u8);
+                    self.num_parents
+                        .push(self.space.parents(&child).len() as u8);
                     self.patterns.push(child);
                     self.costs.push(self.space.cost(&child_rows));
                     self.rows.push(child_rows);
@@ -181,15 +196,20 @@ impl<'a, S: LatticeSpace> Lattice<'a, S> {
 
 /// One budget guess (Fig. 4 lines 08–35). Returns the solution if the
 /// coverage target was reached.
-fn run_guess<S: LatticeSpace>(
+fn run_guess<S: LatticeSpace, O: Observer + ?Sized>(
     lattice: &mut Lattice<'_, S>,
     params: &CmcParams,
     budget: f64,
     target: usize,
-    stats: &mut Stats,
+    obs: &mut O,
 ) -> Option<PatternSolution> {
     let n = lattice.space.num_rows();
     let levels = Levels::build(params.schedule, budget, params.k);
+    // Report the complete level schedule up front: even if the guess ends
+    // early, observers see every (level, quota) pair Fig. 4 line 05 built.
+    for level in 0..levels.len() {
+        obs.level_entered(level, levels.quota(level));
+    }
     let mut counts = vec![0usize; levels.len()]; // lines 15-16
     let mut selected_total = 0usize;
     let max_selections = levels.max_selections();
@@ -207,7 +227,7 @@ fn run_guess<S: LatticeSpace>(
 
     // Lines 11-13: C = {all-wildcards}.
     in_c[0] = true;
-    stats.consider(1);
+    obs.benefit_computed(1);
 
     // Max-heap on (mben, cheaper first, older first), with lazy
     // revalidation: marginal benefits only decrease, so a stale entry is
@@ -234,6 +254,7 @@ fn run_guess<S: LatticeSpace>(
         }
         let id = entry.id as usize;
         if !in_c[id] {
+            obs.heap_stale_pop();
             continue; // stale duplicate of a removed candidate
         }
         let current = lattice.rows[id]
@@ -242,9 +263,11 @@ fn run_guess<S: LatticeSpace>(
             .count();
         if current == 0 {
             in_c[id] = false; // lines 28-29 analogue
+            obs.candidate_pruned(PruneReason::Exhausted);
             continue;
         }
         if current != entry.mben {
+            obs.heap_stale_pop();
             heap.push(HeapEntry {
                 mben: current,
                 cost_bits: entry.cost_bits,
@@ -267,7 +290,7 @@ fn run_guess<S: LatticeSpace>(
             selected[id] = true;
             solution.patterns.push(lattice.patterns[id].clone());
             solution.total_cost += q_cost;
-            stats.select();
+            obs.set_selected(entry.id as u64, current as u64, q_cost);
             for &r in &lattice.rows[id] {
                 covered.insert(r as usize);
             }
@@ -280,6 +303,16 @@ fn run_guess<S: LatticeSpace>(
         } else {
             // Lines 30-35: visit q and expand its children.
             visited[id] = true;
+            if lattice.children[id].is_none() {
+                // First materialization: children_with_rows partitions q's
+                // row list once per wildcard attribute.
+                let wildcards = lattice.patterns[id]
+                    .values()
+                    .iter()
+                    .filter(|v| v.is_none())
+                    .count();
+                obs.posting_scanned((lattice.rows[id].len() * wildcards) as u64);
+            }
             for child_id in lattice.children_of(entry.id) {
                 let cid = child_id as usize;
                 if pending.len() <= cid {
@@ -303,12 +336,15 @@ fn run_guess<S: LatticeSpace>(
                 // Line 35: compute Cost(m) and MBen(m) — served from the
                 // lattice cache, but still one "considered" event per
                 // guess, matching what Fig. 4 would compute.
-                stats.consider(1);
+                obs.benefit_computed(1);
                 let child_mben = lattice.rows[cid]
                     .iter()
                     .filter(|&&r| !covered.contains(r as usize))
                     .count();
                 if child_mben == 0 {
+                    // Never enters C, so its descendants stay gated behind
+                    // an unvisited parent: the whole subtree is skipped.
+                    obs.subtree_pruned(PruneReason::Exhausted);
                     continue; // would be dropped by lines 28-29 immediately
                 }
                 in_c[cid] = true;
@@ -365,6 +401,7 @@ mod tests {
     use crate::enumerate::enumerate_all;
     use crate::table::Table;
     use scwsc_core::algorithms::{cmc, CMC_COVERAGE_DISCOUNT};
+    use scwsc_core::Stats;
 
     fn entities() -> Table {
         let mut b = Table::builder(&["Type", "Location"], "Cost");
@@ -399,7 +436,11 @@ mod tests {
             let params = CmcParams::classic(k, s, 1.0);
             let sol = opt_cmc(&sp, &params, &mut Stats::new()).unwrap();
             let target = coverage_target(16, s * CMC_COVERAGE_DISCOUNT);
-            assert!(sol.covered >= target, "k={k} s={s}: {} < {target}", sol.covered);
+            assert!(
+                sol.covered >= target,
+                "k={k} s={s}: {} < {target}",
+                sol.covered
+            );
             assert!(sol.size() <= 5 * k, "k={k}: {} sets", sol.size());
             sol.verify(&sp);
         }

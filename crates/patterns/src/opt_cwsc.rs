@@ -18,15 +18,23 @@ use crate::candidates::{gain_order, CandidatePool};
 use crate::pattern::Pattern;
 use crate::pattern_solution::PatternSolution;
 use crate::space::{LatticeSpace, PatternSpace};
-use scwsc_core::{coverage_target, BitSet, SolveError, Stats};
+use scwsc_core::telemetry::{Observer, PhaseSpan, PruneReason, PHASE_TOTAL};
+use scwsc_core::{coverage_target, BitSet, SolveError};
 use std::cmp::Reverse;
 use std::collections::BinaryHeap;
 
 /// Runs the optimized CWSC (Fig. 3): at most `k` patterns covering at
 /// least `⌈coverage_fraction·n⌉` records of the space's table.
 ///
-/// `stats.considered` counts every pattern whose benefit set and cost are
-/// materialized (Fig. 3 lines 05 and 17) — the Figure 6 metric.
+/// The run reports its work through any [`Observer`]: `benefit_computed`
+/// per pattern whose benefit set and cost are materialized (Fig. 3 lines
+/// 05 and 17 — the Figure 6 metric), `candidate_pruned(BelowFloor)` when a
+/// candidate drops below the eligibility floor `rem/i`,
+/// `subtree_pruned(BelowFloor)` when a child fails the floor at
+/// materialization (its whole subtree stays unexplored),
+/// `posting_scanned` for the parent rows bucketed during lattice
+/// expansion, `set_selected` per pick, and a `"total"` phase span. Passing
+/// `&mut Stats` recovers the classic counters.
 ///
 /// ```
 /// use scwsc_patterns::{opt_cwsc, CostFn, PatternSpace, Table};
@@ -44,38 +52,60 @@ use std::collections::BinaryHeap;
 /// assert!(summary.covered >= 2);
 /// summary.verify(&space); // recomputes coverage/cost independently
 /// ```
-pub fn opt_cwsc(
+pub fn opt_cwsc<O: Observer + ?Sized>(
     space: &PatternSpace<'_>,
     k: usize,
     coverage_fraction: f64,
-    stats: &mut Stats,
+    obs: &mut O,
 ) -> Result<PatternSolution, SolveError> {
     let n = space.num_rows();
-    opt_cwsc_in(space, k, coverage_target(n, coverage_fraction), stats)
+    opt_cwsc_in(space, k, coverage_target(n, coverage_fraction), obs)
 }
 
 /// [`opt_cwsc`] with an explicit element-count target.
-pub fn opt_cwsc_with_target(
+pub fn opt_cwsc_with_target<O: Observer + ?Sized>(
     space: &PatternSpace<'_>,
     k: usize,
     target: usize,
-    stats: &mut Stats,
+    obs: &mut O,
 ) -> Result<PatternSolution, SolveError> {
-    opt_cwsc_in(space, k, target, stats)
+    opt_cwsc_in(space, k, target, obs)
 }
 
 /// The Figure 3 algorithm over any [`LatticeSpace`] — the flat pattern
 /// cube or the hierarchy-enriched lattice of
 /// [`crate::hierarchy::HierarchicalSpace`].
-pub fn opt_cwsc_in<S: LatticeSpace>(
+pub fn opt_cwsc_in<S: LatticeSpace, O: Observer + ?Sized>(
     space: &S,
     k: usize,
     target: usize,
-    stats: &mut Stats,
+    obs: &mut O,
 ) -> Result<PatternSolution, SolveError> {
     if k == 0 {
         return Err(SolveError::ZeroSizeBound);
     }
+    if target == 0 {
+        return Ok(PatternSolution {
+            patterns: Vec::new(),
+            covered: 0,
+            total_cost: 0.0,
+        });
+    }
+    let span = PhaseSpan::enter(obs, PHASE_TOTAL);
+    let result = run_in(space, k, target, obs);
+    span.exit(obs);
+    result
+}
+
+/// The Fig. 3 body, wrapped by [`opt_cwsc_in`]'s phase span.
+fn run_in<S: LatticeSpace, O: Observer + ?Sized>(
+    space: &S,
+    k: usize,
+    target: usize,
+    obs: &mut O,
+) -> Result<PatternSolution, SolveError> {
+    // Like flat CWSC, the optimized variant is a single round.
+    obs.guess_started(None);
     let n = space.num_rows();
     let mut covered = BitSet::new(n);
     let mut solution = PatternSolution {
@@ -83,9 +113,6 @@ pub fn opt_cwsc_in<S: LatticeSpace>(
         covered: 0,
         total_cost: 0.0,
     };
-    if target == 0 {
-        return Ok(solution);
-    }
 
     // Lines 01-06: C starts as just the all-wildcards pattern.
     let mut pool = CandidatePool::new();
@@ -93,7 +120,7 @@ pub fn opt_cwsc_in<S: LatticeSpace>(
     let root_rows = space.root_rows();
     let root_cost = space.cost(&root_rows);
     pool.insert(root, root_rows, root_cost, &covered);
-    stats.consider(1);
+    obs.benefit_computed(1);
     // Patterns selected into S (line 15's "not in ... S" check).
     let mut selected: Vec<Pattern> = Vec::new();
 
@@ -105,13 +132,13 @@ pub fn opt_cwsc_in<S: LatticeSpace>(
         // every selection.)
         let i_u = i as u64;
         let rem_u = rem as u64;
-        let below_floor =
-            |mben: usize| -> bool { i_u * (mben as u64) < rem_u };
+        let below_floor = |mben: usize| -> bool { i_u * (mben as u64) < rem_u };
         let to_drop: Vec<usize> = pool
             .alive_ids()
             .filter(|&id| below_floor(pool.get(id).mben))
             .collect();
         for id in to_drop {
+            obs.candidate_pruned(PruneReason::BelowFloor);
             pool.remove(id);
         }
 
@@ -130,6 +157,11 @@ pub fn opt_cwsc_in<S: LatticeSpace>(
             }
             let children = {
                 let q = pool.get(q_id);
+                // Expansion buckets every parent row once per wildcard
+                // attribute — the index-posting scan the lattice saves
+                // relative to re-intersecting from scratch.
+                let wildcards = q.pattern.values().iter().filter(|v| v.is_none()).count();
+                obs.posting_scanned((q.rows.len() * wildcards) as u64);
                 space.children_with_rows(&q.pattern, &q.rows)
             };
             for (child, child_rows) in children {
@@ -141,12 +173,15 @@ pub fn opt_cwsc_in<S: LatticeSpace>(
                     continue;
                 }
                 // Line 17: materialize cost and marginal benefit.
-                stats.consider(1);
+                obs.benefit_computed(1);
                 let child_mben = child_rows
                     .iter()
                     .filter(|&&r| !covered.contains(r as usize))
                     .count();
                 if below_floor(child_mben) {
+                    // Anti-monotonicity: everything under `child` is below
+                    // the floor too, so the whole subtree stays unexplored.
+                    obs.subtree_pruned(PruneReason::BelowFloor);
                     continue; // line 18 fails: stays out of C and W
                 }
                 let cost = space.cost(&child_rows);
@@ -176,10 +211,11 @@ pub fn opt_cwsc_in<S: LatticeSpace>(
         // Lines 23-26: select q.
         let q = pool.get(q_id);
         let q_mben = q.mben;
+        let q_cost = q.cost;
         solution.patterns.push(q.pattern.clone());
         solution.total_cost += q.cost;
         selected.push(q.pattern.clone());
-        stats.select();
+        obs.set_selected(q_id as u64, q_mben as u64, q_cost);
         for &r in &pool.get(q_id).rows {
             covered.insert(r as usize);
         }
@@ -205,6 +241,7 @@ mod tests {
     use crate::enumerate::enumerate_all;
     use crate::table::Table;
     use scwsc_core::algorithms::cwsc;
+    use scwsc_core::Stats;
 
     /// The paper's Table I entities data set (16 records).
     fn entities() -> Table {
@@ -272,7 +309,13 @@ mod tests {
         let t = entities();
         let sp = PatternSpace::new(&t, CostFn::Max);
         let m = enumerate_all(&t, CostFn::Max);
-        for (k, s) in [(2usize, 9.0 / 16.0), (3, 0.5), (5, 0.8), (4, 1.0), (1, 0.25)] {
+        for (k, s) in [
+            (2usize, 9.0 / 16.0),
+            (3, 0.5),
+            (5, 0.8),
+            (4, 1.0),
+            (1, 0.25),
+        ] {
             let opt = opt_cwsc(&sp, k, s, &mut Stats::new());
             let unopt = cwsc(&m.system, k, s, &mut Stats::new());
             match (opt, unopt) {

@@ -9,11 +9,11 @@
 
 use crate::dictionary::ValueId;
 use crate::table::{RowId, Table};
-use serde::{Deserialize, Serialize};
 use std::fmt::Write as _;
 
 /// A pattern over `j` attributes; `None` is the wildcard `ALL`.
-#[derive(Debug, Clone, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq, Hash, PartialOrd, Ord)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 pub struct Pattern {
     values: Box<[Option<ValueId>]>,
 }

@@ -4,11 +4,11 @@
 use crate::pattern::Pattern;
 use crate::space::{LatticeSpace, PatternSpace};
 use scwsc_core::BitSet;
-use serde::{Deserialize, Serialize};
 
 /// A sub-collection of patterns chosen by an optimized algorithm, in
 /// selection order.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 pub struct PatternSolution {
     /// Chosen patterns, in selection order.
     pub patterns: Vec<Pattern>,

@@ -71,7 +71,11 @@ pub struct Lemma1Instance {
 /// final record `(x, y, z | W)`; coverage `m/(m+1)`. Under the `Max` cost
 /// function, a smallest pattern cover of the required fraction has exactly
 /// the size of a minimum vertex cover of the graph.
-pub fn lemma1_instance(graph: &TripartiteGraph, tau: f64, big_w: f64) -> Result<Lemma1Instance, ReductionError> {
+pub fn lemma1_instance(
+    graph: &TripartiteGraph,
+    tau: f64,
+    big_w: f64,
+) -> Result<Lemma1Instance, ReductionError> {
     assert!(big_w > tau, "construction requires W > τ");
     for (e, &((pa, ia), (pb, ib))) in graph.edges.iter().enumerate() {
         for &(p, i) in &[(pa, ia), (pb, ib)] {
@@ -99,8 +103,16 @@ pub fn lemma1_instance(graph: &TripartiteGraph, tau: f64, big_w: f64) -> Result<
     let mut b = Table::builder(&["D1", "D2", "D3"], "M");
     for &((pa, ia), (pb, ib)) in &graph.edges {
         // Normalize so the pair is ordered by part.
-        let (first, second) = if pa < pb { ((pa, ia), (pb, ib)) } else { ((pb, ib), (pa, ia)) };
-        let mut vals = [fresh[0].to_owned(), fresh[1].to_owned(), fresh[2].to_owned()];
+        let (first, second) = if pa < pb {
+            ((pa, ia), (pb, ib))
+        } else {
+            ((pb, ib), (pa, ia))
+        };
+        let mut vals = [
+            fresh[0].to_owned(),
+            fresh[1].to_owned(),
+            fresh[2].to_owned(),
+        ];
         vals[first.0] = name(first.0, first.1);
         vals[second.0] = name(second.0, second.1);
         let refs: Vec<&str> = vals.iter().map(String::as_str).collect();
@@ -151,7 +163,8 @@ pub fn set_system_to_patterns(system: &SetSystem) -> Result<(Table, Vec<Pattern>
     let mut b = Table::builder(&attr_refs, "M");
     for i in 0..n {
         let vals: Vec<&str> = (0..n).map(|j| if i == j { "1" } else { "0" }).collect();
-        b.push_row(&vals, 0.0).expect("construction rows are well-formed");
+        b.push_row(&vals, 0.0)
+            .expect("construction rows are well-formed");
     }
     let table = b.build();
     let mut patterns = Vec::with_capacity(system.num_sets());
@@ -208,7 +221,10 @@ mod tests {
         let inst = lemma1_instance(&graph(), 1.0, 10.0).unwrap();
         let sp = PatternSpace::new(&inst.table, CostFn::Max);
         // {b0, a0} is a vertex cover (covers all 4 edges).
-        let cover = [inst.vertex_pattern(1, 0).unwrap(), inst.vertex_pattern(0, 0).unwrap()];
+        let cover = [
+            inst.vertex_pattern(1, 0).unwrap(),
+            inst.vertex_pattern(0, 0).unwrap(),
+        ];
         let mut covered = BitSet::new(5);
         for p in &cover {
             let rows = sp.benefit(p);
@@ -265,7 +281,9 @@ mod tests {
     #[test]
     fn theorem3_patterns_cover_exactly_their_sets() {
         let mut b = SetSystem::builder(4);
-        b.add_set([0, 2], 3.0).add_set([1, 2, 3], 5.0).add_universe_set(9.0);
+        b.add_set([0, 2], 3.0)
+            .add_set([1, 2, 3], 5.0)
+            .add_universe_set(9.0);
         let system = b.build().unwrap();
         let (table, patterns) = set_system_to_patterns(&system).unwrap();
         assert_eq!(table.num_rows(), 4);

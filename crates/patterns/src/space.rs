@@ -46,8 +46,11 @@ pub trait LatticeSpace {
     fn cost(&self, rows: &[RowId]) -> f64;
 
     /// The non-empty children of `pattern` with their benefit sets.
-    fn children_with_rows(&self, pattern: &Pattern, parent_rows: &[RowId])
-        -> Vec<(Pattern, Vec<RowId>)>;
+    fn children_with_rows(
+        &self,
+        pattern: &Pattern,
+        parent_rows: &[RowId],
+    ) -> Vec<(Pattern, Vec<RowId>)>;
 
     /// The parents of `pattern` in the lattice.
     fn parents(&self, pattern: &Pattern) -> Vec<Pattern>;

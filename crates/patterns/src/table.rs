@@ -7,14 +7,14 @@
 //! Figure 7 cheap.
 
 use crate::dictionary::{Dictionary, ValueId};
-use serde::{Deserialize, Serialize};
 use std::fmt;
 
 /// Row index within a [`Table`].
 pub type RowId = u32;
 
 /// A dictionary-encoded columnar table: `j` pattern attributes + measure.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 pub struct Table {
     attr_names: Vec<String>,
     dicts: Vec<Dictionary>,
@@ -276,7 +276,10 @@ mod tests {
         let mut b = Table::builder(&["A", "B"], "m");
         assert_eq!(
             b.push_row(&["x"], 1.0).unwrap_err(),
-            TableError::WrongArity { got: 1, expected: 2 }
+            TableError::WrongArity {
+                got: 1,
+                expected: 2
+            }
         );
     }
 

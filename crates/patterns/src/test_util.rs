@@ -65,7 +65,8 @@ pub fn skewed_table(rows: usize, attrs: usize, cardinality: u64) -> Table {
         }
         let refs: Vec<&str> = vals.iter().map(String::as_str).collect();
         let measure = 1.0 + rng.below(100) as f64 + if rng.below(20) == 0 { 400.0 } else { 0.0 };
-        b.push_row(&refs, measure).expect("generated rows are valid");
+        b.push_row(&refs, measure)
+            .expect("generated rows are valid");
     }
     b.build()
 }

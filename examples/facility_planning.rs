@@ -15,11 +15,7 @@ use scwsc::prelude::*;
 
 /// A synthetic city: neighbourhoods on a grid, candidate sites at random
 /// positions with radius-dependent reach and land-price-dependent cost.
-fn build_city(
-    neighbourhoods: usize,
-    sites: usize,
-    seed: u64,
-) -> (SetSystem, Vec<(f64, f64, f64)>) {
+fn build_city(neighbourhoods: usize, sites: usize, seed: u64) -> (SetSystem, Vec<(f64, f64, f64)>) {
     let mut rng = StdRng::seed_from_u64(seed);
     let positions: Vec<(f64, f64)> = (0..neighbourhoods)
         .map(|_| (rng.gen_range(0.0..10.0), rng.gen_range(0.0..10.0)))
@@ -45,7 +41,10 @@ fn build_city(
     // Definition 1's universe set, so a feasible plan always exists.
     builder.add_universe_set(5_000.0);
     site_info.push((5.0, 5.0, 5_000.0));
-    (builder.build().expect("generated sites are valid"), site_info)
+    (
+        builder.build().expect("generated sites are valid"),
+        site_info,
+    )
 }
 
 fn main() {
@@ -56,7 +55,10 @@ fn main() {
         system.num_elements(),
         system.num_sets() - 1
     );
-    println!("plan: at most {k} facilities covering ≥{:.0}% of neighbourhoods\n", coverage * 100.0);
+    println!(
+        "plan: at most {k} facilities covering ≥{:.0}% of neighbourhoods\n",
+        coverage * 100.0
+    );
 
     // CWSC: at most k sites.
     let plan = cwsc(&system, k, coverage, &mut Stats::new()).expect("mega-hospital fallback");

@@ -13,7 +13,7 @@
 
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
-use scwsc::patterns::hierarchy::{bin_numeric, hier_cwsc, Hierarchy, HierarchicalSpace};
+use scwsc::patterns::hierarchy::{bin_numeric, hier_cwsc, HierarchicalSpace, Hierarchy};
 use scwsc::prelude::*;
 
 fn main() {

@@ -71,7 +71,10 @@ fn main() {
         })
         .collect();
     let frontier = pareto_sweep(&mw, 3, 0.55, &lambdas).expect("feasible");
-    println!("\nmoney/staff-hour trade-off frontier ({} points):", frontier.len());
+    println!(
+        "\nmoney/staff-hour trade-off frontier ({} points):",
+        frontier.len()
+    );
     for point in &frontier {
         println!(
             "    λ=({:.1},{:.1}) -> campaigns {:?}: money {:7.0}, staff-hours {:7.0}",

@@ -41,7 +41,8 @@ pub mod prelude {
         CMC_COVERAGE_DISCOUNT,
     };
     pub use scwsc_core::{
-        coverage_target, verify, Requirements, SetSystem, Solution, SolveError, Stats,
+        coverage_target, verify, Fanout, JsonlSink, MetricsRecorder, NoopObserver, Observer,
+        Requirements, SetSystem, Solution, SolveError, Stats,
     };
     pub use scwsc_patterns::{
         enumerate_all, opt_cmc, opt_cwsc, CostFn, Pattern, PatternSolution, PatternSpace, Table,

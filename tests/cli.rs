@@ -43,7 +43,11 @@ fn solve_entities_csv_with_cwsc() {
         ])
         .output()
         .expect("solver runs");
-    assert!(output.status.success(), "stderr: {}", String::from_utf8_lossy(&output.stderr));
+    assert!(
+        output.status.success(),
+        "stderr: {}",
+        String::from_utf8_lossy(&output.stderr)
+    );
     let stdout = String::from_utf8_lossy(&output.stdout);
     // The §V-B walkthrough: P16 then P3, total 28, covering 10.
     assert!(stdout.contains("2 patterns"), "{stdout}");
@@ -60,13 +64,109 @@ fn solve_generated_trace_with_cmc() {
         return;
     }
     let output = Command::new(solver_path())
-        .args(["--rows", "800", "--k", "5", "--coverage", "0.3", "--algorithm", "cmc"])
+        .args([
+            "--rows",
+            "800",
+            "--k",
+            "5",
+            "--coverage",
+            "0.3",
+            "--algorithm",
+            "cmc",
+        ])
         .output()
         .expect("solver runs");
     assert!(output.status.success());
     let stdout = String::from_utf8_lossy(&output.stdout);
     assert!(stdout.contains("patterns, total weight"), "{stdout}");
     assert!(stdout.contains("protocol="), "{stdout}");
+}
+
+/// Pulls `"key":value` out of a JSONL line (numbers only).
+fn json_u64(line: &str, key: &str) -> Option<u64> {
+    let needle = format!("\"{key}\":");
+    let start = line.find(&needle)? + needle.len();
+    let rest = &line[start..];
+    let end = rest
+        .find(|c: char| !c.is_ascii_digit())
+        .unwrap_or(rest.len());
+    rest[..end].parse().ok()
+}
+
+#[test]
+fn trace_jsonl_aggregates_match_printed_stats() {
+    if !solver_available() {
+        eprintln!("scwsc_solve not built; skipping");
+        return;
+    }
+    let dir = std::env::temp_dir().join("scwsc_cli_trace_test");
+    std::fs::create_dir_all(&dir).unwrap();
+    let trace = dir.join("trace.jsonl");
+    let output = Command::new(solver_path())
+        .args([
+            "--rows",
+            "600",
+            "--k",
+            "5",
+            "--coverage",
+            "0.3",
+            "--algorithm",
+            "cwsc",
+            "--trace-jsonl",
+            trace.to_str().unwrap(),
+            "--metrics",
+        ])
+        .output()
+        .expect("solver runs");
+    assert!(
+        output.status.success(),
+        "stderr: {}",
+        String::from_utf8_lossy(&output.stderr)
+    );
+    let stderr = String::from_utf8_lossy(&output.stderr);
+    let stdout = String::from_utf8_lossy(&output.stdout);
+
+    // Aggregate the trace by hand: every line is one {"t":..,"event":..}.
+    let text = std::fs::read_to_string(&trace).expect("trace written");
+    let mut benefit_sum = 0u64;
+    let mut selections = 0u64;
+    let mut guesses = 0u64;
+    for line in text.lines() {
+        assert!(
+            line.starts_with('{') && line.ends_with('}'),
+            "not a JSON object: {line}"
+        );
+        assert!(line.contains("\"t\":"), "missing timestamp: {line}");
+        assert!(line.contains("\"event\":\""), "missing event: {line}");
+        if line.contains("\"event\":\"benefit_computed\"") {
+            benefit_sum += json_u64(line, "count").expect("count field");
+        } else if line.contains("\"event\":\"set_selected\"") {
+            selections += 1;
+        } else if line.contains("\"event\":\"guess_started\"") {
+            guesses += 1;
+        }
+    }
+
+    // The stderr summary is the Stats view of the same run.
+    let summary = stderr
+        .lines()
+        .find(|l| l.starts_with("considered "))
+        .expect("stats summary printed");
+    assert_eq!(
+        summary,
+        &format!("considered {benefit_sum} patterns in {guesses} budget guess(es)"),
+        "trace aggregate disagrees with printed stats"
+    );
+    // The selection events are the printed solution, one per pattern.
+    assert!(
+        stdout.contains(&format!("{selections} patterns")),
+        "{selections} set_selected events vs: {stdout}"
+    );
+    // --metrics printed the aggregated view too.
+    assert!(stdout.contains("== metrics =="), "{stdout}");
+    assert!(stdout.contains("benefits computed"), "{stdout}");
+    assert!(stdout.contains("total"), "{stdout}"); // the per-phase table
+    std::fs::remove_file(&trace).ok();
 }
 
 #[test]

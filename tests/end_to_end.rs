@@ -67,8 +67,20 @@ fn csv_roundtrip_preserves_solutions() {
     let table = trace(400);
     let csv = table_to_csv(&table);
     let back = table_from_csv(&csv).unwrap();
-    let a = opt_cwsc(&PatternSpace::new(&table, CostFn::Max), 4, 0.3, &mut Stats::new()).unwrap();
-    let b = opt_cwsc(&PatternSpace::new(&back, CostFn::Max), 4, 0.3, &mut Stats::new()).unwrap();
+    let a = opt_cwsc(
+        &PatternSpace::new(&table, CostFn::Max),
+        4,
+        0.3,
+        &mut Stats::new(),
+    )
+    .unwrap();
+    let b = opt_cwsc(
+        &PatternSpace::new(&back, CostFn::Max),
+        4,
+        0.3,
+        &mut Stats::new(),
+    )
+    .unwrap();
     assert_eq!(a.covered, b.covered);
     assert!((a.total_cost - b.total_cost).abs() < 1e-9);
     assert_eq!(a.patterns.len(), b.patterns.len());
@@ -137,7 +149,8 @@ fn multiweight_scalarization_consistent_with_single_weight() {
     let mut mw = MultiWeightSystem::new(m.system.num_elements(), 2);
     for (_, set) in m.system.iter() {
         let w = set.cost().value();
-        mw.add_set(set.members().iter().copied(), vec![w, w]).unwrap();
+        mw.add_set(set.members().iter().copied(), vec![w, w])
+            .unwrap();
     }
     let scalar = mw.scalarize(&[0.25, 0.75]).unwrap();
     let a = cwsc(&scalar, 5, 0.4, &mut Stats::new()).unwrap();
@@ -145,5 +158,9 @@ fn multiweight_scalarization_consistent_with_single_weight() {
     assert_eq!(a.sets(), b.sets());
 
     let frontier = pareto_sweep(&mw, 5, 0.4, &[vec![1.0, 0.0], vec![0.0, 1.0]]).unwrap();
-    assert_eq!(frontier.len(), 1, "identical criteria collapse the frontier");
+    assert_eq!(
+        frontier.len(),
+        1,
+        "identical criteria collapse the frontier"
+    );
 }

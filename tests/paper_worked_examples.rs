@@ -64,7 +64,10 @@ fn intro_coverage_only_solution_is_expensive() {
     let p15 = m.id_of(&table2_pattern(&t, 15).unwrap()).unwrap();
     let sol = Solution::from_sets(&m.system, vec![p11, p15]);
     assert_eq!(sol.total_cost().value(), 120.0);
-    assert!(sol.covered() >= 9, "it does satisfy the coverage requirement");
+    assert!(
+        sol.covered() >= 9,
+        "it does satisfy the coverage requirement"
+    );
 }
 
 /// Section V-B walkthrough: CWSC picks P16 (gain 8/24) then P3 (gain 2/4).

@@ -28,7 +28,9 @@ fn reference_cwsc(system: &SetSystem, k: usize, coverage: f64) -> Result<Vec<u32
         // canonical tie-breaking (gain desc, mben desc, cost asc, id asc).
         let mut q: Option<u32> = None;
         for id in 0..system.num_sets() as u32 {
-            let Some(m) = &mben[id as usize] else { continue };
+            let Some(m) = &mben[id as usize] else {
+                continue;
+            };
             if (m.len() as i64) * i as i64 >= rem && !m.is_empty() {
                 let better = match q {
                     None => true,

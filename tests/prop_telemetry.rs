@@ -1,0 +1,164 @@
+//! Property tests for the telemetry layer: on random set systems, the
+//! event stream any [`Observer`] sees is consistent with the legacy
+//! [`Stats`] counters, and every `guess_started` comes with the level
+//! schedule the guess actually built — whose quotas respect the `5k`
+//! (classic) / `(1+ε)k` (epsilon) size bounds of Theorems 4–5.
+
+use proptest::prelude::*;
+use scwsc::prelude::*;
+use scwsc::sets::algorithms::cmc::Levels;
+use scwsc::sets::telemetry::Observer;
+use scwsc::sets::Fanout;
+
+/// Minimal event recorder: exactly what the properties below inspect.
+#[derive(Default)]
+struct Recorder {
+    benefit_sum: u64,
+    selections: u64,
+    budgets: Vec<Option<f64>>,
+    /// One `(level, allowance)` list per `guess_started`.
+    schedules: Vec<Vec<(usize, usize)>>,
+}
+
+impl Observer for Recorder {
+    fn guess_started(&mut self, budget: Option<f64>) {
+        self.budgets.push(budget);
+        self.schedules.push(Vec::new());
+    }
+
+    fn level_entered(&mut self, level: usize, allowance: usize) {
+        self.schedules
+            .last_mut()
+            .expect("level_entered before any guess_started")
+            .push((level, allowance));
+    }
+
+    fn set_selected(&mut self, _id: u64, _marginal_benefit: u64, _cost: f64) {
+        self.selections += 1;
+    }
+
+    fn benefit_computed(&mut self, count: u64) {
+        self.benefit_sum += count;
+    }
+}
+
+fn arb_system() -> impl Strategy<Value = SetSystem> {
+    (2usize..=14, 0usize..=12).prop_flat_map(|(n, sets)| {
+        let set = (
+            proptest::collection::btree_set(0u32..n as u32, 1..=n),
+            0u32..100,
+        );
+        proptest::collection::vec(set, sets).prop_map(move |sets| {
+            let mut b = SetSystem::builder(n);
+            for (members, cost) in sets {
+                b.add_set(members, f64::from(cost));
+            }
+            b.add_universe_set(120.0);
+            b.build().unwrap()
+        })
+    })
+}
+
+/// Runs `solve` with `Stats` and a [`Recorder`] fanned out side by side.
+fn record<R>(solve: impl FnOnce(&mut Fanout<'_>) -> R) -> (R, Stats, Recorder) {
+    let mut stats = Stats::new();
+    let mut rec = Recorder::default();
+    let result = {
+        let mut obs = Fanout::new();
+        obs.attach(&mut stats).attach(&mut rec);
+        solve(&mut obs)
+    };
+    (result, stats, rec)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(96))]
+
+    /// CWSC: the event stream reproduces the Stats counters, and the
+    /// single round appears as exactly one budget-less guess.
+    #[test]
+    fn cwsc_events_match_stats(
+        system in arb_system(),
+        k in 1usize..=6,
+        coverage in 0.0f64..=1.0,
+    ) {
+        let (result, stats, rec) =
+            record(|obs| cwsc(&system, k, coverage, obs));
+        prop_assert!(result.is_ok());
+        prop_assert_eq!(rec.benefit_sum, stats.considered);
+        prop_assert_eq!(rec.selections, u64::from(stats.selections));
+        prop_assert_eq!(rec.budgets.len(), stats.budget_guesses as usize);
+        prop_assert!(rec.budgets.len() <= 1, "CWSC is single-round");
+        prop_assert!(rec.budgets.iter().all(Option::is_none));
+        prop_assert!(rec.schedules.iter().all(Vec::is_empty));
+    }
+
+    /// Classic CMC: every guess carries a budget, its reported level
+    /// schedule is exactly `Levels::build` for that budget, and the quotas
+    /// sum within Theorem 4's `5k`.
+    #[test]
+    fn cmc_classic_schedules_respect_5k(
+        system in arb_system(),
+        k in 1usize..=5,
+        coverage in 0.0f64..=1.0,
+    ) {
+        let params = CmcParams::classic(k, coverage, 1.0);
+        let (result, stats, rec) =
+            record(|obs| cmc(&system, &params, obs));
+        prop_assert!(result.is_ok());
+        prop_assert_eq!(rec.benefit_sum, stats.considered);
+        prop_assert_eq!(rec.selections, u64::from(stats.selections));
+        prop_assert_eq!(rec.budgets.len(), stats.budget_guesses as usize);
+        for (budget, schedule) in rec.budgets.iter().zip(&rec.schedules) {
+            let budget = budget.expect("CMC guesses carry a budget");
+            let levels = Levels::build(params.schedule, budget, k);
+            let expected: Vec<(usize, usize)> =
+                (0..levels.len()).map(|l| (l, levels.quota(l))).collect();
+            prop_assert_eq!(schedule, &expected);
+            let total: usize = schedule.iter().map(|&(_, q)| q).sum();
+            prop_assert!(total <= 5 * k, "{total} quota slots for k={k}");
+        }
+    }
+
+    /// ε-schedule CMC: per-guess quotas sum within Theorem 5's `(1+ε)k`.
+    #[test]
+    fn cmc_epsilon_schedules_respect_eps_bound(
+        system in arb_system(),
+        k in 1usize..=5,
+        eps in 0.25f64..=3.0,
+    ) {
+        let params = CmcParams::epsilon(k, 0.8, 1.0, eps);
+        let (result, stats, rec) =
+            record(|obs| cmc(&system, &params, obs));
+        prop_assert!(result.is_ok());
+        prop_assert_eq!(rec.budgets.len(), stats.budget_guesses as usize);
+        let bound = (((1.0 + eps) * k as f64).floor() as usize).max(k);
+        for (budget, schedule) in rec.budgets.iter().zip(&rec.schedules) {
+            let budget = budget.expect("CMC guesses carry a budget");
+            let levels = Levels::build(params.schedule, budget, k);
+            let expected: Vec<(usize, usize)> =
+                (0..levels.len()).map(|l| (l, levels.quota(l))).collect();
+            prop_assert_eq!(schedule, &expected);
+            let total: usize = schedule.iter().map(|&(_, q)| q).sum();
+            prop_assert!(total <= bound, "{total} quota slots for k={k} eps={eps}");
+        }
+    }
+
+    /// The optimized pattern-lattice CWSC reports the same invariants over
+    /// its own event vocabulary: one budget-less guess, selections equal to
+    /// the solution size, and Stats agreement.
+    #[test]
+    fn opt_cwsc_events_match_stats(rows in 30usize..120, k in 1usize..=5) {
+        let table = scwsc::patterns::test_util::skewed_table(rows, 3, 4);
+        let space = PatternSpace::new(&table, CostFn::Max);
+        let (result, stats, rec) =
+            record(|obs| opt_cwsc(&space, k, 0.5, obs));
+        if let Ok(sol) = result {
+            prop_assert_eq!(rec.selections as usize, sol.size());
+        }
+        prop_assert_eq!(rec.benefit_sum, stats.considered);
+        prop_assert_eq!(rec.selections, u64::from(stats.selections));
+        prop_assert!(rec.budgets.len() <= 1);
+        prop_assert!(rec.budgets.iter().all(Option::is_none));
+    }
+}

@@ -42,7 +42,11 @@ fn full_cube_enumeration_at_400k_rows() {
     .generate();
     let m = enumerate_all(&table, CostFn::Max);
     assert!(m.system.has_universe_set());
-    assert!(m.num_patterns() > 100_000, "cube should be large: {}", m.num_patterns());
+    assert!(
+        m.num_patterns() > 100_000,
+        "cube should be large: {}",
+        m.num_patterns()
+    );
 
     // Optimized and unoptimized CWSC still agree exactly at this scale.
     let space = PatternSpace::new(&table, CostFn::Max);
@@ -58,9 +62,11 @@ fn full_cube_enumeration_at_400k_rows() {
 #[ignore = "long incremental stream (~30s)"]
 fn incremental_stream_of_100k_arrivals() {
     use scwsc::sets::incremental::{IncrementalCover, RepairStrategy};
-    let costs: Vec<f64> = (0..50).map(|i| 1.0 + f64::from(i)).chain([10_000.0]).collect();
-    let mut inc =
-        IncrementalCover::with_strategy(&costs, 8, 0.5, RepairStrategy::Patch).unwrap();
+    let costs: Vec<f64> = (0..50)
+        .map(|i| 1.0 + f64::from(i))
+        .chain([10_000.0])
+        .collect();
+    let mut inc = IncrementalCover::with_strategy(&costs, 8, 0.5, RepairStrategy::Patch).unwrap();
     let mut state = 0x1234_5678_9abc_def0u64;
     let mut next = move || {
         state ^= state << 13;
