@@ -23,6 +23,9 @@ fn save(dir: &Path, name: &str, title: &str, table: &TextTable) {
     let csv_path = dir.join(format!("{name}.csv"));
     fs::write(&csv_path, table.to_csv())
         .unwrap_or_else(|e| panic!("cannot write {}: {e}", csv_path.display()));
+    let json_path = dir.join(format!("{name}.json"));
+    fs::write(&json_path, table.to_json().to_pretty())
+        .unwrap_or_else(|e| panic!("cannot write {}: {e}", json_path.display()));
 }
 
 fn main() {

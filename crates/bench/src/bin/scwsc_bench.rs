@@ -1,0 +1,160 @@
+//! `scwsc_bench` — record and compare `BENCH_*.json` performance
+//! snapshots (DESIGN.md §10).
+//!
+//! ```text
+//! scwsc_bench record [--label L] [--reps N] [--quick] [--suite S] [--out PATH]
+//! scwsc_bench diff BASE NEW [--tolerance F] [--counters-only]
+//! ```
+//!
+//! `record` runs the registered workload suite and writes
+//! `BENCH_<label>.json`; `--quick` lowers the rep count to 1 but never
+//! the workload scale, so a quick run's deterministic counters still
+//! match a committed full baseline. `diff` exits non-zero when the new
+//! snapshot regresses: deterministic counters must match exactly,
+//! timings and allocations within `--tolerance` (default 0.25).
+
+use scwsc_bench::diff::{diff, DiffOptions};
+use scwsc_bench::record::record_suite;
+use scwsc_bench::registry;
+use scwsc_bench::snapshot::Snapshot;
+use std::process::ExitCode;
+
+// Installed here, not in the library: allocation statistics only move in
+// binaries that opt into the counting allocator.
+#[cfg(feature = "alloc-stats")]
+#[global_allocator]
+static ALLOC: scwsc_core::telemetry::alloc::CountingAlloc =
+    scwsc_core::telemetry::alloc::CountingAlloc;
+
+const USAGE: &str = "\
+usage:
+  scwsc_bench record [--label L] [--reps N] [--quick] [--suite full|smoke] [--out PATH]
+  scwsc_bench diff BASE NEW [--tolerance F] [--counters-only]
+
+record options:
+  --label L     snapshot label and default output name BENCH_<L>.json [default: dev]
+  --reps N      timing repetitions per workload [default: 5]
+  --quick       one rep per workload (counters are unaffected: the
+                workloads themselves never shrink)
+  --suite S     workload suite: full | smoke [default: full]
+  --out PATH    output path [default: BENCH_<label>.json]
+
+diff options:
+  --tolerance F   relative headroom for timings/allocations [default: 0.25]
+  --counters-only compare only the deterministic work counters (CI mode)";
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let result = match args.first().map(String::as_str) {
+        Some("record") => cmd_record(&args[1..]),
+        Some("diff") => cmd_diff(&args[1..]),
+        Some("--help" | "-h" | "help") => {
+            println!("{USAGE}");
+            return ExitCode::SUCCESS;
+        }
+        _ => Err(format!("expected a subcommand\n{USAGE}")),
+    };
+    match result {
+        Ok(code) => code,
+        Err(msg) => {
+            eprintln!("scwsc_bench: {msg}");
+            ExitCode::from(2)
+        }
+    }
+}
+
+fn cmd_record(args: &[String]) -> Result<ExitCode, String> {
+    let mut label = "dev".to_string();
+    let mut reps = 5usize;
+    let mut quick = false;
+    let mut suite_name = "full".to_string();
+    let mut out: Option<String> = None;
+    let mut it = args.iter();
+    while let Some(arg) = it.next() {
+        match arg.as_str() {
+            "--label" => label = take(&mut it, "--label")?,
+            "--reps" => {
+                reps = take(&mut it, "--reps")?
+                    .parse()
+                    .map_err(|_| "--reps expects a positive integer".to_string())?
+            }
+            "--quick" => quick = true,
+            "--suite" => suite_name = take(&mut it, "--suite")?,
+            "--out" => out = Some(take(&mut it, "--out")?),
+            other => return Err(format!("unknown record option '{other}'\n{USAGE}")),
+        }
+    }
+    if reps == 0 {
+        return Err("--reps must be at least 1".to_string());
+    }
+    if quick {
+        reps = 1;
+    }
+    let suite = registry::suite(&suite_name)
+        .ok_or_else(|| format!("unknown suite '{suite_name}' (expected full|smoke)"))?;
+    let path = out.unwrap_or_else(|| format!("BENCH_{label}.json"));
+
+    eprintln!(
+        "recording suite '{suite_name}' ({} workloads, {reps} rep(s)) as '{label}'",
+        suite.len()
+    );
+    let snapshot = record_suite(&suite, &label, reps, |line| eprintln!("  {line}"));
+    std::fs::write(&path, snapshot.to_json().to_pretty())
+        .map_err(|e| format!("writing {path}: {e}"))?;
+    eprintln!("wrote {path}");
+    Ok(ExitCode::SUCCESS)
+}
+
+fn cmd_diff(args: &[String]) -> Result<ExitCode, String> {
+    let mut paths: Vec<&String> = Vec::new();
+    let mut opts = DiffOptions::default();
+    let mut it = args.iter();
+    while let Some(arg) = it.next() {
+        match arg.as_str() {
+            "--tolerance" => {
+                opts.tolerance = take(&mut it, "--tolerance")?
+                    .parse()
+                    .map_err(|_| "--tolerance expects a number".to_string())?
+            }
+            "--counters-only" => opts.counters_only = true,
+            other if !other.starts_with("--") => paths.push(arg),
+            other => return Err(format!("unknown diff option '{other}'\n{USAGE}")),
+        }
+    }
+    let [base_path, new_path] = paths.as_slice() else {
+        return Err(format!("diff expects exactly two snapshot paths\n{USAGE}"));
+    };
+    let base = load(base_path)?;
+    let new = load(new_path)?;
+    let report = diff(&base, &new, &opts);
+    print!(
+        "{} ({} @ {}) vs {} ({} @ {})\n{}",
+        base_path,
+        base.label,
+        short(&base.git_sha),
+        new_path,
+        new.label,
+        short(&new.git_sha),
+        report.render()
+    );
+    Ok(if report.ok() {
+        ExitCode::SUCCESS
+    } else {
+        ExitCode::FAILURE
+    })
+}
+
+fn load(path: &str) -> Result<Snapshot, String> {
+    let text = std::fs::read_to_string(path).map_err(|e| format!("reading {path}: {e}"))?;
+    Snapshot::parse(&text).map_err(|e| format!("parsing {path}: {e}"))
+}
+
+fn short(sha: &str) -> &str {
+    &sha[..sha.len().min(12)]
+}
+
+fn take(it: &mut std::slice::Iter<'_, String>, flag: &str) -> Result<String, String> {
+    it.next()
+        .cloned()
+        .ok_or_else(|| format!("{flag} expects a value"))
+}

@@ -12,7 +12,7 @@
 use scwsc_bench::cli::{args_or_exit, bail, required};
 use scwsc_bench::measure::RunParams;
 use scwsc_bench::report::{secs, TextTable};
-use scwsc_core::{Fanout, JsonlSink, MetricsRecorder, Stats};
+use scwsc_core::{Fanout, JsonlSink, MetricsRecorder, SpanProfiler, Stats};
 use scwsc_data::csv::read_table;
 use scwsc_data::lbl::LblConfig;
 use scwsc_patterns::{opt_cmc, opt_cwsc, CostFn, PatternSolution, PatternSpace, Table};
@@ -22,12 +22,13 @@ use std::path::Path;
 
 const USAGE: &str = "scwsc_solve [--csv PATH | --rows N [--seed N]] \
 [--k N] [--coverage F] [--algorithm cwsc|cmc] [--b F] [--eps F] \
-[--cost-fn max|sum|mean|count] [--trace-jsonl PATH] [--metrics]
+[--cost-fn max|sum|mean|count] [--trace-jsonl PATH] [--metrics] [--profile]
 Solves size-constrained weighted set cover over the table's pattern cube and
 prints the chosen patterns. Without --csv, a synthetic LBL-like trace of
 --rows records is generated. --trace-jsonl streams every solver event as one
 JSON object per line; --metrics prints aggregated counters and per-phase
-timings.";
+timings; --profile prints the run's aggregated span tree (per-phase
+total/self wall-clock with counter attribution).";
 
 fn cost_fn_of(name: &str) -> CostFn {
     match name {
@@ -85,11 +86,15 @@ fn main() {
             File::create(path).unwrap_or_else(|e| bail(&format!("cannot create {path}: {e}")));
         JsonlSink::new(BufWriter::new(file))
     });
+    let mut profiler = args.flag("profile").then(SpanProfiler::new);
     let solution: PatternSolution = {
         let mut obs = Fanout::new();
         obs.attach(&mut stats).attach(&mut metrics);
         if let Some(s) = sink.as_mut() {
             obs.attach(s);
+        }
+        if let Some(p) = profiler.as_mut() {
+            obs.attach(p);
         }
         match algorithm {
             "cwsc" => opt_cwsc(&space, params.k, params.coverage, &mut obs)
@@ -134,6 +139,10 @@ fn main() {
     );
     if args.flag("metrics") {
         print_metrics(&metrics);
+    }
+    if let Some(p) = &profiler {
+        println!("== span profile ==");
+        print!("{}", p.render());
     }
 }
 

@@ -1,0 +1,310 @@
+//! Snapshot comparison: the `scwsc_bench diff` semantics (DESIGN.md §10).
+//!
+//! Two snapshot dimensions are held to different standards:
+//!
+//! * **Deterministic counters** (benefits computed, postings scanned,
+//!   prunes, selections, stale pops, …) are a function of the workload and
+//!   the algorithm alone, so they must match **exactly**. Any difference —
+//!   in either direction — fails the diff: an "improvement" that changes
+//!   the work done is an algorithmic change and the baseline must be
+//!   regenerated deliberately, not drifted past.
+//! * **Timings and allocations** are machine- and run-dependent, so they
+//!   compare within a configurable relative tolerance, and only
+//!   *increases* beyond it count as regressions (getting faster or leaner
+//!   is reported but never fails).
+
+use crate::snapshot::{Snapshot, WorkloadRun};
+
+/// Knobs of one diff run.
+#[derive(Debug, Clone, Copy)]
+pub struct DiffOptions {
+    /// Relative headroom for timings and allocation statistics: a new
+    /// value regresses when `new > base * (1 + tolerance)`.
+    pub tolerance: f64,
+    /// Compare only the deterministic counters (CI mode: wall-clock on a
+    /// shared runner is too noisy to gate on).
+    pub counters_only: bool,
+}
+
+impl Default for DiffOptions {
+    /// 25% timing headroom, all dimensions compared.
+    fn default() -> DiffOptions {
+        DiffOptions {
+            tolerance: 0.25,
+            counters_only: false,
+        }
+    }
+}
+
+/// Outcome of comparing two snapshots.
+#[derive(Debug, Clone, Default)]
+pub struct DiffReport {
+    /// Failures: each line names the workload, the dimension, and both
+    /// values. Non-empty means the diff fails.
+    pub regressions: Vec<String>,
+    /// Non-failing observations (improvements, new workloads).
+    pub notes: Vec<String>,
+    /// Workloads compared.
+    pub compared: usize,
+}
+
+impl DiffReport {
+    /// Whether the new snapshot is acceptable against the baseline.
+    pub fn ok(&self) -> bool {
+        self.regressions.is_empty()
+    }
+
+    /// Human-readable summary, one line per finding.
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        for r in &self.regressions {
+            out.push_str("REGRESSION  ");
+            out.push_str(r);
+            out.push('\n');
+        }
+        for n in &self.notes {
+            out.push_str("note        ");
+            out.push_str(n);
+            out.push('\n');
+        }
+        out.push_str(&format!(
+            "{} workload(s) compared, {} regression(s)\n",
+            self.compared,
+            self.regressions.len()
+        ));
+        out
+    }
+}
+
+/// Compares `new` against the `base` baseline.
+pub fn diff(base: &Snapshot, new: &Snapshot, opts: &DiffOptions) -> DiffReport {
+    let mut report = DiffReport::default();
+    for base_run in &base.workloads {
+        let Some(new_run) = new.workload(&base_run.name) else {
+            report.regressions.push(format!(
+                "{}: workload missing from new snapshot",
+                base_run.name
+            ));
+            continue;
+        };
+        report.compared += 1;
+        diff_counters(base_run, new_run, &mut report);
+        if !opts.counters_only {
+            diff_timing(base_run, new_run, opts.tolerance, &mut report);
+            diff_alloc(base_run, new_run, opts.tolerance, &mut report);
+        }
+    }
+    for new_run in &new.workloads {
+        if base.workload(&new_run.name).is_none() {
+            report
+                .notes
+                .push(format!("{}: new workload, no baseline", new_run.name));
+        }
+    }
+    report
+}
+
+fn diff_counters(base: &WorkloadRun, new: &WorkloadRun, report: &mut DiffReport) {
+    for (key, &base_v) in &base.counters {
+        match new.counters.get(key) {
+            None => report
+                .regressions
+                .push(format!("{}: counter '{key}' missing", base.name)),
+            Some(&new_v) if new_v != base_v => report.regressions.push(format!(
+                "{}: counter '{key}' changed {base_v} -> {new_v}",
+                base.name
+            )),
+            _ => {}
+        }
+    }
+    for key in new.counters.keys() {
+        if !base.counters.contains_key(key) {
+            report
+                .notes
+                .push(format!("{}: new counter '{key}'", base.name));
+        }
+    }
+}
+
+fn diff_timing(base: &WorkloadRun, new: &WorkloadRun, tolerance: f64, report: &mut DiffReport) {
+    let (b, n) = (base.median_secs(), new.median_secs());
+    if b <= 0.0 {
+        return; // degenerate baseline: nothing meaningful to compare
+    }
+    if n > b * (1.0 + tolerance) {
+        report.regressions.push(format!(
+            "{}: median {:.4}s -> {:.4}s (+{:.0}%, tolerance {:.0}%)",
+            base.name,
+            b,
+            n,
+            100.0 * (n / b - 1.0),
+            100.0 * tolerance
+        ));
+    } else if n < b * (1.0 - tolerance) {
+        report.notes.push(format!(
+            "{}: median improved {:.4}s -> {:.4}s",
+            base.name, b, n
+        ));
+    }
+}
+
+fn diff_alloc(base: &WorkloadRun, new: &WorkloadRun, tolerance: f64, report: &mut DiffReport) {
+    let (Some(b), Some(n)) = (&base.alloc, &new.alloc) else {
+        // One side recorded without the counting allocator: nothing to
+        // hold the other side to.
+        return;
+    };
+    let dims = [
+        ("allocs", b.allocs, n.allocs),
+        ("bytes_allocated", b.bytes_allocated, n.bytes_allocated),
+        ("peak_live_bytes", b.peak_live_bytes, n.peak_live_bytes),
+    ];
+    for (dim, base_v, new_v) in dims {
+        if base_v == 0 {
+            continue;
+        }
+        let ratio = new_v as f64 / base_v as f64;
+        if ratio > 1.0 + tolerance {
+            report.regressions.push(format!(
+                "{}: {dim} {base_v} -> {new_v} (+{:.0}%, tolerance {:.0}%)",
+                base.name,
+                100.0 * (ratio - 1.0),
+                100.0 * tolerance
+            ));
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::snapshot::{AllocStats, SpanSnapshot};
+    use std::collections::BTreeMap;
+
+    fn run(name: &str, secs: f64, selections: u64, allocs: u64) -> WorkloadRun {
+        WorkloadRun {
+            name: name.to_string(),
+            rep_secs: vec![secs],
+            counters: BTreeMap::from([
+                ("selections".to_string(), selections),
+                ("benefits_computed".to_string(), 100),
+            ]),
+            spans: SpanSnapshot {
+                name: "total".into(),
+                count: 1,
+                total_secs: secs,
+                counters: BTreeMap::new(),
+                children: Vec::new(),
+            },
+            alloc: Some(AllocStats {
+                allocs,
+                bytes_allocated: allocs * 64,
+                peak_live_bytes: allocs * 16,
+            }),
+        }
+    }
+
+    fn snap(runs: Vec<WorkloadRun>) -> Snapshot {
+        Snapshot {
+            label: "t".into(),
+            git_sha: "x".into(),
+            rustc: "r".into(),
+            reps: 1,
+            workloads: runs,
+        }
+    }
+
+    #[test]
+    fn identical_snapshots_diff_clean() {
+        let s = snap(vec![run("a", 0.5, 7, 1000)]);
+        let report = diff(&s, &s.clone(), &DiffOptions::default());
+        assert!(report.ok(), "{}", report.render());
+        assert_eq!(report.compared, 1);
+    }
+
+    #[test]
+    fn counter_change_fails_in_both_directions() {
+        let base = snap(vec![run("a", 0.5, 7, 1000)]);
+        for changed in [6, 8] {
+            let new = snap(vec![run("a", 0.5, changed, 1000)]);
+            let report = diff(&base, &new, &DiffOptions::default());
+            assert!(!report.ok(), "selections {changed} must fail exact match");
+            assert!(report.regressions[0].contains("selections"));
+        }
+    }
+
+    #[test]
+    fn timing_regression_respects_tolerance() {
+        let base = snap(vec![run("a", 1.0, 7, 1000)]);
+        let opts = DiffOptions {
+            tolerance: 0.25,
+            counters_only: false,
+        };
+        assert!(diff(&base, &snap(vec![run("a", 1.2, 7, 1000)]), &opts).ok());
+        let slow = diff(&base, &snap(vec![run("a", 1.3, 7, 1000)]), &opts);
+        assert!(!slow.ok());
+        assert!(slow.regressions[0].contains("median"));
+        // Faster is a note, never a failure.
+        let fast = diff(&base, &snap(vec![run("a", 0.2, 7, 1000)]), &opts);
+        assert!(fast.ok());
+        assert!(fast.notes[0].contains("improved"));
+    }
+
+    #[test]
+    fn counters_only_ignores_time_and_alloc() {
+        let base = snap(vec![run("a", 1.0, 7, 1000)]);
+        let new = snap(vec![run("a", 99.0, 7, 999_999)]);
+        let opts = DiffOptions {
+            tolerance: 0.25,
+            counters_only: true,
+        };
+        assert!(diff(&base, &new, &opts).ok());
+    }
+
+    #[test]
+    fn alloc_growth_fails_shrink_passes() {
+        let base = snap(vec![run("a", 1.0, 7, 1000)]);
+        let opts = DiffOptions::default();
+        assert!(!diff(&base, &snap(vec![run("a", 1.0, 7, 2000)]), &opts).ok());
+        assert!(diff(&base, &snap(vec![run("a", 1.0, 7, 500)]), &opts).ok());
+    }
+
+    #[test]
+    fn missing_workload_and_counter_fail() {
+        let base = snap(vec![run("a", 1.0, 7, 1000), run("b", 1.0, 3, 10)]);
+        let report = diff(
+            &base,
+            &snap(vec![run("a", 1.0, 7, 1000)]),
+            &DiffOptions::default(),
+        );
+        assert!(!report.ok());
+        assert!(report.regressions[0].contains("missing"));
+
+        let mut shrunk = run("a", 1.0, 7, 1000);
+        shrunk.counters.remove("selections");
+        let report = diff(
+            &snap(vec![run("a", 1.0, 7, 1000)]),
+            &snap(vec![shrunk]),
+            &DiffOptions::default(),
+        );
+        assert!(!report.ok());
+    }
+
+    #[test]
+    fn new_workloads_are_notes_not_failures() {
+        let base = snap(vec![run("a", 1.0, 7, 1000)]);
+        let new = snap(vec![run("a", 1.0, 7, 1000), run("c", 1.0, 1, 1)]);
+        let report = diff(&base, &new, &DiffOptions::default());
+        assert!(report.ok());
+        assert!(report.notes.iter().any(|n| n.contains("no baseline")));
+    }
+
+    #[test]
+    fn missing_alloc_on_either_side_is_tolerated() {
+        let mut a = run("a", 1.0, 7, 1000);
+        a.alloc = None;
+        let base = snap(vec![a]);
+        let new = snap(vec![run("a", 1.0, 7, 999_999)]);
+        assert!(diff(&base, &new, &DiffOptions::default()).ok());
+    }
+}

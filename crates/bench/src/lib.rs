@@ -13,10 +13,15 @@
 
 pub mod args;
 pub mod cli;
+pub mod diff;
 pub mod experiments;
+pub mod json;
 pub mod measure;
 pub mod printers;
+pub mod record;
+pub mod registry;
 pub mod report;
+pub mod snapshot;
 
 pub use args::Args;
 pub use measure::{run, Algo, Measurement, RunParams};

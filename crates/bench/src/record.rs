@@ -1,0 +1,115 @@
+//! Driving a workload suite into a [`Snapshot`] (`scwsc_bench record`).
+
+use crate::measure::run_traced;
+use crate::registry::Workload;
+use crate::snapshot::{deterministic_counters, Snapshot, SpanSnapshot, WorkloadRun};
+use scwsc_core::SpanProfiler;
+
+#[cfg(feature = "alloc-stats")]
+use crate::snapshot::AllocStats;
+#[cfg(feature = "alloc-stats")]
+use scwsc_core::telemetry::alloc;
+
+/// Times every workload `reps` times and assembles the snapshot.
+///
+/// Each rep regenerates the input table so table construction cannot warm
+/// caches across reps unevenly, and runs with a fresh [`SpanProfiler`].
+/// The deterministic counters and the span tree are taken from the last
+/// rep (the counters are identical across reps by construction — that is
+/// what makes them exact-diff material). Allocation statistics cover the
+/// last rep's solve, peak re-armed at its start; they are `None` unless
+/// the recording binary installed the counting allocator.
+///
+/// `progress` is called once per workload with a short status line.
+pub fn record_suite(
+    suite: &[Workload],
+    label: &str,
+    reps: usize,
+    mut progress: impl FnMut(&str),
+) -> Snapshot {
+    assert!(reps >= 1, "at least one rep required");
+    let mut workloads = Vec::with_capacity(suite.len());
+    for w in suite {
+        let mut rep_secs = Vec::with_capacity(reps);
+        let mut last: Option<WorkloadRun> = None;
+        for _ in 0..reps {
+            let table = w.gen.table();
+            let mut profiler = SpanProfiler::new();
+            #[cfg(feature = "alloc-stats")]
+            let alloc_before = {
+                alloc::reset_peak();
+                alloc::snapshot()
+            };
+            let (measurement, metrics) = run_traced(w.algo, &table, &w.params, &mut profiler);
+            #[cfg(feature = "alloc-stats")]
+            let alloc_stats = alloc::is_active()
+                .then(|| AllocStats::from_delta(alloc::snapshot().delta(&alloc_before)));
+            #[cfg(not(feature = "alloc-stats"))]
+            let alloc_stats = None;
+            assert!(measurement.ok, "workload {} failed to solve", w.name);
+            rep_secs.push(measurement.seconds);
+            last = Some(WorkloadRun {
+                name: w.name.clone(),
+                rep_secs: Vec::new(), // filled in below, once all reps ran
+                counters: deterministic_counters(&metrics),
+                spans: SpanSnapshot::from_node(&profiler.tree()),
+                alloc: alloc_stats,
+            });
+        }
+        let mut run = last.expect("reps >= 1");
+        run.rep_secs = rep_secs;
+        progress(&format!(
+            "{:<28} median {:.4}s over {} rep(s)",
+            run.name,
+            run.median_secs(),
+            reps
+        ));
+        workloads.push(run);
+    }
+    Snapshot {
+        label: label.to_string(),
+        git_sha: crate::snapshot::git_sha(),
+        rustc: crate::snapshot::rustc_version(),
+        reps,
+        workloads,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::diff::{diff, DiffOptions};
+    use crate::registry::smoke_suite;
+
+    #[test]
+    fn recorded_smoke_snapshot_self_diffs_clean_and_round_trips() {
+        let suite = smoke_suite();
+        let snap = record_suite(&suite, "test", 2, |_| {});
+        assert_eq!(snap.workloads.len(), suite.len());
+        for w in &snap.workloads {
+            assert_eq!(w.rep_secs.len(), 2);
+            assert!(
+                w.counters.values().any(|&v| v > 0),
+                "{} did no work",
+                w.name
+            );
+            assert_eq!(w.spans.name, "total", "solver total span is the root");
+        }
+        // Round-trip through text, then self-diff: counters are exact.
+        let parsed = Snapshot::parse(&snap.to_json().to_pretty()).unwrap();
+        let report = diff(&snap, &parsed, &DiffOptions::default());
+        assert!(report.ok(), "{}", report.render());
+
+        // A second recording reproduces the counters exactly.
+        let again = record_suite(&suite, "test2", 1, |_| {});
+        let report = diff(
+            &snap,
+            &again,
+            &DiffOptions {
+                tolerance: 0.25,
+                counters_only: true,
+            },
+        );
+        assert!(report.ok(), "{}", report.render());
+    }
+}

@@ -1,0 +1,217 @@
+//! The named workload registry behind `scwsc_bench record`.
+//!
+//! Each workload is a fully deterministic (generator, algorithm,
+//! parameters) triple shaped like one point of the paper's evaluation:
+//! Figure 5's row scaling, the unoptimized/optimized pairing of Figure 6,
+//! Figure 8's `k` sweep, Figure 9's coverage sweep, plus two
+//! skewed-domain workloads where lattice pruning dominates. Determinism
+//! is what makes the snapshot counters exact-diff material: the same
+//! binary on the same workload always does the same work.
+
+use crate::measure::{Algo, RunParams};
+use scwsc_data::lbl::LblConfig;
+use scwsc_patterns::{test_util, Table};
+
+/// Deterministic input generator of one workload.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum WorkloadGen {
+    /// The LBL-CONN-7-like synthetic trace (DESIGN.md §4), scaled down.
+    Lbl {
+        /// Connection records to generate.
+        rows: usize,
+        /// RNG seed.
+        seed: u64,
+    },
+    /// The dense skewed-domain table from `scwsc_patterns::test_util`
+    /// (the Figure 6 pruning regime).
+    Skewed {
+        /// Rows to generate.
+        rows: usize,
+        /// Pattern attributes.
+        attrs: usize,
+        /// Active-domain cardinality per attribute.
+        cardinality: u64,
+    },
+}
+
+impl WorkloadGen {
+    /// Materializes the input table.
+    pub fn table(&self) -> Table {
+        match *self {
+            WorkloadGen::Lbl { rows, seed } => LblConfig {
+                rows,
+                seed,
+                local_hosts: 20,
+                remote_hosts: 30,
+                ..LblConfig::default()
+            }
+            .generate(),
+            WorkloadGen::Skewed {
+                rows,
+                attrs,
+                cardinality,
+            } => test_util::skewed_table(rows, attrs, cardinality),
+        }
+    }
+}
+
+/// One registered workload.
+#[derive(Debug, Clone)]
+pub struct Workload {
+    /// Stable name, also the key `diff` matches on.
+    pub name: String,
+    /// Algorithm variant to run.
+    pub algo: Algo,
+    /// Solver parameters.
+    pub params: RunParams,
+    /// Input generator.
+    pub gen: WorkloadGen,
+}
+
+fn lbl(rows: usize) -> WorkloadGen {
+    WorkloadGen::Lbl {
+        rows,
+        seed: 0x1cde_2015,
+    }
+}
+
+fn workload(name: &str, algo: Algo, params: RunParams, gen: WorkloadGen) -> Workload {
+    Workload {
+        name: name.to_string(),
+        algo,
+        params,
+        gen,
+    }
+}
+
+/// The full registry (the `record` default): 14 paper-shaped workloads.
+pub fn full_suite() -> Vec<Workload> {
+    let defaults = RunParams::default();
+    let mut suite = Vec::new();
+    // Figure 5 regime: runtime vs. input size for the optimized variants.
+    for rows in [1000, 2000, 4000] {
+        for algo in [Algo::CmcOpt, Algo::CwscOpt] {
+            let tag = if algo == Algo::CmcOpt {
+                "cmc_opt"
+            } else {
+                "cwsc_opt"
+            };
+            suite.push(workload(
+                &format!("fig5/{tag}/rows{rows}"),
+                algo,
+                defaults,
+                lbl(rows),
+            ));
+        }
+    }
+    // Figure 6 pairing: the unoptimized full-cube variants at one size.
+    suite.push(workload(
+        "fig6/cmc_unopt/rows1000",
+        Algo::CmcUnopt,
+        defaults,
+        lbl(1000),
+    ));
+    suite.push(workload(
+        "fig6/cwsc_unopt/rows1000",
+        Algo::CwscUnopt,
+        defaults,
+        lbl(1000),
+    ));
+    // Figure 8 regime: the size bound k.
+    for k in [5, 20] {
+        suite.push(workload(
+            &format!("fig8/cwsc_opt/k{k}"),
+            Algo::CwscOpt,
+            RunParams { k, ..defaults },
+            lbl(2000),
+        ));
+    }
+    // Figure 9 regime: the coverage fraction ŝ.
+    for coverage in [0.5, 0.7] {
+        suite.push(workload(
+            &format!("fig9/cwsc_opt/cov{:02}", (coverage * 100.0) as u32),
+            Algo::CwscOpt,
+            RunParams {
+                coverage,
+                ..defaults
+            },
+            lbl(2000),
+        ));
+    }
+    // Dense skewed domains: the regime where subtree pruning dominates.
+    let skew = WorkloadGen::Skewed {
+        rows: 800,
+        attrs: 4,
+        cardinality: 6,
+    };
+    suite.push(workload("skewed/cwsc_opt", Algo::CwscOpt, defaults, skew));
+    suite.push(workload("skewed/cmc_opt", Algo::CmcOpt, defaults, skew));
+    suite
+}
+
+/// A two-workload suite small enough for debug-build end-to-end tests.
+pub fn smoke_suite() -> Vec<Workload> {
+    let params = RunParams {
+        k: 5,
+        ..RunParams::default()
+    };
+    vec![
+        workload("smoke/cwsc_opt", Algo::CwscOpt, params, lbl(300)),
+        workload("smoke/cmc_opt", Algo::CmcOpt, params, lbl(300)),
+    ]
+}
+
+/// Looks up a suite by name (`"full"` or `"smoke"`).
+pub fn suite(name: &str) -> Option<Vec<Workload>> {
+    match name {
+        "full" => Some(full_suite()),
+        "smoke" => Some(smoke_suite()),
+        _ => None,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::measure::run;
+
+    #[test]
+    fn full_suite_names_are_unique_and_stable() {
+        let suite = full_suite();
+        assert_eq!(suite.len(), 14);
+        let mut names: Vec<&str> = suite.iter().map(|w| w.name.as_str()).collect();
+        names.sort_unstable();
+        names.dedup();
+        assert_eq!(names.len(), suite.len(), "duplicate workload names");
+        assert!(suite.iter().any(|w| w.name == "fig5/cmc_opt/rows1000"));
+        assert!(suite.iter().any(|w| w.name == "fig9/cwsc_opt/cov70"));
+    }
+
+    #[test]
+    fn generators_are_deterministic() {
+        for w in smoke_suite() {
+            let a = w.gen.table();
+            let b = w.gen.table();
+            assert_eq!(a.num_rows(), b.num_rows());
+            let ra = run(w.algo, &a, &w.params);
+            let rb = run(w.algo, &b, &w.params);
+            assert_eq!(ra.considered, rb.considered, "{}", w.name);
+            assert_eq!(ra.cost.to_bits(), rb.cost.to_bits(), "{}", w.name);
+        }
+    }
+
+    #[test]
+    fn smoke_workloads_solve() {
+        for w in smoke_suite() {
+            let m = run(w.algo, &w.gen.table(), &w.params);
+            assert!(m.ok, "{} failed to solve", w.name);
+        }
+    }
+
+    #[test]
+    fn unknown_suite_is_none() {
+        assert!(suite("full").is_some());
+        assert!(suite("smoke").is_some());
+        assert!(suite("nope").is_none());
+    }
+}

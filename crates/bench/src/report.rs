@@ -83,6 +83,32 @@ impl TextTable {
         }
         out
     }
+
+    /// Renders as a JSON array of objects keyed by the header, with cells
+    /// that parse as finite numbers emitted as numbers.
+    pub fn to_json(&self) -> crate::json::Json {
+        use crate::json::Json;
+        let rows = self
+            .rows
+            .iter()
+            .map(|row| {
+                Json::Obj(
+                    self.header
+                        .iter()
+                        .zip(row)
+                        .map(|(key, cell)| {
+                            let value = match cell.parse::<f64>() {
+                                Ok(n) if n.is_finite() => Json::Num(n),
+                                _ => Json::Str(cell.clone()),
+                            };
+                            (key.clone(), value)
+                        })
+                        .collect(),
+                )
+            })
+            .collect();
+        Json::Arr(rows)
+    }
 }
 
 /// Formats seconds with milli precision.
@@ -130,6 +156,20 @@ mod tests {
     #[should_panic(expected = "row arity")]
     fn arity_mismatch_panics() {
         TextTable::new(["a", "b"]).row(["only-one"]);
+    }
+
+    #[test]
+    fn json_output_types_cells() {
+        use crate::json::Json;
+        let mut t = TextTable::new(["alg", "time"]);
+        t.row(["CWSC", "1.5"]);
+        let json = t.to_json();
+        let rows = json.as_arr().unwrap();
+        assert_eq!(rows.len(), 1);
+        assert_eq!(rows[0].get("alg").and_then(Json::as_str), Some("CWSC"));
+        assert_eq!(rows[0].get("time").and_then(Json::as_f64), Some(1.5));
+        // Round-trips through the parser.
+        assert_eq!(Json::parse(&json.to_pretty()).unwrap(), json);
     }
 
     #[test]

@@ -12,7 +12,7 @@
 use crate::cover_state::CoverState;
 use crate::set_system::{coverage_target, SetId, SetSystem};
 use crate::solution::{Solution, SolveError};
-use crate::telemetry::{Observer, PhaseSpan, PHASE_TOTAL};
+use crate::telemetry::{Observer, PhaseSpan, PHASE_GUESS, PHASE_INIT, PHASE_SELECT, PHASE_TOTAL};
 
 /// Fraction of the requested coverage that CMC guarantees (Fig. 1 line 06).
 pub const CMC_COVERAGE_DISCOUNT: f64 = 1.0 - std::f64::consts::E.recip();
@@ -299,7 +299,10 @@ fn guess_loop<O: Observer + ?Sized>(
 
     loop {
         obs.guess_started(Some(budget));
-        if let Some(solution) = run_guess(system, params, budget, target, obs) {
+        let guess_span = PhaseSpan::enter(obs, PHASE_GUESS);
+        let found = run_guess(system, params, budget, target, obs);
+        guess_span.exit(obs);
+        if let Some(solution) = found {
             return Ok(CmcOutcome {
                 solution,
                 final_budget: budget,
@@ -322,8 +325,10 @@ fn run_guess<O: Observer + ?Sized>(
     obs: &mut O,
 ) -> Option<Solution> {
     // Lines 04-05: fresh marginal benefits for every set.
+    let init_span = PhaseSpan::enter(obs, PHASE_INIT);
     let mut state = CoverState::new(system);
     obs.benefit_computed(system.num_sets() as u64);
+    init_span.exit(obs);
 
     let levels = Levels::build(params.schedule, budget, params.k);
     // Announce the whole schedule up front (even levels an early return
@@ -340,6 +345,7 @@ fn run_guess<O: Observer + ?Sized>(
     let mut chosen: Vec<SetId> = Vec::new();
     let mut rem = target; // line 06
 
+    let select_span = PhaseSpan::enter(obs, PHASE_SELECT);
     for level in 0..levels.len() {
         for _ in 0..levels.quota(level) {
             // Line 17: argmax of marginal benefit within the level.
@@ -352,10 +358,12 @@ fn run_guess<O: Observer + ?Sized>(
             obs.set_selected(q as u64, newly as u64, system.cost(q).value());
             rem = rem.saturating_sub(newly);
             if rem == 0 {
+                select_span.exit(obs);
                 return Some(Solution::from_sets(system, chosen)); // lines 22-23
             }
         }
     }
+    select_span.exit(obs);
     None
 }
 

@@ -11,7 +11,7 @@
 use crate::cover_state::CoverState;
 use crate::set_system::{coverage_target, SetId, SetSystem};
 use crate::solution::{Solution, SolveError};
-use crate::telemetry::{Observer, PhaseSpan, PHASE_TOTAL};
+use crate::telemetry::{Observer, PhaseSpan, PHASE_INIT, PHASE_SELECT, PHASE_TOTAL};
 
 /// Runs CWSC: at most `k` sets covering at least `⌈coverage_fraction·n⌉`
 /// elements.
@@ -86,12 +86,15 @@ fn run<O: Observer + ?Sized>(
     obs.guess_started(None);
 
     // Fig. 2 lines 03-04: compute MBen of every set.
+    let init_span = PhaseSpan::enter(obs, PHASE_INIT);
     let mut state = CoverState::new(system);
     obs.benefit_computed(system.num_sets() as u64);
+    init_span.exit(obs);
 
     let mut chosen: Vec<SetId> = Vec::with_capacity(k);
     let mut rem = target; // line 02
 
+    let select_span = PhaseSpan::enter(obs, PHASE_SELECT);
     for i in (1..=k).rev() {
         // line 06: argmax of MGain over sets with |MBen(s)| >= rem/i,
         // evaluated in exact integer arithmetic.
@@ -99,6 +102,7 @@ fn run<O: Observer + ?Sized>(
         let rem_u = rem as u64;
         let q = state.argmax_gain(|id| i_u * state.marginal_benefit(id) as u64 >= rem_u);
         let Some(q) = q else {
+            select_span.exit(obs);
             return Err(SolveError::NoSolution); // line 07
         };
         chosen.push(q); // line 08
@@ -106,9 +110,11 @@ fn run<O: Observer + ?Sized>(
         obs.set_selected(q as u64, newly as u64, system.cost(q).value());
         rem = rem.saturating_sub(newly);
         if rem == 0 {
+            select_span.exit(obs);
             return Ok(Solution::from_sets(system, chosen)); // line 10
         }
     }
+    select_span.exit(obs);
 
     // All k picks made but coverage unmet: each eligible pick covered at
     // least rem/i elements, so this is unreachable; kept as a defensive

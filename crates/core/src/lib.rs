@@ -59,5 +59,6 @@ pub use solution::{verify, Requirements, Solution, SolveError, Verification};
 pub use stats::Stats;
 pub use telemetry::{
     Fanout, JsonlSink, LogHistogram, MetricsRecorder, NoopObserver, Observer, PhaseMetric,
-    PhaseSpan, PruneReason, PHASE_TOTAL,
+    PhaseSpan, PruneReason, SpanCounters, SpanNode, SpanProfiler, PHASE_EXPAND, PHASE_GUESS,
+    PHASE_INIT, PHASE_SELECT, PHASE_TOTAL,
 };

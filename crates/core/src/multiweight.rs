@@ -14,7 +14,16 @@
 use crate::algorithms::cwsc::cwsc;
 use crate::set_system::{ElementId, SetId, SetSystem};
 use crate::solution::{Solution, SolveError};
-use crate::stats::Stats;
+use crate::telemetry::{NoopObserver, Observer, PhaseSpan};
+
+/// Span name for one whole [`pareto_sweep_with`] run. Distinct from
+/// [`crate::telemetry::PHASE_TOTAL`] so the sweep's wrapper span does not
+/// double-count the inner solver runs' `"total"` spans in aggregations.
+pub const PHASE_SWEEP: &str = "pareto_sweep";
+/// Span name for building one scalarized [`SetSystem`] during a sweep.
+pub const PHASE_SCALARIZE: &str = "scalarize";
+/// Span name for the Pareto dominance filter at the end of a sweep.
+pub const PHASE_FILTER: &str = "pareto_filter";
 
 /// A set system whose sets carry a vector of weights (one per criterion).
 #[derive(Debug, Clone)]
@@ -172,11 +181,43 @@ pub fn pareto_sweep(
     coverage_fraction: f64,
     lambdas: &[Vec<f64>],
 ) -> Result<Vec<ParetoPoint>, MultiWeightError> {
+    pareto_sweep_with(system, k, coverage_fraction, lambdas, &mut NoopObserver)
+}
+
+/// [`pareto_sweep`] reporting its work through an [`Observer`].
+///
+/// The whole sweep runs inside a [`PHASE_SWEEP`] span; each preference
+/// vector contributes a [`PHASE_SCALARIZE`] span and the inner solver's own
+/// events (including its `"total"` span), and the final dominance filter
+/// runs inside a [`PHASE_FILTER`] span.
+pub fn pareto_sweep_with<O: Observer + ?Sized>(
+    system: &MultiWeightSystem,
+    k: usize,
+    coverage_fraction: f64,
+    lambdas: &[Vec<f64>],
+    obs: &mut O,
+) -> Result<Vec<ParetoPoint>, MultiWeightError> {
+    let sweep_span = PhaseSpan::enter(obs, PHASE_SWEEP);
+    let result = run_sweep(system, k, coverage_fraction, lambdas, obs);
+    sweep_span.exit(obs);
+    result
+}
+
+/// The sweep body, wrapped by [`pareto_sweep_with`]'s outer span.
+fn run_sweep<O: Observer + ?Sized>(
+    system: &MultiWeightSystem,
+    k: usize,
+    coverage_fraction: f64,
+    lambdas: &[Vec<f64>],
+    obs: &mut O,
+) -> Result<Vec<ParetoPoint>, MultiWeightError> {
     let mut points: Vec<ParetoPoint> = Vec::new();
     for lambda in lambdas {
-        let scalar = system.scalarize(lambda)?;
-        let solution = cwsc(&scalar, k, coverage_fraction, &mut Stats::new())
-            .map_err(MultiWeightError::Solve)?;
+        let scalarize_span = PhaseSpan::enter(obs, PHASE_SCALARIZE);
+        let scalar = system.scalarize(lambda);
+        scalarize_span.exit(obs);
+        let scalar = scalar?;
+        let solution = cwsc(&scalar, k, coverage_fraction, obs).map_err(MultiWeightError::Solve)?;
         let weights = system.aggregate(solution.sets());
         points.push(ParetoPoint {
             lambda: lambda.clone(),
@@ -185,6 +226,7 @@ pub fn pareto_sweep(
         });
     }
     // Pareto filter (also drops duplicate weight vectors).
+    let filter_span = PhaseSpan::enter(obs, PHASE_FILTER);
     let mut frontier: Vec<ParetoPoint> = Vec::new();
     for p in points {
         if frontier
@@ -196,6 +238,7 @@ pub fn pareto_sweep(
         frontier.retain(|q| !dominates(&p.weights, &q.weights));
         frontier.push(p);
     }
+    filter_span.exit(obs);
     Ok(frontier)
 }
 
@@ -298,5 +341,47 @@ mod tests {
         s.add_set([0], vec![1.0]).unwrap();
         let err = pareto_sweep(&s, 1, 1.0, &[vec![1.0]]).unwrap_err();
         assert!(matches!(err, MultiWeightError::Solve(_)));
+    }
+
+    #[test]
+    fn sweep_with_observer_matches_plain_sweep() {
+        let s = system();
+        let lambdas = vec![vec![1.0, 0.0], vec![0.0, 1.0], vec![0.5, 0.5]];
+        let plain = pareto_sweep(&s, 1, 0.5, &lambdas).unwrap();
+        let mut profiler = crate::telemetry::SpanProfiler::new();
+        let observed = pareto_sweep_with(&s, 1, 0.5, &lambdas, &mut profiler).unwrap();
+        assert_eq!(plain, observed);
+    }
+
+    #[test]
+    fn sweep_span_tree_shape() {
+        let s = system();
+        let lambdas = vec![vec![1.0, 0.0], vec![0.0, 1.0]];
+        let mut profiler = crate::telemetry::SpanProfiler::new();
+        pareto_sweep_with(&s, 1, 0.5, &lambdas, &mut profiler).unwrap();
+        assert_eq!(profiler.open_spans(), 0, "all spans must be closed");
+        // The sweep is the run's only top-level span, so it becomes the root.
+        let sweep = profiler.tree();
+        assert_eq!(sweep.name, PHASE_SWEEP);
+        assert_eq!(sweep.count, 1);
+        assert_eq!(
+            sweep.child(PHASE_SCALARIZE).map(|n| n.count),
+            Some(lambdas.len() as u64)
+        );
+        assert_eq!(sweep.child(PHASE_FILTER).map(|n| n.count), Some(1));
+        // The inner solver's "total" span nests under the sweep, once per λ.
+        let total = sweep
+            .child(crate::telemetry::PHASE_TOTAL)
+            .expect("solver total span nests under sweep");
+        assert_eq!(total.count, lambdas.len() as u64);
+    }
+
+    #[test]
+    fn sweep_span_closed_on_scalarize_error() {
+        let s = system();
+        let mut profiler = crate::telemetry::SpanProfiler::new();
+        let err = pareto_sweep_with(&s, 1, 0.5, &[vec![1.0]], &mut profiler).unwrap_err();
+        assert!(matches!(err, MultiWeightError::WrongArity { .. }));
+        assert_eq!(profiler.open_spans(), 0, "error paths must close spans");
     }
 }

@@ -37,9 +37,29 @@ use std::fmt::Write as _;
 use std::io;
 use std::time::Instant;
 
+#[cfg(feature = "alloc-stats")]
+pub mod alloc;
+pub mod spans;
+
+pub use spans::{SpanCounters, SpanNode, SpanProfiler};
+
 /// Span name covering a solver's whole run; [`Stats`](crate::stats::Stats)
 /// copies its duration into `elapsed_secs`.
 pub const PHASE_TOTAL: &str = "total";
+
+/// Span name of one budget guess inside a CMC run (child of
+/// [`PHASE_TOTAL`]; one completion per `guess_started`).
+pub const PHASE_GUESS: &str = "guess";
+
+/// Span name of the initial benefit materialization of a round/guess.
+pub const PHASE_INIT: &str = "init";
+
+/// Span name of a lattice-expansion sweep (posting scans + child
+/// materialization) inside the optimized pattern solvers.
+pub const PHASE_EXPAND: &str = "expand";
+
+/// Span name of a selection sweep (argmax + cover update + recount).
+pub const PHASE_SELECT: &str = "select";
 
 /// Why a candidate (or lattice subtree) was discarded before selection.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
@@ -188,9 +208,10 @@ impl PhaseSpan {
 }
 
 /// A histogram with power-of-two buckets: bucket `0` holds zeros, bucket
-/// `i ≥ 1` holds values in `[2^(i-1), 2^i)`. Hand-rolled (no deps) and
-/// allocation-light: the bucket vector grows to the highest observed
-/// magnitude only.
+/// `i ≥ 1` holds values in `[2^(i-1), 2^i − 1]` (so the top bucket, 64,
+/// is `[2^63, u64::MAX]` — no value is unrepresentable). Hand-rolled (no
+/// deps) and allocation-light: the bucket vector grows to the highest
+/// observed magnitude only.
 #[derive(Debug, Clone, Default, PartialEq, Eq)]
 pub struct LogHistogram {
     buckets: Vec<u64>,
@@ -214,13 +235,22 @@ impl LogHistogram {
         }
     }
 
-    /// Inclusive-exclusive value range `[lo, hi)` of bucket `i` (bucket 0
-    /// is the point range `[0, 1)`).
+    /// Inclusive value range `[lo, hi]` of bucket `i` (bucket 0 is the
+    /// point range `[0, 0]`; bucket 64 is `[2^63, u64::MAX]`).
+    ///
+    /// The upper bound is *inclusive*: an exclusive bound for the top
+    /// bucket would be `2^64`, which `u64` cannot represent — the earlier
+    /// exclusive formulation silently excluded `u64::MAX` from the bucket
+    /// [`bucket_of`](LogHistogram::bucket_of) assigns it to.
+    ///
+    /// # Panics
+    /// Panics if `i > 64` (no value maps to such a bucket).
     pub fn bucket_range(i: usize) -> (u64, u64) {
-        if i == 0 {
-            (0, 1)
-        } else {
-            (1u64 << (i - 1), (1u64 << (i - 1)).saturating_mul(2))
+        assert!(i <= 64, "bucket {i} out of range (values map to 0..=64)");
+        match i {
+            0 => (0, 0),
+            64 => (1u64 << 63, u64::MAX),
+            _ => (1u64 << (i - 1), (1u64 << i) - 1),
         }
     }
 
@@ -647,12 +677,68 @@ mod tests {
         assert_eq!(LogHistogram::bucket_of(3), 2);
         assert_eq!(LogHistogram::bucket_of(4), 3);
         assert_eq!(LogHistogram::bucket_of(u64::MAX), 64);
-        assert_eq!(LogHistogram::bucket_range(0), (0, 1));
-        assert_eq!(LogHistogram::bucket_range(2), (2, 4));
+        assert_eq!(LogHistogram::bucket_range(0), (0, 0));
+        assert_eq!(LogHistogram::bucket_range(2), (2, 3));
         for v in [0u64, 1, 2, 3, 7, 8, 1023, 1024] {
             let (lo, hi) = LogHistogram::bucket_range(LogHistogram::bucket_of(v));
-            assert!(lo <= v && v < hi, "{v} outside [{lo},{hi})");
+            assert!(lo <= v && v <= hi, "{v} outside [{lo},{hi}]");
         }
+    }
+
+    /// Exhaustive boundary sweep: every power of two, its neighbours, zero,
+    /// and `u64::MAX` land in a bucket whose inclusive range contains them,
+    /// buckets tile the value space without gaps or overlaps, and the
+    /// bucket index is monotone in the value.
+    #[test]
+    fn log_histogram_bucket_boundaries_exhaustive() {
+        // bucket_of at every power of two and its neighbours.
+        for i in 0..64u32 {
+            let p = 1u64 << i;
+            assert_eq!(LogHistogram::bucket_of(p), i as usize + 1, "2^{i}");
+            if p > 1 {
+                assert_eq!(LogHistogram::bucket_of(p - 1), i as usize, "2^{i}-1");
+            }
+            let (lo, hi) = LogHistogram::bucket_range(LogHistogram::bucket_of(p));
+            assert!(lo <= p && p <= hi, "2^{i} outside [{lo},{hi}]");
+        }
+        // The extremes.
+        assert_eq!(LogHistogram::bucket_of(0), 0);
+        assert_eq!(LogHistogram::bucket_of(u64::MAX), 64);
+        let (lo, hi) = LogHistogram::bucket_range(64);
+        assert!(lo <= u64::MAX - 1 && u64::MAX <= hi, "top bucket holds MAX");
+        assert_eq!(LogHistogram::bucket_of(u64::MAX - 1), 64);
+        assert_eq!(LogHistogram::bucket_of((1u64 << 63) - 1), 63);
+        // Buckets tile [0, u64::MAX] exactly: each range starts right after
+        // the previous one ends and the bucket owns its whole range.
+        let mut expected_lo = 0u64;
+        for i in 0..=64usize {
+            let (lo, hi) = LogHistogram::bucket_range(i);
+            assert_eq!(lo, expected_lo, "bucket {i} leaves a gap");
+            assert!(lo <= hi, "bucket {i} range inverted");
+            assert_eq!(LogHistogram::bucket_of(lo), i, "bucket {i} lo");
+            assert_eq!(LogHistogram::bucket_of(hi), i, "bucket {i} hi");
+            expected_lo = hi.wrapping_add(1);
+        }
+        assert_eq!(expected_lo, 0, "last bucket ends exactly at u64::MAX");
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn log_histogram_bucket_range_rejects_past_64() {
+        LogHistogram::bucket_range(65);
+    }
+
+    #[test]
+    fn log_histogram_records_extremes() {
+        let mut h = LogHistogram::new();
+        h.record(0);
+        h.record(u64::MAX);
+        h.record(u64::MAX); // sum saturates rather than wrapping
+        assert_eq!(h.count(), 3);
+        assert_eq!(h.max(), u64::MAX);
+        assert_eq!(h.sum(), u64::MAX);
+        assert_eq!(h.buckets()[0], 1);
+        assert_eq!(h.buckets()[64], 2);
     }
 
     #[test]

@@ -28,7 +28,7 @@ use crate::pattern_solution::PatternSolution;
 use crate::space::{LatticeSpace, PatternSpace};
 use crate::table::RowId;
 use scwsc_core::algorithms::cmc::{CmcParams, Levels};
-use scwsc_core::telemetry::{Observer, PhaseSpan, PruneReason, PHASE_TOTAL};
+use scwsc_core::telemetry::{Observer, PhaseSpan, PruneReason, PHASE_GUESS, PHASE_TOTAL};
 use scwsc_core::{coverage_target, BitSet, SolveError};
 use std::collections::BinaryHeap;
 
@@ -112,7 +112,12 @@ fn guess_loop<S: LatticeSpace, O: Observer + ?Sized>(
 
     loop {
         obs.guess_started(Some(budget));
-        if let Some(solution) = run_guess(&mut lattice, params, budget, target, obs) {
+        // Spans stay at guess granularity here: the body's unit of work is
+        // a single heap pop, far too hot to bracket with clock reads.
+        let guess_span = PhaseSpan::enter(obs, PHASE_GUESS);
+        let found = run_guess(&mut lattice, params, budget, target, obs);
+        guess_span.exit(obs);
+        if let Some(solution) = found {
             return Ok(solution);
         }
         // Line 37: stop once even a budget admitting every pattern failed.

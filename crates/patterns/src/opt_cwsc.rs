@@ -18,7 +18,9 @@ use crate::candidates::{gain_order, CandidatePool};
 use crate::pattern::Pattern;
 use crate::pattern_solution::PatternSolution;
 use crate::space::{LatticeSpace, PatternSpace};
-use scwsc_core::telemetry::{Observer, PhaseSpan, PruneReason, PHASE_TOTAL};
+use scwsc_core::telemetry::{
+    Observer, PhaseSpan, PruneReason, PHASE_EXPAND, PHASE_SELECT, PHASE_TOTAL,
+};
 use scwsc_core::{coverage_target, BitSet, SolveError};
 use std::cmp::Reverse;
 use std::collections::BinaryHeap;
@@ -145,6 +147,7 @@ fn run_in<S: LatticeSpace, O: Observer + ?Sized>(
         // Line 11: the waitlist starts as all of C. Within the while loop
         // no selection happens, so marginal benefits are static and a
         // plain max-heap (mben desc, pattern asc) gives line 13's argmax.
+        let expand_span = PhaseSpan::enter(obs, PHASE_EXPAND);
         let mut waitlist: BinaryHeap<(usize, Reverse<Pattern>, usize)> = pool
             .alive_ids()
             .map(|id| (pool.get(id).mben, Reverse(pool.get(id).pattern.clone()), id))
@@ -189,8 +192,10 @@ fn run_in<S: LatticeSpace, O: Observer + ?Sized>(
                 waitlist.push((pool.get(id).mben, Reverse(child), id));
             }
         }
+        expand_span.exit(obs);
 
         // Line 21: argmax of marginal gain over C.
+        let select_span = PhaseSpan::enter(obs, PHASE_SELECT);
         let mut best: Option<usize> = None;
         for id in pool.alive_ids() {
             best = Some(match best {
@@ -205,6 +210,7 @@ fn run_in<S: LatticeSpace, O: Observer + ?Sized>(
             });
         }
         let Some(q_id) = best else {
+            select_span.exit(obs);
             return Err(SolveError::NoSolution); // line 22
         };
 
@@ -223,10 +229,12 @@ fn run_in<S: LatticeSpace, O: Observer + ?Sized>(
         pool.remove(q_id);
         rem = rem.saturating_sub(q_mben);
         if rem == 0 {
+            select_span.exit(obs);
             return Ok(solution); // line 25
         }
         // Lines 27-30: refresh marginal benefits, dropping exhausted ones.
         pool.recount_all(&covered);
+        select_span.exit(obs);
     }
 
     // Eligibility guarantees each pick covers ≥ rem/i, so k picks always

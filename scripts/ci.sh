@@ -7,3 +7,11 @@ cargo build --release
 cargo test -q
 cargo fmt --check
 cargo clippy --workspace -- -D warnings
+
+# Performance-snapshot smoke: one quick rep of the full workload registry,
+# then the counter-exact diff against the committed baseline (wall-clock is
+# too noisy to gate on in CI; counters are deterministic). DESIGN.md §10.
+cargo run --release -q -p scwsc-bench --bin scwsc_bench -- \
+  record --quick --label ci --out target/BENCH_ci.json
+cargo run --release -q -p scwsc-bench --bin scwsc_bench -- \
+  diff BENCH_seed.json target/BENCH_ci.json --counters-only

@@ -1,0 +1,258 @@
+//! Offline stand-in for the `criterion` crate.
+//!
+//! The build environment has no registry access, so this workspace vendors
+//! a minimal wall-clock harness covering the API its benches use:
+//! [`Criterion`] with `sample_size` / `warm_up_time` / `measurement_time`,
+//! [`BenchmarkGroup`] via `benchmark_group`, [`Bencher::iter`] and
+//! [`Bencher::iter_batched`], [`black_box`], and the [`criterion_group!`] /
+//! [`criterion_main!`] macros.
+//!
+//! It reports mean / min / max wall-clock per iteration on stdout. There is
+//! no statistical outlier analysis, no saved baselines, and no HTML report
+//! — the workspace's regression trajectory lives in `scwsc_bench record` /
+//! `diff` snapshots instead, which is why a thin harness suffices here.
+
+use std::time::{Duration, Instant};
+
+/// An identity function that defeats constant-folding of its argument.
+pub fn black_box<T>(x: T) -> T {
+    std::hint::black_box(x)
+}
+
+/// Sizing hint for [`Bencher::iter_batched`] setup batches. The stub runs
+/// one setup per iteration regardless, so the variants only document intent.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BatchSize {
+    /// Inputs are cheap to hold; batch many per allocation.
+    SmallInput,
+    /// Inputs are large; batch few.
+    LargeInput,
+    /// Set up each iteration independently.
+    PerIteration,
+}
+
+#[derive(Debug, Clone, Copy)]
+struct Config {
+    sample_size: usize,
+    warm_up_time: Duration,
+    measurement_time: Duration,
+}
+
+/// The benchmark harness entry point.
+#[derive(Debug)]
+pub struct Criterion {
+    config: Config,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Criterion {
+            config: Config {
+                sample_size: 20,
+                warm_up_time: Duration::from_millis(300),
+                measurement_time: Duration::from_secs(2),
+            },
+        }
+    }
+}
+
+impl Criterion {
+    /// Sets how many timed samples each benchmark collects.
+    pub fn sample_size(mut self, n: usize) -> Self {
+        assert!(n > 0, "sample_size must be positive");
+        self.config.sample_size = n;
+        self
+    }
+
+    /// Sets how long each benchmark warms up before sampling.
+    pub fn warm_up_time(mut self, d: Duration) -> Self {
+        self.config.warm_up_time = d;
+        self
+    }
+
+    /// Caps how long the sampling phase of each benchmark may take.
+    pub fn measurement_time(mut self, d: Duration) -> Self {
+        self.config.measurement_time = d;
+        self
+    }
+
+    /// Starts a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: &str) -> BenchmarkGroup<'_> {
+        let config = self.config;
+        BenchmarkGroup {
+            _criterion: self,
+            name: name.to_string(),
+            config,
+        }
+    }
+}
+
+/// A named set of benchmarks sharing configuration overrides.
+#[derive(Debug)]
+pub struct BenchmarkGroup<'a> {
+    _criterion: &'a mut Criterion,
+    name: String,
+    config: Config,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Overrides the sample count for this group.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        assert!(n > 0, "sample_size must be positive");
+        self.config.sample_size = n;
+        self
+    }
+
+    /// Overrides the warm-up time for this group.
+    pub fn warm_up_time(&mut self, d: Duration) -> &mut Self {
+        self.config.warm_up_time = d;
+        self
+    }
+
+    /// Overrides the measurement-time cap for this group.
+    pub fn measurement_time(&mut self, d: Duration) -> &mut Self {
+        self.config.measurement_time = d;
+        self
+    }
+
+    /// Runs one benchmark and prints its timing summary.
+    pub fn bench_function<F>(&mut self, name: &str, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let mut bencher = Bencher {
+            config: self.config,
+            samples: Vec::new(),
+        };
+        f(&mut bencher);
+        bencher.report(&self.name, name);
+        self
+    }
+
+    /// Ends the group. (The stub reports eagerly, so this is a no-op kept
+    /// for API compatibility.)
+    pub fn finish(self) {}
+}
+
+/// Passed to each benchmark closure; drives the measurement loop.
+#[derive(Debug)]
+pub struct Bencher {
+    config: Config,
+    samples: Vec<Duration>,
+}
+
+impl Bencher {
+    /// Times `routine` repeatedly.
+    pub fn iter<O, R>(&mut self, mut routine: R)
+    where
+        R: FnMut() -> O,
+    {
+        self.run(|| {
+            let start = Instant::now();
+            black_box(routine());
+            start.elapsed()
+        });
+    }
+
+    /// Times `routine` on fresh inputs from `setup`; setup time is not
+    /// counted.
+    pub fn iter_batched<I, O, S, R>(&mut self, mut setup: S, mut routine: R, _size: BatchSize)
+    where
+        S: FnMut() -> I,
+        R: FnMut(I) -> O,
+    {
+        self.run(|| {
+            let input = setup();
+            let start = Instant::now();
+            black_box(routine(input));
+            start.elapsed()
+        });
+    }
+
+    fn run<F: FnMut() -> Duration>(&mut self, mut one: F) {
+        let warm_up_until = Instant::now() + self.config.warm_up_time;
+        while Instant::now() < warm_up_until {
+            one();
+        }
+        let deadline = Instant::now() + self.config.measurement_time;
+        for i in 0..self.config.sample_size {
+            self.samples.push(one());
+            // Always collect at least two samples so min/max mean something,
+            // but respect the time cap for slow benchmarks.
+            if i >= 1 && Instant::now() > deadline {
+                break;
+            }
+        }
+    }
+
+    fn report(&self, group: &str, name: &str) {
+        if self.samples.is_empty() {
+            println!("{group}/{name}: no samples collected");
+            return;
+        }
+        let n = self.samples.len() as u32;
+        let mean = self.samples.iter().sum::<Duration>() / n;
+        let min = self.samples.iter().min().unwrap();
+        let max = self.samples.iter().max().unwrap();
+        println!("{group}/{name}: mean {mean:?} (min {min:?}, max {max:?}, n={n})");
+    }
+}
+
+/// Declares a benchmark group function named `$name` that runs every target
+/// against the given [`Criterion`] configuration.
+#[macro_export]
+macro_rules! criterion_group {
+    (name = $name:ident; config = $config:expr; targets = $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion = $config;
+            $($target(&mut criterion);)+
+        }
+    };
+    ($name:ident, $($target:path),+ $(,)?) => {
+        $crate::criterion_group! {
+            name = $name;
+            config = $crate::Criterion::default();
+            targets = $($target),+
+        }
+    };
+}
+
+/// Emits `main` for a `harness = false` bench target.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn groups_time_and_report() {
+        let mut c = Criterion::default()
+            .sample_size(3)
+            .warm_up_time(Duration::from_millis(1))
+            .measurement_time(Duration::from_millis(50));
+        let mut calls = 0u32;
+        let mut group = c.benchmark_group("stub");
+        group
+            .sample_size(2)
+            .bench_function("iter", |b| b.iter(|| black_box(3u64 * 7)))
+            .bench_function("batched", |b| {
+                b.iter_batched(
+                    || vec![1u8; 64],
+                    |v| {
+                        calls += 1;
+                        black_box(v.len())
+                    },
+                    BatchSize::SmallInput,
+                )
+            });
+        group.finish();
+        assert!(calls >= 2, "batched routine must run at least twice");
+    }
+}

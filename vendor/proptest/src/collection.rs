@@ -1,0 +1,158 @@
+//! Collection strategies: `vec` and `btree_set`.
+
+use crate::strategy::Strategy;
+use crate::test_runner::TestRng;
+use rand::Rng;
+use std::collections::BTreeSet;
+
+/// An inclusive size bound for collection strategies. Accepts an exact
+/// `usize`, a half-open `lo..hi`, or an inclusive `lo..=hi`.
+#[derive(Debug, Clone, Copy)]
+pub struct SizeRange {
+    lo: usize,
+    hi: usize,
+}
+
+impl SizeRange {
+    fn sample(&self, rng: &mut TestRng) -> usize {
+        rng.rng.gen_range(self.lo..=self.hi)
+    }
+}
+
+impl From<usize> for SizeRange {
+    fn from(exact: usize) -> Self {
+        SizeRange {
+            lo: exact,
+            hi: exact,
+        }
+    }
+}
+
+impl From<core::ops::Range<usize>> for SizeRange {
+    fn from(r: core::ops::Range<usize>) -> Self {
+        assert!(r.start < r.end, "empty collection size range");
+        SizeRange {
+            lo: r.start,
+            hi: r.end - 1,
+        }
+    }
+}
+
+impl From<core::ops::RangeInclusive<usize>> for SizeRange {
+    fn from(r: core::ops::RangeInclusive<usize>) -> Self {
+        assert!(r.start() <= r.end(), "empty collection size range");
+        SizeRange {
+            lo: *r.start(),
+            hi: *r.end(),
+        }
+    }
+}
+
+/// Generates a `Vec` whose length is drawn from `size` and whose elements
+/// are drawn from `element`.
+pub fn vec<S: Strategy>(element: S, size: impl Into<SizeRange>) -> VecStrategy<S> {
+    VecStrategy {
+        element,
+        size: size.into(),
+    }
+}
+
+/// See [`vec`].
+#[derive(Debug, Clone)]
+pub struct VecStrategy<S> {
+    element: S,
+    size: SizeRange,
+}
+
+impl<S: Strategy> Strategy for VecStrategy<S> {
+    type Value = Vec<S::Value>;
+    fn sample(&self, rng: &mut TestRng) -> Self::Value {
+        let len = self.size.sample(rng);
+        (0..len).map(|_| self.element.sample(rng)).collect()
+    }
+}
+
+/// Generates a `BTreeSet` with between `size.lo` and `size.hi` distinct
+/// elements drawn from `element`.
+pub fn btree_set<S>(element: S, size: impl Into<SizeRange>) -> BTreeSetStrategy<S>
+where
+    S: Strategy,
+    S::Value: Ord,
+{
+    BTreeSetStrategy {
+        element,
+        size: size.into(),
+    }
+}
+
+/// See [`btree_set`].
+#[derive(Debug, Clone)]
+pub struct BTreeSetStrategy<S> {
+    element: S,
+    size: SizeRange,
+}
+
+impl<S> Strategy for BTreeSetStrategy<S>
+where
+    S: Strategy,
+    S::Value: Ord,
+{
+    type Value = BTreeSet<S::Value>;
+    fn sample(&self, rng: &mut TestRng) -> Self::Value {
+        let target = self.size.sample(rng);
+        let mut set = BTreeSet::new();
+        // Duplicates don't grow the set, so bound the draw count: small
+        // element domains may not be able to reach `target` distinct values.
+        let max_draws = target.saturating_mul(8) + 16;
+        let mut draws = 0;
+        while set.len() < target && draws < max_draws {
+            set.insert(self.element.sample(rng));
+            draws += 1;
+        }
+        set
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::strategy::Strategy;
+    use crate::test_runner::{ProptestConfig, TestRunner};
+
+    #[test]
+    fn vec_respects_size_bounds() {
+        let mut runner = TestRunner::new(ProptestConfig::with_cases(1));
+        let exact = super::vec(0u32..5, 7usize);
+        let ranged = super::vec(0u32..5, 2..6);
+        for _ in 0..100 {
+            assert_eq!(runner.sample(&exact).len(), 7);
+            let len = runner.sample(&ranged).len();
+            assert!((2..=5).contains(&len));
+        }
+    }
+
+    #[test]
+    fn btree_set_is_distinct_and_caps_at_domain() {
+        let mut runner = TestRunner::new(ProptestConfig::with_cases(1));
+        // Domain has 3 values but we ask for up to 10: must terminate.
+        let strat = super::btree_set(0u32..3, 1..=10);
+        for _ in 0..100 {
+            let s = runner.sample(&strat);
+            assert!(!s.is_empty() && s.len() <= 3);
+            assert!(s.iter().all(|&x| x < 3));
+        }
+    }
+
+    #[test]
+    fn flat_map_sized_rows_match_header() {
+        // The workspace's dominant pattern: attr count drives row width.
+        let mut runner = TestRunner::new(ProptestConfig::with_cases(1));
+        let strat = (1usize..=3, 1usize..=8).prop_flat_map(|(attrs, rows)| {
+            super::vec((super::vec(0u8..4, attrs), 0u8..40), rows).prop_map(move |rs| (attrs, rs))
+        });
+        for _ in 0..100 {
+            let (attrs, rows) = runner.sample(&strat);
+            assert!(!rows.is_empty() && rows.len() <= 8);
+            assert!(rows.iter().all(|(vals, _)| vals.len() == attrs));
+        }
+    }
+}

@@ -1,0 +1,28 @@
+//! The `Option` strategy.
+
+use crate::strategy::Strategy;
+use crate::test_runner::TestRng;
+use rand::Rng;
+
+/// Generates `Some` of the inner strategy's value half the time and `None`
+/// the other half.
+pub fn of<S: Strategy>(element: S) -> OptionStrategy<S> {
+    OptionStrategy { element }
+}
+
+/// See [`of`].
+#[derive(Debug, Clone)]
+pub struct OptionStrategy<S> {
+    element: S,
+}
+
+impl<S: Strategy> Strategy for OptionStrategy<S> {
+    type Value = Option<S::Value>;
+    fn sample(&self, rng: &mut TestRng) -> Self::Value {
+        if rng.rng.gen_bool(0.5) {
+            Some(self.element.sample(rng))
+        } else {
+            None
+        }
+    }
+}

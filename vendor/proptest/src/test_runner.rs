@@ -1,0 +1,105 @@
+//! Test execution: configuration, the RNG handle strategies draw from, and
+//! the per-test runner the [`crate::proptest!`] macro drives.
+
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+/// Configuration for a [`crate::proptest!`] block.
+#[derive(Debug, Clone)]
+pub struct ProptestConfig {
+    /// Number of random cases each test runs.
+    pub cases: u32,
+}
+
+impl ProptestConfig {
+    /// A config running `cases` cases per test.
+    pub fn with_cases(cases: u32) -> Self {
+        ProptestConfig { cases }
+    }
+}
+
+impl Default for ProptestConfig {
+    fn default() -> Self {
+        ProptestConfig { cases: 256 }
+    }
+}
+
+/// The randomness handle passed to [`crate::strategy::Strategy::sample`].
+#[derive(Debug)]
+pub struct TestRng {
+    pub(crate) rng: StdRng,
+}
+
+/// Runs a property test: draws `config.cases` samples deterministically.
+///
+/// The seed defaults to a fixed constant so CI failures reproduce locally;
+/// set `PROPTEST_SEED=<u64>` to explore a different stream.
+#[derive(Debug)]
+pub struct TestRunner {
+    config: ProptestConfig,
+    rng: TestRng,
+    case: u32,
+    seed: u64,
+}
+
+impl TestRunner {
+    /// Creates a runner for one test function.
+    pub fn new(config: ProptestConfig) -> Self {
+        let seed = std::env::var("PROPTEST_SEED")
+            .ok()
+            .and_then(|s| s.parse().ok())
+            .unwrap_or(0x5c5c_5eed_1cde_2015);
+        TestRunner {
+            config,
+            rng: TestRng {
+                rng: StdRng::seed_from_u64(seed),
+            },
+            case: 0,
+            seed,
+        }
+    }
+
+    /// Advances to the next case; `false` once all cases have run.
+    pub fn next_case(&mut self) -> bool {
+        if self.case >= self.config.cases {
+            return false;
+        }
+        self.case += 1;
+        true
+    }
+
+    /// Draws one value from `strategy`.
+    pub fn sample<S: crate::strategy::Strategy>(&mut self, strategy: &S) -> S::Value {
+        strategy.sample(&mut self.rng)
+    }
+
+    /// A guard that reports the failing case number if the test body
+    /// panics, since there is no shrinking to point at a minimal input.
+    pub fn case_guard(&self) -> CaseGuard {
+        CaseGuard {
+            case: self.case,
+            total: self.config.cases,
+            seed: self.seed,
+        }
+    }
+}
+
+/// See [`TestRunner::case_guard`].
+#[derive(Debug)]
+pub struct CaseGuard {
+    case: u32,
+    total: u32,
+    seed: u64,
+}
+
+impl Drop for CaseGuard {
+    fn drop(&mut self) {
+        if std::thread::panicking() {
+            eprintln!(
+                "proptest: failed at case {}/{} (seed {:#x}; rerun with \
+                 PROPTEST_SEED={} to reproduce)",
+                self.case, self.total, self.seed, self.seed
+            );
+        }
+    }
+}

@@ -1,0 +1,19 @@
+//! Offline stand-in for the `serde` crate.
+//!
+//! The build environment has no registry access, and nothing in this
+//! workspace actually serializes — the `serde` derives on public data types
+//! are a convenience for downstream users with a real serde. This vendored
+//! crate keeps those annotations compiling: it declares the two trait names
+//! and (behind the `derive` feature) re-exports inert derive macros that
+//! expand to nothing. Swapping in the real `serde` is a one-line change in
+//! the workspace manifest once a registry is reachable.
+
+/// Marker trait standing in for `serde::Serialize`. The inert derive does
+/// not implement it; no code in this workspace requires the bound.
+pub trait Serialize {}
+
+/// Marker trait standing in for `serde::Deserialize`.
+pub trait Deserialize<'de>: Sized {}
+
+#[cfg(feature = "derive")]
+pub use serde_derive::{Deserialize, Serialize};
