@@ -1,0 +1,142 @@
+//! Criterion benchmarks for the parallel execution layer: the chunked
+//! masked benefit scan against its serial equivalent on the largest
+//! registry workload scale (fig5 rows4000), the end-to-end `cwsc` /
+//! `cwsc_on` pair, and the fused bitset kernels the scan is built from
+//! (`difference_count` vs a materialized difference,
+//! `max_intersection_count` vs a hand-rolled argmax loop).
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use scwsc_core::algorithms::scan::{build_masks, masked_argmax};
+use scwsc_core::algorithms::{cwsc, cwsc_on};
+use scwsc_core::cover_state::benefit_order;
+use scwsc_core::{BitSet, NoopObserver, SetSystem, ThreadLocalTelemetry, ThreadPool, Threads};
+use scwsc_data::lbl::LblConfig;
+use scwsc_patterns::{enumerate_all, CostFn};
+use std::time::Duration;
+
+fn config() -> Criterion {
+    Criterion::default()
+        .sample_size(10)
+        .warm_up_time(Duration::from_millis(300))
+        .measurement_time(Duration::from_secs(2))
+}
+
+/// The full-cube set system of the largest registry workload's table
+/// (`fig5/*/rows4000`): the exact input the unoptimized solvers scan.
+fn largest_registry_system() -> SetSystem {
+    let table = LblConfig {
+        seed: 7,
+        ..LblConfig::scaled(4000)
+    }
+    .generate();
+    enumerate_all(&table, CostFn::Max).system
+}
+
+/// A half-covered universe: the regime mid-solve where the scan does
+/// real `difference_count` work instead of terminating on empty masks.
+fn half_covered(num_elements: usize) -> BitSet {
+    let mut covered = BitSet::new(num_elements);
+    for e in (0..num_elements).step_by(2) {
+        covered.insert(e);
+    }
+    covered
+}
+
+fn bench_benefit_scan(c: &mut Criterion) {
+    let system = largest_registry_system();
+    let covered = half_covered(system.num_elements());
+    let mut group = c.benchmark_group("parallel_benefit_scan");
+    for threads in [1usize, 2, 4] {
+        let pool = ThreadPool::new(Threads::new(threads));
+        let masks = build_masks(&pool, &system);
+        let tls = ThreadLocalTelemetry::new(pool.threads());
+        group.bench_function(&format!("masked_argmax_rows4000_t{threads}"), |b| {
+            b.iter(|| {
+                let best = masked_argmax(
+                    &pool,
+                    &tls,
+                    &system,
+                    &masks,
+                    &covered,
+                    |_| true,
+                    |_| true,
+                    benefit_order,
+                );
+                // Drain the shards so spans don't accumulate across iters.
+                tls.replay(&mut NoopObserver);
+                black_box(best)
+            })
+        });
+    }
+    group.finish();
+}
+
+fn bench_cwsc_end_to_end(c: &mut Criterion) {
+    let system = largest_registry_system();
+    let mut group = c.benchmark_group("parallel_cwsc");
+    group.bench_function("cwsc_rows4000_serial", |b| {
+        b.iter(|| black_box(cwsc(&system, 10, 0.3, &mut NoopObserver).is_ok()))
+    });
+    for threads in [2usize, 4] {
+        let pool = ThreadPool::new(Threads::new(threads));
+        group.bench_function(&format!("cwsc_rows4000_t{threads}"), |b| {
+            b.iter(|| black_box(cwsc_on(&system, 10, 0.3, &pool, &mut NoopObserver).is_ok()))
+        });
+    }
+    group.finish();
+}
+
+fn bench_bitset_kernels(c: &mut Criterion) {
+    let n = 100_000;
+    let mut a = BitSet::new(n);
+    let mut covered = BitSet::new(n);
+    for i in (0..n).step_by(3) {
+        a.insert(i);
+    }
+    for i in (0..n).step_by(2) {
+        covered.insert(i);
+    }
+    let mut group = c.benchmark_group("bitset_kernels");
+    group.bench_function("difference_count_fused_100k", |b| {
+        b.iter(|| black_box(a.difference_count(&covered)))
+    });
+    group.bench_function("difference_count_materialized_100k", |b| {
+        b.iter(|| {
+            let mut d = a.clone();
+            d.difference_with(&covered);
+            black_box(d.count_ones())
+        })
+    });
+    let others: Vec<BitSet> = (0..64)
+        .map(|s| {
+            let mut o = BitSet::new(n);
+            for i in (s..n).step_by(17 + s % 7) {
+                o.insert(i);
+            }
+            o
+        })
+        .collect();
+    group.bench_function("max_intersection_count_64x100k", |b| {
+        b.iter(|| black_box(a.max_intersection_count(&others)))
+    });
+    group.bench_function("max_intersection_count_naive_64x100k", |b| {
+        b.iter(|| {
+            let mut best: Option<(usize, usize)> = None;
+            for (i, o) in others.iter().enumerate() {
+                let count = a.intersection_count(o);
+                if best.is_none_or(|(_, c)| count > c) {
+                    best = Some((i, count));
+                }
+            }
+            black_box(best)
+        })
+    });
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = config();
+    targets = bench_benefit_scan, bench_cwsc_end_to_end, bench_bitset_kernels
+}
+criterion_main!(benches);

@@ -14,9 +14,10 @@
 //! timings and allocations within `--tolerance` (default 0.25).
 
 use scwsc_bench::diff::{diff, DiffOptions};
-use scwsc_bench::record::record_suite;
+use scwsc_bench::record::record_suite_on;
 use scwsc_bench::registry;
 use scwsc_bench::snapshot::Snapshot;
+use scwsc_core::{ThreadPool, Threads};
 use std::process::ExitCode;
 
 // Installed here, not in the library: allocation statistics only move in
@@ -28,7 +29,7 @@ static ALLOC: scwsc_core::telemetry::alloc::CountingAlloc =
 
 const USAGE: &str = "\
 usage:
-  scwsc_bench record [--label L] [--reps N] [--quick] [--suite full|smoke] [--out PATH]
+  scwsc_bench record [--label L] [--reps N] [--quick] [--suite full|smoke] [--out PATH] [--threads N]
   scwsc_bench diff BASE NEW [--tolerance F] [--counters-only]
 
 record options:
@@ -38,6 +39,9 @@ record options:
                 workloads themselves never shrink)
   --suite S     workload suite: full | smoke [default: full]
   --out PATH    output path [default: BENCH_<label>.json]
+  --threads N   worker threads for the solver fan-outs; 1 = serial
+                [default: $SCWSC_THREADS, else all cores]. Deterministic
+                counters are identical for every N — only timings move.
 
 diff options:
   --tolerance F   relative headroom for timings/allocations [default: 0.25]
@@ -69,6 +73,7 @@ fn cmd_record(args: &[String]) -> Result<ExitCode, String> {
     let mut quick = false;
     let mut suite_name = "full".to_string();
     let mut out: Option<String> = None;
+    let mut threads = Threads::from_env();
     let mut it = args.iter();
     while let Some(arg) = it.next() {
         match arg.as_str() {
@@ -81,6 +86,13 @@ fn cmd_record(args: &[String]) -> Result<ExitCode, String> {
             "--quick" => quick = true,
             "--suite" => suite_name = take(&mut it, "--suite")?,
             "--out" => out = Some(take(&mut it, "--out")?),
+            "--threads" => {
+                threads = Threads::new(
+                    take(&mut it, "--threads")?
+                        .parse()
+                        .map_err(|_| "--threads expects a positive integer".to_string())?,
+                )
+            }
             other => return Err(format!("unknown record option '{other}'\n{USAGE}")),
         }
     }
@@ -94,11 +106,13 @@ fn cmd_record(args: &[String]) -> Result<ExitCode, String> {
         .ok_or_else(|| format!("unknown suite '{suite_name}' (expected full|smoke)"))?;
     let path = out.unwrap_or_else(|| format!("BENCH_{label}.json"));
 
+    let pool = ThreadPool::new(threads);
     eprintln!(
-        "recording suite '{suite_name}' ({} workloads, {reps} rep(s)) as '{label}'",
-        suite.len()
+        "recording suite '{suite_name}' ({} workloads, {reps} rep(s), {} thread(s)) as '{label}'",
+        suite.len(),
+        pool.threads()
     );
-    let snapshot = record_suite(&suite, &label, reps, |line| eprintln!("  {line}"));
+    let snapshot = record_suite_on(&suite, &label, reps, &pool, |line| eprintln!("  {line}"));
     std::fs::write(&path, snapshot.to_json().to_pretty())
         .map_err(|e| format!("writing {path}: {e}"))?;
     eprintln!("wrote {path}");

@@ -12,23 +12,27 @@
 use scwsc_bench::cli::{args_or_exit, bail, required};
 use scwsc_bench::measure::RunParams;
 use scwsc_bench::report::{secs, TextTable};
-use scwsc_core::{Fanout, JsonlSink, MetricsRecorder, SpanProfiler, Stats};
+use scwsc_core::{Fanout, JsonlSink, MetricsRecorder, SpanProfiler, Stats, ThreadPool, Threads};
 use scwsc_data::csv::read_table;
 use scwsc_data::lbl::LblConfig;
-use scwsc_patterns::{opt_cmc, opt_cwsc, CostFn, PatternSolution, PatternSpace, Table};
+use scwsc_patterns::{opt_cmc_on, opt_cwsc, CostFn, PatternSolution, PatternSpace, Table};
 use std::fs::File;
 use std::io::BufWriter;
 use std::path::Path;
 
 const USAGE: &str = "scwsc_solve [--csv PATH | --rows N [--seed N]] \
 [--k N] [--coverage F] [--algorithm cwsc|cmc] [--b F] [--eps F] \
-[--cost-fn max|sum|mean|count] [--trace-jsonl PATH] [--metrics] [--profile]
+[--cost-fn max|sum|mean|count] [--threads N] [--trace-jsonl PATH] [--metrics] [--profile]
 Solves size-constrained weighted set cover over the table's pattern cube and
 prints the chosen patterns. Without --csv, a synthetic LBL-like trace of
---rows records is generated. --trace-jsonl streams every solver event as one
-JSON object per line; --metrics prints aggregated counters and per-phase
-timings; --profile prints the run's aggregated span tree (per-phase
-total/self wall-clock with counter attribution).";
+--rows records is generated. --threads sets the worker count for the cmc
+solver's parallel fan-outs (1 = serial; default $SCWSC_THREADS, else all
+cores) — the solution and all counters are identical for any value; cwsc is
+a single sequential round and always runs serial. --trace-jsonl streams
+every solver event as one JSON object per line; --metrics prints aggregated
+counters and per-phase timings; --profile prints the run's aggregated span
+tree (per-phase total/self wall-clock with counter attribution; parallel
+runs show the per-chunk scan spans merged under their round).";
 
 fn cost_fn_of(name: &str) -> CostFn {
     match name {
@@ -69,13 +73,21 @@ fn main() {
         ..RunParams::default()
     };
     let algorithm = args.get("algorithm").unwrap_or("cwsc");
+    let threads = if args.get("threads").is_some() {
+        Threads::new(required(args.get_or("threads", 1)))
+    } else {
+        Threads::from_env()
+    };
+    let pool = ThreadPool::new(threads);
 
     eprintln!(
-        "solving: {} rows, {} attributes, k={}, coverage>={:.0}%, algorithm={algorithm}",
+        "solving: {} rows, {} attributes, k={}, coverage>={:.0}%, algorithm={algorithm}, \
+         threads={}",
         table.num_rows(),
         table.num_attrs(),
         params.k,
-        params.coverage * 100.0
+        params.coverage * 100.0,
+        pool.threads()
     );
     let space = PatternSpace::new(&table, params.cost_fn);
     let mut stats = Stats::new();
@@ -99,7 +111,7 @@ fn main() {
         match algorithm {
             "cwsc" => opt_cwsc(&space, params.k, params.coverage, &mut obs)
                 .unwrap_or_else(|e| bail(&format!("no solution: {e}"))),
-            "cmc" => opt_cmc(&space, &params.cmc_params(), &mut obs)
+            "cmc" => opt_cmc_on(&space, &params.cmc_params(), &pool, &mut obs)
                 .unwrap_or_else(|e| bail(&format!("no solution: {e}"))),
             other => bail(&format!("unknown algorithm {other:?} (use cwsc or cmc)")),
         }

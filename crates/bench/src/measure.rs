@@ -1,9 +1,9 @@
 //! Timed, instrumented runs of the four algorithm variants the paper
 //! plots: unoptimized/optimized CMC and CWSC (Figures 5–9).
 
-use scwsc_core::algorithms::{cmc, cwsc, CmcParams};
-use scwsc_core::{Fanout, MetricsRecorder, NoopObserver, Observer, Stats};
-use scwsc_patterns::{enumerate_all, opt_cmc, opt_cwsc, CostFn, PatternSpace, Table};
+use scwsc_core::algorithms::{cmc, cmc_on, cwsc, cwsc_on, CmcParams};
+use scwsc_core::{Fanout, MetricsRecorder, NoopObserver, Observer, Stats, ThreadPool};
+use scwsc_patterns::{enumerate_all, opt_cmc, opt_cmc_on, opt_cwsc, CostFn, PatternSpace, Table};
 use serde::{Deserialize, Serialize};
 use std::time::Instant;
 
@@ -126,6 +126,34 @@ pub fn run_traced(
     params: &RunParams,
     extra: &mut dyn Observer,
 ) -> (Measurement, MetricsRecorder) {
+    run_traced_inner(algo, table, params, None, extra)
+}
+
+/// [`run_traced`] with the solver's parallel fan-outs run on `pool`.
+///
+/// The deterministic counters and the solution are identical to the serial
+/// run for any pool size; only wall-clock changes. `CwscOpt` has no
+/// parallel variant (the Fig. 3 lattice walk is a single sequential round
+/// whose per-step candidate set is too small to chunk profitably) and runs
+/// serial regardless of the pool.
+pub fn run_traced_on(
+    algo: Algo,
+    table: &Table,
+    params: &RunParams,
+    pool: &ThreadPool,
+    extra: &mut dyn Observer,
+) -> (Measurement, MetricsRecorder) {
+    let pool = if pool.is_serial() { None } else { Some(pool) };
+    run_traced_inner(algo, table, params, pool, extra)
+}
+
+fn run_traced_inner(
+    algo: Algo,
+    table: &Table,
+    params: &RunParams,
+    pool: Option<&ThreadPool>,
+    extra: &mut dyn Observer,
+) -> (Measurement, MetricsRecorder) {
     let mut stats = Stats::new();
     let mut metrics = MetricsRecorder::new();
     let start = Instant::now();
@@ -135,27 +163,35 @@ pub fn run_traced(
         match algo {
             Algo::CmcUnopt => {
                 let m = enumerate_all(table, params.cost_fn);
-                cmc(&m.system, &params.cmc_params(), &mut obs)
-                    .ok()
-                    .map(|o| {
-                        (
-                            o.solution.total_cost().value(),
-                            o.solution.size(),
-                            o.solution.covered(),
-                        )
-                    })
+                let result = match pool {
+                    Some(pool) => cmc_on(&m.system, &params.cmc_params(), pool, &mut obs),
+                    None => cmc(&m.system, &params.cmc_params(), &mut obs),
+                };
+                result.ok().map(|o| {
+                    (
+                        o.solution.total_cost().value(),
+                        o.solution.size(),
+                        o.solution.covered(),
+                    )
+                })
             }
             Algo::CwscUnopt => {
                 let m = enumerate_all(table, params.cost_fn);
-                cwsc(&m.system, params.k, params.coverage, &mut obs)
+                let result = match pool {
+                    Some(pool) => cwsc_on(&m.system, params.k, params.coverage, pool, &mut obs),
+                    None => cwsc(&m.system, params.k, params.coverage, &mut obs),
+                };
+                result
                     .ok()
                     .map(|s| (s.total_cost().value(), s.size(), s.covered()))
             }
             Algo::CmcOpt => {
                 let space = PatternSpace::new(table, params.cost_fn);
-                opt_cmc(&space, &params.cmc_params(), &mut obs)
-                    .ok()
-                    .map(|s| (s.total_cost, s.size(), s.covered))
+                let result = match pool {
+                    Some(pool) => opt_cmc_on(&space, &params.cmc_params(), pool, &mut obs),
+                    None => opt_cmc(&space, &params.cmc_params(), &mut obs),
+                };
+                result.ok().map(|s| (s.total_cost, s.size(), s.covered))
             }
             Algo::CwscOpt => {
                 let space = PatternSpace::new(table, params.cost_fn);
@@ -271,6 +307,32 @@ mod tests {
                 .phase_seconds(scwsc_core::PHASE_TOTAL)
                 .expect("solver records a total phase");
             assert!(total >= 0.0 && total <= m.seconds);
+        }
+    }
+
+    #[test]
+    fn pooled_run_matches_serial_measurement_and_counters() {
+        use scwsc_core::Threads;
+        let t = small_table();
+        let params = RunParams {
+            k: 5,
+            ..RunParams::default()
+        };
+        let pool = ThreadPool::new(Threads::new(4));
+        for algo in Algo::ALL {
+            let (sm, smet) = run_traced(algo, &t, &params, &mut NoopObserver);
+            let (pm, pmet) = run_traced_on(algo, &t, &params, &pool, &mut NoopObserver);
+            assert_eq!(pm.cost, sm.cost, "{algo:?}");
+            assert_eq!(pm.size, sm.size, "{algo:?}");
+            assert_eq!(pm.covered, sm.covered, "{algo:?}");
+            assert_eq!(pm.considered, sm.considered, "{algo:?}");
+            assert_eq!(pm.guesses, sm.guesses, "{algo:?}");
+            assert_eq!(pmet.selections, smet.selections, "{algo:?}");
+            assert_eq!(pmet.benefits_computed, smet.benefits_computed, "{algo:?}");
+            assert_eq!(
+                pmet.marginal_benefit_hist, smet.marginal_benefit_hist,
+                "{algo:?}"
+            );
         }
     }
 

@@ -1,9 +1,9 @@
 //! Driving a workload suite into a [`Snapshot`] (`scwsc_bench record`).
 
-use crate::measure::run_traced;
+use crate::measure::run_traced_on;
 use crate::registry::Workload;
 use crate::snapshot::{deterministic_counters, Snapshot, SpanSnapshot, WorkloadRun};
-use scwsc_core::SpanProfiler;
+use scwsc_core::{SpanProfiler, ThreadPool, Threads};
 
 #[cfg(feature = "alloc-stats")]
 use crate::snapshot::AllocStats;
@@ -25,6 +25,29 @@ pub fn record_suite(
     suite: &[Workload],
     label: &str,
     reps: usize,
+    progress: impl FnMut(&str),
+) -> Snapshot {
+    record_suite_on(
+        suite,
+        label,
+        reps,
+        &ThreadPool::new(Threads::serial()),
+        progress,
+    )
+}
+
+/// [`record_suite`] with each workload's solver fan-outs run on `pool`.
+///
+/// The deterministic counters are identical to a serial recording for any
+/// pool size — that is the parallel layer's contract and exactly what
+/// `scwsc_bench diff --counters-only` checks between a `SCWSC_THREADS=1`
+/// and a `SCWSC_THREADS=4` recording. Only `rep_secs` and span timings
+/// change.
+pub fn record_suite_on(
+    suite: &[Workload],
+    label: &str,
+    reps: usize,
+    pool: &ThreadPool,
     mut progress: impl FnMut(&str),
 ) -> Snapshot {
     assert!(reps >= 1, "at least one rep required");
@@ -40,7 +63,8 @@ pub fn record_suite(
                 alloc::reset_peak();
                 alloc::snapshot()
             };
-            let (measurement, metrics) = run_traced(w.algo, &table, &w.params, &mut profiler);
+            let (measurement, metrics) =
+                run_traced_on(w.algo, &table, &w.params, pool, &mut profiler);
             #[cfg(feature = "alloc-stats")]
             let alloc_stats = alloc::is_active()
                 .then(|| AllocStats::from_delta(alloc::snapshot().delta(&alloc_before)));
@@ -105,6 +129,23 @@ mod tests {
         let report = diff(
             &snap,
             &again,
+            &DiffOptions {
+                tolerance: 0.25,
+                counters_only: true,
+            },
+        );
+        assert!(report.ok(), "{}", report.render());
+    }
+
+    #[test]
+    fn parallel_recording_counters_diff_clean_against_serial() {
+        let suite = smoke_suite();
+        let serial = record_suite(&suite, "serial", 1, |_| {});
+        let pool = ThreadPool::new(Threads::new(4));
+        let parallel = record_suite_on(&suite, "parallel", 1, &pool, |_| {});
+        let report = diff(
+            &serial,
+            &parallel,
             &DiffOptions {
                 tolerance: 0.25,
                 counters_only: true,

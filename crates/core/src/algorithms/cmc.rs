@@ -9,10 +9,16 @@
 //! Theorem 5: the ε-schedule uses at most `(1+ε)k` sets at cost
 //! `O(((1+b)/ε)·log k·OPT)`.
 
-use crate::cover_state::CoverState;
+use crate::algorithms::scan;
+use crate::bitset::BitSet;
+use crate::cover_state::{benefit_order, CoverState};
+use crate::parallel::{CancelToken, ThreadPool};
 use crate::set_system::{coverage_target, SetId, SetSystem};
 use crate::solution::{Solution, SolveError};
-use crate::telemetry::{Observer, PhaseSpan, PHASE_GUESS, PHASE_INIT, PHASE_SELECT, PHASE_TOTAL};
+use crate::telemetry::{
+    EventLog, Observer, PhaseSpan, ThreadLocalTelemetry, PHASE_GUESS, PHASE_INIT, PHASE_SELECT,
+    PHASE_TOTAL,
+};
 
 /// Fraction of the requested coverage that CMC guarantees (Fig. 1 line 06).
 pub const CMC_COVERAGE_DISCOUNT: f64 = 1.0 - std::f64::consts::E.recip();
@@ -61,6 +67,23 @@ impl Levels {
             budget.is_finite() && budget > 0.0,
             "budget must be positive and finite, got {budget}"
         );
+        // Guard k = 1 explicitly: every schedule degenerates to the single
+        // final level [0, B] with quota 1, but the geometric loops reach
+        // that only through `log(1) = 0` edge cases (zero iterations with
+        // the final bound still depending on the loop counter). Make the
+        // degenerate partition unconditional rather than emergent.
+        if k == 1 {
+            if let LevelSchedule::Epsilon(eps) = schedule {
+                assert!(eps > 0.0, "epsilon must be positive, got {eps}");
+            }
+            if let LevelSchedule::Generalized(l) = schedule {
+                assert!(l >= 1, "l must be at least 1, got {l}");
+            }
+            return Levels {
+                bounds: vec![(0.0, budget)],
+                quotas: vec![1],
+            };
+        }
         let mut bounds = Vec::new();
         let mut quotas = Vec::new();
         match schedule {
@@ -277,25 +300,7 @@ fn guess_loop<O: Observer + ?Sized>(
     obs: &mut O,
 ) -> Result<CmcOutcome, SolveError> {
     let total_cost = system.total_cost().value();
-    // Line 01: B = cost of the k cheapest sets. Guard degenerate zero
-    // budgets (all-k-cheapest free) so the geometric growth can start.
-    let mut budget = {
-        let b0 = system.k_cheapest_cost(params.k).value();
-        if b0 > 0.0 {
-            b0
-        } else {
-            let min_positive = system
-                .iter()
-                .map(|(_, s)| s.cost().value())
-                .filter(|&c| c > 0.0)
-                .fold(f64::INFINITY, f64::min);
-            if min_positive.is_finite() {
-                min_positive
-            } else {
-                1.0 // every set is free; a single pass suffices
-            }
-        }
-    };
+    let mut budget = initial_budget(system, params.k);
 
     loop {
         obs.guess_started(Some(budget));
@@ -312,6 +317,25 @@ fn guess_loop<O: Observer + ?Sized>(
             return Err(SolveError::BudgetExhausted);
         }
         budget *= 1.0 + params.budget_growth; // line 28
+    }
+}
+
+/// Line 01: B = cost of the k cheapest sets. Guard degenerate zero
+/// budgets (all-k-cheapest free) so the geometric growth can start.
+fn initial_budget(system: &SetSystem, k: usize) -> f64 {
+    let b0 = system.k_cheapest_cost(k).value();
+    if b0 > 0.0 {
+        return b0;
+    }
+    let min_positive = system
+        .iter()
+        .map(|(_, s)| s.cost().value())
+        .filter(|&c| c > 0.0)
+        .fold(f64::INFINITY, f64::min);
+    if min_positive.is_finite() {
+        min_positive
+    } else {
+        1.0 // every set is free; a single pass suffices
     }
 }
 
@@ -365,6 +389,215 @@ fn run_guess<O: Observer + ?Sized>(
     }
     select_span.exit(obs);
     None
+}
+
+/// [`cmc`] on a thread pool: speculative budget guessing plus chunked
+/// benefit scans.
+///
+/// Two parallel layers compose (DESIGN.md §11):
+///
+/// 1. **Speculative guessing** — up to one budget guess per pool thread
+///    (`B, (1+b)B, …`) runs concurrently. The committed result is always
+///    the *smallest-budget* success; a guess is cancelled (via
+///    [`CancelToken`]) only once a strictly smaller budget has succeeded,
+///    so every guess the serial loop would have run completes and its
+///    recorded event log replays into `obs` in budget order. The caller's
+///    observer therefore sees the exact serial event stream, followed by
+///    one `speculation(committed, wasted)` event per window — the only
+///    counters (gated out of the exact-diff set) that differ from serial.
+/// 2. **Chunked scans** — each guess's inner arg-max recounts marginal
+///    benefits across the pool with serial tie-breaking (see
+///    [`scan::masked_argmax`]), adding nested `"scan"` spans.
+///
+/// A serial pool delegates to [`cmc`] outright. For any thread count the
+/// outcome (solution, order of selections, final budget) and every exact
+/// counter are identical to serial.
+pub fn cmc_on<O: Observer + ?Sized>(
+    system: &SetSystem,
+    params: &CmcParams,
+    pool: &ThreadPool,
+    obs: &mut O,
+) -> Result<CmcOutcome, SolveError> {
+    if pool.is_serial() {
+        return cmc(system, params, obs);
+    }
+    if params.k == 0 {
+        return Err(SolveError::ZeroSizeBound);
+    }
+    assert!(
+        params.budget_growth > 0.0,
+        "budget growth factor b must be positive"
+    );
+    let target = params.target(system.num_elements());
+    if target == 0 {
+        return Ok(CmcOutcome {
+            solution: Solution::from_sets(system, Vec::new()),
+            final_budget: 0.0,
+        });
+    }
+    let span = PhaseSpan::enter(obs, PHASE_TOTAL);
+    let result = guess_loop_speculative(system, params, target, pool, obs);
+    span.exit(obs);
+    result
+}
+
+/// Result of one speculative guess task.
+enum GuessOutcome {
+    Found(Solution),
+    NotFound,
+    /// Abandoned because a smaller budget already succeeded; its log is
+    /// in the discarded (wasted) range by construction.
+    Cancelled,
+}
+
+/// The Fig. 1 outer loop run in speculative windows of one guess per
+/// pool thread.
+fn guess_loop_speculative<O: Observer + ?Sized>(
+    system: &SetSystem,
+    params: &CmcParams,
+    target: usize,
+    pool: &ThreadPool,
+    obs: &mut O,
+) -> Result<CmcOutcome, SolveError> {
+    let total_cost = system.total_cost().value();
+    let masks = scan::build_masks(pool, system);
+    let mut budget = initial_budget(system, params.k);
+
+    loop {
+        // The window replicates the serial budget sequence, including the
+        // final guess *after* budget exceeds the total cost (the serial
+        // loop runs that one before giving up).
+        let mut budgets = Vec::with_capacity(pool.threads());
+        let mut exhausts = false;
+        let mut b = budget;
+        for _ in 0..pool.threads() {
+            budgets.push(b);
+            if b > total_cost {
+                exhausts = true;
+                break;
+            }
+            b *= 1.0 + params.budget_growth;
+        }
+        let next_budget = b;
+
+        let cancels: Vec<CancelToken> = budgets.iter().map(|_| CancelToken::new()).collect();
+        let tasks: Vec<(usize, f64)> = budgets.iter().copied().enumerate().collect();
+        let mut outcomes: Vec<(EventLog, GuessOutcome)> = pool.par_map(&tasks, |&(i, guess)| {
+            let mut log = EventLog::new();
+            log.guess_started(Some(guess));
+            let guess_span = PhaseSpan::enter(&mut log, PHASE_GUESS);
+            let outcome = run_guess_masked(
+                system,
+                params,
+                guess,
+                target,
+                &masks,
+                pool,
+                &cancels[i],
+                &mut log,
+            );
+            guess_span.exit(&mut log);
+            if matches!(outcome, GuessOutcome::Found(_)) {
+                // Cancel only strictly larger budgets: smaller ones may
+                // still succeed and must win the commit.
+                for token in &cancels[i + 1..] {
+                    token.cancel();
+                }
+            }
+            (log, outcome)
+        });
+
+        let winner = outcomes
+            .iter()
+            .position(|(_, o)| matches!(o, GuessOutcome::Found(_)));
+        // Replay the guesses the serial loop would have run — everything
+        // up to and including the first success — in budget order.
+        let committed = winner.map_or(outcomes.len(), |j| j + 1);
+        for (log, _) in &outcomes[..committed] {
+            log.replay(obs);
+        }
+        obs.speculation(committed as u64, (outcomes.len() - committed) as u64);
+
+        if let Some(j) = winner {
+            let (_, outcome) = outcomes.swap_remove(j);
+            let GuessOutcome::Found(solution) = outcome else {
+                unreachable!("winner position is a Found outcome");
+            };
+            return Ok(CmcOutcome {
+                solution,
+                final_budget: budgets[j],
+            });
+        }
+        if exhausts {
+            return Err(SolveError::BudgetExhausted);
+        }
+        budget = next_budget;
+    }
+}
+
+/// One budget guess over the masked scan engine: same selections and
+/// events as [`run_guess`], recorded into the task-local `log`.
+#[allow(clippy::too_many_arguments)]
+fn run_guess_masked(
+    system: &SetSystem,
+    params: &CmcParams,
+    budget: f64,
+    target: usize,
+    masks: &[BitSet],
+    pool: &ThreadPool,
+    cancel: &CancelToken,
+    log: &mut EventLog,
+) -> GuessOutcome {
+    let init_span = PhaseSpan::enter(log, PHASE_INIT);
+    let mut covered = BitSet::new(system.num_elements());
+    log.benefit_computed(system.num_sets() as u64);
+    init_span.exit(log);
+
+    let levels = Levels::build(params.schedule, budget, params.k);
+    for level in 0..levels.len() {
+        log.level_entered(level, levels.quota(level));
+    }
+    let set_level: Vec<Option<usize>> = (0..system.num_sets() as SetId)
+        .map(|id| levels.level_of(system.cost(id).value()))
+        .collect();
+
+    let tls = ThreadLocalTelemetry::new(pool.threads());
+    let mut chosen: Vec<SetId> = Vec::new();
+    let mut rem = target;
+
+    let select_span = PhaseSpan::enter(log, PHASE_SELECT);
+    for level in 0..levels.len() {
+        for _ in 0..levels.quota(level) {
+            if cancel.is_cancelled() {
+                select_span.exit(log);
+                return GuessOutcome::Cancelled;
+            }
+            let q = scan::masked_argmax(
+                pool,
+                &tls,
+                system,
+                masks,
+                &covered,
+                |id| set_level[id as usize] == Some(level),
+                |_| true,
+                benefit_order,
+            );
+            tls.replay(log);
+            let Some(q) = q else {
+                break; // level exhausted
+            };
+            chosen.push(q.id);
+            covered.union_with(&masks[q.id as usize]);
+            log.set_selected(q.id as u64, q.mben as u64, q.cost.value());
+            rem = rem.saturating_sub(q.mben);
+            if rem == 0 {
+                select_span.exit(log);
+                return GuessOutcome::Found(Solution::from_sets(system, chosen));
+            }
+        }
+    }
+    select_span.exit(log);
+    GuessOutcome::NotFound
 }
 
 #[cfg(test)]
@@ -624,5 +857,96 @@ mod tests {
     fn cmc_rejects_nonpositive_b() {
         let sys = system();
         let _ = cmc(&sys, &CmcParams::classic(2, 0.5, 0.0), &mut Stats::new());
+    }
+
+    #[test]
+    fn epsilon_levels_k1_single_level() {
+        for &eps in &[0.25, 0.5, 2.0] {
+            let l = Levels::build(LevelSchedule::Epsilon(eps), 10.0, 1);
+            assert_eq!(l.len(), 1, "eps={eps}");
+            assert_eq!(l.quota(0), 1);
+            assert_eq!(l.level_of(10.0), Some(0), "whole (0, B] range covered");
+            assert_eq!(l.level_of(0.0), Some(0));
+            assert_eq!(l.level_of(10.1), None);
+        }
+    }
+
+    #[test]
+    fn generalized_levels_k1_single_level() {
+        for l_param in [1u32, 3, 9] {
+            let l = Levels::build(LevelSchedule::Generalized(l_param), 10.0, 1);
+            assert_eq!(l.len(), 1, "l={l_param}");
+            assert_eq!(l.quota(0), 1);
+            assert_eq!(l.level_of(10.0), Some(0));
+            assert_eq!(l.level_of(0.0), Some(0));
+        }
+    }
+
+    /// Deterministic pseudo-random system (LCG) for parallel-vs-serial
+    /// comparisons.
+    fn lcg_system(num_elements: usize, num_sets: usize, seed: u64) -> SetSystem {
+        let mut state = seed;
+        let mut next = move || {
+            state = state
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
+            (state >> 33) as usize
+        };
+        let mut b = SetSystem::builder(num_elements);
+        for _ in 0..num_sets {
+            let len = 1 + next() % 6;
+            let members: Vec<u32> = (0..len).map(|_| (next() % num_elements) as u32).collect();
+            let cost = 1.0 + (next() % 100) as f64 / 10.0;
+            b.add_set(members, cost);
+        }
+        b.add_universe_set(num_elements as f64 * 2.0);
+        b.build().unwrap()
+    }
+
+    #[test]
+    fn cmc_on_matches_serial_for_any_thread_count() {
+        use crate::parallel::{ThreadPool, Threads};
+        use crate::telemetry::MetricsRecorder;
+        let sys = lcg_system(200, 64, 42);
+        for schedule in [LevelSchedule::Classic, LevelSchedule::Epsilon(0.5)] {
+            let params = CmcParams {
+                schedule,
+                ..CmcParams::classic(4, 0.9, 0.5)
+            };
+            let mut sm = MetricsRecorder::new();
+            let serial = cmc(&sys, &params, &mut sm).unwrap();
+            for n in [2usize, 4] {
+                let pool = ThreadPool::new(Threads::new(n));
+                let mut pm = MetricsRecorder::new();
+                let par = cmc_on(&sys, &params, &pool, &mut pm).unwrap();
+                assert_eq!(par.solution, serial.solution, "threads {n}");
+                assert_eq!(par.final_budget, serial.final_budget);
+                assert_eq!(pm.guesses, sm.guesses);
+                assert_eq!(pm.selections, sm.selections);
+                assert_eq!(pm.benefits_computed, sm.benefits_computed);
+                assert_eq!(pm.marginal_benefit_hist, sm.marginal_benefit_hist);
+                // Every serial guess is committed, never more or fewer.
+                assert_eq!(pm.guesses_committed, sm.guesses);
+                assert_eq!(sm.guesses_committed, 0, "serial never speculates");
+            }
+        }
+    }
+
+    #[test]
+    fn cmc_on_budget_exhaustion_matches_serial() {
+        use crate::parallel::{ThreadPool, Threads};
+        use crate::telemetry::MetricsRecorder;
+        let mut b = SetSystem::builder(4);
+        b.add_set([0], 1.0).add_set([1], 1.0);
+        let sys = b.build().unwrap();
+        let params = CmcParams::classic(1, 1.0, 1.0);
+        let mut sm = MetricsRecorder::new();
+        let serial = cmc(&sys, &params, &mut sm);
+        let pool = ThreadPool::new(Threads::new(4));
+        let mut pm = MetricsRecorder::new();
+        let par = cmc_on(&sys, &params, &pool, &mut pm);
+        assert_eq!(par, serial);
+        assert_eq!(par.unwrap_err(), SolveError::BudgetExhausted);
+        assert_eq!(pm.guesses, sm.guesses, "exhaustion runs the same guesses");
     }
 }

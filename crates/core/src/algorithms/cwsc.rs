@@ -8,10 +8,15 @@
 //! (Section V-B); empirically it matches CMC's quality at a fraction of the
 //! runtime (Tables IV–V).
 
-use crate::cover_state::CoverState;
+use crate::algorithms::scan;
+use crate::bitset::BitSet;
+use crate::cover_state::{gain_order, CoverState};
+use crate::parallel::ThreadPool;
 use crate::set_system::{coverage_target, SetId, SetSystem};
 use crate::solution::{Solution, SolveError};
-use crate::telemetry::{Observer, PhaseSpan, PHASE_INIT, PHASE_SELECT, PHASE_TOTAL};
+use crate::telemetry::{
+    Observer, PhaseSpan, ThreadLocalTelemetry, PHASE_INIT, PHASE_SELECT, PHASE_TOTAL,
+};
 
 /// Runs CWSC: at most `k` sets covering at least `⌈coverage_fraction·n⌉`
 /// elements.
@@ -73,6 +78,107 @@ pub fn cwsc_with_target<O: Observer + ?Sized>(
     let result = run(system, k, target, obs);
     span.exit(obs);
     result
+}
+
+/// [`cwsc`] on a thread pool: the per-round arg-max scan is chunked
+/// across workers.
+///
+/// Deterministic: for any thread count the selected sets, their order,
+/// the final solution, and every exact counter are identical to the
+/// serial [`cwsc`] (DESIGN.md §11). A serial pool delegates to [`cwsc`]
+/// outright, so `--threads 1` is byte-for-byte the serial code path. The
+/// only observable difference under `N > 1` is additional `"scan"` phase
+/// spans — one per worker chunk per round, nested under `"select"`.
+pub fn cwsc_on<O: Observer + ?Sized>(
+    system: &SetSystem,
+    k: usize,
+    coverage_fraction: f64,
+    pool: &ThreadPool,
+    obs: &mut O,
+) -> Result<Solution, SolveError> {
+    if k == 0 {
+        return Err(SolveError::ZeroSizeBound);
+    }
+    let target = coverage_target(system.num_elements(), coverage_fraction);
+    cwsc_with_target_on(system, k, target, pool, obs)
+}
+
+/// [`cwsc_with_target`] on a thread pool; see [`cwsc_on`].
+pub fn cwsc_with_target_on<O: Observer + ?Sized>(
+    system: &SetSystem,
+    k: usize,
+    target: usize,
+    pool: &ThreadPool,
+    obs: &mut O,
+) -> Result<Solution, SolveError> {
+    if pool.is_serial() {
+        return cwsc_with_target(system, k, target, obs);
+    }
+    if k == 0 {
+        return Err(SolveError::ZeroSizeBound);
+    }
+    if target == 0 {
+        return Ok(Solution::from_sets(system, Vec::new()));
+    }
+    let span = PhaseSpan::enter(obs, PHASE_TOTAL);
+    let result = run_parallel(system, k, target, pool, obs);
+    span.exit(obs);
+    result
+}
+
+/// The Fig. 2 body over the masked scan engine: same selections and
+/// events as [`run`], with the arg-max recounted in parallel.
+fn run_parallel<O: Observer + ?Sized>(
+    system: &SetSystem,
+    k: usize,
+    target: usize,
+    pool: &ThreadPool,
+    obs: &mut O,
+) -> Result<Solution, SolveError> {
+    obs.guess_started(None);
+
+    let init_span = PhaseSpan::enter(obs, PHASE_INIT);
+    let masks = scan::build_masks(pool, system);
+    let mut covered = BitSet::new(system.num_elements());
+    obs.benefit_computed(system.num_sets() as u64);
+    init_span.exit(obs);
+
+    let tls = ThreadLocalTelemetry::new(pool.threads());
+    let mut chosen: Vec<SetId> = Vec::with_capacity(k);
+    let mut rem = target;
+
+    let select_span = PhaseSpan::enter(obs, PHASE_SELECT);
+    for i in (1..=k).rev() {
+        let i_u = i as u64;
+        let rem_u = rem as u64;
+        let q = scan::masked_argmax(
+            pool,
+            &tls,
+            system,
+            &masks,
+            &covered,
+            |_| true,
+            |mben| i_u * mben as u64 >= rem_u,
+            gain_order,
+        );
+        tls.replay(obs);
+        let Some(q) = q else {
+            select_span.exit(obs);
+            return Err(SolveError::NoSolution);
+        };
+        chosen.push(q.id);
+        // The recount is against the pre-union mask, so q.mben is exactly
+        // the serial `newly`.
+        covered.union_with(&masks[q.id as usize]);
+        obs.set_selected(q.id as u64, q.mben as u64, q.cost.value());
+        rem = rem.saturating_sub(q.mben);
+        if rem == 0 {
+            select_span.exit(obs);
+            return Ok(Solution::from_sets(system, chosen));
+        }
+    }
+    select_span.exit(obs);
+    Err(SolveError::NoSolution)
 }
 
 /// The Fig. 2 body, wrapped by [`cwsc_with_target`]'s phase span.
@@ -236,6 +342,51 @@ mod tests {
         let mut stats = Stats::new();
         let _ = cwsc(&system(), 3, 0.0, &mut stats).unwrap();
         assert_eq!(stats.budget_guesses, 0, "trivial target does no work");
+    }
+
+    #[test]
+    fn cwsc_on_matches_serial_for_any_thread_count() {
+        use crate::parallel::{ThreadPool, Threads};
+        use crate::telemetry::MetricsRecorder;
+        let mut b = SetSystem::builder(64);
+        for i in 0..32u32 {
+            let members: Vec<u32> = (0..=(i % 7)).map(|j| (i * 3 + j * 5) % 64).collect();
+            b.add_set(members, 1.0 + (i % 9) as f64);
+        }
+        b.add_universe_set(200.0);
+        let sys = b.build().unwrap();
+        let mut sm = MetricsRecorder::new();
+        let serial = cwsc(&sys, 4, 0.8, &mut sm).unwrap();
+        for n in [2usize, 4, 8] {
+            let pool = ThreadPool::new(Threads::new(n));
+            let mut pm = MetricsRecorder::new();
+            let par = cwsc_on(&sys, 4, 0.8, &pool, &mut pm).unwrap();
+            assert_eq!(par, serial, "threads {n}");
+            assert_eq!(pm.selections, sm.selections);
+            assert_eq!(pm.benefits_computed, sm.benefits_computed);
+            assert_eq!(pm.guesses, sm.guesses);
+            assert_eq!(pm.marginal_benefit_hist, sm.marginal_benefit_hist);
+        }
+    }
+
+    #[test]
+    fn cwsc_on_error_paths_match_serial() {
+        use crate::parallel::{ThreadPool, Threads};
+        use crate::stats::Stats;
+        let mut b = SetSystem::builder(4);
+        b.add_set([0], 1.0).add_set([1], 1.0);
+        let sys = b.build().unwrap();
+        let pool = ThreadPool::new(Threads::new(4));
+        assert_eq!(
+            cwsc_on(&sys, 1, 0.5, &pool, &mut Stats::new()),
+            Err(SolveError::NoSolution)
+        );
+        assert_eq!(
+            cwsc_on(&sys, 0, 0.5, &pool, &mut Stats::new()),
+            Err(SolveError::ZeroSizeBound)
+        );
+        let empty = cwsc_on(&sys, 1, 0.0, &pool, &mut Stats::new()).unwrap();
+        assert_eq!(empty.size(), 0);
     }
 
     #[test]

@@ -1,0 +1,195 @@
+//! Masked benefit-scan engine shared by the parallel solver variants.
+//!
+//! The serial solvers maintain marginal benefits incrementally through
+//! [`CoverState`](crate::cover_state::CoverState); workers cannot share
+//! that mutable state, so the parallel paths recompute each candidate's
+//! marginal benefit on demand as `|Ben(s) \ covered|` — a fused
+//! [`BitSet::difference_count`] against per-set membership masks built
+//! once per run. Because marginal benefits are monotone non-increasing,
+//! "skip when the recount is zero" is observationally identical to the
+//! serial deactivation rule, and folding chunk winners in ascending chunk
+//! order under the canonical comparators yields the exact serial arg-max
+//! for any thread count (DESIGN.md §11).
+
+use crate::bitset::BitSet;
+use crate::cover_state::Candidate;
+use crate::parallel::ThreadPool;
+use crate::set_system::{SetId, SetSystem};
+use crate::telemetry::{PhaseSpan, ThreadLocalTelemetry, PHASE_SCAN};
+use std::cmp::Ordering;
+
+/// Builds one membership [`BitSet`] per set, in id order, on the pool.
+pub fn build_masks(pool: &ThreadPool, system: &SetSystem) -> Vec<BitSet> {
+    let n = system.num_elements();
+    let ids: Vec<SetId> = (0..system.num_sets() as SetId).collect();
+    pool.par_map(&ids, |&id| {
+        let mut mask = BitSet::new(n);
+        for &e in system.members(id) {
+            mask.insert(e as usize);
+        }
+        mask
+    })
+}
+
+/// Parallel arg-max over all sets: recounts each candidate's marginal
+/// benefit against `covered` and keeps the best under `order`, chunked
+/// across the pool with the serial tie-breaking contract.
+///
+/// `filter` is the structural pre-filter (level membership); `eligible`
+/// gates on the recounted marginal benefit (CWSC's `i·|MBen| ≥ rem`
+/// floor). Zero-benefit sets are always skipped. Each chunk records a
+/// [`PHASE_SCAN`] span into its `tls` shard; the caller replays the
+/// shards after the scan so per-worker spans nest under the open round
+/// span. Returns `Greater`-preferred winner or `None` when no candidate
+/// passes.
+#[allow(clippy::too_many_arguments)]
+pub fn masked_argmax<F, E, C>(
+    pool: &ThreadPool,
+    tls: &ThreadLocalTelemetry,
+    system: &SetSystem,
+    masks: &[BitSet],
+    covered: &BitSet,
+    filter: F,
+    eligible: E,
+    order: C,
+) -> Option<Candidate>
+where
+    F: Fn(SetId) -> bool + Sync,
+    E: Fn(usize) -> bool + Sync,
+    C: Fn(Candidate, Candidate) -> Ordering + Sync,
+{
+    pool.par_chunks_reduce(
+        masks.len(),
+        |chunk, range| {
+            let mut shard = tls.shard(chunk);
+            let span = PhaseSpan::enter(&mut *shard, PHASE_SCAN);
+            let mut best: Option<Candidate> = None;
+            for id in range {
+                let id = id as SetId;
+                if !filter(id) {
+                    continue;
+                }
+                let mben = masks[id as usize].difference_count(covered);
+                if mben == 0 || !eligible(mben) {
+                    continue;
+                }
+                let cand = Candidate {
+                    id,
+                    mben,
+                    cost: system.cost(id),
+                };
+                best = Some(match best {
+                    Some(b) if order(cand, b) != Ordering::Greater => b,
+                    _ => cand,
+                });
+            }
+            span.exit(&mut *shard);
+            best
+        },
+        |a, b| {
+            if order(b, a) == Ordering::Greater {
+                b
+            } else {
+                a
+            }
+        },
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::cover_state::{benefit_order, gain_order, CoverState};
+    use crate::parallel::Threads;
+
+    fn system() -> SetSystem {
+        let mut b = SetSystem::builder(16);
+        b.add_set([0, 1, 2, 3], 4.0)
+            .add_set([2, 3, 4, 5], 4.0)
+            .add_set([6, 7], 1.0)
+            .add_set([8, 9, 10, 11, 12], 9.0)
+            .add_set([13, 14, 15], 2.0)
+            .add_universe_set(40.0);
+        b.build().unwrap()
+    }
+
+    #[test]
+    fn masks_match_memberships() {
+        let sys = system();
+        let pool = ThreadPool::new(Threads::new(4));
+        let masks = build_masks(&pool, &sys);
+        assert_eq!(masks.len(), sys.num_sets());
+        for (id, set) in sys.iter() {
+            assert_eq!(masks[id as usize].count_ones(), set.benefit());
+            for &e in set.members() {
+                assert!(masks[id as usize].contains(e as usize));
+            }
+        }
+    }
+
+    #[test]
+    fn masked_argmax_matches_cover_state_scans() {
+        let sys = system();
+        let pool = ThreadPool::new(Threads::new(4));
+        let masks = build_masks(&pool, &sys);
+        let tls = ThreadLocalTelemetry::new(pool.threads());
+
+        let mut state = CoverState::new(&sys);
+        let mut covered = BitSet::new(sys.num_elements());
+        // Walk a few greedy selections, comparing winners at every step.
+        for _ in 0..4 {
+            let serial_b = state.argmax_benefit(|_| true);
+            let par_b = masked_argmax(
+                &pool,
+                &tls,
+                &sys,
+                &masks,
+                &covered,
+                |_| true,
+                |_| true,
+                benefit_order,
+            );
+            assert_eq!(par_b.map(|c| c.id), serial_b);
+            let serial_g = state.argmax_gain(|_| true);
+            let par_g = masked_argmax(
+                &pool,
+                &tls,
+                &sys,
+                &masks,
+                &covered,
+                |_| true,
+                |_| true,
+                gain_order,
+            );
+            assert_eq!(par_g.map(|c| c.id), serial_g);
+            let Some(q) = serial_b else { break };
+            let newly = state.select(q);
+            let c = par_b.unwrap();
+            assert_eq!(c.mben, newly, "recount equals incremental mben");
+            covered.union_with(&masks[q as usize]);
+        }
+    }
+
+    #[test]
+    fn scan_spans_land_in_shards() {
+        let sys = system();
+        let pool = ThreadPool::new(Threads::new(2));
+        let masks = build_masks(&pool, &sys);
+        let tls = ThreadLocalTelemetry::new(pool.threads());
+        let covered = BitSet::new(sys.num_elements());
+        let _ = masked_argmax(
+            &pool,
+            &tls,
+            &sys,
+            &masks,
+            &covered,
+            |_| true,
+            |_| true,
+            benefit_order,
+        );
+        let mut m = crate::telemetry::MetricsRecorder::new();
+        tls.replay(&mut m);
+        let scan = m.phases().iter().find(|p| p.name == PHASE_SCAN).unwrap();
+        assert!(scan.count >= 1 && scan.count <= 2, "{}", scan.count);
+    }
+}

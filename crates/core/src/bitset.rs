@@ -149,6 +149,47 @@ impl BitSet {
             .sum()
     }
 
+    /// `|self \ other|` without materializing the difference.
+    ///
+    /// The greedy hot loop previously cloned a bitset and applied
+    /// [`BitSet::difference_with`] just to count the survivors; this fuses
+    /// the subtraction and the popcount into one pass with no temporary
+    /// allocation.
+    ///
+    /// # Panics
+    /// Panics if capacities differ.
+    pub fn difference_count(&self, other: &BitSet) -> usize {
+        assert_eq!(self.len, other.len, "bitset capacity mismatch");
+        self.words
+            .iter()
+            .zip(&other.words)
+            .map(|(a, b)| (a & !b).count_ones() as usize)
+            .sum()
+    }
+
+    /// Arg-max of `|self ∩ other|` over `others`: returns
+    /// `(index, count)` of the candidate with the largest intersection,
+    /// the **lowest index** winning ties, or `None` when `others` is
+    /// empty. This is the fused form of the benefit scan's inner loop —
+    /// one pass, no temporaries, same tie-breaking as the serial scan.
+    ///
+    /// # Panics
+    /// Panics if any candidate's capacity differs from `self`'s.
+    pub fn max_intersection_count<'a, I>(&self, others: I) -> Option<(usize, usize)>
+    where
+        I: IntoIterator<Item = &'a BitSet>,
+    {
+        let mut best: Option<(usize, usize)> = None;
+        for (i, other) in others.into_iter().enumerate() {
+            let count = self.intersection_count(other);
+            match best {
+                Some((_, bc)) if bc >= count => {}
+                _ => best = Some((i, count)),
+            }
+        }
+        best
+    }
+
     /// Counts ids in `ids` whose bit is **not** set in `self`.
     ///
     /// This is the marginal-benefit primitive: with `self` = covered
@@ -300,6 +341,57 @@ mod tests {
         let mut d = a.clone();
         d.difference_with(&b);
         assert_eq!(d.to_vec(), vec![1, 150]);
+    }
+
+    #[test]
+    fn difference_count_matches_materialized_difference() {
+        let mut a = BitSet::new(200);
+        let mut b = BitSet::new(200);
+        for i in [1usize, 5, 70, 150, 199] {
+            a.insert(i);
+        }
+        for i in [5usize, 70, 64] {
+            b.insert(i);
+        }
+        let mut d = a.clone();
+        d.difference_with(&b);
+        assert_eq!(a.difference_count(&b), d.count_ones());
+        assert_eq!(a.difference_count(&b), 3);
+        assert_eq!(b.difference_count(&a), 1);
+        assert_eq!(a.difference_count(&a), 0);
+    }
+
+    #[test]
+    fn max_intersection_count_prefers_lowest_index_on_ties() {
+        let probe: BitSet = [1usize, 2, 3, 4, 64, 65].into_iter().collect();
+        let mk = |ids: &[usize]| {
+            let mut b = BitSet::new(probe.len());
+            for &i in ids {
+                b.insert(i);
+            }
+            b
+        };
+        let others = [
+            mk(&[1, 9]),     // count 1
+            mk(&[2, 3, 64]), // count 3 <- first maximum
+            mk(&[1, 4, 65]), // count 3 (tie, higher index loses)
+            mk(&[]),         // count 0
+        ];
+        assert_eq!(probe.max_intersection_count(&others), Some((1, 3)));
+        assert_eq!(
+            probe.max_intersection_count(std::iter::empty::<&BitSet>()),
+            None
+        );
+        // Agrees with a serial scan over intersection_count.
+        let serial = others
+            .iter()
+            .enumerate()
+            .map(|(i, o)| (i, probe.intersection_count(o)))
+            .fold(None, |best: Option<(usize, usize)>, cand| match best {
+                Some((_, bc)) if bc >= cand.1 => best,
+                _ => Some(cand),
+            });
+        assert_eq!(probe.max_intersection_count(&others), serial);
     }
 
     #[test]

@@ -11,7 +11,46 @@
 //! zero-benefit sets).
 
 use crate::bitset::BitSet;
+use crate::cost::Cost;
 use crate::set_system::{SetId, SetSystem};
+use std::cmp::Ordering;
+
+/// A candidate in a greedy arg-max: a set id with its *current* marginal
+/// benefit and its cost. The free comparators below define the canonical
+/// selection order shared by [`CoverState`]'s serial scans and the masked
+/// parallel scans in `algorithms` — both must pick identical winners for
+/// the `Threads(N) == Threads(1)` determinism contract to hold.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Candidate {
+    /// Set id (ties break toward the lower id).
+    pub id: SetId,
+    /// Current marginal benefit `|MBen(s, S)|`.
+    pub mben: usize,
+    /// `Cost(s)`.
+    pub cost: Cost,
+}
+
+/// Canonical benefit comparison: marginal benefit desc, cost asc, id asc.
+/// Returns `Greater` when `a` should be preferred over `b`.
+pub fn benefit_order(a: Candidate, b: Candidate) -> Ordering {
+    a.mben
+        .cmp(&b.mben)
+        .then_with(|| b.cost.cmp(&a.cost))
+        .then_with(|| b.id.cmp(&a.id))
+}
+
+/// Canonical gain comparison: gain desc, benefit desc, cost asc, id asc.
+/// Returns `Greater` when `a` should be preferred over `b`.
+///
+/// Gains are compared by cross-multiplication (`m_a·c_b` vs `m_b·c_a`),
+/// which is exact for integer benefits and avoids `0/0` and `x/0` pitfalls
+/// of floating division.
+pub fn gain_order(a: Candidate, b: Candidate) -> Ordering {
+    let (ma, mb) = (a.mben as f64, b.mben as f64);
+    (ma * b.cost.value())
+        .total_cmp(&(mb * a.cost.value()))
+        .then_with(|| benefit_order(a, b))
+}
 
 /// Mutable greedy state: covered elements plus exact marginal benefits.
 pub struct CoverState<'a> {
@@ -192,27 +231,27 @@ impl<'a> CoverState<'a> {
         best
     }
 
+    /// This set as a [`Candidate`] under the current marginal benefits.
+    #[inline]
+    pub fn candidate(&self, id: SetId) -> Candidate {
+        Candidate {
+            id,
+            mben: self.mben[id as usize],
+            cost: self.system.cost(id),
+        }
+    }
+
     /// Canonical benefit comparison: marginal benefit desc, cost asc, id asc.
     /// Returns `Greater` when `a` should be preferred over `b`.
-    pub fn benefit_order(&self, a: SetId, b: SetId) -> std::cmp::Ordering {
-        let (ma, mb) = (self.mben[a as usize], self.mben[b as usize]);
-        ma.cmp(&mb)
-            .then_with(|| self.system.cost(b).cmp(&self.system.cost(a)))
-            .then_with(|| b.cmp(&a))
+    pub fn benefit_order(&self, a: SetId, b: SetId) -> Ordering {
+        benefit_order(self.candidate(a), self.candidate(b))
     }
 
     /// Canonical gain comparison: gain desc, benefit desc, cost asc, id asc.
-    /// Returns `Greater` when `a` should be preferred over `b`.
-    ///
-    /// Gains are compared by cross-multiplication (`m_a·c_b` vs `m_b·c_a`),
-    /// which is exact for integer benefits and avoids `0/0` and `x/0`
-    /// pitfalls of floating division.
-    pub fn gain_order(&self, a: SetId, b: SetId) -> std::cmp::Ordering {
-        let (ma, mb) = (self.mben[a as usize] as f64, self.mben[b as usize] as f64);
-        let (ca, cb) = (self.system.cost(a).value(), self.system.cost(b).value());
-        (ma * cb)
-            .total_cmp(&(mb * ca))
-            .then_with(|| self.benefit_order(a, b))
+    /// Returns `Greater` when `a` should be preferred over `b` (see the
+    /// free [`gain_order`] for the cross-multiplication rationale).
+    pub fn gain_order(&self, a: SetId, b: SetId) -> Ordering {
+        gain_order(self.candidate(a), self.candidate(b))
     }
 }
 

@@ -46,6 +46,7 @@ pub mod cover_state;
 pub mod incremental;
 pub mod lazy_greedy;
 pub mod multiweight;
+pub mod parallel;
 pub mod set_system;
 pub mod solution;
 pub mod stats;
@@ -53,12 +54,14 @@ pub mod telemetry;
 
 pub use bitset::BitSet;
 pub use cost::{Cost, CostError};
-pub use cover_state::CoverState;
+pub use cover_state::{Candidate, CoverState};
+pub use parallel::{CancelToken, Scope, ThreadPool, Threads};
 pub use set_system::{coverage_target, BuildError, ElementId, SetId, SetSystem, WeightedSet};
 pub use solution::{verify, Requirements, Solution, SolveError, Verification};
 pub use stats::Stats;
 pub use telemetry::{
-    Fanout, JsonlSink, LogHistogram, MetricsRecorder, NoopObserver, Observer, PhaseMetric,
-    PhaseSpan, PruneReason, SpanCounters, SpanNode, SpanProfiler, PHASE_EXPAND, PHASE_GUESS,
-    PHASE_INIT, PHASE_SELECT, PHASE_TOTAL,
+    EventLog, Fanout, JsonlSink, LogHistogram, MetricsRecorder, NoopObserver, Observer,
+    PhaseMetric, PhaseSpan, PruneReason, SpanCounters, SpanNode, SpanProfiler,
+    ThreadLocalTelemetry, PHASE_EXPAND, PHASE_GUESS, PHASE_INIT, PHASE_SCAN, PHASE_SELECT,
+    PHASE_TOTAL,
 };

@@ -12,9 +12,10 @@
 //!   non-dominated, giving the decision-maker a trade-off frontier.
 
 use crate::algorithms::cwsc::cwsc;
+use crate::parallel::ThreadPool;
 use crate::set_system::{ElementId, SetId, SetSystem};
 use crate::solution::{Solution, SolveError};
-use crate::telemetry::{NoopObserver, Observer, PhaseSpan};
+use crate::telemetry::{EventLog, NoopObserver, Observer, PhaseSpan};
 
 /// Span name for one whole [`pareto_sweep_with`] run. Distinct from
 /// [`crate::telemetry::PHASE_TOTAL`] so the sweep's wrapper span does not
@@ -225,7 +226,12 @@ fn run_sweep<O: Observer + ?Sized>(
             weights,
         });
     }
-    // Pareto filter (also drops duplicate weight vectors).
+    Ok(pareto_filter(points, obs))
+}
+
+/// The final dominance filter (also drops duplicate weight vectors),
+/// inside a [`PHASE_FILTER`] span.
+fn pareto_filter<O: Observer + ?Sized>(points: Vec<ParetoPoint>, obs: &mut O) -> Vec<ParetoPoint> {
     let filter_span = PhaseSpan::enter(obs, PHASE_FILTER);
     let mut frontier: Vec<ParetoPoint> = Vec::new();
     for p in points {
@@ -239,7 +245,69 @@ fn run_sweep<O: Observer + ?Sized>(
         frontier.push(p);
     }
     filter_span.exit(obs);
-    Ok(frontier)
+    frontier
+}
+
+/// [`pareto_sweep_with`] on a thread pool: the per-λ scalarize + solve
+/// tasks are independent, so they fan out one task per preference vector.
+///
+/// Each task records its events into a private [`EventLog`]; the logs
+/// replay into `obs` in λ order, so the observer sees the exact serial
+/// event stream for any thread count, and the frontier (built from
+/// points in λ order) is identical to [`pareto_sweep_with`]. On error
+/// the logs up to and including the first failing λ replay before the
+/// error returns, matching the serial early-exit; later λs' completed
+/// work is discarded unreported. A serial pool delegates outright.
+pub fn pareto_sweep_on<O: Observer + ?Sized>(
+    system: &MultiWeightSystem,
+    k: usize,
+    coverage_fraction: f64,
+    lambdas: &[Vec<f64>],
+    pool: &ThreadPool,
+    obs: &mut O,
+) -> Result<Vec<ParetoPoint>, MultiWeightError> {
+    if pool.is_serial() {
+        return pareto_sweep_with(system, k, coverage_fraction, lambdas, obs);
+    }
+    let sweep_span = PhaseSpan::enter(obs, PHASE_SWEEP);
+    let result = run_sweep_parallel(system, k, coverage_fraction, lambdas, pool, obs);
+    sweep_span.exit(obs);
+    result
+}
+
+/// The parallel sweep body, wrapped by [`pareto_sweep_on`]'s outer span.
+fn run_sweep_parallel<O: Observer + ?Sized>(
+    system: &MultiWeightSystem,
+    k: usize,
+    coverage_fraction: f64,
+    lambdas: &[Vec<f64>],
+    pool: &ThreadPool,
+    obs: &mut O,
+) -> Result<Vec<ParetoPoint>, MultiWeightError> {
+    let solved: Vec<(EventLog, Result<ParetoPoint, MultiWeightError>)> =
+        pool.par_map(lambdas, |lambda| {
+            let mut log = EventLog::new();
+            let scalarize_span = PhaseSpan::enter(&mut log, PHASE_SCALARIZE);
+            let scalar = system.scalarize(lambda);
+            scalarize_span.exit(&mut log);
+            let point = scalar.and_then(|scalar| {
+                let solution = cwsc(&scalar, k, coverage_fraction, &mut log)
+                    .map_err(MultiWeightError::Solve)?;
+                let weights = system.aggregate(solution.sets());
+                Ok(ParetoPoint {
+                    lambda: lambda.clone(),
+                    solution,
+                    weights,
+                })
+            });
+            (log, point)
+        });
+    let mut points: Vec<ParetoPoint> = Vec::with_capacity(solved.len());
+    for (log, point) in solved {
+        log.replay(obs);
+        points.push(point?);
+    }
+    Ok(pareto_filter(points, obs))
 }
 
 #[cfg(test)]
@@ -374,6 +442,39 @@ mod tests {
             .child(crate::telemetry::PHASE_TOTAL)
             .expect("solver total span nests under sweep");
         assert_eq!(total.count, lambdas.len() as u64);
+    }
+
+    #[test]
+    fn parallel_sweep_matches_serial_points_and_counters() {
+        let s = system();
+        let lambdas: Vec<Vec<f64>> = (0..8)
+            .map(|i| vec![i as f64 / 7.0, 1.0 - i as f64 / 7.0])
+            .collect();
+        let mut serial_m = crate::telemetry::MetricsRecorder::new();
+        let serial = pareto_sweep_with(&s, 1, 0.5, &lambdas, &mut serial_m).unwrap();
+        let pool = ThreadPool::new(crate::parallel::Threads::new(4));
+        let mut par_m = crate::telemetry::MetricsRecorder::new();
+        let par = pareto_sweep_on(&s, 1, 0.5, &lambdas, &pool, &mut par_m).unwrap();
+        assert_eq!(serial, par);
+        assert_eq!(par_m.selections, serial_m.selections);
+        assert_eq!(par_m.benefits_computed, serial_m.benefits_computed);
+        assert_eq!(par_m.guesses, serial_m.guesses);
+        for sp in serial_m.phases() {
+            let pp = par_m.phases().iter().find(|p| p.name == sp.name).unwrap();
+            assert_eq!(pp.count, sp.count, "phase {}", sp.name);
+        }
+    }
+
+    #[test]
+    fn parallel_sweep_propagates_error_like_serial() {
+        let mut s = MultiWeightSystem::new(4, 1);
+        s.add_set([0], vec![1.0]).unwrap();
+        let pool = ThreadPool::new(crate::parallel::Threads::new(4));
+        let mut profiler = crate::telemetry::SpanProfiler::new();
+        let err =
+            pareto_sweep_on(&s, 1, 1.0, &[vec![1.0], vec![2.0]], &pool, &mut profiler).unwrap_err();
+        assert!(matches!(err, MultiWeightError::Solve(_)));
+        assert_eq!(profiler.open_spans(), 0, "error paths must close spans");
     }
 
     #[test]

@@ -39,8 +39,10 @@ use std::time::Instant;
 
 #[cfg(feature = "alloc-stats")]
 pub mod alloc;
+pub mod replay;
 pub mod spans;
 
+pub use replay::{EventLog, ThreadLocalTelemetry};
 pub use spans::{SpanCounters, SpanNode, SpanProfiler};
 
 /// Span name covering a solver's whole run; [`Stats`](crate::stats::Stats)
@@ -60,6 +62,11 @@ pub const PHASE_EXPAND: &str = "expand";
 
 /// Span name of a selection sweep (argmax + cover update + recount).
 pub const PHASE_SELECT: &str = "select";
+
+/// Span name of one worker's chunk of a parallel benefit scan. Emitted
+/// only on parallel paths (per-worker, nested under the enclosing round
+/// span); serial runs never produce it.
+pub const PHASE_SCAN: &str = "scan";
 
 /// Why a candidate (or lattice subtree) was discarded before selection.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
@@ -159,6 +166,15 @@ pub trait Observer {
 
     /// The lazy-greedy heap popped a stale entry and had to re-score it.
     fn heap_stale_pop(&mut self) {}
+
+    /// A speculative budget-guess window resolved: `committed` guesses had
+    /// their telemetry committed (identical to what a serial run would
+    /// have produced) and `wasted` were cancelled or discarded. Emitted
+    /// only by parallel solvers; serial runs never fire it, so the derived
+    /// counters are deliberately **excluded** from the exact-diff set.
+    fn speculation(&mut self, committed: u64, wasted: u64) {
+        let _ = (committed, wasted);
+    }
 
     /// A named span opened. Pair with [`phase_ended`](Observer::phase_ended).
     fn phase_started(&mut self, name: &'static str) {
@@ -299,6 +315,21 @@ impl LogHistogram {
     pub fn is_empty(&self) -> bool {
         self.count == 0
     }
+
+    /// Folds `other`'s observations into `self`, as if every value had
+    /// been [`record`](LogHistogram::record)ed here directly (bucket
+    /// counts add, sum saturates, max takes the larger).
+    pub fn merge(&mut self, other: &LogHistogram) {
+        if other.buckets.len() > self.buckets.len() {
+            self.buckets.resize(other.buckets.len(), 0);
+        }
+        for (a, b) in self.buckets.iter_mut().zip(&other.buckets) {
+            *a += b;
+        }
+        self.count += other.count;
+        self.sum = self.sum.saturating_add(other.sum);
+        self.max = self.max.max(other.max);
+    }
 }
 
 /// Accumulated wall-clock time of one named phase.
@@ -335,6 +366,13 @@ pub struct MetricsRecorder {
     pub heap_stale_pops: u64,
     /// Inverted-index posting entries scanned during lattice expansion.
     pub postings_scanned: u64,
+    /// Speculative budget guesses whose telemetry was committed. Parallel
+    /// runs only — excluded from the exact-diff counter set, because a
+    /// serial run never speculates.
+    pub guesses_committed: u64,
+    /// Speculative budget guesses cancelled or discarded. Parallel runs
+    /// only — excluded from the exact-diff counter set.
+    pub guesses_wasted: u64,
     /// Distribution of marginal benefits at selection time.
     pub marginal_benefit_hist: LogHistogram,
     /// Distribution of consecutive stale pops preceding each selection —
@@ -371,6 +409,47 @@ impl MetricsRecorder {
     /// All subtrees pruned, summed over reasons.
     pub fn subtrees_pruned_total(&self) -> u64 {
         self.subtrees_pruned.iter().sum()
+    }
+
+    /// Folds `other`'s aggregates into `self` — the shard-then-merge half
+    /// of parallel telemetry: workers record into private recorders and
+    /// the caller merges them back, so totals equal a single-recorder run.
+    ///
+    /// Phases merge by name (new names append in `other`'s order); the
+    /// in-flight stale-run counter adds so a merge mid-run loses nothing.
+    pub fn merge(&mut self, other: &MetricsRecorder) {
+        self.guesses += other.guesses;
+        self.levels_entered += other.levels_entered;
+        self.level_allowance += other.level_allowance;
+        self.selections += other.selections;
+        self.benefits_computed += other.benefits_computed;
+        for (a, b) in self
+            .candidates_pruned
+            .iter_mut()
+            .zip(&other.candidates_pruned)
+        {
+            *a += b;
+        }
+        for (a, b) in self.subtrees_pruned.iter_mut().zip(&other.subtrees_pruned) {
+            *a += b;
+        }
+        self.heap_stale_pops += other.heap_stale_pops;
+        self.postings_scanned += other.postings_scanned;
+        self.guesses_committed += other.guesses_committed;
+        self.guesses_wasted += other.guesses_wasted;
+        self.marginal_benefit_hist
+            .merge(&other.marginal_benefit_hist);
+        self.stale_run_hist.merge(&other.stale_run_hist);
+        for p in &other.phases {
+            match self.phases.iter_mut().find(|q| q.name == p.name) {
+                Some(q) => {
+                    q.seconds += p.seconds;
+                    q.count += p.count;
+                }
+                None => self.phases.push(p.clone()),
+            }
+        }
+        self.stale_run += other.stale_run;
     }
 }
 
@@ -410,6 +489,11 @@ impl Observer for MetricsRecorder {
     fn heap_stale_pop(&mut self) {
         self.heap_stale_pops += 1;
         self.stale_run += 1;
+    }
+
+    fn speculation(&mut self, committed: u64, wasted: u64) {
+        self.guesses_committed += committed;
+        self.guesses_wasted += wasted;
     }
 
     fn phase_ended(&mut self, name: &'static str, seconds: f64) {
@@ -550,6 +634,13 @@ impl<W: io::Write> Observer for JsonlSink<W> {
         self.emit("heap_stale_pop", "");
     }
 
+    fn speculation(&mut self, committed: u64, wasted: u64) {
+        self.emit(
+            "speculation",
+            &format!(",\"committed\":{committed},\"wasted\":{wasted}"),
+        );
+    }
+
     fn phase_started(&mut self, name: &'static str) {
         self.emit("phase_started", &format!(",\"name\":\"{name}\""));
     }
@@ -644,6 +735,12 @@ impl Observer for Fanout<'_> {
         }
     }
 
+    fn speculation(&mut self, committed: u64, wasted: u64) {
+        for o in &mut self.observers {
+            o.speculation(committed, wasted);
+        }
+    }
+
     fn phase_started(&mut self, name: &'static str) {
         for o in &mut self.observers {
             o.phase_started(name);
@@ -705,7 +802,7 @@ mod tests {
         assert_eq!(LogHistogram::bucket_of(0), 0);
         assert_eq!(LogHistogram::bucket_of(u64::MAX), 64);
         let (lo, hi) = LogHistogram::bucket_range(64);
-        assert!(lo <= u64::MAX - 1 && u64::MAX <= hi, "top bucket holds MAX");
+        assert!(lo < u64::MAX && hi == u64::MAX, "top bucket holds MAX");
         assert_eq!(LogHistogram::bucket_of(u64::MAX - 1), 64);
         assert_eq!(LogHistogram::bucket_of((1u64 << 63) - 1), 63);
         // Buckets tile [0, u64::MAX] exactly: each range starts right after
@@ -793,6 +890,101 @@ mod tests {
         assert_eq!(m.phase_seconds("total"), Some(0.5));
         assert_eq!(m.phases()[0].count, 2);
         assert_eq!(m.phase_seconds("missing"), None);
+    }
+
+    #[test]
+    fn log_histogram_merge_equals_interleaved_records() {
+        let values_a = [0u64, 1, 5, 1024, u64::MAX];
+        let values_b = [2u64, 2, 9, u64::MAX];
+        let mut merged = LogHistogram::new();
+        for v in values_a {
+            merged.record(v);
+        }
+        let mut other = LogHistogram::new();
+        for v in values_b {
+            other.record(v);
+        }
+        merged.merge(&other);
+        let mut direct = LogHistogram::new();
+        for v in values_a.into_iter().chain(values_b) {
+            direct.record(v);
+        }
+        assert_eq!(merged, direct);
+        // Merging an empty histogram is the identity.
+        let before = merged.clone();
+        merged.merge(&LogHistogram::new());
+        assert_eq!(merged, before);
+    }
+
+    #[test]
+    fn metrics_recorder_merge_equals_single_recorder() {
+        // Two shards observing disjoint event streams merge to exactly
+        // what one recorder seeing both streams would hold.
+        let drive_a = |m: &mut MetricsRecorder| {
+            m.guess_started(Some(1.0));
+            m.level_entered(0, 2);
+            m.benefit_computed(5);
+            m.heap_stale_pop();
+            m.set_selected(1, 3, 2.0);
+            m.candidate_pruned(PruneReason::BelowFloor);
+            m.phase_started("total");
+            m.phase_ended("total", 0.5);
+        };
+        let drive_b = |m: &mut MetricsRecorder| {
+            m.guess_started(Some(2.0));
+            m.benefit_computed(7);
+            m.subtree_pruned(PruneReason::Exhausted);
+            m.posting_scanned(11);
+            m.set_selected(2, 4, 1.0);
+            m.speculation(2, 1);
+            m.phase_ended("total", 0.25);
+            m.phase_ended("scan", 0.125);
+        };
+        let mut a = MetricsRecorder::new();
+        drive_a(&mut a);
+        let mut b = MetricsRecorder::new();
+        drive_b(&mut b);
+        a.merge(&b);
+
+        let mut single = MetricsRecorder::new();
+        drive_a(&mut single);
+        drive_b(&mut single);
+
+        assert_eq!(a.guesses, single.guesses);
+        assert_eq!(a.levels_entered, single.levels_entered);
+        assert_eq!(a.level_allowance, single.level_allowance);
+        assert_eq!(a.selections, single.selections);
+        assert_eq!(a.benefits_computed, single.benefits_computed);
+        assert_eq!(a.candidates_pruned, single.candidates_pruned);
+        assert_eq!(a.subtrees_pruned, single.subtrees_pruned);
+        assert_eq!(a.heap_stale_pops, single.heap_stale_pops);
+        assert_eq!(a.postings_scanned, single.postings_scanned);
+        assert_eq!(a.guesses_committed, single.guesses_committed);
+        assert_eq!(a.guesses_wasted, single.guesses_wasted);
+        assert_eq!(a.marginal_benefit_hist, single.marginal_benefit_hist);
+        assert_eq!(a.stale_run_hist, single.stale_run_hist);
+        assert_eq!(a.phases(), single.phases());
+    }
+
+    #[test]
+    fn speculation_counters_accumulate() {
+        let mut m = MetricsRecorder::new();
+        m.speculation(3, 1);
+        m.speculation(1, 0);
+        assert_eq!(m.guesses_committed, 4);
+        assert_eq!(m.guesses_wasted, 1);
+        // Speculation does not touch the exact-diff counters.
+        assert_eq!(m.guesses, 0);
+        assert_eq!(m.benefits_computed, 0);
+    }
+
+    #[test]
+    fn jsonl_sink_emits_speculation_event() {
+        let mut sink = JsonlSink::new(Vec::new());
+        sink.speculation(3, 2);
+        let text = String::from_utf8(sink.into_inner().unwrap()).unwrap();
+        assert!(text.contains("\"event\":\"speculation\""), "{text}");
+        assert!(text.contains("\"committed\":3,\"wasted\":2"), "{text}");
     }
 
     #[test]

@@ -1,0 +1,307 @@
+//! Deterministic telemetry for parallel solvers: record-then-replay event
+//! logs and shard-then-merge observer adapters.
+//!
+//! [`Observer`] is an `&mut` single-threaded interface, so parallel workers
+//! cannot report to the caller's observer directly. Two adapters bridge the
+//! gap (DESIGN.md §11):
+//!
+//! * [`EventLog`] — an [`Observer`] that records every event verbatim;
+//!   [`EventLog::replay`] re-emits the stream into any other observer.
+//!   Workers record privately and the caller replays the logs **in a
+//!   deterministic order** (ascending guess index, ascending λ index, …),
+//!   so the caller's observer sees a stream *identical* to a serial run —
+//!   for any observer type, including order-sensitive ones like
+//!   [`JsonlSink`](super::JsonlSink) and
+//!   [`SpanProfiler`](super::SpanProfiler).
+//! * [`ThreadLocalTelemetry`] — a fixed array of mutex-guarded [`EventLog`]
+//!   shards, one per worker/chunk. Each worker locks only its own shard
+//!   (no contention on the hot path); the caller replays shards in index
+//!   order afterwards. Aggregating observers can equivalently merge via
+//!   [`MetricsRecorder::merge`](super::MetricsRecorder::merge) /
+//!   [`SpanProfiler::merge`](super::SpanProfiler::merge).
+
+use super::{Observer, PruneReason};
+use std::sync::{Mutex, MutexGuard};
+
+/// One recorded [`Observer`] event. Phase names stay `&'static str`
+/// because the trait only ever passes static span names.
+#[derive(Debug, Clone, PartialEq)]
+enum Event {
+    GuessStarted(Option<f64>),
+    LevelEntered(usize, usize),
+    SetSelected(u64, u64, f64),
+    BenefitComputed(u64),
+    CandidatePruned(PruneReason),
+    SubtreePruned(PruneReason),
+    PostingScanned(u64),
+    HeapStalePop,
+    Speculation(u64, u64),
+    PhaseStarted(&'static str),
+    PhaseEnded(&'static str, f64),
+}
+
+/// An [`Observer`] that records the event stream for later replay.
+#[derive(Debug, Clone, Default)]
+pub struct EventLog {
+    events: Vec<Event>,
+}
+
+impl EventLog {
+    /// An empty log.
+    pub fn new() -> EventLog {
+        EventLog::default()
+    }
+
+    /// Number of recorded events.
+    pub fn len(&self) -> usize {
+        self.events.len()
+    }
+
+    /// Whether nothing has been recorded.
+    pub fn is_empty(&self) -> bool {
+        self.events.is_empty()
+    }
+
+    /// Drops all recorded events, keeping capacity.
+    pub fn clear(&mut self) {
+        self.events.clear();
+    }
+
+    /// Re-emits every recorded event, in recording order, into `obs`.
+    pub fn replay<O: Observer + ?Sized>(&self, obs: &mut O) {
+        for e in &self.events {
+            match *e {
+                Event::GuessStarted(budget) => obs.guess_started(budget),
+                Event::LevelEntered(level, allowance) => obs.level_entered(level, allowance),
+                Event::SetSelected(id, mben, cost) => obs.set_selected(id, mben, cost),
+                Event::BenefitComputed(count) => obs.benefit_computed(count),
+                Event::CandidatePruned(reason) => obs.candidate_pruned(reason),
+                Event::SubtreePruned(reason) => obs.subtree_pruned(reason),
+                Event::PostingScanned(entries) => obs.posting_scanned(entries),
+                Event::HeapStalePop => obs.heap_stale_pop(),
+                Event::Speculation(committed, wasted) => obs.speculation(committed, wasted),
+                Event::PhaseStarted(name) => obs.phase_started(name),
+                Event::PhaseEnded(name, seconds) => obs.phase_ended(name, seconds),
+            }
+        }
+    }
+}
+
+impl Observer for EventLog {
+    fn guess_started(&mut self, budget: Option<f64>) {
+        self.events.push(Event::GuessStarted(budget));
+    }
+
+    fn level_entered(&mut self, level: usize, allowance: usize) {
+        self.events.push(Event::LevelEntered(level, allowance));
+    }
+
+    fn set_selected(&mut self, id: u64, marginal_benefit: u64, cost: f64) {
+        self.events
+            .push(Event::SetSelected(id, marginal_benefit, cost));
+    }
+
+    fn benefit_computed(&mut self, count: u64) {
+        self.events.push(Event::BenefitComputed(count));
+    }
+
+    fn candidate_pruned(&mut self, reason: PruneReason) {
+        self.events.push(Event::CandidatePruned(reason));
+    }
+
+    fn subtree_pruned(&mut self, reason: PruneReason) {
+        self.events.push(Event::SubtreePruned(reason));
+    }
+
+    fn posting_scanned(&mut self, entries: u64) {
+        self.events.push(Event::PostingScanned(entries));
+    }
+
+    fn heap_stale_pop(&mut self) {
+        self.events.push(Event::HeapStalePop);
+    }
+
+    fn speculation(&mut self, committed: u64, wasted: u64) {
+        self.events.push(Event::Speculation(committed, wasted));
+    }
+
+    fn phase_started(&mut self, name: &'static str) {
+        self.events.push(Event::PhaseStarted(name));
+    }
+
+    fn phase_ended(&mut self, name: &'static str, seconds: f64) {
+        self.events.push(Event::PhaseEnded(name, seconds));
+    }
+}
+
+/// Per-worker telemetry shards for one parallel region.
+///
+/// Create with one shard per worker/chunk, hand shard `i` to worker `i`
+/// ([`shard`](ThreadLocalTelemetry::shard) locks only that shard, so
+/// workers never contend), then [`replay`](ThreadLocalTelemetry::replay)
+/// into the real observer once the region joins. Shards replay in index
+/// order, which is deterministic for contiguous-chunk work splits.
+#[derive(Debug, Default)]
+pub struct ThreadLocalTelemetry {
+    shards: Vec<Mutex<EventLog>>,
+}
+
+impl ThreadLocalTelemetry {
+    /// `shards` independent event logs (one per worker/chunk).
+    pub fn new(shards: usize) -> ThreadLocalTelemetry {
+        ThreadLocalTelemetry {
+            shards: (0..shards).map(|_| Mutex::new(EventLog::new())).collect(),
+        }
+    }
+
+    /// Number of shards.
+    pub fn len(&self) -> usize {
+        self.shards.len()
+    }
+
+    /// Whether there are no shards.
+    pub fn is_empty(&self) -> bool {
+        self.shards.is_empty()
+    }
+
+    /// Locks shard `i` for recording. Each worker should touch only its
+    /// own index; the lock exists to make cross-thread handoff safe, not
+    /// to arbitrate contention.
+    ///
+    /// # Panics
+    /// Panics if `i` is out of range or the shard's lock was poisoned.
+    pub fn shard(&self, i: usize) -> MutexGuard<'_, EventLog> {
+        self.shards[i].lock().expect("telemetry shard poisoned")
+    }
+
+    /// Replays every shard into `obs` in ascending shard order, then
+    /// clears the shards for reuse in the next parallel region.
+    pub fn replay<O: Observer + ?Sized>(&self, obs: &mut O) {
+        for shard in &self.shards {
+            let mut log = shard.lock().expect("telemetry shard poisoned");
+            log.replay(obs);
+            log.clear();
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::telemetry::{MetricsRecorder, PhaseSpan, SpanProfiler, PHASE_SCAN, PHASE_TOTAL};
+
+    /// Fires one of every event into `obs`.
+    fn drive<O: Observer + ?Sized>(obs: &mut O) {
+        obs.guess_started(Some(2.0));
+        obs.level_entered(0, 4);
+        obs.phase_started(PHASE_TOTAL);
+        obs.benefit_computed(9);
+        obs.candidate_pruned(PruneReason::BelowFloor);
+        obs.subtree_pruned(PruneReason::CostBound);
+        obs.posting_scanned(17);
+        obs.heap_stale_pop();
+        obs.set_selected(3, 5, 1.5);
+        obs.speculation(2, 1);
+        obs.phase_ended(PHASE_TOTAL, 0.5);
+    }
+
+    #[test]
+    fn replay_reproduces_metrics_exactly() {
+        let mut log = EventLog::new();
+        drive(&mut log);
+        assert_eq!(log.len(), 11);
+
+        let mut direct = MetricsRecorder::new();
+        drive(&mut direct);
+        let mut replayed = MetricsRecorder::new();
+        log.replay(&mut replayed);
+
+        assert_eq!(replayed.guesses, direct.guesses);
+        assert_eq!(replayed.selections, direct.selections);
+        assert_eq!(replayed.benefits_computed, direct.benefits_computed);
+        assert_eq!(replayed.candidates_pruned, direct.candidates_pruned);
+        assert_eq!(replayed.subtrees_pruned, direct.subtrees_pruned);
+        assert_eq!(replayed.postings_scanned, direct.postings_scanned);
+        assert_eq!(replayed.heap_stale_pops, direct.heap_stale_pops);
+        assert_eq!(replayed.guesses_committed, direct.guesses_committed);
+        assert_eq!(replayed.guesses_wasted, direct.guesses_wasted);
+        assert_eq!(replayed.marginal_benefit_hist, direct.marginal_benefit_hist);
+        assert_eq!(replayed.phases(), direct.phases());
+    }
+
+    #[test]
+    fn replay_preserves_event_order_for_span_nesting() {
+        // A log with nested spans must reconstruct the same tree when
+        // replayed into a profiler as when observed live.
+        let mut log = EventLog::new();
+        log.phase_started("outer");
+        log.phase_started("inner");
+        log.benefit_computed(4);
+        log.phase_ended("inner", 0.25);
+        log.phase_ended("outer", 1.0);
+
+        let mut p = SpanProfiler::new();
+        log.replay(&mut p);
+        let tree = p.tree();
+        assert_eq!(tree.name, "outer");
+        let inner = tree.child("inner").expect("nesting preserved");
+        assert_eq!(inner.counters.benefits_computed, 4);
+        assert_eq!(inner.total_secs, 0.25);
+    }
+
+    #[test]
+    fn clear_empties_the_log() {
+        let mut log = EventLog::new();
+        assert!(log.is_empty());
+        log.heap_stale_pop();
+        assert!(!log.is_empty());
+        log.clear();
+        assert!(log.is_empty());
+    }
+
+    #[test]
+    fn thread_local_telemetry_replays_shards_in_index_order() {
+        let tls = ThreadLocalTelemetry::new(3);
+        assert_eq!(tls.len(), 3);
+        // Record out of index order — replay must still be 0, 1, 2.
+        tls.shard(2).benefit_computed(300);
+        tls.shard(0).benefit_computed(100);
+        tls.shard(1).benefit_computed(200);
+
+        let mut log = EventLog::new();
+        tls.replay(&mut log);
+        assert_eq!(
+            log.events,
+            vec![
+                Event::BenefitComputed(100),
+                Event::BenefitComputed(200),
+                Event::BenefitComputed(300),
+            ]
+        );
+        // Shards are cleared for the next region.
+        let mut again = EventLog::new();
+        tls.replay(&mut again);
+        assert!(again.is_empty());
+    }
+
+    #[test]
+    fn thread_local_telemetry_shards_record_spans_concurrently() {
+        let tls = ThreadLocalTelemetry::new(4);
+        std::thread::scope(|s| {
+            for i in 0..4 {
+                let tls = &tls;
+                s.spawn(move || {
+                    let mut shard = tls.shard(i);
+                    let span = PhaseSpan::enter(&mut *shard, PHASE_SCAN);
+                    shard.benefit_computed(i as u64 + 1);
+                    span.exit(&mut *shard);
+                });
+            }
+        });
+        let mut m = MetricsRecorder::new();
+        tls.replay(&mut m);
+        assert_eq!(m.benefits_computed, 1 + 2 + 3 + 4);
+        let scan = m.phases().iter().find(|p| p.name == PHASE_SCAN).unwrap();
+        assert_eq!(scan.count, 4, "one scan span per shard");
+    }
+}

@@ -219,6 +219,37 @@ impl SpanProfiler {
         node
     }
 
+    /// Merges another profiler's aggregated spans into this one.
+    ///
+    /// Nodes are matched by name along the same parent path: counts,
+    /// times, and counters add; children unknown to `self` are appended
+    /// in `other`'s first-seen order. Used by parallel runs where each
+    /// worker profiles into its own `SpanProfiler` and the shards are
+    /// merged after the region joins. Both profilers should have all
+    /// spans closed; `other`'s open-span stack is ignored.
+    pub fn merge(&mut self, other: &SpanProfiler) {
+        self.merge_node(0, other, 0);
+    }
+
+    fn merge_node(&mut self, dst: usize, other: &SpanProfiler, src: usize) {
+        let node = &other.nodes[src];
+        self.nodes[dst].count += node.count;
+        self.nodes[dst].total_secs += node.total_secs;
+        let c = node.counters;
+        let d = &mut self.nodes[dst].counters;
+        d.benefits_computed += c.benefits_computed;
+        d.postings_scanned += c.postings_scanned;
+        d.candidates_pruned += c.candidates_pruned;
+        d.subtrees_pruned += c.subtrees_pruned;
+        d.selections += c.selections;
+        d.heap_stale_pops += c.heap_stale_pops;
+        for i in 0..other.children_idx[src].len() {
+            let child = other.children_idx[src][i];
+            let dst_child = self.child_idx(dst, other.nodes[child].name);
+            self.merge_node(dst_child, other, child);
+        }
+    }
+
     /// Flamegraph-style text rendering of [`tree`](SpanProfiler::tree):
     /// one line per node with total seconds, percent of the root, derived
     /// self time, completion count, and non-zero counters.
@@ -416,6 +447,59 @@ mod tests {
         assert!(lines[1].contains("benefits=20"), "{text}");
         assert!(lines[2].starts_with("    select"), "{text}");
         assert!(lines[2].contains("selections=2"), "{text}");
+    }
+
+    #[test]
+    fn merge_equals_single_profiler_over_both_streams() {
+        // Shard 1: total > guess > select; shard 2: total > guess > init.
+        let drive_a = |p: &mut SpanProfiler| {
+            p.phase_started("total");
+            p.phase_started("guess");
+            p.benefit_computed(5);
+            p.phase_started("select");
+            p.set_selected(1, 3, 1.0);
+            p.phase_ended("select", 0.1);
+            p.phase_ended("guess", 0.3);
+            p.phase_ended("total", 0.4);
+        };
+        let drive_b = |p: &mut SpanProfiler| {
+            p.phase_started("total");
+            p.phase_started("guess");
+            p.phase_started("init");
+            p.posting_scanned(11);
+            p.phase_ended("init", 0.05);
+            p.phase_ended("guess", 0.2);
+            p.phase_ended("total", 0.25);
+        };
+
+        let mut merged = SpanProfiler::new();
+        drive_a(&mut merged);
+        let mut shard = SpanProfiler::new();
+        drive_b(&mut shard);
+        merged.merge(&shard);
+
+        let mut single = SpanProfiler::new();
+        drive_a(&mut single);
+        drive_b(&mut single);
+
+        assert_eq!(merged.tree(), single.tree());
+    }
+
+    #[test]
+    fn merge_appends_unknown_children_in_first_seen_order() {
+        let mut base = SpanProfiler::new();
+        base.phase_started("a");
+        base.phase_ended("a", 1.0);
+        let mut other = SpanProfiler::new();
+        for name in ["b", "c"] {
+            other.phase_started(name);
+            other.phase_ended(name, 0.5);
+        }
+        base.merge(&other);
+        let tree = base.tree();
+        let names: Vec<&str> = tree.children.iter().map(|c| c.name).collect();
+        assert_eq!(names, vec!["a", "b", "c"]);
+        assert_eq!(tree.total_secs, 2.0);
     }
 
     #[test]

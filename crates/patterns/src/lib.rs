@@ -56,7 +56,7 @@ pub use dictionary::{Dictionary, ValueId};
 pub use enumerate::{enumerate_all, MaterializedPatterns};
 pub use hierarchy::{enumerate_hierarchical, hier_cmc, hier_cwsc, HierarchicalSpace, Hierarchy};
 pub use index::InvertedIndex;
-pub use opt_cmc::{opt_cmc, opt_cmc_in};
+pub use opt_cmc::{opt_cmc, opt_cmc_in, opt_cmc_in_on, opt_cmc_on};
 pub use opt_cwsc::{opt_cwsc, opt_cwsc_in, opt_cwsc_with_target};
 pub use pattern::Pattern;
 pub use pattern_solution::PatternSolution;

@@ -28,9 +28,18 @@ use crate::pattern_solution::PatternSolution;
 use crate::space::{LatticeSpace, PatternSpace};
 use crate::table::RowId;
 use scwsc_core::algorithms::cmc::{CmcParams, Levels};
-use scwsc_core::telemetry::{Observer, PhaseSpan, PruneReason, PHASE_GUESS, PHASE_TOTAL};
-use scwsc_core::{coverage_target, BitSet, SolveError};
+use scwsc_core::telemetry::{
+    Observer, PhaseSpan, PruneReason, ThreadLocalTelemetry, PHASE_GUESS, PHASE_SCAN, PHASE_TOTAL,
+};
+use scwsc_core::{coverage_target, BitSet, SolveError, ThreadPool};
 use std::collections::BinaryHeap;
+
+/// Minimum row-list length before a stale-pop recount fans out over the
+/// pool; below this the chunking overhead exceeds the count itself.
+const PAR_RECOUNT_MIN: usize = 4096;
+/// Minimum number of newly eligible children before their benefit
+/// recounts fan out over the pool.
+const PAR_CHILDREN_MIN: usize = 4;
 
 /// Runs the optimized CMC (Fig. 4) over a pattern space.
 ///
@@ -59,6 +68,46 @@ pub fn opt_cmc_in<S: LatticeSpace, O: Observer + ?Sized>(
     params: &CmcParams,
     obs: &mut O,
 ) -> Result<PatternSolution, SolveError> {
+    solve(space, params, None, obs)
+}
+
+/// [`opt_cmc`] with the benefit recounts run on a thread pool.
+///
+/// The lattice walk itself stays single-threaded — the heap pop order
+/// *is* the algorithm and every step mutates the shared lattice cache —
+/// so the observer event stream, the walk, and the solution are identical
+/// to [`opt_cmc`] for any thread count. The pool accelerates the two pure
+/// fan-outs inside a step: stale-pop recounts over long row lists, and
+/// the benefit scoring of a visit's newly eligible children. There is no
+/// cross-budget speculation here (each guess reuses the previous guess's
+/// lattice materializations). A serial pool delegates outright.
+pub fn opt_cmc_on<O: Observer + ?Sized>(
+    space: &PatternSpace<'_>,
+    params: &CmcParams,
+    pool: &ThreadPool,
+    obs: &mut O,
+) -> Result<PatternSolution, SolveError> {
+    opt_cmc_in_on(space, params, pool, obs)
+}
+
+/// [`opt_cmc_in`] with the benefit recounts run on a thread pool; see
+/// [`opt_cmc_on`].
+pub fn opt_cmc_in_on<S: LatticeSpace, O: Observer + ?Sized>(
+    space: &S,
+    params: &CmcParams,
+    pool: &ThreadPool,
+    obs: &mut O,
+) -> Result<PatternSolution, SolveError> {
+    let pool = if pool.is_serial() { None } else { Some(pool) };
+    solve(space, params, pool, obs)
+}
+
+fn solve<S: LatticeSpace, O: Observer + ?Sized>(
+    space: &S,
+    params: &CmcParams,
+    pool: Option<&ThreadPool>,
+    obs: &mut O,
+) -> Result<PatternSolution, SolveError> {
     if params.k == 0 {
         return Err(SolveError::ZeroSizeBound);
     }
@@ -81,7 +130,7 @@ pub fn opt_cmc_in<S: LatticeSpace, O: Observer + ?Sized>(
         });
     }
     let span = PhaseSpan::enter(obs, PHASE_TOTAL);
-    let result = guess_loop(space, params, target, obs);
+    let result = guess_loop(space, params, target, pool, obs);
     span.exit(obs);
     result
 }
@@ -91,6 +140,7 @@ fn guess_loop<S: LatticeSpace, O: Observer + ?Sized>(
     space: &S,
     params: &CmcParams,
     target: usize,
+    pool: Option<&ThreadPool>,
     obs: &mut O,
 ) -> Result<PatternSolution, SolveError> {
     // Line 01: "B = cost of the k cheapest patterns". Knowing the true k
@@ -115,7 +165,7 @@ fn guess_loop<S: LatticeSpace, O: Observer + ?Sized>(
         // Spans stay at guess granularity here: the body's unit of work is
         // a single heap pop, far too hot to bracket with clock reads.
         let guess_span = PhaseSpan::enter(obs, PHASE_GUESS);
-        let found = run_guess(&mut lattice, params, budget, target, obs);
+        let found = run_guess(&mut lattice, params, budget, target, pool, obs);
         guess_span.exit(obs);
         if let Some(solution) = found {
             return Ok(solution);
@@ -199,6 +249,32 @@ impl<'a, S: LatticeSpace> Lattice<'a, S> {
     }
 }
 
+/// Counts rows of `rows` not yet in `covered`, fanning out over the pool
+/// for long row lists (sum-reduction, exact for any chunking).
+fn recount(rows: &[RowId], covered: &BitSet, pool: Option<&ThreadPool>) -> usize {
+    if let Some(pool) = pool {
+        if rows.len() >= PAR_RECOUNT_MIN {
+            return pool
+                .par_chunks_reduce(
+                    rows.len(),
+                    |_, range| {
+                        Some(
+                            rows[range]
+                                .iter()
+                                .filter(|&&r| !covered.contains(r as usize))
+                                .count(),
+                        )
+                    },
+                    |a, b| a + b,
+                )
+                .unwrap_or(0);
+        }
+    }
+    rows.iter()
+        .filter(|&&r| !covered.contains(r as usize))
+        .count()
+}
+
 /// One budget guess (Fig. 4 lines 08–35). Returns the solution if the
 /// coverage target was reached.
 fn run_guess<S: LatticeSpace, O: Observer + ?Sized>(
@@ -206,6 +282,7 @@ fn run_guess<S: LatticeSpace, O: Observer + ?Sized>(
     params: &CmcParams,
     budget: f64,
     target: usize,
+    pool: Option<&ThreadPool>,
     obs: &mut O,
 ) -> Option<PatternSolution> {
     let n = lattice.space.num_rows();
@@ -262,10 +339,7 @@ fn run_guess<S: LatticeSpace, O: Observer + ?Sized>(
             obs.heap_stale_pop();
             continue; // stale duplicate of a removed candidate
         }
-        let current = lattice.rows[id]
-            .iter()
-            .filter(|&&r| !covered.contains(r as usize))
-            .count();
+        let current = recount(&lattice.rows[id], &covered, pool);
         if current == 0 {
             in_c[id] = false; // lines 28-29 analogue
             obs.candidate_pruned(PruneReason::Exhausted);
@@ -318,6 +392,7 @@ fn run_guess<S: LatticeSpace, O: Observer + ?Sized>(
                     .count();
                 obs.posting_scanned((lattice.rows[id].len() * wildcards) as u64);
             }
+            let mut eligible: Vec<u32> = Vec::new();
             for child_id in lattice.children_of(entry.id) {
                 let cid = child_id as usize;
                 if pending.len() <= cid {
@@ -338,14 +413,51 @@ fn run_guess<S: LatticeSpace, O: Observer + ?Sized>(
                 if pending[cid] != 0 {
                     continue;
                 }
-                // Line 35: compute Cost(m) and MBen(m) — served from the
-                // lattice cache, but still one "considered" event per
-                // guess, matching what Fig. 4 would compute.
-                obs.benefit_computed(1);
-                let child_mben = lattice.rows[cid]
+                eligible.push(child_id);
+            }
+            // Line 35: compute Cost(m) and MBen(m) for each eligible
+            // child — served from the lattice cache, the benefit recounts
+            // fanned out over the pool. Each worker chunk brackets its
+            // recounts in a `scan` span recorded into a telemetry shard,
+            // replayed here so the spans nest under the open guess span;
+            // counter events fire in child order below, identical to
+            // scoring inline.
+            let mbens: Vec<usize> = match pool {
+                Some(pool) if eligible.len() >= PAR_CHILDREN_MIN => {
+                    let rows = &lattice.rows;
+                    let covered = &covered;
+                    let per_chunk = eligible.len().div_ceil(pool.threads());
+                    let chunks: Vec<(usize, &[u32])> =
+                        eligible.chunks(per_chunk).enumerate().collect();
+                    let tls = ThreadLocalTelemetry::new(chunks.len());
+                    let scored = pool.par_map(&chunks, |&(idx, chunk)| {
+                        let mut shard = tls.shard(idx);
+                        let span = PhaseSpan::enter(&mut *shard, PHASE_SCAN);
+                        let mbens: Vec<usize> = chunk
+                            .iter()
+                            .map(|&cid| {
+                                rows[cid as usize]
+                                    .iter()
+                                    .filter(|&&r| !covered.contains(r as usize))
+                                    .count()
+                            })
+                            .collect();
+                        span.exit(&mut *shard);
+                        mbens
+                    });
+                    tls.replay(obs);
+                    scored.concat()
+                }
+                _ => eligible
                     .iter()
-                    .filter(|&&r| !covered.contains(r as usize))
-                    .count();
+                    .map(|&cid| recount(&lattice.rows[cid as usize], &covered, pool))
+                    .collect(),
+            };
+            for (&child_id, &child_mben) in eligible.iter().zip(&mbens) {
+                let cid = child_id as usize;
+                // One "considered" event per guess, matching what Fig. 4
+                // would compute.
+                obs.benefit_computed(1);
                 if child_mben == 0 {
                     // Never enters C, so its descendants stay gated behind
                     // an unvisited parent: the whole subtree is skipped.
@@ -543,5 +655,33 @@ mod tests {
         let a = opt_cmc(&sp, &params, &mut Stats::new()).unwrap();
         let b = opt_cmc(&sp, &params, &mut Stats::new()).unwrap();
         assert_eq!(a, b);
+    }
+
+    #[test]
+    fn parallel_recounts_match_serial_exactly() {
+        use scwsc_core::{MetricsRecorder, ThreadPool, Threads};
+        let t = crate::test_util::skewed_table(600, 4, 7);
+        let sp = PatternSpace::new(&t, CostFn::Max);
+        let params = CmcParams::classic(8, 0.4, 1.0);
+        let mut sm = MetricsRecorder::new();
+        let serial = opt_cmc(&sp, &params, &mut sm).unwrap();
+        for threads in [2, 4] {
+            let pool = ThreadPool::new(Threads::new(threads));
+            let mut pm = MetricsRecorder::new();
+            let par = opt_cmc_on(&sp, &params, &pool, &mut pm).unwrap();
+            assert_eq!(par, serial, "threads={threads}");
+            assert_eq!(pm.guesses, sm.guesses, "threads={threads}");
+            assert_eq!(pm.selections, sm.selections, "threads={threads}");
+            assert_eq!(
+                pm.benefits_computed, sm.benefits_computed,
+                "threads={threads}"
+            );
+            assert_eq!(pm.subtrees_pruned, sm.subtrees_pruned, "threads={threads}");
+            assert_eq!(pm.heap_stale_pops, sm.heap_stale_pops, "threads={threads}");
+            assert_eq!(
+                pm.marginal_benefit_hist, sm.marginal_benefit_hist,
+                "threads={threads}"
+            );
+        }
     }
 }

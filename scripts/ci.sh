@@ -11,7 +11,20 @@ cargo clippy --workspace -- -D warnings
 # Performance-snapshot smoke: one quick rep of the full workload registry,
 # then the counter-exact diff against the committed baseline (wall-clock is
 # too noisy to gate on in CI; counters are deterministic). DESIGN.md §10.
-cargo run --release -q -p scwsc-bench --bin scwsc_bench -- \
+# Recorded serial so the baseline comparison is independent of the parallel
+# layer.
+SCWSC_THREADS=1 cargo run --release -q -p scwsc-bench --bin scwsc_bench -- \
   record --quick --label ci --out target/BENCH_ci.json
 cargo run --release -q -p scwsc-bench --bin scwsc_bench -- \
   diff BENCH_seed.json target/BENCH_ci.json --counters-only
+
+# Parallel determinism gate: the same smoke suite on 4 worker threads must
+# reproduce the serial deterministic counters exactly (DESIGN.md §11) —
+# this is the end-to-end check that chunked scans, speculative budget
+# guessing, and telemetry replay leave the event stream bit-identical.
+SCWSC_THREADS=4 cargo run --release -q -p scwsc-bench --bin scwsc_bench -- \
+  record --quick --suite smoke --label ci-t4 --out target/BENCH_ci_t4.json
+SCWSC_THREADS=1 cargo run --release -q -p scwsc-bench --bin scwsc_bench -- \
+  record --quick --suite smoke --label ci-t1 --out target/BENCH_ci_t1.json
+cargo run --release -q -p scwsc-bench --bin scwsc_bench -- \
+  diff target/BENCH_ci_t1.json target/BENCH_ci_t4.json --counters-only
