@@ -9,26 +9,42 @@
 //! The CSV's last column is the numeric measure; all others are pattern
 //! attributes (the format `scwsc_data::csv` writes).
 
-use scwsc_bench::cli::{args_or_exit, bail, required};
+use scwsc_bench::cli::{args_or_exit, bail, exit_code, exit_with, required};
 use scwsc_bench::measure::RunParams;
 use scwsc_bench::report::{secs, TextTable};
-use scwsc_core::{Fanout, JsonlSink, MetricsRecorder, SpanProfiler, Stats, ThreadPool, Threads};
+#[cfg(feature = "fault-inject")]
+use scwsc_core::FaultPlan;
+use scwsc_core::{
+    Certificate, Deadline, EngineError, Fanout, JsonlSink, MetricsRecorder, SolveOutcome,
+    SpanProfiler, Stats, ThreadPool, Threads,
+};
 use scwsc_data::csv::read_table;
 use scwsc_data::lbl::LblConfig;
-use scwsc_patterns::{opt_cmc_on, opt_cwsc, CostFn, PatternSolution, PatternSpace, Table};
+use scwsc_patterns::{
+    opt_cmc_on, opt_cmc_within, opt_cwsc, opt_cwsc_within, verify_certificate_in, CostFn,
+    PatternSolution, PatternSpace, Table,
+};
 use std::fs::File;
 use std::io::BufWriter;
 use std::path::Path;
+use std::time::Duration;
 
 const USAGE: &str = "scwsc_solve [--csv PATH | --rows N [--seed N]] \
 [--k N] [--coverage F] [--algorithm cwsc|cmc] [--b F] [--eps F] \
-[--cost-fn max|sum|mean|count] [--threads N] [--trace-jsonl PATH] [--metrics] [--profile]
+[--cost-fn max|sum|mean|count] [--threads N] [--trace-jsonl PATH] [--metrics] [--profile] \
+[--deadline-ms N] [--max-ticks N] [--fault SPEC]
 Solves size-constrained weighted set cover over the table's pattern cube and
 prints the chosen patterns. Without --csv, a synthetic LBL-like trace of
 --rows records is generated. --threads sets the worker count for the cmc
 solver's parallel fan-outs (1 = serial; default $SCWSC_THREADS, else all
 cores) — the solution and all counters are identical for any value; cwsc is
-a single sequential round and always runs serial. --trace-jsonl streams
+a single sequential round and always runs serial. --deadline-ms bounds the
+solve by wall clock and --max-ticks by a deterministic work-tick budget; on
+expiry the best partial solution prints with its certificate and the process
+exits with code 5 (exit codes: 2 bad args, 3 bad input, 4 infeasible, 5
+deadline-degraded). --fault injects a deterministic fault schedule
+(comma-separated panic@TICK, cancel@TICK, panicguess@I, failguess@I, or
+seed:N; requires a build with --features fault-inject). --trace-jsonl streams
 every solver event as one JSON object per line; --metrics prints aggregated
 counters and per-phase timings; --profile prints the run's aggregated span
 tree (per-phase total/self wall-clock with counter attribution; parallel
@@ -48,7 +64,7 @@ fn load(args: &scwsc_bench::Args) -> Table {
     if let Some(path) = args.get("csv") {
         match read_table(Path::new(path)) {
             Ok(t) => t,
-            Err(e) => bail(&format!("cannot read {path}: {e}")),
+            Err(e) => exit_with(exit_code::BAD_INPUT, &format!("cannot read {path}: {e}")),
         }
     } else {
         let rows: usize = required(args.get_or("rows", 20_000));
@@ -59,6 +75,66 @@ fn load(args: &scwsc_bench::Args) -> Table {
         }
         .generate()
     }
+}
+
+/// Parses a `--fault` schedule: comma-separated `panic@TICK`,
+/// `cancel@TICK`, `panicguess@INDEX`, `failguess@INDEX`, or a single
+/// `seed:N` deriving a pseudo-random plan.
+#[cfg(feature = "fault-inject")]
+fn parse_fault(spec: &str) -> FaultPlan {
+    let number = |part: &str, text: &str| -> u64 {
+        text.parse()
+            .unwrap_or_else(|_| bail(&format!("bad fault spec {part:?}: not a number")))
+    };
+    let mut plan = FaultPlan::new();
+    for part in spec.split(',') {
+        plan = if let Some(t) = part.strip_prefix("panic@") {
+            plan.panic_at_tick(number(part, t))
+        } else if let Some(t) = part.strip_prefix("cancel@") {
+            plan.cancel_at_tick(number(part, t))
+        } else if let Some(i) = part.strip_prefix("panicguess@") {
+            plan.panic_guess_once(number(part, i))
+        } else if let Some(i) = part.strip_prefix("failguess@") {
+            plan.fail_guess(number(part, i))
+        } else if let Some(n) = part.strip_prefix("seed:") {
+            FaultPlan::from_seed(number(part, n))
+        } else {
+            bail(&format!(
+                "bad fault spec {part:?} (use panic@T, cancel@T, panicguess@I, failguess@I, seed:N)"
+            ))
+        };
+    }
+    plan
+}
+
+/// Builds the run's [`Deadline`] from `--deadline-ms`, `--max-ticks`, and
+/// `--fault`; `None` when no resilience flag was given (classic path).
+fn deadline_of(args: &scwsc_bench::Args) -> Option<Deadline> {
+    let mut deadline = Deadline::unbounded();
+    let mut bounded = false;
+    if args.get("deadline-ms").is_some() {
+        let ms: u64 = required(args.get_or("deadline-ms", 0));
+        deadline = deadline.with_wall_clock(Duration::from_millis(ms));
+        bounded = true;
+    }
+    if args.get("max-ticks").is_some() {
+        let ticks: u64 = required(args.get_or("max-ticks", 0));
+        deadline = deadline.with_tick_budget(ticks);
+        bounded = true;
+    }
+    if let Some(spec) = args.get("fault") {
+        #[cfg(feature = "fault-inject")]
+        {
+            deadline = deadline.with_fault_plan(parse_fault(spec));
+            bounded = true;
+        }
+        #[cfg(not(feature = "fault-inject"))]
+        {
+            let _ = spec;
+            bail("--fault requires a build with --features fault-inject");
+        }
+    }
+    bounded.then_some(deadline)
 }
 
 fn main() {
@@ -79,6 +155,7 @@ fn main() {
         Threads::from_env()
     };
     let pool = ThreadPool::new(threads);
+    let deadline = deadline_of(&args);
 
     eprintln!(
         "solving: {} rows, {} attributes, k={}, coverage>={:.0}%, algorithm={algorithm}, \
@@ -99,7 +176,7 @@ fn main() {
         JsonlSink::new(BufWriter::new(file))
     });
     let mut profiler = args.flag("profile").then(SpanProfiler::new);
-    let solution: PatternSolution = {
+    let (solution, degraded): (PatternSolution, Option<Certificate>) = {
         let mut obs = Fanout::new();
         obs.attach(&mut stats).attach(&mut metrics);
         if let Some(s) = sink.as_mut() {
@@ -108,15 +185,46 @@ fn main() {
         if let Some(p) = profiler.as_mut() {
             obs.attach(p);
         }
-        match algorithm {
-            "cwsc" => opt_cwsc(&space, params.k, params.coverage, &mut obs)
-                .unwrap_or_else(|e| bail(&format!("no solution: {e}"))),
-            "cmc" => opt_cmc_on(&space, &params.cmc_params(), &pool, &mut obs)
-                .unwrap_or_else(|e| bail(&format!("no solution: {e}"))),
-            other => bail(&format!("unknown algorithm {other:?} (use cwsc or cmc)")),
+        match (&deadline, algorithm) {
+            (None, "cwsc") => (
+                opt_cwsc(&space, params.k, params.coverage, &mut obs)
+                    .unwrap_or_else(|e| infeasible(&e)),
+                None,
+            ),
+            (None, "cmc") => (
+                opt_cmc_on(&space, &params.cmc_params(), &pool, &mut obs)
+                    .unwrap_or_else(|e| infeasible(&e)),
+                None,
+            ),
+            (Some(deadline), "cwsc") => outcome_of(opt_cwsc_within(
+                &space,
+                params.k,
+                params.coverage,
+                deadline,
+                &mut obs,
+            )),
+            (Some(deadline), "cmc") => outcome_of(opt_cmc_within(
+                &space,
+                &params.cmc_params(),
+                &pool,
+                deadline,
+                &mut obs,
+            )),
+            (_, other) => bail(&format!("unknown algorithm {other:?} (use cwsc or cmc)")),
         }
     };
-    solution.verify(&space);
+    match &degraded {
+        None => {
+            solution.verify(&space);
+        }
+        Some(cert) => {
+            let check = verify_certificate_in(&space, &solution, cert);
+            if !check.is_valid() {
+                eprintln!("error: degraded certificate failed verification: {check:?}");
+                std::process::exit(1);
+            }
+        }
+    }
     if let Some(s) = sink {
         let path = trace_path.expect("sink implies a path");
         if s.has_failed() {
@@ -155,6 +263,35 @@ fn main() {
     if let Some(p) = &profiler {
         println!("== span profile ==");
         print!("{}", p.render());
+    }
+    if let Some(cert) = degraded {
+        eprintln!("deadline expired: {cert}");
+        eprintln!("certificate verified against the partial solution");
+        std::process::exit(exit_code::DEADLINE_DEGRADED);
+    }
+}
+
+/// Exits with the infeasible taxonomy code, printing the solver's own
+/// [`Display`](std::fmt::Display) message.
+fn infeasible(e: &scwsc_core::SolveError) -> ! {
+    exit_with(exit_code::INFEASIBLE, &format!("infeasible: {e}"))
+}
+
+/// Unwraps a resilience-engine outcome: `Complete` and `Degraded` both
+/// carry a printable solution (the degraded one with its certificate);
+/// solve errors exit with the infeasible code and a twice-panicked worker
+/// exits 1.
+fn outcome_of(
+    result: Result<SolveOutcome<PatternSolution>, EngineError>,
+) -> (PatternSolution, Option<Certificate>) {
+    match result {
+        Ok(SolveOutcome::Complete(solution)) => (solution, None),
+        Ok(SolveOutcome::Degraded(d)) => (d.partial, Some(d.certificate)),
+        Err(EngineError::Solve(e)) => infeasible(&e),
+        Err(EngineError::Panicked(msg)) => {
+            eprintln!("error: solver fault: {msg}");
+            std::process::exit(1);
+        }
     }
 }
 

@@ -427,6 +427,20 @@ mod tests {
     }
 
     #[test]
+    fn resilience_counters_stay_out_of_the_exact_diff_set() {
+        // Speculation and fault-recovery bookkeeping depends on thread
+        // count and timing, so it must never enter the exactly-compared
+        // counter map or the BENCH gate would flake across machines.
+        let counters = deterministic_counters(&MetricsRecorder::new());
+        for volatile in ["guesses_retried", "guesses_committed", "guesses_wasted"] {
+            assert!(
+                !counters.contains_key(volatile),
+                "{volatile} must stay out of the exact-diff set"
+            );
+        }
+    }
+
+    #[test]
     fn span_snapshot_copies_node_tree() {
         let mut profiler = scwsc_core::SpanProfiler::new();
         use scwsc_core::Observer as _;

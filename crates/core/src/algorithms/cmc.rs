@@ -12,6 +12,9 @@
 use crate::algorithms::scan;
 use crate::bitset::BitSet;
 use crate::cover_state::{benefit_order, CoverState};
+use crate::engine::{
+    panic_message, Certificate, Deadline, DegradeReason, Degraded, EngineError, SolveOutcome,
+};
 use crate::parallel::{CancelToken, ThreadPool};
 use crate::set_system::{coverage_target, SetId, SetSystem};
 use crate::solution::{Solution, SolveError};
@@ -19,6 +22,7 @@ use crate::telemetry::{
     EventLog, Observer, PhaseSpan, ThreadLocalTelemetry, PHASE_GUESS, PHASE_INIT, PHASE_SELECT,
     PHASE_TOTAL,
 };
+use std::panic::{catch_unwind, resume_unwind, AssertUnwindSafe};
 
 /// Fraction of the requested coverage that CMC guarantees (Fig. 1 line 06).
 pub const CMC_COVERAGE_DISCOUNT: f64 = 1.0 - std::f64::consts::E.recip();
@@ -436,32 +440,335 @@ pub fn cmc_on<O: Observer + ?Sized>(
         });
     }
     let span = PhaseSpan::enter(obs, PHASE_TOTAL);
-    let result = guess_loop_speculative(system, params, target, pool, obs);
+    let deadline = Deadline::unbounded();
+    let result = guess_loop_speculative(system, params, target, pool, &deadline, false, obs);
+    span.exit(obs);
+    match result {
+        Ok(SolveOutcome::Complete(outcome)) => Ok(outcome),
+        Ok(SolveOutcome::Degraded(_)) => unreachable!("unbounded deadline cannot degrade"),
+        Err(EngineError::Solve(e)) => Err(e),
+        Err(EngineError::Panicked(_)) => {
+            unreachable!("without containment, panics are re-raised")
+        }
+    }
+}
+
+/// [`cmc`] under a [`Deadline`]: the resilience-engine entry point
+/// (DESIGN.md §12).
+///
+/// On expiry the run returns [`SolveOutcome::Degraded`] carrying the
+/// partial selection of the budget guess that was in flight, plus a
+/// [`Certificate`] (sets used, coverage vs. the `(1−1/e)·ŝ·n` target,
+/// cost, exhausted level quotas, ticks) that
+/// [`verify_certificate`](crate::solution::verify_certificate)
+/// independently re-checks. One work tick is consumed per selection
+/// attempt.
+///
+/// Panic isolation: each budget guess runs under `catch_unwind`; a
+/// panicked guess is retried once serially (counted by the
+/// `guesses_retried` telemetry event) and a second panic surfaces as
+/// [`EngineError::Panicked`] instead of unwinding.
+///
+/// Determinism: when the deadline is tick-addressed
+/// ([`Deadline::tick_deterministic`]) cross-guess speculation is disabled
+/// — guesses run in serial budget order while the inner benefit scans
+/// still parallelize (scans do not tick) — so the outcome classification,
+/// partial solution, and tick count are identical for `Threads(1)` and
+/// `Threads(N)`. Wall-clock-only deadlines keep speculation.
+pub fn cmc_within<O: Observer + ?Sized>(
+    system: &SetSystem,
+    params: &CmcParams,
+    pool: &ThreadPool,
+    deadline: &Deadline,
+    obs: &mut O,
+) -> Result<SolveOutcome<CmcOutcome>, EngineError> {
+    if params.k == 0 {
+        return Err(SolveError::ZeroSizeBound.into());
+    }
+    assert!(
+        params.budget_growth > 0.0,
+        "budget growth factor b must be positive"
+    );
+    let target = params.target(system.num_elements());
+    if target == 0 {
+        return Ok(SolveOutcome::Complete(CmcOutcome {
+            solution: Solution::from_sets(system, Vec::new()),
+            final_budget: 0.0,
+        }));
+    }
+    let span = PhaseSpan::enter(obs, PHASE_TOTAL);
+    let result = if pool.is_serial() || deadline.tick_deterministic() {
+        guess_loop_within(system, params, target, pool, deadline, obs)
+    } else {
+        guess_loop_speculative(system, params, target, pool, deadline, true, obs)
+    };
     span.exit(obs);
     result
 }
 
-/// Result of one speculative guess task.
+/// Result of one budget-guess run.
 enum GuessOutcome {
     Found(Solution),
     NotFound,
     /// Abandoned because a smaller budget already succeeded; its log is
     /// in the discarded (wasted) range by construction.
     Cancelled,
+    /// The deadline expired mid-guess; the partial selection becomes the
+    /// degraded outcome.
+    Expired {
+        partial: Vec<SetId>,
+        quotas_exhausted: Vec<usize>,
+        reason: DegradeReason,
+    },
+}
+
+/// One speculative guess as it came back from the pool: completed, or
+/// panicked with the captured payload (contained for retry or re-raise).
+enum GuessAttempt {
+    Done(GuessOutcome),
+    Panicked(Box<dyn std::any::Any + Send>),
+}
+
+/// Level indices whose quota was fully consumed (ascending) — the
+/// `quotas_exhausted` claim of a degraded certificate.
+fn exhausted_quotas(levels: &Levels, counts: &[usize]) -> Vec<usize> {
+    (0..levels.len())
+        .filter(|&l| counts[l] == levels.quota(l))
+        .collect()
+}
+
+/// Packages an expired guess's partial selection as a degraded outcome
+/// with its certificate.
+fn degrade(
+    system: &SetSystem,
+    partial: Vec<SetId>,
+    quotas_exhausted: Vec<usize>,
+    reason: DegradeReason,
+    target: usize,
+    budget: f64,
+    deadline: &Deadline,
+) -> SolveOutcome<CmcOutcome> {
+    let solution = Solution::from_sets(system, partial);
+    let certificate = Certificate {
+        sets_used: solution.size(),
+        covered: solution.covered(),
+        target,
+        total_cost: solution.total_cost().value(),
+        quotas_exhausted,
+        ticks: deadline.ticks(),
+        reason,
+    };
+    SolveOutcome::Degraded(Degraded {
+        partial: CmcOutcome {
+            solution,
+            final_budget: budget,
+        },
+        certificate,
+    })
+}
+
+/// The Fig. 1 outer loop with guesses in strict serial order — the
+/// tick-deterministic deadline path. Inner benefit scans still use the
+/// pool (scans do not tick), so the tick stream is identical for any
+/// thread count. Each guess is panic-contained and retried once.
+fn guess_loop_within<O: Observer + ?Sized>(
+    system: &SetSystem,
+    params: &CmcParams,
+    target: usize,
+    pool: &ThreadPool,
+    deadline: &Deadline,
+    obs: &mut O,
+) -> Result<SolveOutcome<CmcOutcome>, EngineError> {
+    let total_cost = system.total_cost().value();
+    let masks = if pool.is_serial() {
+        None
+    } else {
+        Some(scan::build_masks(pool, system))
+    };
+    let mut budget = initial_budget(system, params.k);
+    let mut guess_index = 0u64;
+
+    loop {
+        guess_index += 1;
+        let outcome = run_contained_guess(
+            system,
+            params,
+            budget,
+            target,
+            masks.as_deref(),
+            pool,
+            deadline,
+            guess_index,
+            obs,
+        )?;
+        match outcome {
+            GuessOutcome::Found(solution) => {
+                return Ok(SolveOutcome::Complete(CmcOutcome {
+                    solution,
+                    final_budget: budget,
+                }));
+            }
+            GuessOutcome::Expired {
+                partial,
+                quotas_exhausted,
+                reason,
+            } => {
+                return Ok(degrade(
+                    system,
+                    partial,
+                    quotas_exhausted,
+                    reason,
+                    target,
+                    budget,
+                    deadline,
+                ));
+            }
+            GuessOutcome::NotFound => {}
+            GuessOutcome::Cancelled => {
+                unreachable!("serial guess sequence has no speculation token")
+            }
+        }
+        if budget > total_cost {
+            return Err(SolveError::BudgetExhausted.into());
+        }
+        budget *= 1.0 + params.budget_growth; // line 28
+    }
+}
+
+/// One panic-contained budget guess: records into a private [`EventLog`]
+/// (replayed into `obs` only on normal completion, so a panicked attempt
+/// contributes no events), retries once serially on panic, and maps a
+/// second panic to [`EngineError::Panicked`].
+#[allow(clippy::too_many_arguments)]
+fn run_contained_guess<O: Observer + ?Sized>(
+    system: &SetSystem,
+    params: &CmcParams,
+    budget: f64,
+    target: usize,
+    masks: Option<&[BitSet]>,
+    pool: &ThreadPool,
+    deadline: &Deadline,
+    guess_index: u64,
+    obs: &mut O,
+) -> Result<GuessOutcome, EngineError> {
+    let no_cancel = CancelToken::new();
+    let attempt = |log: &mut EventLog| -> GuessOutcome {
+        log.guess_started(Some(budget));
+        let span = PhaseSpan::enter(log, PHASE_GUESS);
+        deadline.fault_guess(guess_index);
+        let outcome = match masks {
+            Some(masks) => run_guess_masked(
+                system, params, budget, target, masks, pool, &no_cancel, deadline, log,
+            ),
+            None => run_guess_within(system, params, budget, target, deadline, log),
+        };
+        span.exit(log);
+        outcome
+    };
+
+    let mut log = EventLog::new();
+    match catch_unwind(AssertUnwindSafe(|| attempt(&mut log))) {
+        Ok(outcome) => {
+            log.replay(obs);
+            Ok(outcome)
+        }
+        Err(_) => {
+            obs.guess_retried();
+            let mut retry_log = EventLog::new();
+            match catch_unwind(AssertUnwindSafe(|| attempt(&mut retry_log))) {
+                Ok(outcome) => {
+                    retry_log.replay(obs);
+                    Ok(outcome)
+                }
+                Err(payload) => Err(EngineError::Panicked(panic_message(payload.as_ref()))),
+            }
+        }
+    }
+}
+
+/// One deadline-aware guess with serial scans: [`run_guess`] plus a work
+/// tick per selection attempt and per-level quota accounting for the
+/// certificate.
+fn run_guess_within(
+    system: &SetSystem,
+    params: &CmcParams,
+    budget: f64,
+    target: usize,
+    deadline: &Deadline,
+    log: &mut EventLog,
+) -> GuessOutcome {
+    let init_span = PhaseSpan::enter(log, PHASE_INIT);
+    let mut state = CoverState::new(system);
+    log.benefit_computed(system.num_sets() as u64);
+    init_span.exit(log);
+
+    let levels = Levels::build(params.schedule, budget, params.k);
+    for level in 0..levels.len() {
+        log.level_entered(level, levels.quota(level));
+    }
+    let set_level: Vec<Option<usize>> = (0..system.num_sets() as SetId)
+        .map(|id| levels.level_of(system.cost(id).value()))
+        .collect();
+
+    let mut counts = vec![0usize; levels.len()];
+    let mut chosen: Vec<SetId> = Vec::new();
+    let mut rem = target;
+
+    let select_span = PhaseSpan::enter(log, PHASE_SELECT);
+    for level in 0..levels.len() {
+        for _ in 0..levels.quota(level) {
+            if let Err(reason) = deadline.checkpoint() {
+                select_span.exit(log);
+                let quotas_exhausted = exhausted_quotas(&levels, &counts);
+                return GuessOutcome::Expired {
+                    partial: chosen,
+                    quotas_exhausted,
+                    reason,
+                };
+            }
+            let q = state.argmax_benefit(|id| set_level[id as usize] == Some(level));
+            let Some(q) = q else {
+                break; // level exhausted
+            };
+            chosen.push(q);
+            counts[level] += 1;
+            let newly = state.select(q);
+            log.set_selected(q as u64, newly as u64, system.cost(q).value());
+            rem = rem.saturating_sub(newly);
+            if rem == 0 {
+                select_span.exit(log);
+                return GuessOutcome::Found(Solution::from_sets(system, chosen));
+            }
+        }
+    }
+    select_span.exit(log);
+    GuessOutcome::NotFound
 }
 
 /// The Fig. 1 outer loop run in speculative windows of one guess per
 /// pool thread.
+///
+/// With `contain == false` (the classic [`cmc_on`] path under an
+/// unbounded deadline) job panics are re-raised to the caller unchanged.
+/// With `contain == true` (the [`cmc_within`] engine path) each guess
+/// runs under `catch_unwind`: a panicked guess is retried once serially
+/// on the calling thread (its half-recorded event log is discarded, so
+/// replayed telemetry stays serial-identical) and a second panic becomes
+/// [`EngineError::Panicked`].
+#[allow(clippy::too_many_arguments)]
 fn guess_loop_speculative<O: Observer + ?Sized>(
     system: &SetSystem,
     params: &CmcParams,
     target: usize,
     pool: &ThreadPool,
+    deadline: &Deadline,
+    contain: bool,
     obs: &mut O,
-) -> Result<CmcOutcome, SolveError> {
+) -> Result<SolveOutcome<CmcOutcome>, EngineError> {
     let total_cost = system.total_cost().value();
     let masks = scan::build_masks(pool, system);
     let mut budget = initial_budget(system, params.k);
+    let mut next_guess_index = 0u64;
 
     loop {
         // The window replicates the serial budget sequence, including the
@@ -479,64 +786,158 @@ fn guess_loop_speculative<O: Observer + ?Sized>(
             b *= 1.0 + params.budget_growth;
         }
         let next_budget = b;
+        let base_index = next_guess_index;
+        next_guess_index += budgets.len() as u64;
 
         let cancels: Vec<CancelToken> = budgets.iter().map(|_| CancelToken::new()).collect();
         let tasks: Vec<(usize, f64)> = budgets.iter().copied().enumerate().collect();
-        let mut outcomes: Vec<(EventLog, GuessOutcome)> = pool.par_map(&tasks, |&(i, guess)| {
+        let mut attempts: Vec<(EventLog, GuessAttempt)> = pool.par_map(&tasks, |&(i, guess)| {
             let mut log = EventLog::new();
-            log.guess_started(Some(guess));
-            let guess_span = PhaseSpan::enter(&mut log, PHASE_GUESS);
-            let outcome = run_guess_masked(
-                system,
-                params,
-                guess,
-                target,
-                &masks,
-                pool,
-                &cancels[i],
-                &mut log,
-            );
-            guess_span.exit(&mut log);
-            if matches!(outcome, GuessOutcome::Found(_)) {
-                // Cancel only strictly larger budgets: smaller ones may
-                // still succeed and must win the commit.
-                for token in &cancels[i + 1..] {
-                    token.cancel();
+            let result = catch_unwind(AssertUnwindSafe(|| {
+                log.guess_started(Some(guess));
+                let guess_span = PhaseSpan::enter(&mut log, PHASE_GUESS);
+                deadline.fault_guess(base_index + i as u64 + 1);
+                let outcome = run_guess_masked(
+                    system,
+                    params,
+                    guess,
+                    target,
+                    &masks,
+                    pool,
+                    &cancels[i],
+                    deadline,
+                    &mut log,
+                );
+                guess_span.exit(&mut log);
+                outcome
+            }));
+            let attempt = match result {
+                Ok(outcome) => {
+                    if matches!(outcome, GuessOutcome::Found(_)) {
+                        // Cancel only strictly larger budgets: smaller ones
+                        // may still succeed and must win the commit.
+                        for token in &cancels[i + 1..] {
+                            token.cancel();
+                        }
+                    }
+                    GuessAttempt::Done(outcome)
                 }
-            }
-            (log, outcome)
+                Err(payload) => GuessAttempt::Panicked(payload),
+            };
+            (log, attempt)
         });
 
-        let winner = outcomes
-            .iter()
-            .position(|(_, o)| matches!(o, GuessOutcome::Found(_)));
-        // Replay the guesses the serial loop would have run — everything
-        // up to and including the first success — in budget order.
-        let committed = winner.map_or(outcomes.len(), |j| j + 1);
-        for (log, _) in &outcomes[..committed] {
-            log.replay(obs);
+        if !contain {
+            // Classic semantics: a job panic propagates to the caller.
+            for (_, attempt) in &mut attempts {
+                if matches!(attempt, GuessAttempt::Panicked(_)) {
+                    let taken =
+                        std::mem::replace(attempt, GuessAttempt::Done(GuessOutcome::NotFound));
+                    let GuessAttempt::Panicked(payload) = taken else {
+                        unreachable!()
+                    };
+                    resume_unwind(payload);
+                }
+            }
         }
-        obs.speculation(committed as u64, (outcomes.len() - committed) as u64);
 
-        if let Some(j) = winner {
-            let (_, outcome) = outcomes.swap_remove(j);
-            let GuessOutcome::Found(solution) = outcome else {
-                unreachable!("winner position is a Found outcome");
+        // Resolve the window in budget order, replaying each committed
+        // guess's log — exactly the guesses the serial loop would have run,
+        // up to and including the first success/expiry.
+        let window = attempts.len();
+        let mut committed = 0usize;
+        let mut resolved: Option<Result<SolveOutcome<CmcOutcome>, EngineError>> = None;
+        for (j, (log, attempt)) in attempts.iter_mut().enumerate() {
+            let taken = std::mem::replace(attempt, GuessAttempt::Done(GuessOutcome::Cancelled));
+            let outcome = match taken {
+                GuessAttempt::Done(outcome) => {
+                    log.replay(obs);
+                    outcome
+                }
+                GuessAttempt::Panicked(_) => {
+                    // Retry once, serially, on the calling thread.
+                    obs.guess_retried();
+                    let mut retry_log = EventLog::new();
+                    let fresh = CancelToken::new();
+                    let retried = catch_unwind(AssertUnwindSafe(|| {
+                        retry_log.guess_started(Some(budgets[j]));
+                        let guess_span = PhaseSpan::enter(&mut retry_log, PHASE_GUESS);
+                        deadline.fault_guess(base_index + j as u64 + 1);
+                        let outcome = run_guess_masked(
+                            system,
+                            params,
+                            budgets[j],
+                            target,
+                            &masks,
+                            pool,
+                            &fresh,
+                            deadline,
+                            &mut retry_log,
+                        );
+                        guess_span.exit(&mut retry_log);
+                        outcome
+                    }));
+                    match retried {
+                        Ok(outcome) => {
+                            retry_log.replay(obs);
+                            outcome
+                        }
+                        Err(payload) => {
+                            resolved =
+                                Some(Err(EngineError::Panicked(panic_message(payload.as_ref()))));
+                            break;
+                        }
+                    }
+                }
             };
-            return Ok(CmcOutcome {
-                solution,
-                final_budget: budgets[j],
-            });
+            committed = j + 1;
+            match outcome {
+                GuessOutcome::Found(solution) => {
+                    resolved = Some(Ok(SolveOutcome::Complete(CmcOutcome {
+                        solution,
+                        final_budget: budgets[j],
+                    })));
+                    break;
+                }
+                GuessOutcome::Expired {
+                    partial,
+                    quotas_exhausted,
+                    reason,
+                } => {
+                    resolved = Some(Ok(degrade(
+                        system,
+                        partial,
+                        quotas_exhausted,
+                        reason,
+                        target,
+                        budgets[j],
+                        deadline,
+                    )));
+                    break;
+                }
+                GuessOutcome::NotFound => {}
+                GuessOutcome::Cancelled => {
+                    // Only a strictly smaller Found budget cancels, and
+                    // resolution breaks at that budget first.
+                    debug_assert!(false, "cancelled guess reached resolution");
+                }
+            }
+        }
+        obs.speculation(committed as u64, (window - committed) as u64);
+        if let Some(result) = resolved {
+            return result;
         }
         if exhausts {
-            return Err(SolveError::BudgetExhausted);
+            return Err(SolveError::BudgetExhausted.into());
         }
         budget = next_budget;
     }
 }
 
 /// One budget guess over the masked scan engine: same selections and
-/// events as [`run_guess`], recorded into the task-local `log`.
+/// events as [`run_guess`], recorded into the task-local `log`. Consumes
+/// one `deadline` work tick per selection attempt; under an unbounded
+/// deadline (the classic speculative path) the checkpoint can never fail.
 #[allow(clippy::too_many_arguments)]
 fn run_guess_masked(
     system: &SetSystem,
@@ -546,6 +947,7 @@ fn run_guess_masked(
     masks: &[BitSet],
     pool: &ThreadPool,
     cancel: &CancelToken,
+    deadline: &Deadline,
     log: &mut EventLog,
 ) -> GuessOutcome {
     let init_span = PhaseSpan::enter(log, PHASE_INIT);
@@ -562,6 +964,7 @@ fn run_guess_masked(
         .collect();
 
     let tls = ThreadLocalTelemetry::new(pool.threads());
+    let mut counts = vec![0usize; levels.len()];
     let mut chosen: Vec<SetId> = Vec::new();
     let mut rem = target;
 
@@ -571,6 +974,15 @@ fn run_guess_masked(
             if cancel.is_cancelled() {
                 select_span.exit(log);
                 return GuessOutcome::Cancelled;
+            }
+            if let Err(reason) = deadline.checkpoint() {
+                select_span.exit(log);
+                let quotas_exhausted = exhausted_quotas(&levels, &counts);
+                return GuessOutcome::Expired {
+                    partial: chosen,
+                    quotas_exhausted,
+                    reason,
+                };
             }
             let q = scan::masked_argmax(
                 pool,
@@ -587,6 +999,7 @@ fn run_guess_masked(
                 break; // level exhausted
             };
             chosen.push(q.id);
+            counts[level] += 1;
             covered.union_with(&masks[q.id as usize]);
             log.set_selected(q.id as u64, q.mben as u64, q.cost.value());
             rem = rem.saturating_sub(q.mben);
@@ -948,5 +1361,195 @@ mod tests {
         assert_eq!(par, serial);
         assert_eq!(par.unwrap_err(), SolveError::BudgetExhausted);
         assert_eq!(pm.guesses, sm.guesses, "exhaustion runs the same guesses");
+    }
+
+    mod within {
+        use super::*;
+        use crate::engine::{Deadline, DegradeReason, SolveOutcome};
+        use crate::parallel::{ThreadPool, Threads};
+        use crate::solution::verify_certificate;
+        use crate::telemetry::MetricsRecorder;
+        use std::time::Duration;
+
+        fn chain_system(n: usize) -> SetSystem {
+            let mut b = SetSystem::builder(n);
+            for i in 0..n {
+                b.add_set([i as u32], 1.0 + (i % 3) as f64);
+            }
+            b.add_universe_set(100.0 * n as f64);
+            b.build().unwrap()
+        }
+
+        #[test]
+        fn unbounded_deadline_matches_plain_cmc() {
+            let sys = chain_system(12);
+            let params = CmcParams::classic(6, 0.75, 1.0);
+            let serial = cmc(&sys, &params, &mut MetricsRecorder::new()).unwrap();
+            for threads in [1, 4] {
+                let pool = ThreadPool::new(Threads::new(threads));
+                let deadline = Deadline::unbounded();
+                let out = cmc_within(&sys, &params, &pool, &deadline, &mut MetricsRecorder::new())
+                    .unwrap();
+                match out {
+                    SolveOutcome::Complete(outcome) => assert_eq!(outcome, serial),
+                    SolveOutcome::Degraded(_) => panic!("unbounded deadline degraded"),
+                }
+            }
+        }
+
+        #[test]
+        fn tick_budget_degrades_with_verifiable_certificate() {
+            let sys = chain_system(16);
+            let params = CmcParams::classic(8, 1.0, 1.0);
+            let pool = ThreadPool::new(Threads::serial());
+            let deadline = Deadline::unbounded().with_tick_budget(3);
+            let out =
+                cmc_within(&sys, &params, &pool, &deadline, &mut MetricsRecorder::new()).unwrap();
+            let SolveOutcome::Degraded(d) = out else {
+                panic!("3 ticks cannot cover 16 singleton elements");
+            };
+            assert_eq!(d.certificate.reason, DegradeReason::TickBudget);
+            assert!(d.certificate.ticks >= 3);
+            let check = verify_certificate(&sys, &d.partial.solution, &d.certificate);
+            assert!(check.is_valid(), "{check:?}");
+        }
+
+        #[test]
+        fn tick_budget_outcome_is_thread_count_invariant() {
+            let sys = chain_system(14);
+            let params = CmcParams::classic(7, 1.0, 1.0);
+            for budget in [0, 1, 2, 5, 9, 50] {
+                let run = |threads: usize| {
+                    let pool = ThreadPool::new(Threads::new(threads));
+                    let deadline = Deadline::unbounded().with_tick_budget(budget);
+                    let mut m = MetricsRecorder::new();
+                    let out = cmc_within(&sys, &params, &pool, &deadline, &mut m).unwrap();
+                    (out, deadline.ticks(), m.guesses, m.selections)
+                };
+                assert_eq!(run(1), run(4), "tick budget {budget}");
+            }
+        }
+
+        #[test]
+        fn zero_wall_clock_degrades_immediately() {
+            let sys = chain_system(8);
+            let params = CmcParams::classic(4, 1.0, 1.0);
+            for threads in [1, 4] {
+                let pool = ThreadPool::new(Threads::new(threads));
+                let deadline = Deadline::unbounded().with_wall_clock(Duration::ZERO);
+                let out = cmc_within(&sys, &params, &pool, &deadline, &mut MetricsRecorder::new())
+                    .unwrap();
+                let SolveOutcome::Degraded(d) = out else {
+                    panic!("zero wall clock must degrade");
+                };
+                assert_eq!(d.certificate.reason, DegradeReason::WallClock);
+                assert!(verify_certificate(&sys, &d.partial.solution, &d.certificate).is_valid());
+            }
+        }
+
+        #[test]
+        fn external_cancellation_degrades_with_reason() {
+            let sys = chain_system(8);
+            let params = CmcParams::classic(4, 1.0, 1.0);
+            let pool = ThreadPool::new(Threads::serial());
+            let deadline = Deadline::unbounded();
+            deadline.cancel();
+            let out =
+                cmc_within(&sys, &params, &pool, &deadline, &mut MetricsRecorder::new()).unwrap();
+            let SolveOutcome::Degraded(d) = out else {
+                panic!("cancelled deadline must degrade");
+            };
+            assert_eq!(d.certificate.reason, DegradeReason::Cancelled);
+        }
+
+        #[test]
+        fn zero_k_is_a_solve_error() {
+            let sys = chain_system(4);
+            let params = CmcParams::classic(0, 1.0, 1.0);
+            let pool = ThreadPool::new(Threads::serial());
+            let err = cmc_within(
+                &sys,
+                &params,
+                &pool,
+                &Deadline::unbounded(),
+                &mut MetricsRecorder::new(),
+            )
+            .unwrap_err();
+            assert!(matches!(
+                err,
+                crate::engine::EngineError::Solve(SolveError::ZeroSizeBound)
+            ));
+        }
+    }
+
+    #[cfg(feature = "fault-inject")]
+    mod within_faults {
+        use super::*;
+        use crate::engine::{Deadline, EngineError, FaultPlan, SolveOutcome};
+        use crate::parallel::{ThreadPool, Threads};
+        use crate::telemetry::MetricsRecorder;
+
+        fn system() -> SetSystem {
+            let mut b = SetSystem::builder(10);
+            for i in 0..10 {
+                b.add_set([i as u32], 1.0);
+            }
+            b.add_universe_set(500.0);
+            b.build().unwrap()
+        }
+
+        #[test]
+        fn one_shot_guess_panic_is_retried_to_completion() {
+            let sys = system();
+            let params = CmcParams::classic(5, 1.0, 1.0);
+            let clean = cmc(&sys, &params, &mut MetricsRecorder::new()).unwrap();
+            for threads in [1, 4] {
+                let pool = ThreadPool::new(Threads::new(threads));
+                let deadline =
+                    Deadline::unbounded().with_fault_plan(FaultPlan::new().panic_guess_once(1));
+                let mut m = MetricsRecorder::new();
+                let out = cmc_within(&sys, &params, &pool, &deadline, &mut m).unwrap();
+                match out {
+                    SolveOutcome::Complete(outcome) => assert_eq!(outcome, clean),
+                    SolveOutcome::Degraded(_) => panic!("fault retry must complete"),
+                }
+                assert_eq!(m.guesses_retried, 1, "threads {threads}");
+            }
+        }
+
+        #[test]
+        fn persistent_guess_fault_is_a_structured_error() {
+            let sys = system();
+            let params = CmcParams::classic(5, 1.0, 1.0);
+            for threads in [1, 4] {
+                let pool = ThreadPool::new(Threads::new(threads));
+                let deadline =
+                    Deadline::unbounded().with_fault_plan(FaultPlan::new().fail_guess(1));
+                let mut m = MetricsRecorder::new();
+                let err = cmc_within(&sys, &params, &pool, &deadline, &mut m).unwrap_err();
+                assert!(matches!(err, EngineError::Panicked(_)), "threads {threads}");
+                assert_eq!(m.guesses_retried, 1);
+            }
+        }
+
+        #[test]
+        fn retried_guess_replays_serial_identical_telemetry() {
+            let sys = system();
+            let params = CmcParams::classic(5, 1.0, 1.0);
+            let mut clean = MetricsRecorder::new();
+            cmc(&sys, &params, &mut clean).unwrap();
+            let pool = ThreadPool::new(Threads::serial());
+            let deadline =
+                Deadline::unbounded().with_fault_plan(FaultPlan::new().panic_guess_once(1));
+            let mut faulted = MetricsRecorder::new();
+            cmc_within(&sys, &params, &pool, &deadline, &mut faulted)
+                .unwrap()
+                .expect_complete("retry completes");
+            // The panicked attempt's half-recorded log was discarded, so
+            // exact-diff counters match a fault-free serial run.
+            assert_eq!(faulted.guesses, clean.guesses);
+            assert_eq!(faulted.selections, clean.selections);
+            assert_eq!(faulted.benefits_computed, clean.benefits_computed);
+        }
     }
 }

@@ -11,12 +11,16 @@
 use crate::algorithms::scan;
 use crate::bitset::BitSet;
 use crate::cover_state::{gain_order, CoverState};
+use crate::engine::{
+    panic_message, Certificate, Deadline, DegradeReason, Degraded, EngineError, SolveOutcome,
+};
 use crate::parallel::ThreadPool;
 use crate::set_system::{coverage_target, SetId, SetSystem};
 use crate::solution::{Solution, SolveError};
 use crate::telemetry::{
-    Observer, PhaseSpan, ThreadLocalTelemetry, PHASE_INIT, PHASE_SELECT, PHASE_TOTAL,
+    EventLog, Observer, PhaseSpan, ThreadLocalTelemetry, PHASE_INIT, PHASE_SELECT, PHASE_TOTAL,
 };
+use std::panic::{catch_unwind, AssertUnwindSafe};
 
 /// Runs CWSC: at most `k` sets covering at least `⌈coverage_fraction·n⌉`
 /// elements.
@@ -124,6 +128,212 @@ pub fn cwsc_with_target_on<O: Observer + ?Sized>(
     let result = run_parallel(system, k, target, pool, obs);
     span.exit(obs);
     result
+}
+
+/// [`cwsc`] under a [`Deadline`]: the resilience-engine entry point
+/// (DESIGN.md §12).
+///
+/// One work tick is consumed per selection round. On expiry the picks made
+/// so far become a [`SolveOutcome::Degraded`] partial solution with a
+/// [`Certificate`] (`quotas_exhausted` is always empty — CWSC has no cost
+/// levels) that
+/// [`verify_certificate`](crate::solution::verify_certificate) re-checks.
+///
+/// CWSC is a single greedy round, so there is no per-guess retry: the
+/// round runs under `catch_unwind` with its telemetry recorded into a
+/// private [`EventLog`] (replayed only on normal completion), and a panic
+/// surfaces as [`EngineError::Panicked`].
+///
+/// Determinism: the tick stream counts rounds, which are identical for
+/// any thread count (the parallel arg-max is exact; DESIGN.md §11), so
+/// outcome classification, partial solution, and tick count match between
+/// `Threads(1)` and `Threads(N)` under tick-addressed deadlines.
+pub fn cwsc_within<O: Observer + ?Sized>(
+    system: &SetSystem,
+    k: usize,
+    coverage_fraction: f64,
+    pool: &ThreadPool,
+    deadline: &Deadline,
+    obs: &mut O,
+) -> Result<SolveOutcome<Solution>, EngineError> {
+    if k == 0 {
+        return Err(SolveError::ZeroSizeBound.into());
+    }
+    let target = coverage_target(system.num_elements(), coverage_fraction);
+    cwsc_with_target_within(system, k, target, pool, deadline, obs)
+}
+
+/// [`cwsc_within`] with an explicit element-count target.
+pub fn cwsc_with_target_within<O: Observer + ?Sized>(
+    system: &SetSystem,
+    k: usize,
+    target: usize,
+    pool: &ThreadPool,
+    deadline: &Deadline,
+    obs: &mut O,
+) -> Result<SolveOutcome<Solution>, EngineError> {
+    if k == 0 {
+        return Err(SolveError::ZeroSizeBound.into());
+    }
+    if target == 0 {
+        return Ok(SolveOutcome::Complete(Solution::from_sets(
+            system,
+            Vec::new(),
+        )));
+    }
+    let span = PhaseSpan::enter(obs, PHASE_TOTAL);
+    let mut log = EventLog::new();
+    let caught = catch_unwind(AssertUnwindSafe(|| {
+        if pool.is_serial() {
+            run_within_serial(system, k, target, deadline, &mut log)
+        } else {
+            run_within_masked(system, k, target, pool, deadline, &mut log)
+        }
+    }));
+    let result = match caught {
+        Ok(round) => {
+            log.replay(obs);
+            match round {
+                RoundOutcome::Done(result) => result
+                    .map(SolveOutcome::Complete)
+                    .map_err(EngineError::Solve),
+                RoundOutcome::Expired { partial, reason } => {
+                    let solution = Solution::from_sets(system, partial);
+                    let certificate = Certificate {
+                        sets_used: solution.size(),
+                        covered: solution.covered(),
+                        target,
+                        total_cost: solution.total_cost().value(),
+                        quotas_exhausted: Vec::new(),
+                        ticks: deadline.ticks(),
+                        reason,
+                    };
+                    Ok(SolveOutcome::Degraded(Degraded {
+                        partial: solution,
+                        certificate,
+                    }))
+                }
+            }
+        }
+        Err(payload) => Err(EngineError::Panicked(panic_message(payload.as_ref()))),
+    };
+    span.exit(obs);
+    result
+}
+
+/// How one deadline-aware CWSC round ended.
+enum RoundOutcome {
+    Done(Result<Solution, SolveError>),
+    Expired {
+        partial: Vec<SetId>,
+        reason: DegradeReason,
+    },
+}
+
+/// [`run`] plus a work tick per selection round.
+fn run_within_serial(
+    system: &SetSystem,
+    k: usize,
+    target: usize,
+    deadline: &Deadline,
+    log: &mut EventLog,
+) -> RoundOutcome {
+    log.guess_started(None);
+    let init_span = PhaseSpan::enter(log, PHASE_INIT);
+    let mut state = CoverState::new(system);
+    log.benefit_computed(system.num_sets() as u64);
+    init_span.exit(log);
+
+    let mut chosen: Vec<SetId> = Vec::with_capacity(k);
+    let mut rem = target;
+
+    let select_span = PhaseSpan::enter(log, PHASE_SELECT);
+    for i in (1..=k).rev() {
+        if let Err(reason) = deadline.checkpoint() {
+            select_span.exit(log);
+            return RoundOutcome::Expired {
+                partial: chosen,
+                reason,
+            };
+        }
+        let i_u = i as u64;
+        let rem_u = rem as u64;
+        let q = state.argmax_gain(|id| i_u * state.marginal_benefit(id) as u64 >= rem_u);
+        let Some(q) = q else {
+            select_span.exit(log);
+            return RoundOutcome::Done(Err(SolveError::NoSolution));
+        };
+        chosen.push(q);
+        let newly = state.select(q);
+        log.set_selected(q as u64, newly as u64, system.cost(q).value());
+        rem = rem.saturating_sub(newly);
+        if rem == 0 {
+            select_span.exit(log);
+            return RoundOutcome::Done(Ok(Solution::from_sets(system, chosen)));
+        }
+    }
+    select_span.exit(log);
+    RoundOutcome::Done(Err(SolveError::NoSolution))
+}
+
+/// [`run_parallel`] plus a work tick per selection round. The tick
+/// placement matches [`run_within_serial`] exactly (scans do not tick).
+fn run_within_masked(
+    system: &SetSystem,
+    k: usize,
+    target: usize,
+    pool: &ThreadPool,
+    deadline: &Deadline,
+    log: &mut EventLog,
+) -> RoundOutcome {
+    log.guess_started(None);
+    let init_span = PhaseSpan::enter(log, PHASE_INIT);
+    let masks = scan::build_masks(pool, system);
+    let mut covered = BitSet::new(system.num_elements());
+    log.benefit_computed(system.num_sets() as u64);
+    init_span.exit(log);
+
+    let tls = ThreadLocalTelemetry::new(pool.threads());
+    let mut chosen: Vec<SetId> = Vec::with_capacity(k);
+    let mut rem = target;
+
+    let select_span = PhaseSpan::enter(log, PHASE_SELECT);
+    for i in (1..=k).rev() {
+        if let Err(reason) = deadline.checkpoint() {
+            select_span.exit(log);
+            return RoundOutcome::Expired {
+                partial: chosen,
+                reason,
+            };
+        }
+        let i_u = i as u64;
+        let rem_u = rem as u64;
+        let q = scan::masked_argmax(
+            pool,
+            &tls,
+            system,
+            &masks,
+            &covered,
+            |_| true,
+            |mben| i_u * mben as u64 >= rem_u,
+            gain_order,
+        );
+        tls.replay(log);
+        let Some(q) = q else {
+            select_span.exit(log);
+            return RoundOutcome::Done(Err(SolveError::NoSolution));
+        };
+        chosen.push(q.id);
+        covered.union_with(&masks[q.id as usize]);
+        log.set_selected(q.id as u64, q.mben as u64, q.cost.value());
+        rem = rem.saturating_sub(q.mben);
+        if rem == 0 {
+            select_span.exit(log);
+            return RoundOutcome::Done(Ok(Solution::from_sets(system, chosen)));
+        }
+    }
+    select_span.exit(log);
+    RoundOutcome::Done(Err(SolveError::NoSolution))
 }
 
 /// The Fig. 2 body over the masked scan engine: same selections and
@@ -398,5 +608,93 @@ mod tests {
         let sys = b.build().unwrap();
         let sol = cwsc(&sys, 3, 1.0, &mut Stats::new()).unwrap();
         assert_eq!(sol.size(), 1, "covered in one pick, must stop");
+    }
+
+    mod within {
+        use super::*;
+        use crate::engine::{Deadline, DegradeReason, SolveOutcome};
+        use crate::parallel::{ThreadPool, Threads};
+        use crate::solution::verify_certificate;
+        use crate::telemetry::MetricsRecorder;
+
+        #[test]
+        fn unbounded_deadline_matches_plain_cwsc() {
+            let sys = system();
+            let serial = cwsc(&sys, 2, 0.75, &mut Stats::new()).unwrap();
+            for threads in [1, 4] {
+                let pool = ThreadPool::new(Threads::new(threads));
+                let out = cwsc_within(
+                    &sys,
+                    2,
+                    0.75,
+                    &pool,
+                    &Deadline::unbounded(),
+                    &mut MetricsRecorder::new(),
+                )
+                .unwrap();
+                assert_eq!(out.expect_complete("unbounded"), serial);
+            }
+        }
+
+        #[test]
+        fn tick_budget_degrades_identically_across_thread_counts() {
+            let mut b = SetSystem::builder(12);
+            for i in 0..12u32 {
+                b.add_set([i], 1.0);
+            }
+            b.add_universe_set(300.0);
+            let sys = b.build().unwrap();
+            for budget in [0u64, 1, 2, 4] {
+                let run = |threads: usize| {
+                    let pool = ThreadPool::new(Threads::new(threads));
+                    let deadline = Deadline::unbounded().with_tick_budget(budget);
+                    let out =
+                        cwsc_within(&sys, 12, 1.0, &pool, &deadline, &mut MetricsRecorder::new())
+                            .unwrap();
+                    (out, deadline.ticks())
+                };
+                let (serial, serial_ticks) = run(1);
+                assert_eq!((serial.clone(), serial_ticks), run(4), "budget {budget}");
+                let SolveOutcome::Degraded(d) = serial else {
+                    panic!("budget {budget} cannot cover 12 singleton picks");
+                };
+                assert_eq!(d.certificate.reason, DegradeReason::TickBudget);
+                assert_eq!(d.partial.size(), budget as usize);
+                assert!(d.certificate.quotas_exhausted.is_empty());
+                let check = verify_certificate(&sys, &d.partial, &d.certificate);
+                assert!(check.is_valid(), "{check:?}");
+            }
+        }
+
+        #[test]
+        fn error_paths_match_plain_cwsc() {
+            let mut b = SetSystem::builder(4);
+            b.add_set([0], 1.0).add_set([1], 1.0);
+            let sys = b.build().unwrap();
+            let pool = ThreadPool::new(Threads::serial());
+            let err = cwsc_within(
+                &sys,
+                1,
+                0.5,
+                &pool,
+                &Deadline::unbounded(),
+                &mut Stats::new(),
+            )
+            .unwrap_err();
+            assert!(matches!(
+                err,
+                crate::engine::EngineError::Solve(SolveError::NoSolution)
+            ));
+            let empty = cwsc_within(
+                &sys,
+                1,
+                0.0,
+                &pool,
+                &Deadline::unbounded(),
+                &mut Stats::new(),
+            )
+            .unwrap();
+            assert_eq!(empty.expect_complete("trivial").size(), 0);
+        }
     }
 }

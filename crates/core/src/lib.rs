@@ -43,6 +43,7 @@ pub mod algorithms;
 pub mod bitset;
 pub mod cost;
 pub mod cover_state;
+pub mod engine;
 pub mod incremental;
 pub mod lazy_greedy;
 pub mod multiweight;
@@ -55,9 +56,14 @@ pub mod telemetry;
 pub use bitset::BitSet;
 pub use cost::{Cost, CostError};
 pub use cover_state::{Candidate, CoverState};
+#[cfg(feature = "fault-inject")]
+pub use engine::FaultPlan;
+pub use engine::{Certificate, Deadline, DegradeReason, Degraded, EngineError, SolveOutcome};
 pub use parallel::{CancelToken, Scope, ThreadPool, Threads};
 pub use set_system::{coverage_target, BuildError, ElementId, SetId, SetSystem, WeightedSet};
-pub use solution::{verify, Requirements, Solution, SolveError, Verification};
+pub use solution::{
+    verify, verify_certificate, CertificateCheck, Requirements, Solution, SolveError, Verification,
+};
 pub use stats::Stats;
 pub use telemetry::{
     EventLog, Fanout, JsonlSink, LogHistogram, MetricsRecorder, NoopObserver, Observer,

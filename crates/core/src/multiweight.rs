@@ -11,8 +11,9 @@
 //!   the solutions whose aggregate weight vectors are mutually
 //!   non-dominated, giving the decision-maker a trade-off frontier.
 
-use crate::algorithms::cwsc::cwsc;
-use crate::parallel::ThreadPool;
+use crate::algorithms::cwsc::{cwsc, cwsc_within};
+use crate::engine::{Certificate, Deadline, DegradeReason, Degraded, EngineError, SolveOutcome};
+use crate::parallel::{ThreadPool, Threads};
 use crate::set_system::{ElementId, SetId, SetSystem};
 use crate::solution::{Solution, SolveError};
 use crate::telemetry::{EventLog, NoopObserver, Observer, PhaseSpan};
@@ -50,6 +51,9 @@ pub enum MultiWeightError {
     InvalidWeight(f64),
     /// The underlying single-weight solver failed.
     Solve(SolveError),
+    /// A solver worker panicked twice under the resilience engine
+    /// ([`pareto_sweep_within`]); carries the panic message.
+    Faulted(String),
 }
 
 impl std::fmt::Display for MultiWeightError {
@@ -60,6 +64,7 @@ impl std::fmt::Display for MultiWeightError {
             }
             MultiWeightError::InvalidWeight(w) => write!(f, "invalid weight {w}"),
             MultiWeightError::Solve(e) => write!(f, "solve failed: {e}"),
+            MultiWeightError::Faulted(msg) => write!(f, "solver fault: {msg}"),
         }
     }
 }
@@ -310,6 +315,196 @@ fn run_sweep_parallel<O: Observer + ?Sized>(
     Ok(pareto_filter(points, obs))
 }
 
+/// [`pareto_sweep_on`] under a [`Deadline`]: the resilience-engine sweep
+/// (DESIGN.md §12).
+///
+/// The deadline is shared across the whole sweep: every inner
+/// [`cwsc_within`] round consumes a work tick, so a tick budget bounds
+/// total sweep work, not per-λ work. On expiry the frontier built from
+/// the λs completed so far returns as [`SolveOutcome::Degraded`]; the
+/// in-flight λ's partial picks are dropped (a trade-off *frontier* made
+/// of half-solved points would be misleading). The certificate reuses
+/// its fields as sweep progress: `covered` = λs completed, `target` =
+/// total λs, `sets_used` = frontier size, `total_cost` = 0.
+///
+/// Determinism: under a tick-addressed deadline (or a serial pool) λs run
+/// sequentially in order — the inner solver's scans still parallelize —
+/// so outcomes match between thread counts. Wall-clock-only deadlines on
+/// a parallel pool fan λs out (one serial solve per worker, resolved in λ
+/// order). A twice-panicking solver surfaces as
+/// [`MultiWeightError::Faulted`].
+pub fn pareto_sweep_within<O: Observer + ?Sized>(
+    system: &MultiWeightSystem,
+    k: usize,
+    coverage_fraction: f64,
+    lambdas: &[Vec<f64>],
+    pool: &ThreadPool,
+    deadline: &Deadline,
+    obs: &mut O,
+) -> Result<SolveOutcome<Vec<ParetoPoint>>, MultiWeightError> {
+    let sweep_span = PhaseSpan::enter(obs, PHASE_SWEEP);
+    let result = if pool.is_serial() || deadline.tick_deterministic() {
+        run_sweep_within(system, k, coverage_fraction, lambdas, pool, deadline, obs)
+    } else {
+        run_sweep_within_parallel(system, k, coverage_fraction, lambdas, pool, deadline, obs)
+    };
+    sweep_span.exit(obs);
+    result
+}
+
+/// Wraps the surviving points (and how many λs completed) as a sweep
+/// outcome: `Complete` when every λ finished, `Degraded` with a
+/// progress-shaped certificate otherwise.
+fn sweep_outcome<O: Observer + ?Sized>(
+    points: Vec<ParetoPoint>,
+    total_lambdas: usize,
+    degraded: Option<DegradeReason>,
+    deadline: &Deadline,
+    obs: &mut O,
+) -> SolveOutcome<Vec<ParetoPoint>> {
+    let completed = points.len();
+    let frontier = pareto_filter(points, obs);
+    match degraded {
+        None => SolveOutcome::Complete(frontier),
+        Some(reason) => {
+            let certificate = Certificate {
+                sets_used: frontier.len(),
+                covered: completed,
+                target: total_lambdas,
+                total_cost: 0.0,
+                quotas_exhausted: Vec::new(),
+                ticks: deadline.ticks(),
+                reason,
+            };
+            SolveOutcome::Degraded(Degraded {
+                partial: frontier,
+                certificate,
+            })
+        }
+    }
+}
+
+/// Sequential deadline-aware sweep body: λs in order, shared deadline.
+#[allow(clippy::too_many_arguments)]
+fn run_sweep_within<O: Observer + ?Sized>(
+    system: &MultiWeightSystem,
+    k: usize,
+    coverage_fraction: f64,
+    lambdas: &[Vec<f64>],
+    pool: &ThreadPool,
+    deadline: &Deadline,
+    obs: &mut O,
+) -> Result<SolveOutcome<Vec<ParetoPoint>>, MultiWeightError> {
+    let mut points: Vec<ParetoPoint> = Vec::new();
+    let mut degraded: Option<DegradeReason> = None;
+    for lambda in lambdas {
+        if let Some(reason) = deadline.expired() {
+            degraded = Some(reason);
+            break;
+        }
+        let scalarize_span = PhaseSpan::enter(obs, PHASE_SCALARIZE);
+        let scalar = system.scalarize(lambda);
+        scalarize_span.exit(obs);
+        let scalar = scalar?;
+        match cwsc_within(&scalar, k, coverage_fraction, pool, deadline, obs) {
+            Ok(SolveOutcome::Complete(solution)) => {
+                let weights = system.aggregate(solution.sets());
+                points.push(ParetoPoint {
+                    lambda: lambda.clone(),
+                    solution,
+                    weights,
+                });
+            }
+            Ok(SolveOutcome::Degraded(d)) => {
+                degraded = Some(d.certificate.reason);
+                break;
+            }
+            Err(EngineError::Solve(e)) => return Err(MultiWeightError::Solve(e)),
+            Err(EngineError::Panicked(msg)) => return Err(MultiWeightError::Faulted(msg)),
+        }
+    }
+    Ok(sweep_outcome(
+        points,
+        lambdas.len(),
+        degraded,
+        deadline,
+        obs,
+    ))
+}
+
+/// How one fanned-out λ task ended.
+enum LambdaOutcome {
+    Point(Box<ParetoPoint>),
+    Expired(DegradeReason),
+    Error(MultiWeightError),
+}
+
+/// Parallel (wall-clock-only) deadline-aware sweep body: one task per λ,
+/// each solving serially under the shared deadline; logs and outcomes
+/// resolve in λ order.
+#[allow(clippy::too_many_arguments)]
+fn run_sweep_within_parallel<O: Observer + ?Sized>(
+    system: &MultiWeightSystem,
+    k: usize,
+    coverage_fraction: f64,
+    lambdas: &[Vec<f64>],
+    pool: &ThreadPool,
+    deadline: &Deadline,
+    obs: &mut O,
+) -> Result<SolveOutcome<Vec<ParetoPoint>>, MultiWeightError> {
+    let solved: Vec<(EventLog, LambdaOutcome)> = pool.par_map(lambdas, |lambda| {
+        let mut log = EventLog::new();
+        if let Some(reason) = deadline.expired() {
+            return (log, LambdaOutcome::Expired(reason));
+        }
+        let scalarize_span = PhaseSpan::enter(&mut log, PHASE_SCALARIZE);
+        let scalar = system.scalarize(lambda);
+        scalarize_span.exit(&mut log);
+        let scalar = match scalar {
+            Ok(scalar) => scalar,
+            Err(e) => return (log, LambdaOutcome::Error(e)),
+        };
+        // Each task solves serially (the pool's workers are busy with
+        // sibling λs); cwsc_within supplies catch_unwind containment.
+        let serial = ThreadPool::new(Threads::serial());
+        let outcome = match cwsc_within(&scalar, k, coverage_fraction, &serial, deadline, &mut log)
+        {
+            Ok(SolveOutcome::Complete(solution)) => {
+                let weights = system.aggregate(solution.sets());
+                LambdaOutcome::Point(Box::new(ParetoPoint {
+                    lambda: lambda.clone(),
+                    solution,
+                    weights,
+                }))
+            }
+            Ok(SolveOutcome::Degraded(d)) => LambdaOutcome::Expired(d.certificate.reason),
+            Err(EngineError::Solve(e)) => LambdaOutcome::Error(MultiWeightError::Solve(e)),
+            Err(EngineError::Panicked(msg)) => LambdaOutcome::Error(MultiWeightError::Faulted(msg)),
+        };
+        (log, outcome)
+    });
+    let mut points: Vec<ParetoPoint> = Vec::with_capacity(solved.len());
+    let mut degraded: Option<DegradeReason> = None;
+    for (log, outcome) in solved {
+        log.replay(obs);
+        match outcome {
+            LambdaOutcome::Point(point) => points.push(*point),
+            LambdaOutcome::Expired(reason) => {
+                degraded = Some(reason);
+                break;
+            }
+            LambdaOutcome::Error(e) => return Err(e),
+        }
+    }
+    Ok(sweep_outcome(
+        points,
+        lambdas.len(),
+        degraded,
+        deadline,
+        obs,
+    ))
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -484,5 +679,86 @@ mod tests {
         let err = pareto_sweep_with(&s, 1, 0.5, &[vec![1.0]], &mut profiler).unwrap_err();
         assert!(matches!(err, MultiWeightError::WrongArity { .. }));
         assert_eq!(profiler.open_spans(), 0, "error paths must close spans");
+    }
+
+    mod within {
+        use super::*;
+        use crate::engine::{Deadline, DegradeReason, SolveOutcome};
+        use crate::parallel::Threads;
+        use crate::telemetry::MetricsRecorder;
+
+        fn lambdas() -> Vec<Vec<f64>> {
+            (0..6)
+                .map(|i| vec![i as f64 / 5.0, 1.0 - i as f64 / 5.0])
+                .collect()
+        }
+
+        #[test]
+        fn unbounded_deadline_matches_plain_sweep() {
+            let s = system();
+            let plain = pareto_sweep(&s, 1, 0.5, &lambdas()).unwrap();
+            for threads in [1, 4] {
+                let pool = ThreadPool::new(Threads::new(threads));
+                let out = pareto_sweep_within(
+                    &s,
+                    1,
+                    0.5,
+                    &lambdas(),
+                    &pool,
+                    &Deadline::unbounded(),
+                    &mut MetricsRecorder::new(),
+                )
+                .unwrap();
+                assert_eq!(out.expect_complete("unbounded"), plain, "threads {threads}");
+            }
+        }
+
+        #[test]
+        fn tick_budget_degrades_with_progress_certificate() {
+            let s = system();
+            for budget in [0u64, 1, 3] {
+                let run = |threads: usize| {
+                    let pool = ThreadPool::new(Threads::new(threads));
+                    let deadline = Deadline::unbounded().with_tick_budget(budget);
+                    pareto_sweep_within(
+                        &s,
+                        1,
+                        0.5,
+                        &lambdas(),
+                        &pool,
+                        &deadline,
+                        &mut MetricsRecorder::new(),
+                    )
+                    .unwrap()
+                };
+                let serial = run(1);
+                assert_eq!(serial, run(4), "budget {budget}");
+                let SolveOutcome::Degraded(d) = serial else {
+                    panic!("budget {budget} cannot finish 6 lambdas");
+                };
+                assert_eq!(d.certificate.reason, DegradeReason::TickBudget);
+                assert_eq!(d.certificate.target, 6);
+                assert!(d.certificate.covered < 6);
+                assert_eq!(d.certificate.sets_used, d.partial.len());
+            }
+        }
+
+        #[test]
+        fn solver_failure_propagates() {
+            let mut s = MultiWeightSystem::new(4, 1);
+            s.add_set([0], vec![1.0]).unwrap();
+            let pool = ThreadPool::new(Threads::serial());
+            let err = pareto_sweep_within(
+                &s,
+                1,
+                1.0,
+                &[vec![1.0]],
+                &pool,
+                &Deadline::unbounded(),
+                &mut MetricsRecorder::new(),
+            )
+            .unwrap_err();
+            assert!(matches!(err, MultiWeightError::Solve(_)));
+        }
     }
 }

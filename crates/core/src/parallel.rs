@@ -30,7 +30,7 @@ use std::collections::VecDeque;
 use std::ops::Range;
 use std::panic::{catch_unwind, resume_unwind, AssertUnwindSafe};
 use std::sync::atomic::{AtomicBool, Ordering};
-use std::sync::{Arc, Condvar, Mutex};
+use std::sync::{Arc, Condvar, Mutex, MutexGuard, PoisonError};
 use std::thread;
 use std::time::Duration;
 
@@ -99,6 +99,21 @@ impl Default for Threads {
 
 type Job = Box<dyn FnOnce() + Send + 'static>;
 
+/// Locks a mutex, recovering from poison instead of panicking.
+///
+/// Every mutex in this module guards either a job queue, a write-once
+/// result slot, or a pending-job counter — state that stays consistent
+/// even when a panicking job poisons the lock mid-update, because each
+/// critical section is a single atomic-in-effect operation (push, pop,
+/// slot write, counter bump). Treating poison as fatal would let one
+/// panicking job cascade into secondary `PoisonError` panics in every
+/// other worker and the submitting thread; recovering keeps the pool
+/// usable and lets the scope re-raise (or the engine contain) only the
+/// *original* panic.
+fn lock_unpoisoned<T>(mutex: &Mutex<T>) -> MutexGuard<'_, T> {
+    mutex.lock().unwrap_or_else(PoisonError::into_inner)
+}
+
 struct PoolShared {
     queue: Mutex<VecDeque<Job>>,
     /// Signalled when a job is pushed or shutdown begins.
@@ -108,7 +123,7 @@ struct PoolShared {
 
 impl PoolShared {
     fn try_pop(&self) -> Option<Job> {
-        self.queue.lock().unwrap().pop_front()
+        lock_unpoisoned(&self.queue).pop_front()
     }
 }
 
@@ -193,7 +208,7 @@ impl ThreadPool {
         // still run, so catch and re-raise only once the scope is quiet.
         let result = catch_unwind(AssertUnwindSafe(|| f(&scope)));
         self.wait_scope(&state);
-        let job_panic = state.sync.lock().unwrap().panic.take();
+        let job_panic = lock_unpoisoned(&state.sync).panic.take();
         match result {
             Ok(r) => {
                 if let Some(payload) = job_panic {
@@ -226,13 +241,14 @@ impl ThreadPool {
                 let f = &f;
                 s.spawn(move || {
                     let out: Vec<R> = items[range].iter().map(f).collect();
-                    *slot.lock().unwrap() = Some(out);
+                    *lock_unpoisoned(slot) = Some(out);
                 });
             }
         });
         let mut result = Vec::with_capacity(items.len());
         for slot in slots {
-            result.extend(slot.into_inner().unwrap().expect("chunk completed"));
+            let chunk = slot.into_inner().unwrap_or_else(PoisonError::into_inner);
+            result.extend(chunk.expect("chunk completed"));
         }
         result
     }
@@ -269,13 +285,14 @@ impl ThreadPool {
                 let map = &map;
                 s.spawn(move || {
                     let out = map(idx, range);
-                    *slot.lock().unwrap() = Some(out);
+                    *lock_unpoisoned(slot) = Some(out);
                 });
             }
         });
         let mut acc: Option<A> = None;
         for slot in slots {
-            let chunk_result = slot.into_inner().unwrap().expect("chunk completed");
+            let slot = slot.into_inner().unwrap_or_else(PoisonError::into_inner);
+            let chunk_result = slot.expect("chunk completed");
             acc = match (acc, chunk_result) {
                 (Some(a), Some(b)) => Some(reduce(a, b)),
                 (None, b) => b,
@@ -295,7 +312,7 @@ impl ThreadPool {
                 job();
                 continue;
             }
-            let guard = state.sync.lock().unwrap();
+            let guard = lock_unpoisoned(&state.sync);
             if guard.pending == 0 {
                 return;
             }
@@ -305,7 +322,7 @@ impl ThreadPool {
             let (guard, _) = state
                 .done
                 .wait_timeout(guard, Duration::from_micros(200))
-                .unwrap();
+                .unwrap_or_else(PoisonError::into_inner);
             drop(guard);
         }
     }
@@ -324,7 +341,7 @@ impl Drop for ThreadPool {
 fn worker_loop(shared: &PoolShared) {
     loop {
         let job = {
-            let mut queue = shared.queue.lock().unwrap();
+            let mut queue = lock_unpoisoned(&shared.queue);
             loop {
                 if let Some(job) = queue.pop_front() {
                     break Some(job);
@@ -332,7 +349,10 @@ fn worker_loop(shared: &PoolShared) {
                 if shared.shutdown.load(Ordering::SeqCst) {
                     break None;
                 }
-                queue = shared.work_available.wait(queue).unwrap();
+                queue = shared
+                    .work_available
+                    .wait(queue)
+                    .unwrap_or_else(PoisonError::into_inner);
             }
         };
         match job {
@@ -371,11 +391,11 @@ impl<'env> Scope<'_, 'env> {
     where
         F: FnOnce() + Send + 'env,
     {
-        self.state.sync.lock().unwrap().pending += 1;
+        lock_unpoisoned(&self.state.sync).pending += 1;
         let state = Arc::clone(&self.state);
         let job: Box<dyn FnOnce() + Send + 'env> = Box::new(move || {
             let result = catch_unwind(AssertUnwindSafe(f));
-            let mut sync = state.sync.lock().unwrap();
+            let mut sync = lock_unpoisoned(&state.sync);
             if let Err(payload) = result {
                 // First panic wins; later ones are dropped like rayon does.
                 sync.panic.get_or_insert(payload);
@@ -397,7 +417,7 @@ impl<'env> Scope<'_, 'env> {
             )
         };
         let shared = &self.pool.shared;
-        shared.queue.lock().unwrap().push_back(job);
+        lock_unpoisoned(&shared.queue).push_back(job);
         shared.work_available.notify_one();
     }
 
@@ -605,6 +625,42 @@ mod tests {
             7,
             "non-panicking jobs all ran to completion before the re-raise"
         );
+    }
+
+    #[test]
+    fn lock_unpoisoned_recovers_poisoned_mutex() {
+        let m = Mutex::new(5);
+        let _ = catch_unwind(AssertUnwindSafe(|| {
+            let _guard = m.lock().unwrap();
+            panic!("poison the lock");
+        }));
+        assert!(m.is_poisoned());
+        assert_eq!(*lock_unpoisoned(&m), 5, "recovers the inner value");
+    }
+
+    #[test]
+    fn pool_survives_repeated_job_panics() {
+        // A panicking job must not cascade into secondary PoisonError
+        // panics: after several panicked scopes the same pool still runs
+        // ordinary work to completion.
+        let pool = ThreadPool::new(Threads::new(4));
+        for round in 0..3 {
+            let result = catch_unwind(AssertUnwindSafe(|| {
+                pool.scope(|s| {
+                    for i in 0..8 {
+                        s.spawn(move || {
+                            if i % 2 == 0 {
+                                panic!("round {round} job {i}");
+                            }
+                        });
+                    }
+                });
+            }));
+            assert!(result.is_err(), "original panic still re-raised");
+        }
+        let items: Vec<usize> = (0..100).collect();
+        let expected: Vec<usize> = (1..=100).collect();
+        assert_eq!(pool.par_map(&items, |x| x + 1), expected);
     }
 
     #[test]

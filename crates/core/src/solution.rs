@@ -6,6 +6,7 @@
 //! have to trust an algorithm's own bookkeeping.
 
 use crate::cost::Cost;
+use crate::engine::Certificate;
 use crate::set_system::{coverage_target, SetId, SetSystem};
 use std::fmt;
 
@@ -160,6 +161,53 @@ pub fn verify(system: &SetSystem, solution: &Solution, req: Requirements) -> Ver
     }
 }
 
+/// Result of independently re-checking a degraded outcome's
+/// [`Certificate`] against its partial solution (see [`verify_certificate`]).
+#[derive(Debug, Clone, PartialEq)]
+pub struct CertificateCheck {
+    /// Coverage recomputed from the raw set system.
+    pub recomputed_covered: usize,
+    /// Cost recomputed from the raw set system.
+    pub recomputed_cost: f64,
+    /// The certificate's `sets_used` / `covered` / `total_cost` claims all
+    /// match the recomputation, and `quotas_exhausted` is strictly
+    /// ascending (a well-formed level list).
+    pub claims_consistent: bool,
+    /// The degrade is honest: claimed coverage is strictly below the
+    /// target (a solver that reached its target must return `Complete`).
+    pub target_unmet: bool,
+}
+
+impl CertificateCheck {
+    /// All checks passed.
+    pub fn is_valid(&self) -> bool {
+        self.claims_consistent && self.target_unmet
+    }
+}
+
+/// Independently re-checks a [`Certificate`] produced by a degraded solve:
+/// recomputes the partial solution's coverage and cost from the raw
+/// [`SetSystem`] and compares them to the solver's claims, never trusting
+/// either side's bookkeeping (the degraded counterpart of [`verify`]).
+pub fn verify_certificate(
+    system: &SetSystem,
+    partial: &Solution,
+    cert: &Certificate,
+) -> CertificateCheck {
+    let covered = system.coverage_of(partial.sets()).count_ones();
+    let total_cost = system.cost_of(partial.sets()).value();
+    let quotas_sorted = cert.quotas_exhausted.windows(2).all(|w| w[0] < w[1]);
+    CertificateCheck {
+        recomputed_covered: covered,
+        recomputed_cost: total_cost,
+        claims_consistent: cert.sets_used == partial.size()
+            && cert.covered == covered
+            && cert.total_cost == total_cost
+            && quotas_sorted,
+        target_unmet: cert.covered < cert.target,
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -237,6 +285,62 @@ mod tests {
         let text = sol.to_string();
         assert!(text.contains("1 sets"), "{text}");
         assert!(text.contains("cost 1"), "{text}");
+    }
+
+    fn certificate_for(_sys: &SetSystem, sol: &Solution, target: usize) -> Certificate {
+        Certificate {
+            sets_used: sol.size(),
+            covered: sol.covered(),
+            target,
+            total_cost: sol.total_cost().value(),
+            quotas_exhausted: vec![0, 2],
+            ticks: 5,
+            reason: crate::engine::DegradeReason::TickBudget,
+        }
+    }
+
+    #[test]
+    fn verify_certificate_accepts_honest_claims() {
+        let sys = system();
+        let sol = Solution::from_sets(&sys, vec![0, 1]);
+        let cert = certificate_for(&sys, &sol, 6);
+        let check = verify_certificate(&sys, &sol, &cert);
+        assert_eq!(check.recomputed_covered, 4);
+        assert_eq!(check.recomputed_cost, 4.0);
+        assert!(check.is_valid(), "{check:?}");
+    }
+
+    #[test]
+    fn verify_certificate_rejects_inflated_coverage() {
+        let sys = system();
+        let sol = Solution::from_sets(&sys, vec![0]);
+        let mut cert = certificate_for(&sys, &sol, 6);
+        cert.covered += 1; // solver lies about its progress
+        let check = verify_certificate(&sys, &sol, &cert);
+        assert!(!check.claims_consistent);
+        assert!(!check.is_valid());
+    }
+
+    #[test]
+    fn verify_certificate_rejects_met_target() {
+        // A degrade claiming covered >= target is dishonest: the solver
+        // should have returned Complete.
+        let sys = system();
+        let sol = Solution::from_sets(&sys, vec![0, 1]);
+        let cert = certificate_for(&sys, &sol, 4);
+        let check = verify_certificate(&sys, &sol, &cert);
+        assert!(check.claims_consistent);
+        assert!(!check.target_unmet);
+        assert!(!check.is_valid());
+    }
+
+    #[test]
+    fn verify_certificate_rejects_unsorted_quotas() {
+        let sys = system();
+        let sol = Solution::from_sets(&sys, vec![0]);
+        let mut cert = certificate_for(&sys, &sol, 6);
+        cert.quotas_exhausted = vec![2, 0];
+        assert!(!verify_certificate(&sys, &sol, &cert).claims_consistent);
     }
 
     #[test]

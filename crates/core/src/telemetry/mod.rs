@@ -31,6 +31,7 @@
 //! | `subtree_pruned` | a whole lattice subtree was cut (pattern solvers) |
 //! | `posting_scanned` | index posting entries were scanned to expand a node |
 //! | `heap_stale_pop` | the lazy-greedy heap popped a stale entry and re-scored it |
+//! | `guess_retried` | a panicked budget guess was contained and retried serially |
 //! | `phase_started` / `phase_ended` | a named span (e.g. [`PHASE_TOTAL`]) opened / closed |
 
 use std::fmt::Write as _;
@@ -175,6 +176,13 @@ pub trait Observer {
     fn speculation(&mut self, committed: u64, wasted: u64) {
         let _ = (committed, wasted);
     }
+
+    /// A budget guess panicked, was contained by the resilience engine,
+    /// and is being retried once serially. Fires only on fault/panic
+    /// paths, which a healthy serial run never takes — so the derived
+    /// counter is **excluded** from the exact-diff set, like the
+    /// speculation counters.
+    fn guess_retried(&mut self) {}
 
     /// A named span opened. Pair with [`phase_ended`](Observer::phase_ended).
     fn phase_started(&mut self, name: &'static str) {
@@ -373,6 +381,10 @@ pub struct MetricsRecorder {
     /// Speculative budget guesses cancelled or discarded. Parallel runs
     /// only — excluded from the exact-diff counter set.
     pub guesses_wasted: u64,
+    /// Panicked budget guesses contained and retried serially by the
+    /// resilience engine. Fault paths only — excluded from the exact-diff
+    /// counter set.
+    pub guesses_retried: u64,
     /// Distribution of marginal benefits at selection time.
     pub marginal_benefit_hist: LogHistogram,
     /// Distribution of consecutive stale pops preceding each selection —
@@ -437,6 +449,7 @@ impl MetricsRecorder {
         self.postings_scanned += other.postings_scanned;
         self.guesses_committed += other.guesses_committed;
         self.guesses_wasted += other.guesses_wasted;
+        self.guesses_retried += other.guesses_retried;
         self.marginal_benefit_hist
             .merge(&other.marginal_benefit_hist);
         self.stale_run_hist.merge(&other.stale_run_hist);
@@ -494,6 +507,10 @@ impl Observer for MetricsRecorder {
     fn speculation(&mut self, committed: u64, wasted: u64) {
         self.guesses_committed += committed;
         self.guesses_wasted += wasted;
+    }
+
+    fn guess_retried(&mut self) {
+        self.guesses_retried += 1;
     }
 
     fn phase_ended(&mut self, name: &'static str, seconds: f64) {
@@ -641,6 +658,10 @@ impl<W: io::Write> Observer for JsonlSink<W> {
         );
     }
 
+    fn guess_retried(&mut self) {
+        self.emit("guess_retried", "");
+    }
+
     fn phase_started(&mut self, name: &'static str) {
         self.emit("phase_started", &format!(",\"name\":\"{name}\""));
     }
@@ -738,6 +759,12 @@ impl Observer for Fanout<'_> {
     fn speculation(&mut self, committed: u64, wasted: u64) {
         for o in &mut self.observers {
             o.speculation(committed, wasted);
+        }
+    }
+
+    fn guess_retried(&mut self) {
+        for o in &mut self.observers {
+            o.guess_retried();
         }
     }
 
@@ -937,6 +964,7 @@ mod tests {
             m.posting_scanned(11);
             m.set_selected(2, 4, 1.0);
             m.speculation(2, 1);
+            m.guess_retried();
             m.phase_ended("total", 0.25);
             m.phase_ended("scan", 0.125);
         };
@@ -961,6 +989,7 @@ mod tests {
         assert_eq!(a.postings_scanned, single.postings_scanned);
         assert_eq!(a.guesses_committed, single.guesses_committed);
         assert_eq!(a.guesses_wasted, single.guesses_wasted);
+        assert_eq!(a.guesses_retried, single.guesses_retried);
         assert_eq!(a.marginal_benefit_hist, single.marginal_benefit_hist);
         assert_eq!(a.stale_run_hist, single.stale_run_hist);
         assert_eq!(a.phases(), single.phases());
@@ -985,6 +1014,22 @@ mod tests {
         let text = String::from_utf8(sink.into_inner().unwrap()).unwrap();
         assert!(text.contains("\"event\":\"speculation\""), "{text}");
         assert!(text.contains("\"committed\":3,\"wasted\":2"), "{text}");
+    }
+
+    #[test]
+    fn guess_retried_counter_stays_out_of_exact_counters() {
+        let mut m = MetricsRecorder::new();
+        m.guess_retried();
+        m.guess_retried();
+        assert_eq!(m.guesses_retried, 2);
+        // Like the speculation counters, retries never touch the
+        // exact-diff counters.
+        assert_eq!(m.guesses, 0);
+        assert_eq!(m.selections, 0);
+        let mut sink = JsonlSink::new(Vec::new());
+        sink.guess_retried();
+        let text = String::from_utf8(sink.into_inner().unwrap()).unwrap();
+        assert!(text.contains("\"event\":\"guess_retried\""), "{text}");
     }
 
     #[test]

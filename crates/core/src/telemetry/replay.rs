@@ -36,6 +36,7 @@ enum Event {
     PostingScanned(u64),
     HeapStalePop,
     Speculation(u64, u64),
+    GuessRetried,
     PhaseStarted(&'static str),
     PhaseEnded(&'static str, f64),
 }
@@ -80,6 +81,7 @@ impl EventLog {
                 Event::PostingScanned(entries) => obs.posting_scanned(entries),
                 Event::HeapStalePop => obs.heap_stale_pop(),
                 Event::Speculation(committed, wasted) => obs.speculation(committed, wasted),
+                Event::GuessRetried => obs.guess_retried(),
                 Event::PhaseStarted(name) => obs.phase_started(name),
                 Event::PhaseEnded(name, seconds) => obs.phase_ended(name, seconds),
             }
@@ -123,6 +125,10 @@ impl Observer for EventLog {
 
     fn speculation(&mut self, committed: u64, wasted: u64) {
         self.events.push(Event::Speculation(committed, wasted));
+    }
+
+    fn guess_retried(&mut self) {
+        self.events.push(Event::GuessRetried);
     }
 
     fn phase_started(&mut self, name: &'static str) {
@@ -202,6 +208,7 @@ mod tests {
         obs.heap_stale_pop();
         obs.set_selected(3, 5, 1.5);
         obs.speculation(2, 1);
+        obs.guess_retried();
         obs.phase_ended(PHASE_TOTAL, 0.5);
     }
 
@@ -209,7 +216,7 @@ mod tests {
     fn replay_reproduces_metrics_exactly() {
         let mut log = EventLog::new();
         drive(&mut log);
-        assert_eq!(log.len(), 11);
+        assert_eq!(log.len(), 12);
 
         let mut direct = MetricsRecorder::new();
         drive(&mut direct);
@@ -225,6 +232,7 @@ mod tests {
         assert_eq!(replayed.heap_stale_pops, direct.heap_stale_pops);
         assert_eq!(replayed.guesses_committed, direct.guesses_committed);
         assert_eq!(replayed.guesses_wasted, direct.guesses_wasted);
+        assert_eq!(replayed.guesses_retried, direct.guesses_retried);
         assert_eq!(replayed.marginal_benefit_hist, direct.marginal_benefit_hist);
         assert_eq!(replayed.phases(), direct.phases());
     }

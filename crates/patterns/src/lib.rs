@@ -56,9 +56,13 @@ pub use dictionary::{Dictionary, ValueId};
 pub use enumerate::{enumerate_all, MaterializedPatterns};
 pub use hierarchy::{enumerate_hierarchical, hier_cmc, hier_cwsc, HierarchicalSpace, Hierarchy};
 pub use index::InvertedIndex;
-pub use opt_cmc::{opt_cmc, opt_cmc_in, opt_cmc_in_on, opt_cmc_on};
-pub use opt_cwsc::{opt_cwsc, opt_cwsc_in, opt_cwsc_with_target};
+pub use opt_cmc::{
+    opt_cmc, opt_cmc_in, opt_cmc_in_on, opt_cmc_in_within, opt_cmc_on, opt_cmc_within,
+};
+pub use opt_cwsc::{
+    opt_cwsc, opt_cwsc_in, opt_cwsc_in_within, opt_cwsc_with_target, opt_cwsc_within,
+};
 pub use pattern::Pattern;
-pub use pattern_solution::PatternSolution;
+pub use pattern_solution::{verify_certificate_in, PatternSolution};
 pub use space::{LatticeSpace, PatternSpace};
 pub use table::{RowId, Table, TableBuilder, TableError};

@@ -28,11 +28,16 @@ use crate::pattern_solution::PatternSolution;
 use crate::space::{LatticeSpace, PatternSpace};
 use crate::table::RowId;
 use scwsc_core::algorithms::cmc::{CmcParams, Levels};
+use scwsc_core::engine::{
+    panic_message, Certificate, Deadline, DegradeReason, Degraded, EngineError, SolveOutcome,
+};
 use scwsc_core::telemetry::{
-    Observer, PhaseSpan, PruneReason, ThreadLocalTelemetry, PHASE_GUESS, PHASE_SCAN, PHASE_TOTAL,
+    EventLog, Observer, PhaseSpan, PruneReason, ThreadLocalTelemetry, PHASE_GUESS, PHASE_SCAN,
+    PHASE_TOTAL,
 };
 use scwsc_core::{coverage_target, BitSet, SolveError, ThreadPool};
 use std::collections::BinaryHeap;
+use std::panic::{catch_unwind, AssertUnwindSafe};
 
 /// Minimum row-list length before a stale-pop recount fans out over the
 /// pool; below this the chunking overhead exceeds the count itself.
@@ -102,6 +107,157 @@ pub fn opt_cmc_in_on<S: LatticeSpace, O: Observer + ?Sized>(
     solve(space, params, pool, obs)
 }
 
+/// [`opt_cmc`] under a [`Deadline`]: the resilience-engine entry point
+/// (DESIGN.md §12). See [`opt_cmc_in_within`].
+pub fn opt_cmc_within<O: Observer + ?Sized>(
+    space: &PatternSpace<'_>,
+    params: &CmcParams,
+    pool: &ThreadPool,
+    deadline: &Deadline,
+    obs: &mut O,
+) -> Result<SolveOutcome<PatternSolution>, EngineError> {
+    opt_cmc_in_within(space, params, pool, deadline, obs)
+}
+
+/// [`opt_cmc_in_on`] under a [`Deadline`], over any [`LatticeSpace`].
+///
+/// One work tick is consumed per heap pop. On expiry the patterns
+/// selected so far in the in-flight budget guess return as
+/// [`SolveOutcome::Degraded`] with a [`Certificate`] (including which
+/// level quotas were exhausted) that
+/// [`verify_certificate_in`](crate::pattern_solution::verify_certificate_in)
+/// re-checks.
+///
+/// Panic isolation: each budget guess runs under `catch_unwind` with its
+/// telemetry in a private [`EventLog`] (replayed only on completion); a
+/// panicked guess is retried once (counted by the `guesses_retried`
+/// telemetry event — safe because the lattice cache is append-only and
+/// budget-independent) and a second panic surfaces as
+/// [`EngineError::Panicked`]. There is no cross-guess speculation here,
+/// and the lattice walk is single-threaded (the pool only accelerates
+/// benefit recounts, which do not tick), so outcome classification and
+/// tick streams are identical for any thread count.
+pub fn opt_cmc_in_within<S: LatticeSpace, O: Observer + ?Sized>(
+    space: &S,
+    params: &CmcParams,
+    pool: &ThreadPool,
+    deadline: &Deadline,
+    obs: &mut O,
+) -> Result<SolveOutcome<PatternSolution>, EngineError> {
+    if params.k == 0 {
+        return Err(SolveError::ZeroSizeBound.into());
+    }
+    assert!(
+        params.budget_growth > 0.0,
+        "budget growth factor b must be positive"
+    );
+    let n = space.num_rows();
+    let fraction = if params.discount_coverage {
+        params.coverage_fraction * scwsc_core::algorithms::CMC_COVERAGE_DISCOUNT
+    } else {
+        params.coverage_fraction
+    };
+    let target = coverage_target(n, fraction);
+    if target == 0 {
+        return Ok(SolveOutcome::Complete(PatternSolution {
+            patterns: Vec::new(),
+            covered: 0,
+            total_cost: 0.0,
+        }));
+    }
+    let pool = if pool.is_serial() { None } else { Some(pool) };
+    let span = PhaseSpan::enter(obs, PHASE_TOTAL);
+    let result = guess_loop_within(space, params, target, pool, deadline, obs);
+    span.exit(obs);
+    result
+}
+
+/// The budget-doubling loop with per-guess panic containment and deadline
+/// checkpoints; the deadline-aware twin of [`guess_loop`].
+fn guess_loop_within<S: LatticeSpace, O: Observer + ?Sized>(
+    space: &S,
+    params: &CmcParams,
+    target: usize,
+    pool: Option<&ThreadPool>,
+    deadline: &Deadline,
+    obs: &mut O,
+) -> Result<SolveOutcome<PatternSolution>, EngineError> {
+    let mut measures: Vec<f64> = space.table().measures().to_vec();
+    measures.sort_unstable_by(f64::total_cmp);
+    let seed: f64 = measures.iter().take(params.k).sum();
+    let total_weight: f64 = measures.iter().sum();
+    let mut budget = if seed > 0.0 {
+        seed
+    } else {
+        measures.iter().copied().find(|&m| m > 0.0).unwrap_or(1.0)
+    };
+
+    let mut lattice = Lattice::new(space);
+    let mut guess_index = 0u64;
+
+    loop {
+        guess_index += 1;
+        let attempt = |log: &mut EventLog, lattice: &mut Lattice<'_, S>| -> GuessResult {
+            log.guess_started(Some(budget));
+            let guess_span = PhaseSpan::enter(log, PHASE_GUESS);
+            deadline.fault_guess(guess_index);
+            let found = run_guess(lattice, params, budget, target, pool, deadline, log);
+            guess_span.exit(log);
+            found
+        };
+        let mut log = EventLog::new();
+        let found = match catch_unwind(AssertUnwindSafe(|| attempt(&mut log, &mut lattice))) {
+            Ok(found) => {
+                log.replay(obs);
+                found
+            }
+            Err(_) => {
+                // Retry once: the lattice cache is append-only and
+                // budget-independent, so a half-extended cache only means
+                // fewer first-materialization events on the rerun.
+                obs.guess_retried();
+                let mut retry_log = EventLog::new();
+                match catch_unwind(AssertUnwindSafe(|| attempt(&mut retry_log, &mut lattice))) {
+                    Ok(found) => {
+                        retry_log.replay(obs);
+                        found
+                    }
+                    Err(payload) => {
+                        return Err(EngineError::Panicked(panic_message(payload.as_ref())))
+                    }
+                }
+            }
+        };
+        match found {
+            GuessResult::Found(solution) => return Ok(SolveOutcome::Complete(solution)),
+            GuessResult::Expired {
+                partial,
+                quotas_exhausted,
+                reason,
+            } => {
+                let certificate = Certificate {
+                    sets_used: partial.size(),
+                    covered: partial.covered,
+                    target,
+                    total_cost: partial.total_cost,
+                    quotas_exhausted,
+                    ticks: deadline.ticks(),
+                    reason,
+                };
+                return Ok(SolveOutcome::Degraded(Degraded {
+                    partial,
+                    certificate,
+                }));
+            }
+            GuessResult::NotFound => {}
+        }
+        if budget > lattice.root_cost() && budget > total_weight {
+            return Err(SolveError::BudgetExhausted.into());
+        }
+        budget *= 1.0 + params.budget_growth;
+    }
+}
+
 fn solve<S: LatticeSpace, O: Observer + ?Sized>(
     space: &S,
     params: &CmcParams,
@@ -165,10 +321,20 @@ fn guess_loop<S: LatticeSpace, O: Observer + ?Sized>(
         // Spans stay at guess granularity here: the body's unit of work is
         // a single heap pop, far too hot to bracket with clock reads.
         let guess_span = PhaseSpan::enter(obs, PHASE_GUESS);
-        let found = run_guess(&mut lattice, params, budget, target, pool, obs);
+        let found = run_guess(
+            &mut lattice,
+            params,
+            budget,
+            target,
+            pool,
+            &Deadline::unbounded(),
+            obs,
+        );
         guess_span.exit(obs);
-        if let Some(solution) = found {
-            return Ok(solution);
+        match found {
+            GuessResult::Found(solution) => return Ok(solution),
+            GuessResult::NotFound => {}
+            GuessResult::Expired { .. } => unreachable!("unbounded deadline cannot expire"),
         }
         // Line 37: stop once even a budget admitting every pattern failed.
         // The all-wildcards pattern is the most expensive one under any
@@ -275,16 +441,30 @@ fn recount(rows: &[RowId], covered: &BitSet, pool: Option<&ThreadPool>) -> usize
         .count()
 }
 
-/// One budget guess (Fig. 4 lines 08–35). Returns the solution if the
-/// coverage target was reached.
+/// How one budget guess (Fig. 4 lines 08–35) ended.
+enum GuessResult {
+    Found(PatternSolution),
+    NotFound,
+    Expired {
+        partial: PatternSolution,
+        quotas_exhausted: Vec<usize>,
+        reason: DegradeReason,
+    },
+}
+
+/// One budget guess (Fig. 4 lines 08–35). Consumes one `deadline` work
+/// tick per heap pop; under an unbounded deadline (the classic path) the
+/// checkpoint can never fail.
+#[allow(clippy::too_many_arguments)]
 fn run_guess<S: LatticeSpace, O: Observer + ?Sized>(
     lattice: &mut Lattice<'_, S>,
     params: &CmcParams,
     budget: f64,
     target: usize,
     pool: Option<&ThreadPool>,
+    deadline: &Deadline,
     obs: &mut O,
-) -> Option<PatternSolution> {
+) -> GuessResult {
     let n = lattice.space.num_rows();
     let levels = Levels::build(params.schedule, budget, params.k);
     // Report the complete level schedule up front: even if the guess ends
@@ -329,6 +509,16 @@ fn run_guess<S: LatticeSpace, O: Observer + ?Sized>(
     let mut rem = target; // line 14
 
     while let Some(entry) = heap.pop() {
+        if let Err(reason) = deadline.checkpoint() {
+            let quotas_exhausted = (0..levels.len())
+                .filter(|&l| counts[l] == levels.quota(l))
+                .collect();
+            return GuessResult::Expired {
+                partial: solution,
+                quotas_exhausted,
+                reason,
+            };
+        }
         // line 17's ΣΣ guard: once every level quota is full no further
         // selection can happen.
         if selected_total >= max_selections {
@@ -376,7 +566,7 @@ fn run_guess<S: LatticeSpace, O: Observer + ?Sized>(
             solution.covered = covered.count_ones();
             rem = rem.saturating_sub(current);
             if rem == 0 {
-                return Some(solution);
+                return GuessResult::Found(solution);
             }
             // Lines 26-29 happen lazily at pop time via the recount above.
         } else {
@@ -473,7 +663,7 @@ fn run_guess<S: LatticeSpace, O: Observer + ?Sized>(
             }
         }
     }
-    None
+    GuessResult::NotFound
 }
 
 /// Heap entry: candidate keyed by (mben desc, cost asc, id asc).
@@ -682,6 +872,125 @@ mod tests {
                 pm.marginal_benefit_hist, sm.marginal_benefit_hist,
                 "threads={threads}"
             );
+        }
+    }
+
+    mod within {
+        use super::*;
+        use crate::pattern_solution::verify_certificate_in;
+        use scwsc_core::engine::{Deadline, DegradeReason, SolveOutcome};
+        use scwsc_core::{MetricsRecorder, ThreadPool, Threads};
+
+        #[test]
+        fn unbounded_deadline_matches_plain_opt_cmc() {
+            let t = entities();
+            let sp = PatternSpace::new(&t, CostFn::Max);
+            let params = CmcParams::classic(2, 9.0 / 16.0, 1.0);
+            let plain = opt_cmc(&sp, &params, &mut Stats::new()).unwrap();
+            for threads in [1, 4] {
+                let pool = ThreadPool::new(Threads::new(threads));
+                let out = opt_cmc_within(
+                    &sp,
+                    &params,
+                    &pool,
+                    &Deadline::unbounded(),
+                    &mut MetricsRecorder::new(),
+                )
+                .unwrap();
+                assert_eq!(out.expect_complete("unbounded"), plain);
+            }
+        }
+
+        #[test]
+        fn tick_budget_degrades_identically_across_thread_counts() {
+            let t = entities();
+            let sp = PatternSpace::new(&t, CostFn::Max);
+            let params = CmcParams::classic(2, 1.0, 1.0);
+            for budget in [0u64, 3, 10, 25] {
+                let run = |threads: usize| {
+                    let pool = ThreadPool::new(Threads::new(threads));
+                    let deadline = Deadline::unbounded().with_tick_budget(budget);
+                    let out =
+                        opt_cmc_within(&sp, &params, &pool, &deadline, &mut MetricsRecorder::new())
+                            .unwrap();
+                    (out, deadline.ticks())
+                };
+                let serial = run(1);
+                assert_eq!(serial, run(4), "budget {budget}");
+                if let SolveOutcome::Degraded(d) = serial.0 {
+                    assert_eq!(d.certificate.reason, DegradeReason::TickBudget);
+                    let check = verify_certificate_in(&sp, &d.partial, &d.certificate);
+                    assert!(check.is_valid(), "budget {budget}: {check:?}");
+                }
+            }
+        }
+
+        #[test]
+        fn zero_tick_budget_degrades_empty() {
+            let t = entities();
+            let sp = PatternSpace::new(&t, CostFn::Max);
+            let params = CmcParams::classic(3, 0.8, 1.0);
+            let pool = ThreadPool::new(Threads::serial());
+            let deadline = Deadline::unbounded().with_tick_budget(0);
+            let out = opt_cmc_within(&sp, &params, &pool, &deadline, &mut MetricsRecorder::new())
+                .unwrap();
+            let SolveOutcome::Degraded(d) = out else {
+                panic!("zero ticks must degrade");
+            };
+            assert_eq!(d.partial.size(), 0);
+            assert!(verify_certificate_in(&sp, &d.partial, &d.certificate).is_valid());
+        }
+    }
+
+    #[cfg(feature = "fault-inject")]
+    mod within_faults {
+        use super::*;
+        use crate::pattern_solution::verify_certificate_in;
+        use scwsc_core::engine::{Deadline, EngineError, FaultPlan, SolveOutcome};
+        use scwsc_core::{MetricsRecorder, ThreadPool, Threads};
+
+        #[test]
+        fn one_shot_guess_panic_is_retried_to_completion() {
+            let t = entities();
+            let sp = PatternSpace::new(&t, CostFn::Max);
+            let params = CmcParams::classic(2, 9.0 / 16.0, 1.0);
+            let clean = opt_cmc(&sp, &params, &mut Stats::new()).unwrap();
+            let pool = ThreadPool::new(Threads::serial());
+            let deadline =
+                Deadline::unbounded().with_fault_plan(FaultPlan::new().panic_guess_once(1));
+            let mut m = MetricsRecorder::new();
+            let out = opt_cmc_within(&sp, &params, &pool, &deadline, &mut m).unwrap();
+            assert_eq!(out.expect_complete("retry completes"), clean);
+            assert_eq!(m.guesses_retried, 1);
+        }
+
+        #[test]
+        fn persistent_guess_fault_is_a_structured_error() {
+            let t = entities();
+            let sp = PatternSpace::new(&t, CostFn::Max);
+            let params = CmcParams::classic(2, 0.5, 1.0);
+            let pool = ThreadPool::new(Threads::serial());
+            let deadline = Deadline::unbounded().with_fault_plan(FaultPlan::new().fail_guess(1));
+            let err = opt_cmc_within(&sp, &params, &pool, &deadline, &mut MetricsRecorder::new())
+                .unwrap_err();
+            assert!(matches!(err, EngineError::Panicked(_)));
+        }
+
+        #[test]
+        fn panic_at_tick_degrades_cleanly() {
+            // cancel_at_tick (not panic) exercises the cancel path end to end.
+            let t = entities();
+            let sp = PatternSpace::new(&t, CostFn::Max);
+            let params = CmcParams::classic(2, 1.0, 1.0);
+            let pool = ThreadPool::new(Threads::serial());
+            let deadline =
+                Deadline::unbounded().with_fault_plan(FaultPlan::new().cancel_at_tick(4));
+            let out = opt_cmc_within(&sp, &params, &pool, &deadline, &mut MetricsRecorder::new())
+                .unwrap();
+            let SolveOutcome::Degraded(d) = out else {
+                panic!("cancel at tick 4 must degrade");
+            };
+            assert!(verify_certificate_in(&sp, &d.partial, &d.certificate).is_valid());
         }
     }
 }

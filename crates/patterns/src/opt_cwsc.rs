@@ -18,12 +18,16 @@ use crate::candidates::{gain_order, CandidatePool};
 use crate::pattern::Pattern;
 use crate::pattern_solution::PatternSolution;
 use crate::space::{LatticeSpace, PatternSpace};
+use scwsc_core::engine::{
+    panic_message, Certificate, Deadline, DegradeReason, Degraded, EngineError, SolveOutcome,
+};
 use scwsc_core::telemetry::{
-    Observer, PhaseSpan, PruneReason, PHASE_EXPAND, PHASE_SELECT, PHASE_TOTAL,
+    EventLog, Observer, PhaseSpan, PruneReason, PHASE_EXPAND, PHASE_SELECT, PHASE_TOTAL,
 };
 use scwsc_core::{coverage_target, BitSet, SolveError};
 use std::cmp::Reverse;
 use std::collections::BinaryHeap;
+use std::panic::{catch_unwind, AssertUnwindSafe};
 
 /// Runs the optimized CWSC (Fig. 3): at most `k` patterns covering at
 /// least `⌈coverage_fraction·n⌉` records of the space's table.
@@ -94,18 +98,116 @@ pub fn opt_cwsc_in<S: LatticeSpace, O: Observer + ?Sized>(
         });
     }
     let span = PhaseSpan::enter(obs, PHASE_TOTAL);
-    let result = run_in(space, k, target, obs);
+    let result = match run_in(space, k, target, &Deadline::unbounded(), obs) {
+        PatternRound::Done(result) => result,
+        PatternRound::Expired { .. } => unreachable!("unbounded deadline cannot expire"),
+    };
     span.exit(obs);
     result
 }
 
-/// The Fig. 3 body, wrapped by [`opt_cwsc_in`]'s phase span.
+/// [`opt_cwsc`] under a [`Deadline`]: the resilience-engine entry point
+/// (DESIGN.md §12). See [`opt_cwsc_in_within`].
+pub fn opt_cwsc_within<O: Observer + ?Sized>(
+    space: &PatternSpace<'_>,
+    k: usize,
+    coverage_fraction: f64,
+    deadline: &Deadline,
+    obs: &mut O,
+) -> Result<SolveOutcome<PatternSolution>, EngineError> {
+    let n = space.num_rows();
+    opt_cwsc_in_within(
+        space,
+        k,
+        coverage_target(n, coverage_fraction),
+        deadline,
+        obs,
+    )
+}
+
+/// [`opt_cwsc_in`] under a [`Deadline`], over any [`LatticeSpace`].
+///
+/// One work tick is consumed per selection round and per waitlist pop
+/// (so runaway lattice expansions stay interruptible). On expiry the
+/// patterns picked so far return as [`SolveOutcome::Degraded`] with a
+/// [`Certificate`] that
+/// [`verify_certificate_in`](crate::pattern_solution::verify_certificate_in)
+/// re-checks (`quotas_exhausted` is always empty — Fig. 3 has no cost
+/// levels). The single round runs under `catch_unwind` with its telemetry
+/// in a private [`EventLog`] (replayed only on normal completion); a
+/// panic surfaces as [`EngineError::Panicked`]. The walk is
+/// single-threaded, so tick streams are identical across thread counts.
+pub fn opt_cwsc_in_within<S: LatticeSpace, O: Observer + ?Sized>(
+    space: &S,
+    k: usize,
+    target: usize,
+    deadline: &Deadline,
+    obs: &mut O,
+) -> Result<SolveOutcome<PatternSolution>, EngineError> {
+    if k == 0 {
+        return Err(SolveError::ZeroSizeBound.into());
+    }
+    if target == 0 {
+        return Ok(SolveOutcome::Complete(PatternSolution {
+            patterns: Vec::new(),
+            covered: 0,
+            total_cost: 0.0,
+        }));
+    }
+    let span = PhaseSpan::enter(obs, PHASE_TOTAL);
+    let mut log = EventLog::new();
+    let caught = catch_unwind(AssertUnwindSafe(|| {
+        run_in(space, k, target, deadline, &mut log)
+    }));
+    let result = match caught {
+        Ok(round) => {
+            log.replay(obs);
+            match round {
+                PatternRound::Done(result) => result
+                    .map(SolveOutcome::Complete)
+                    .map_err(EngineError::Solve),
+                PatternRound::Expired { partial, reason } => {
+                    let certificate = Certificate {
+                        sets_used: partial.size(),
+                        covered: partial.covered,
+                        target,
+                        total_cost: partial.total_cost,
+                        quotas_exhausted: Vec::new(),
+                        ticks: deadline.ticks(),
+                        reason,
+                    };
+                    Ok(SolveOutcome::Degraded(Degraded {
+                        partial,
+                        certificate,
+                    }))
+                }
+            }
+        }
+        Err(payload) => Err(EngineError::Panicked(panic_message(payload.as_ref()))),
+    };
+    span.exit(obs);
+    result
+}
+
+/// How one deadline-aware Fig. 3 round ended.
+enum PatternRound {
+    Done(Result<PatternSolution, SolveError>),
+    Expired {
+        partial: PatternSolution,
+        reason: DegradeReason,
+    },
+}
+
+/// The Fig. 3 body, wrapped by [`opt_cwsc_in`]'s phase span. Consumes one
+/// `deadline` work tick per selection round and per waitlist pop; under
+/// an unbounded deadline the checkpoints can never fail.
 fn run_in<S: LatticeSpace, O: Observer + ?Sized>(
     space: &S,
     k: usize,
     target: usize,
+    deadline: &Deadline,
     obs: &mut O,
-) -> Result<PatternSolution, SolveError> {
+) -> PatternRound {
     // Like flat CWSC, the optimized variant is a single round.
     obs.guess_started(None);
     let n = space.num_rows();
@@ -129,6 +231,12 @@ fn run_in<S: LatticeSpace, O: Observer + ?Sized>(
     let mut rem = target; // line 03
 
     for i in (1..=k).rev() {
+        if let Err(reason) = deadline.checkpoint() {
+            return PatternRound::Expired {
+                partial: solution,
+                reason,
+            };
+        }
         // Lines 08-10: drop candidates below the eligibility floor rem/i.
         // (Marginal benefits are already current: recount_all runs after
         // every selection.)
@@ -155,6 +263,13 @@ fn run_in<S: LatticeSpace, O: Observer + ?Sized>(
 
         // Lines 12-20: expand children that can meet the floor.
         while let Some((_, _, q_id)) = waitlist.pop() {
+            if let Err(reason) = deadline.checkpoint() {
+                expand_span.exit(obs);
+                return PatternRound::Expired {
+                    partial: solution,
+                    reason,
+                };
+            }
             if !pool.is_alive(q_id) {
                 continue; // pruned since being enqueued (defensive)
             }
@@ -211,7 +326,7 @@ fn run_in<S: LatticeSpace, O: Observer + ?Sized>(
         }
         let Some(q_id) = best else {
             select_span.exit(obs);
-            return Err(SolveError::NoSolution); // line 22
+            return PatternRound::Done(Err(SolveError::NoSolution)); // line 22
         };
 
         // Lines 23-26: select q.
@@ -230,7 +345,7 @@ fn run_in<S: LatticeSpace, O: Observer + ?Sized>(
         rem = rem.saturating_sub(q_mben);
         if rem == 0 {
             select_span.exit(obs);
-            return Ok(solution); // line 25
+            return PatternRound::Done(Ok(solution)); // line 25
         }
         // Lines 27-30: refresh marginal benefits, dropping exhausted ones.
         pool.recount_all(&covered);
@@ -239,7 +354,7 @@ fn run_in<S: LatticeSpace, O: Observer + ?Sized>(
 
     // Eligibility guarantees each pick covers ≥ rem/i, so k picks always
     // reach the target; defensive fallthrough.
-    Err(SolveError::NoSolution)
+    PatternRound::Done(Err(SolveError::NoSolution))
 }
 
 #[cfg(test)]
@@ -387,5 +502,57 @@ mod tests {
         let sol = opt_cwsc(&sp, 3, 0.5, &mut Stats::new()).unwrap();
         assert!(sol.covered >= 8);
         sol.verify(&sp);
+    }
+
+    mod within {
+        use super::*;
+        use crate::pattern_solution::verify_certificate_in;
+        use scwsc_core::engine::{Deadline, DegradeReason, SolveOutcome};
+        use scwsc_core::telemetry::MetricsRecorder;
+
+        #[test]
+        fn unbounded_deadline_matches_plain_opt_cwsc() {
+            let t = entities();
+            let sp = PatternSpace::new(&t, CostFn::Max);
+            let plain = opt_cwsc(&sp, 2, 9.0 / 16.0, &mut Stats::new()).unwrap();
+            let out = opt_cwsc_within(
+                &sp,
+                2,
+                9.0 / 16.0,
+                &Deadline::unbounded(),
+                &mut MetricsRecorder::new(),
+            )
+            .unwrap();
+            assert_eq!(out.expect_complete("unbounded"), plain);
+        }
+
+        #[test]
+        fn tick_budget_degrades_with_verifiable_certificate() {
+            let t = entities();
+            let sp = PatternSpace::new(&t, CostFn::Max);
+            for budget in [0u64, 1, 2, 5] {
+                let deadline = Deadline::unbounded().with_tick_budget(budget);
+                let out =
+                    opt_cwsc_within(&sp, 4, 1.0, &deadline, &mut MetricsRecorder::new()).unwrap();
+                let SolveOutcome::Degraded(d) = out else {
+                    continue; // larger budgets may legitimately finish
+                };
+                assert_eq!(d.certificate.reason, DegradeReason::TickBudget);
+                assert!(d.certificate.quotas_exhausted.is_empty());
+                let check = verify_certificate_in(&sp, &d.partial, &d.certificate);
+                assert!(check.is_valid(), "budget {budget}: {check:?}");
+            }
+        }
+
+        #[test]
+        fn deadline_runs_are_deterministic() {
+            let t = crate::test_util::skewed_table(300, 3, 5);
+            let sp = PatternSpace::new(&t, CostFn::Max);
+            let run = || {
+                let deadline = Deadline::unbounded().with_tick_budget(40);
+                opt_cwsc_within(&sp, 8, 0.9, &deadline, &mut MetricsRecorder::new()).unwrap()
+            };
+            assert_eq!(run(), run());
+        }
     }
 }

@@ -3,6 +3,8 @@
 
 use crate::pattern::Pattern;
 use crate::space::{LatticeSpace, PatternSpace};
+use scwsc_core::engine::Certificate;
+use scwsc_core::solution::CertificateCheck;
 use scwsc_core::BitSet;
 
 /// A sub-collection of patterns chosen by an optimized algorithm, in
@@ -74,6 +76,43 @@ impl PatternSolution {
     }
 }
 
+/// Independently re-checks a [`Certificate`] produced by a degraded
+/// patterned solve: recomputes the partial solution's coverage and cost
+/// from the space's index and compares them to the solver's claims — the
+/// non-panicking, degraded counterpart of [`PatternSolution::verify_in`]
+/// (and the pattern-space analogue of
+/// [`scwsc_core::solution::verify_certificate`]).
+pub fn verify_certificate_in<S: LatticeSpace>(
+    space: &S,
+    partial: &PatternSolution,
+    cert: &Certificate,
+) -> CertificateCheck {
+    let mut covered = BitSet::new(space.num_rows());
+    let mut total_cost = 0.0;
+    for p in &partial.patterns {
+        let rows = space.benefit(p);
+        total_cost += space.cost(&rows);
+        for r in rows {
+            covered.insert(r as usize);
+        }
+    }
+    let covered = covered.count_ones();
+    // Costs are re-accumulated in selection order, but lattice caching may
+    // reassociate the sum, so compare with a relative tolerance.
+    let cost_ok = (cert.total_cost - total_cost).abs() <= 1e-9 * total_cost.abs().max(1.0);
+    let quotas_sorted = cert.quotas_exhausted.windows(2).all(|w| w[0] < w[1]);
+    CertificateCheck {
+        recomputed_covered: covered,
+        recomputed_cost: total_cost,
+        claims_consistent: cert.sets_used == partial.size()
+            && cert.covered == covered
+            && partial.covered == covered
+            && cost_ok
+            && quotas_sorted,
+        target_unmet: cert.covered < cert.target,
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -127,5 +166,32 @@ mod tests {
         let text = sol.display(&sp);
         assert!(text.contains("{X=ALL}"), "{text}");
         assert!(text.contains("covering 3"), "{text}");
+    }
+
+    #[test]
+    fn verify_certificate_in_checks_claims() {
+        use scwsc_core::engine::{Certificate, DegradeReason};
+        let t = table();
+        let sp = PatternSpace::new(&t, CostFn::Max);
+        let a = t.dictionary(0).lookup("a").unwrap();
+        let sol = PatternSolution {
+            patterns: vec![Pattern::new(vec![Some(a)])],
+            covered: 2,
+            total_cost: 3.0,
+        };
+        let mut cert = Certificate {
+            sets_used: 1,
+            covered: 2,
+            target: 3,
+            total_cost: 3.0,
+            quotas_exhausted: Vec::new(),
+            ticks: 4,
+            reason: DegradeReason::TickBudget,
+        };
+        assert!(verify_certificate_in(&sp, &sol, &cert).is_valid());
+        cert.covered = 3; // inflated claim also claims target met
+        let check = verify_certificate_in(&sp, &sol, &cert);
+        assert!(!check.claims_consistent);
+        assert!(!check.is_valid());
     }
 }

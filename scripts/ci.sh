@@ -28,3 +28,26 @@ SCWSC_THREADS=1 cargo run --release -q -p scwsc-bench --bin scwsc_bench -- \
   record --quick --suite smoke --label ci-t1 --out target/BENCH_ci_t1.json
 cargo run --release -q -p scwsc-bench --bin scwsc_bench -- \
   diff target/BENCH_ci_t1.json target/BENCH_ci_t4.json --counters-only
+
+# Resilience gate (DESIGN.md §12). First the full test suite with the
+# deterministic fault injector compiled in, including the snapshot test
+# that keeps the retry/speculation counters out of the exact-diff set.
+cargo test -q --workspace --features fault-inject
+cargo test -q -p scwsc-bench \
+  resilience_counters_stay_out_of_the_exact_diff_set
+
+# Then two end-to-end smokes of the scwsc_solve degradation ladder on a
+# 4-thread pool: a one-shot injected guess panic must be contained and
+# retried to a complete solve (exit 0), and a tick-budget expiry must
+# degrade with a certificate the binary itself re-verifies (exit 5).
+cargo build --release -q -p scwsc-bench --features fault-inject
+solve=target/release/scwsc_solve
+# (stderr holds the contained panic's backtrace — expected noise)
+SCWSC_THREADS=4 "$solve" --rows 2000 --k 6 --coverage 0.4 \
+  --algorithm cmc --fault panicguess@1 > /dev/null 2> target/ci_fault.err
+SCWSC_THREADS=4 "$solve" --rows 2000 --k 6 --coverage 0.4 \
+  --algorithm cmc --max-ticks 10 > /dev/null 2> target/ci_degraded.err \
+  && { echo "expected deadline degradation"; exit 1; } || code=$?
+[ "$code" -eq 5 ] || { echo "expected exit 5, got $code"; exit 1; }
+grep -q "certificate verified" target/ci_degraded.err \
+  || { echo "missing certificate verification"; exit 1; }
