@@ -13,11 +13,12 @@
 //! snapshot regresses: deterministic counters must match exactly,
 //! timings and allocations within `--tolerance` (default 0.25).
 
+use scwsc_bench::attribute::attribute;
 use scwsc_bench::diff::{diff, DiffOptions};
-use scwsc_bench::record::record_suite_on;
+use scwsc_bench::record::record_suite_with_metrics_on;
 use scwsc_bench::registry;
 use scwsc_bench::snapshot::Snapshot;
-use scwsc_core::{ThreadPool, Threads};
+use scwsc_core::{render_prometheus, ThreadPool, Threads};
 use std::process::ExitCode;
 
 // Installed here, not in the library: allocation statistics only move in
@@ -29,8 +30,8 @@ static ALLOC: scwsc_core::telemetry::alloc::CountingAlloc =
 
 const USAGE: &str = "\
 usage:
-  scwsc_bench record [--label L] [--reps N] [--quick] [--suite full|smoke] [--out PATH] [--threads N]
-  scwsc_bench diff BASE NEW [--tolerance F] [--counters-only]
+  scwsc_bench record [--label L] [--reps N] [--quick] [--suite full|smoke] [--out PATH] [--threads N] [--export-metrics PATH]
+  scwsc_bench diff BASE NEW [--tolerance F] [--counters-only] [--attribute] [--top N]
 
 record options:
   --label L     snapshot label and default output name BENCH_<L>.json [default: dev]
@@ -42,10 +43,15 @@ record options:
   --threads N   worker threads for the solver fan-outs; 1 = serial
                 [default: $SCWSC_THREADS, else all cores]. Deterministic
                 counters are identical for every N — only timings move.
+  --export-metrics PATH  write the suite-wide merged counters/histograms
+                in Prometheus text exposition format to PATH
 
 diff options:
   --tolerance F   relative headroom for timings/allocations [default: 0.25]
-  --counters-only compare only the deterministic work counters (CI mode)";
+  --counters-only compare only the deterministic work counters (CI mode)
+  --attribute     walk both span trees and counter maps and print the
+                  ranked movers (largest |self-time delta| first)
+  --top N         rows per attribution section [default: 10]";
 
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
@@ -74,10 +80,12 @@ fn cmd_record(args: &[String]) -> Result<ExitCode, String> {
     let mut suite_name = "full".to_string();
     let mut out: Option<String> = None;
     let mut threads = Threads::from_env();
+    let mut export_metrics: Option<String> = None;
     let mut it = args.iter();
     while let Some(arg) = it.next() {
         match arg.as_str() {
             "--label" => label = take(&mut it, "--label")?,
+            "--export-metrics" => export_metrics = Some(take(&mut it, "--export-metrics")?),
             "--reps" => {
                 reps = take(&mut it, "--reps")?
                     .parse()
@@ -112,16 +120,24 @@ fn cmd_record(args: &[String]) -> Result<ExitCode, String> {
         suite.len(),
         pool.threads()
     );
-    let snapshot = record_suite_on(&suite, &label, reps, &pool, |line| eprintln!("  {line}"));
+    let (snapshot, metrics) =
+        record_suite_with_metrics_on(&suite, &label, reps, &pool, |line| eprintln!("  {line}"));
     std::fs::write(&path, snapshot.to_json().to_pretty())
         .map_err(|e| format!("writing {path}: {e}"))?;
     eprintln!("wrote {path}");
+    if let Some(prom_path) = export_metrics {
+        std::fs::write(&prom_path, render_prometheus(&metrics, None))
+            .map_err(|e| format!("writing {prom_path}: {e}"))?;
+        eprintln!("wrote {prom_path}");
+    }
     Ok(ExitCode::SUCCESS)
 }
 
 fn cmd_diff(args: &[String]) -> Result<ExitCode, String> {
     let mut paths: Vec<&String> = Vec::new();
     let mut opts = DiffOptions::default();
+    let mut attribute_movers = false;
+    let mut top = 10usize;
     let mut it = args.iter();
     while let Some(arg) = it.next() {
         match arg.as_str() {
@@ -131,6 +147,12 @@ fn cmd_diff(args: &[String]) -> Result<ExitCode, String> {
                     .map_err(|_| "--tolerance expects a number".to_string())?
             }
             "--counters-only" => opts.counters_only = true,
+            "--attribute" => attribute_movers = true,
+            "--top" => {
+                top = take(&mut it, "--top")?
+                    .parse()
+                    .map_err(|_| "--top expects a positive integer".to_string())?
+            }
             other if !other.starts_with("--") => paths.push(arg),
             other => return Err(format!("unknown diff option '{other}'\n{USAGE}")),
         }
@@ -151,6 +173,9 @@ fn cmd_diff(args: &[String]) -> Result<ExitCode, String> {
         short(&new.git_sha),
         report.render()
     );
+    if attribute_movers {
+        print!("{}", attribute(&base, &new).render(top));
+    }
     Ok(if report.ok() {
         ExitCode::SUCCESS
     } else {

@@ -15,8 +15,8 @@ use scwsc_bench::report::{secs, TextTable};
 #[cfg(feature = "fault-inject")]
 use scwsc_core::FaultPlan;
 use scwsc_core::{
-    Certificate, Deadline, EngineError, Fanout, JsonlSink, MetricsRecorder, SolveOutcome,
-    SpanProfiler, Stats, ThreadPool, Threads,
+    render_prometheus, Certificate, Deadline, EngineError, Fanout, FlightRecorder, JsonlSink,
+    MetricsRecorder, SloGauges, SolveOutcome, SpanProfiler, Stats, ThreadPool, Threads,
 };
 use scwsc_data::csv::read_table;
 use scwsc_data::lbl::LblConfig;
@@ -32,7 +32,7 @@ use std::time::Duration;
 const USAGE: &str = "scwsc_solve [--csv PATH | --rows N [--seed N]] \
 [--k N] [--coverage F] [--algorithm cwsc|cmc] [--b F] [--eps F] \
 [--cost-fn max|sum|mean|count] [--threads N] [--trace-jsonl PATH] [--metrics] [--profile] \
-[--deadline-ms N] [--max-ticks N] [--fault SPEC]
+[--deadline-ms N] [--max-ticks N] [--fault SPEC] [--flight-dump PATH] [--metrics-prom PATH]
 Solves size-constrained weighted set cover over the table's pattern cube and
 prints the chosen patterns. Without --csv, a synthetic LBL-like trace of
 --rows records is generated. --threads sets the worker count for the cmc
@@ -48,7 +48,13 @@ seed:N; requires a build with --features fault-inject). --trace-jsonl streams
 every solver event as one JSON object per line; --metrics prints aggregated
 counters and per-phase timings; --profile prints the run's aggregated span
 tree (per-phase total/self wall-clock with counter attribution; parallel
-runs show the per-chunk scan spans merged under their round).";
+runs show the per-chunk scan spans merged under their round). A flight
+recorder of recent enriched events always rides along: --flight-dump writes
+its JSONL dump (header, events, causal tree) after the run, and a faulted or
+deadline-degraded run dumps automatically (to the --flight-dump path, else
+scwsc-flight.jsonl) before the process exits non-zero. --metrics-prom writes
+the aggregated counters plus the run's SLO gauges (deadline headroom, ticks
+used/budget, degraded flag, retries) in Prometheus text exposition format.";
 
 fn cost_fn_of(name: &str) -> CostFn {
     match name {
@@ -176,9 +182,13 @@ fn main() {
         JsonlSink::new(BufWriter::new(file))
     });
     let mut profiler = args.flag("profile").then(SpanProfiler::new);
-    let (solution, degraded): (PatternSolution, Option<Certificate>) = {
+    let flight = FlightRecorder::new();
+    let outcome: Outcome = {
+        let mut flight_tap = flight.clone();
         let mut obs = Fanout::new();
-        obs.attach(&mut stats).attach(&mut metrics);
+        obs.attach(&mut stats)
+            .attach(&mut metrics)
+            .attach(&mut flight_tap);
         if let Some(s) = sink.as_mut() {
             obs.attach(s);
         }
@@ -186,16 +196,14 @@ fn main() {
             obs.attach(p);
         }
         match (&deadline, algorithm) {
-            (None, "cwsc") => (
-                opt_cwsc(&space, params.k, params.coverage, &mut obs)
-                    .unwrap_or_else(|e| infeasible(&e)),
-                None,
-            ),
-            (None, "cmc") => (
-                opt_cmc_on(&space, &params.cmc_params(), &pool, &mut obs)
-                    .unwrap_or_else(|e| infeasible(&e)),
-                None,
-            ),
+            (None, "cwsc") => match opt_cwsc(&space, params.k, params.coverage, &mut obs) {
+                Ok(s) => Outcome::Solved(s, None),
+                Err(e) => Outcome::Infeasible(e),
+            },
+            (None, "cmc") => match opt_cmc_on(&space, &params.cmc_params(), &pool, &mut obs) {
+                Ok(s) => Outcome::Solved(s, None),
+                Err(e) => Outcome::Infeasible(e),
+            },
             (Some(deadline), "cwsc") => outcome_of(opt_cwsc_within(
                 &space,
                 params.k,
@@ -213,16 +221,23 @@ fn main() {
             (_, other) => bail(&format!("unknown algorithm {other:?} (use cwsc or cmc)")),
         }
     };
-    match &degraded {
-        None => {
-            solution.verify(&space);
-        }
-        Some(cert) => {
-            let check = verify_certificate_in(&space, &solution, cert);
-            if !check.is_valid() {
-                eprintln!("error: degraded certificate failed verification: {check:?}");
-                std::process::exit(1);
-            }
+
+    // Post-mortem observability runs before ANY exit below:
+    // `process::exit` skips destructors, so the sink must flush here, and
+    // the flight dump is most valuable exactly when the run went wrong.
+    let degraded = matches!(&outcome, Outcome::Solved(_, Some(_)));
+    let flight_path = args.get("flight-dump");
+    if let Some(path) = flight_path {
+        dump_flight(&flight, Path::new(path));
+    } else if degraded || matches!(&outcome, Outcome::Faulted(_)) {
+        dump_flight(&flight, Path::new("scwsc-flight.jsonl"));
+    }
+    if let Some(path) = args.get("metrics-prom") {
+        let unbounded = Deadline::unbounded();
+        let slo = SloGauges::capture(deadline.as_ref().unwrap_or(&unbounded), degraded, &metrics);
+        match std::fs::write(path, render_prometheus(&metrics, Some(&slo))) {
+            Ok(()) => eprintln!("metrics written to {path}"),
+            Err(e) => eprintln!("failed to write metrics to {path}: {e}"),
         }
     }
     if let Some(s) = sink {
@@ -233,6 +248,27 @@ fn main() {
         match s.into_inner() {
             Ok(_) => eprintln!("trace written to {path}"),
             Err(e) => bail(&format!("cannot flush {path}: {e}")),
+        }
+    }
+
+    let (solution, degraded) = match outcome {
+        Outcome::Solved(solution, certificate) => (solution, certificate),
+        Outcome::Infeasible(e) => infeasible(&e),
+        Outcome::Faulted(msg) => {
+            eprintln!("error: solver fault: {msg}");
+            std::process::exit(1);
+        }
+    };
+    match &degraded {
+        None => {
+            solution.verify(&space);
+        }
+        Some(cert) => {
+            let check = verify_certificate_in(&space, &solution, cert);
+            if !check.is_valid() {
+                eprintln!("error: degraded certificate failed verification: {check:?}");
+                std::process::exit(1);
+            }
         }
     }
 
@@ -271,27 +307,46 @@ fn main() {
     }
 }
 
+/// How one solve run ended. Carried as a value (instead of exiting at the
+/// failure site) so the flight dump, Prometheus export, and trace-sink
+/// flush all happen before the process exits non-zero.
+enum Outcome {
+    /// A printable solution; `Some` certificate means deadline-degraded.
+    Solved(PatternSolution, Option<Certificate>),
+    /// The instance cannot satisfy the requested constraints.
+    Infeasible(scwsc_core::SolveError),
+    /// A solver worker panicked twice.
+    Faulted(String),
+}
+
 /// Exits with the infeasible taxonomy code, printing the solver's own
 /// [`Display`](std::fmt::Display) message.
 fn infeasible(e: &scwsc_core::SolveError) -> ! {
     exit_with(exit_code::INFEASIBLE, &format!("infeasible: {e}"))
 }
 
-/// Unwraps a resilience-engine outcome: `Complete` and `Degraded` both
-/// carry a printable solution (the degraded one with its certificate);
-/// solve errors exit with the infeasible code and a twice-panicked worker
-/// exits 1.
-fn outcome_of(
-    result: Result<SolveOutcome<PatternSolution>, EngineError>,
-) -> (PatternSolution, Option<Certificate>) {
+/// Classifies a resilience-engine result: `Complete` and `Degraded` both
+/// carry a printable solution (the degraded one with its certificate).
+fn outcome_of(result: Result<SolveOutcome<PatternSolution>, EngineError>) -> Outcome {
     match result {
-        Ok(SolveOutcome::Complete(solution)) => (solution, None),
-        Ok(SolveOutcome::Degraded(d)) => (d.partial, Some(d.certificate)),
-        Err(EngineError::Solve(e)) => infeasible(&e),
-        Err(EngineError::Panicked(msg)) => {
-            eprintln!("error: solver fault: {msg}");
-            std::process::exit(1);
-        }
+        Ok(SolveOutcome::Complete(solution)) => Outcome::Solved(solution, None),
+        Ok(SolveOutcome::Degraded(d)) => Outcome::Solved(d.partial, Some(d.certificate)),
+        Err(EngineError::Solve(e)) => Outcome::Infeasible(e),
+        Err(EngineError::Panicked(msg)) => Outcome::Faulted(msg),
+    }
+}
+
+/// Writes the flight recorder's post-mortem dump, reporting where it went
+/// (dump failures are reported but never mask the run's own exit code).
+fn dump_flight(flight: &FlightRecorder, path: &Path) {
+    match flight.dump_to_path(path) {
+        Ok(()) => eprintln!(
+            "flight dump ({} event(s), trace {}) written to {}",
+            flight.len(),
+            flight.trace_id(),
+            path.display()
+        ),
+        Err(e) => eprintln!("failed to write flight dump {}: {e}", path.display()),
     }
 }
 

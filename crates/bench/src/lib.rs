@@ -12,6 +12,7 @@
 #![warn(missing_docs)]
 
 pub mod args;
+pub mod attribute;
 pub mod cli;
 pub mod diff;
 pub mod experiments;

@@ -3,7 +3,7 @@
 use crate::measure::run_traced_on;
 use crate::registry::Workload;
 use crate::snapshot::{deterministic_counters, Snapshot, SpanSnapshot, WorkloadRun};
-use scwsc_core::{SpanProfiler, ThreadPool, Threads};
+use scwsc_core::{MetricsRecorder, SpanProfiler, ThreadPool, Threads};
 
 #[cfg(feature = "alloc-stats")]
 use crate::snapshot::AllocStats;
@@ -48,9 +48,23 @@ pub fn record_suite_on(
     label: &str,
     reps: usize,
     pool: &ThreadPool,
-    mut progress: impl FnMut(&str),
+    progress: impl FnMut(&str),
 ) -> Snapshot {
+    record_suite_with_metrics_on(suite, label, reps, pool, progress).0
+}
+
+/// [`record_suite_on`] that also returns the suite-wide merged
+/// [`MetricsRecorder`] (each workload's last rep, merged in suite order) —
+/// the source for `scwsc_bench record --export-metrics`.
+pub fn record_suite_with_metrics_on(
+    suite: &[Workload],
+    label: &str,
+    reps: usize,
+    pool: &ThreadPool,
+    mut progress: impl FnMut(&str),
+) -> (Snapshot, MetricsRecorder) {
     assert!(reps >= 1, "at least one rep required");
+    let mut merged = MetricsRecorder::new();
     let mut workloads = Vec::with_capacity(suite.len());
     for w in suite {
         let mut rep_secs = Vec::with_capacity(reps);
@@ -72,6 +86,9 @@ pub fn record_suite_on(
             let alloc_stats = None;
             assert!(measurement.ok, "workload {} failed to solve", w.name);
             rep_secs.push(measurement.seconds);
+            if rep_secs.len() == reps {
+                merged.merge(&metrics);
+            }
             last = Some(WorkloadRun {
                 name: w.name.clone(),
                 rep_secs: Vec::new(), // filled in below, once all reps ran
@@ -90,13 +107,14 @@ pub fn record_suite_on(
         ));
         workloads.push(run);
     }
-    Snapshot {
+    let snapshot = Snapshot {
         label: label.to_string(),
         git_sha: crate::snapshot::git_sha(),
         rustc: crate::snapshot::rustc_version(),
         reps,
         workloads,
-    }
+    };
+    (snapshot, merged)
 }
 
 #[cfg(test)]
@@ -135,6 +153,26 @@ mod tests {
             },
         );
         assert!(report.ok(), "{}", report.render());
+    }
+
+    #[test]
+    fn merged_metrics_sum_the_suite_and_render_prometheus() {
+        let suite = smoke_suite();
+        let pool = ThreadPool::new(Threads::serial());
+        let (snap, metrics) = record_suite_with_metrics_on(&suite, "m", 1, &pool, |_| {});
+        let recorded: u64 = snap
+            .workloads
+            .iter()
+            .filter_map(|w| w.counters.get("benefits_computed"))
+            .sum();
+        assert_eq!(metrics.benefits_computed, recorded, "merge sums workloads");
+        let text = scwsc_core::render_prometheus(&metrics, None);
+        let samples = scwsc_core::parse_prometheus(&text).unwrap();
+        let sample = samples
+            .iter()
+            .find(|s| s.name == "scwsc_benefits_computed_total")
+            .expect("exported counter present");
+        assert_eq!(sample.value, recorded as f64);
     }
 
     #[test]

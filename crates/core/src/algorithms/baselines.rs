@@ -4,7 +4,7 @@
 use crate::cover_state::CoverState;
 use crate::set_system::{coverage_target, SetId, SetSystem};
 use crate::solution::{Solution, SolveError};
-use crate::telemetry::{Observer, PhaseSpan, PHASE_TOTAL};
+use crate::telemetry::{pack_k_target, Observer, PhaseSpan, TraceId, PHASE_TOTAL};
 
 /// Greedy *partial weighted set cover*: repeatedly picks the set with the
 /// highest marginal gain until the coverage target is met (optimizes cost
@@ -14,6 +14,15 @@ pub fn greedy_weighted_set_cover<O: Observer + ?Sized>(
     coverage_fraction: f64,
     obs: &mut O,
 ) -> Result<Solution, SolveError> {
+    let target = coverage_target(system.num_elements(), coverage_fraction);
+    obs.trace_started(
+        TraceId::mint(
+            "greedy_wsc",
+            system.num_elements() as u64,
+            pack_k_target(0, target),
+        ),
+        "greedy_wsc",
+    );
     let span = PhaseSpan::enter(obs, PHASE_TOTAL);
     let result = wsc_run(system, coverage_fraction, obs);
     span.exit(obs);
@@ -51,6 +60,14 @@ pub fn greedy_max_coverage<O: Observer + ?Sized>(
     k: usize,
     obs: &mut O,
 ) -> Solution {
+    obs.trace_started(
+        TraceId::mint(
+            "greedy_max_cov",
+            system.num_elements() as u64,
+            pack_k_target(k, 0),
+        ),
+        "greedy_max_cov",
+    );
     let span = PhaseSpan::enter(obs, PHASE_TOTAL);
     obs.guess_started(None);
     let mut state = CoverState::new(system);
@@ -77,6 +94,14 @@ pub fn greedy_partial_max_coverage<O: Observer + ?Sized>(
     coverage_fraction: f64,
     obs: &mut O,
 ) -> Result<Solution, SolveError> {
+    obs.trace_started(
+        TraceId::mint(
+            "greedy_pmc",
+            system.num_elements() as u64,
+            pack_k_target(0, coverage_target(system.num_elements(), coverage_fraction)),
+        ),
+        "greedy_pmc",
+    );
     let span = PhaseSpan::enter(obs, PHASE_TOTAL);
     let result = pmc_run(system, coverage_fraction, obs);
     span.exit(obs);
@@ -117,6 +142,14 @@ pub fn budgeted_max_coverage<O: Observer + ?Sized>(
     max_sets: Option<usize>,
     obs: &mut O,
 ) -> Solution {
+    obs.trace_started(
+        TraceId::mint(
+            "budgeted_max_cov",
+            system.num_elements() as u64,
+            budget.to_bits(),
+        ),
+        "budgeted_max_cov",
+    );
     let span = PhaseSpan::enter(obs, PHASE_TOTAL);
     obs.guess_started(None);
     let mut state = CoverState::new(system);

@@ -19,8 +19,8 @@ use crate::parallel::{CancelToken, ThreadPool};
 use crate::set_system::{coverage_target, SetId, SetSystem};
 use crate::solution::{Solution, SolveError};
 use crate::telemetry::{
-    EventLog, Observer, PhaseSpan, ThreadLocalTelemetry, PHASE_GUESS, PHASE_INIT, PHASE_SELECT,
-    PHASE_TOTAL,
+    pack_k_target, EventLog, Observer, PhaseSpan, ThreadLocalTelemetry, TraceId, PHASE_GUESS,
+    PHASE_INIT, PHASE_SELECT, PHASE_TOTAL,
 };
 use std::panic::{catch_unwind, resume_unwind, AssertUnwindSafe};
 
@@ -290,6 +290,14 @@ pub fn cmc<O: Observer + ?Sized>(
             final_budget: 0.0,
         });
     }
+    obs.trace_started(
+        TraceId::mint(
+            "cmc",
+            system.num_elements() as u64,
+            pack_k_target(params.k, target),
+        ),
+        "cmc",
+    );
     let span = PhaseSpan::enter(obs, PHASE_TOTAL);
     let result = guess_loop(system, params, target, obs);
     span.exit(obs);
@@ -439,6 +447,14 @@ pub fn cmc_on<O: Observer + ?Sized>(
             final_budget: 0.0,
         });
     }
+    obs.trace_started(
+        TraceId::mint(
+            "cmc",
+            system.num_elements() as u64,
+            pack_k_target(params.k, target),
+        ),
+        "cmc",
+    );
     let span = PhaseSpan::enter(obs, PHASE_TOTAL);
     let deadline = Deadline::unbounded();
     let result = guess_loop_speculative(system, params, target, pool, &deadline, false, obs);
@@ -496,6 +512,14 @@ pub fn cmc_within<O: Observer + ?Sized>(
             final_budget: 0.0,
         }));
     }
+    obs.trace_started(
+        TraceId::mint(
+            "cmc",
+            system.num_elements() as u64,
+            pack_k_target(params.k, target),
+        ),
+        "cmc",
+    );
     let span = PhaseSpan::enter(obs, PHASE_TOTAL);
     let result = if pool.is_serial() || deadline.tick_deterministic() {
         guess_loop_within(system, params, target, pool, deadline, obs)

@@ -18,7 +18,8 @@ use crate::parallel::ThreadPool;
 use crate::set_system::{coverage_target, SetId, SetSystem};
 use crate::solution::{Solution, SolveError};
 use crate::telemetry::{
-    EventLog, Observer, PhaseSpan, ThreadLocalTelemetry, PHASE_INIT, PHASE_SELECT, PHASE_TOTAL,
+    pack_k_target, EventLog, Observer, PhaseSpan, ThreadLocalTelemetry, TraceId, PHASE_INIT,
+    PHASE_SELECT, PHASE_TOTAL,
 };
 use std::panic::{catch_unwind, AssertUnwindSafe};
 
@@ -78,6 +79,14 @@ pub fn cwsc_with_target<O: Observer + ?Sized>(
     if target == 0 {
         return Ok(Solution::from_sets(system, Vec::new()));
     }
+    obs.trace_started(
+        TraceId::mint(
+            "cwsc",
+            system.num_elements() as u64,
+            pack_k_target(k, target),
+        ),
+        "cwsc",
+    );
     let span = PhaseSpan::enter(obs, PHASE_TOTAL);
     let result = run(system, k, target, obs);
     span.exit(obs);
@@ -124,6 +133,14 @@ pub fn cwsc_with_target_on<O: Observer + ?Sized>(
     if target == 0 {
         return Ok(Solution::from_sets(system, Vec::new()));
     }
+    obs.trace_started(
+        TraceId::mint(
+            "cwsc",
+            system.num_elements() as u64,
+            pack_k_target(k, target),
+        ),
+        "cwsc",
+    );
     let span = PhaseSpan::enter(obs, PHASE_TOTAL);
     let result = run_parallel(system, k, target, pool, obs);
     span.exit(obs);
@@ -181,6 +198,14 @@ pub fn cwsc_with_target_within<O: Observer + ?Sized>(
             Vec::new(),
         )));
     }
+    obs.trace_started(
+        TraceId::mint(
+            "cwsc",
+            system.num_elements() as u64,
+            pack_k_target(k, target),
+        ),
+        "cwsc",
+    );
     let span = PhaseSpan::enter(obs, PHASE_TOTAL);
     let mut log = EventLog::new();
     let caught = catch_unwind(AssertUnwindSafe(|| {

@@ -15,7 +15,9 @@
 use crate::bitset::BitSet;
 use crate::set_system::{coverage_target, SetId, SetSystem};
 use crate::solution::Solution;
-use crate::telemetry::{NoopObserver, Observer, PhaseSpan, PruneReason, PHASE_TOTAL};
+use crate::telemetry::{
+    pack_k_target, NoopObserver, Observer, PhaseSpan, PruneReason, TraceId, PHASE_TOTAL,
+};
 
 /// Finds a minimum-cost sub-collection of at most `k` sets covering at
 /// least `⌈coverage_fraction·n⌉` elements, or `None` when infeasible.
@@ -72,6 +74,14 @@ pub fn exact_optimal_with_target_observed<O: Observer + ?Sized>(
     let benefits: Vec<usize> = order.iter().map(|&id| system.set(id).benefit()).collect();
     // top_sum[i] = sum of the k largest benefits in benefits[i..]
     // (loose but monotone upper bound on any r ≤ k picks).
+    obs.trace_started(
+        TraceId::mint(
+            "exact",
+            system.num_elements() as u64,
+            pack_k_target(k, target),
+        ),
+        "exact",
+    );
     let span = PhaseSpan::enter(obs, PHASE_TOTAL);
     let mut search = Search {
         system,

@@ -99,6 +99,7 @@ impl fmt::Display for DegradeReason {
 #[derive(Debug, Default)]
 pub struct Deadline {
     wall: Option<Instant>,
+    wall_budget: Option<Duration>,
     max_ticks: Option<u64>,
     ticks: AtomicU64,
     token: CancelToken,
@@ -117,6 +118,7 @@ impl Deadline {
     /// Expire once `budget` of wall-clock time has elapsed from now.
     pub fn with_wall_clock(mut self, budget: Duration) -> Deadline {
         self.wall = Some(Instant::now() + budget);
+        self.wall_budget = Some(budget);
         self
     }
 
@@ -150,6 +152,25 @@ impl Deadline {
     /// Checkpoints consumed so far.
     pub fn ticks(&self) -> u64 {
         self.ticks.load(Ordering::Relaxed)
+    }
+
+    /// The tick budget, when one was set.
+    pub fn max_ticks(&self) -> Option<u64> {
+        self.max_ticks
+    }
+
+    /// The wall-clock budget this deadline was created with, when set.
+    pub fn wall_budget(&self) -> Option<Duration> {
+        self.wall_budget
+    }
+
+    /// Wall-clock time left before expiry (zero once past the deadline);
+    /// `None` when no wall-clock budget was set. The basis of the SLO
+    /// headroom gauge exported by
+    /// [`SloGauges`](crate::telemetry::SloGauges).
+    pub fn wall_remaining(&self) -> Option<Duration> {
+        self.wall
+            .map(|deadline| deadline.saturating_duration_since(Instant::now()))
     }
 
     /// True when expiry depends only on the tick stream (a tick budget is
@@ -562,6 +583,26 @@ mod tests {
         assert_eq!(d.checkpoint(), Err(DegradeReason::TickBudget));
         d.cancel(); // too late: reason already latched
         assert_eq!(d.checkpoint(), Err(DegradeReason::TickBudget));
+    }
+
+    #[test]
+    fn deadline_budget_accessors() {
+        let d = Deadline::unbounded();
+        assert_eq!(d.max_ticks(), None);
+        assert_eq!(d.wall_budget(), None);
+        assert_eq!(d.wall_remaining(), None);
+
+        let d = Deadline::unbounded()
+            .with_tick_budget(9)
+            .with_wall_clock(Duration::from_secs(3600));
+        assert_eq!(d.max_ticks(), Some(9));
+        assert_eq!(d.wall_budget(), Some(Duration::from_secs(3600)));
+        let rem = d.wall_remaining().expect("wall budget set");
+        assert!(rem <= Duration::from_secs(3600));
+        assert!(rem > Duration::from_secs(3500), "just created");
+
+        let expired = Deadline::unbounded().with_wall_clock(Duration::ZERO);
+        assert_eq!(expired.wall_remaining(), Some(Duration::ZERO));
     }
 
     #[test]

@@ -17,7 +17,7 @@
 use crate::algorithms::cwsc::cwsc_with_target;
 use crate::set_system::{coverage_target, SetId, SetSystem};
 use crate::solution::{Solution, SolveError};
-use crate::telemetry::{NoopObserver, Observer, PhaseSpan};
+use crate::telemetry::{pack_k_target, NoopObserver, Observer, PhaseSpan, TraceId};
 
 /// Phase-span name covering a greedy patch repair.
 pub const PHASE_REPAIR_PATCH: &str = "repair_patch";
@@ -216,6 +216,14 @@ impl IncrementalCover {
     /// Greedy patch: add max-marginal-gain sets while room remains.
     /// Returns whether the target was reached.
     fn patch<O: Observer + ?Sized>(&mut self, obs: &mut O) -> bool {
+        obs.trace_started(
+            TraceId::mint(
+                "repair_patch",
+                self.num_elements as u64,
+                pack_k_target(self.k, self.target()),
+            ),
+            "repair_patch",
+        );
         let span = PhaseSpan::enter(obs, PHASE_REPAIR_PATCH);
         let target = self.target();
         while self.covered < target && self.solution.len() < self.k {
@@ -278,6 +286,14 @@ impl IncrementalCover {
     /// Rebuilds the solution from scratch with CWSC over the elements seen
     /// so far.
     fn resolve<O: Observer + ?Sized>(&mut self, obs: &mut O) -> Result<(), IncrementalError> {
+        obs.trace_started(
+            TraceId::mint(
+                "repair_resolve",
+                self.num_elements as u64,
+                pack_k_target(self.k, self.target()),
+            ),
+            "repair_resolve",
+        );
         let span = PhaseSpan::enter(obs, PHASE_REPAIR_RESOLVE);
         let system = self.snapshot();
         let result = cwsc_with_target(&system, self.k, self.target(), obs);

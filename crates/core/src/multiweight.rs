@@ -14,9 +14,9 @@
 use crate::algorithms::cwsc::{cwsc, cwsc_within};
 use crate::engine::{Certificate, Deadline, DegradeReason, Degraded, EngineError, SolveOutcome};
 use crate::parallel::{ThreadPool, Threads};
-use crate::set_system::{ElementId, SetId, SetSystem};
+use crate::set_system::{coverage_target, ElementId, SetId, SetSystem};
 use crate::solution::{Solution, SolveError};
-use crate::telemetry::{EventLog, NoopObserver, Observer, PhaseSpan};
+use crate::telemetry::{pack_k_target, EventLog, NoopObserver, Observer, PhaseSpan, TraceId};
 
 /// Span name for one whole [`pareto_sweep_with`] run. Distinct from
 /// [`crate::telemetry::PHASE_TOTAL`] so the sweep's wrapper span does not
@@ -203,10 +203,22 @@ pub fn pareto_sweep_with<O: Observer + ?Sized>(
     lambdas: &[Vec<f64>],
     obs: &mut O,
 ) -> Result<Vec<ParetoPoint>, MultiWeightError> {
+    obs.trace_started(sweep_trace_id(system, k, coverage_fraction), "pareto_sweep");
     let sweep_span = PhaseSpan::enter(obs, PHASE_SWEEP);
     let result = run_sweep(system, k, coverage_fraction, lambdas, obs);
     sweep_span.exit(obs);
     result
+}
+
+/// Deterministic trace id for a sweep entry point: same system shape,
+/// `k`, and coverage target ⇒ same id, whatever the pool or deadline.
+fn sweep_trace_id(system: &MultiWeightSystem, k: usize, coverage_fraction: f64) -> TraceId {
+    let target = coverage_target(system.num_elements, coverage_fraction);
+    TraceId::mint(
+        "pareto_sweep",
+        system.num_elements as u64,
+        pack_k_target(k, target),
+    )
 }
 
 /// The sweep body, wrapped by [`pareto_sweep_with`]'s outer span.
@@ -274,6 +286,7 @@ pub fn pareto_sweep_on<O: Observer + ?Sized>(
     if pool.is_serial() {
         return pareto_sweep_with(system, k, coverage_fraction, lambdas, obs);
     }
+    obs.trace_started(sweep_trace_id(system, k, coverage_fraction), "pareto_sweep");
     let sweep_span = PhaseSpan::enter(obs, PHASE_SWEEP);
     let result = run_sweep_parallel(system, k, coverage_fraction, lambdas, pool, obs);
     sweep_span.exit(obs);
@@ -342,6 +355,7 @@ pub fn pareto_sweep_within<O: Observer + ?Sized>(
     deadline: &Deadline,
     obs: &mut O,
 ) -> Result<SolveOutcome<Vec<ParetoPoint>>, MultiWeightError> {
+    obs.trace_started(sweep_trace_id(system, k, coverage_fraction), "pareto_sweep");
     let sweep_span = PhaseSpan::enter(obs, PHASE_SWEEP);
     let result = if pool.is_serial() || deadline.tick_deterministic() {
         run_sweep_within(system, k, coverage_fraction, lambdas, pool, deadline, obs)

@@ -32,6 +32,8 @@
 //! | `posting_scanned` | index posting entries were scanned to expand a node |
 //! | `heap_stale_pop` | the lazy-greedy heap popped a stale entry and re-scored it |
 //! | `guess_retried` | a panicked budget guess was contained and retried serially |
+//! | `trace_started` | a solve entry point minted its deterministic [`TraceId`] |
+//! | `worker_switched` | subsequent events were recorded by another worker (shard replay) |
 //! | `phase_started` / `phase_ended` | a named span (e.g. [`PHASE_TOTAL`]) opened / closed |
 
 use std::fmt::Write as _;
@@ -40,11 +42,17 @@ use std::time::Instant;
 
 #[cfg(feature = "alloc-stats")]
 pub mod alloc;
+pub mod export;
+pub mod flight;
 pub mod replay;
 pub mod spans;
+pub mod trace;
 
+pub use export::{parse_prometheus, render_prometheus, SloGauges};
+pub use flight::{CausalNode, FlightRecorder};
 pub use replay::{EventLog, ThreadLocalTelemetry};
 pub use spans::{SpanCounters, SpanNode, SpanProfiler};
+pub use trace::{pack_k_target, TraceContext, TraceId, MAIN_WORKER};
 
 /// Span name covering a solver's whole run; [`Stats`](crate::stats::Stats)
 /// copies its duration into `elapsed_secs`.
@@ -183,6 +191,27 @@ pub trait Observer {
     /// counter is **excluded** from the exact-diff set, like the
     /// speculation counters.
     fn guess_retried(&mut self) {}
+
+    /// A solve entry point minted its deterministic [`TraceId`] and is
+    /// about to open its root span. `entry` is the entry point's stable
+    /// name (`"cmc"`, `"opt_cwsc"`, …). Nested solves (a Pareto sweep's
+    /// inner rounds) emit their own `trace_started`; consumers that track
+    /// one trace per run latch the first. The derived counter is
+    /// **excluded** from the exact-diff set (it is new observability
+    /// plumbing, not algorithmic work — see DESIGN.md §13).
+    fn trace_started(&mut self, trace_id: trace::TraceId, entry: &'static str) {
+        let _ = (trace_id, entry);
+    }
+
+    /// Subsequent events were recorded by `worker_id`
+    /// ([`MAIN_WORKER`](trace::MAIN_WORKER) = the calling thread; shard
+    /// `i` of a parallel region reports as `i + 1`). Emitted by the
+    /// shard-then-replay machinery, so replayed parallel telemetry keeps
+    /// its causal attribution. Excluded from the exact-diff set: a serial
+    /// run never switches workers.
+    fn worker_switched(&mut self, worker_id: u32) {
+        let _ = worker_id;
+    }
 
     /// A named span opened. Pair with [`phase_ended`](Observer::phase_ended).
     fn phase_started(&mut self, name: &'static str) {
@@ -324,6 +353,35 @@ impl LogHistogram {
         self.count == 0
     }
 
+    /// The `q`-quantile (`0.0 ≤ q ≤ 1.0`, clamped) as an upper-bound
+    /// estimate: the smallest recorded-bucket upper bound below which at
+    /// least `⌈q·count⌉` observations fall, capped at the exact observed
+    /// [`max`](LogHistogram::max) so the estimate never exceeds a value
+    /// that was actually recorded. Returns 0 for an empty histogram.
+    ///
+    /// The log-bucketed layout bounds the relative error at 2× (one
+    /// power-of-two bucket), which is the standard trade for an
+    /// allocation-light always-on histogram; p50/p90/p99 derived here are
+    /// the SLO surface exported by
+    /// [`render_prometheus`](crate::telemetry::render_prometheus).
+    pub fn quantile(&self, q: f64) -> u64 {
+        if self.count == 0 {
+            return 0;
+        }
+        let q = q.clamp(0.0, 1.0);
+        // Rank of the target observation, 1-based; q = 0 means "smallest".
+        let rank = ((q * self.count as f64).ceil() as u64).clamp(1, self.count);
+        let mut seen = 0u64;
+        for (i, &n) in self.buckets.iter().enumerate() {
+            seen += n;
+            if seen >= rank {
+                let (_, hi) = LogHistogram::bucket_range(i);
+                return hi.min(self.max);
+            }
+        }
+        self.max // unreachable when counts are consistent; safe fallback
+    }
+
     /// Folds `other`'s observations into `self`, as if every value had
     /// been [`record`](LogHistogram::record)ed here directly (bucket
     /// counts add, sum saturates, max takes the larger).
@@ -385,6 +443,12 @@ pub struct MetricsRecorder {
     /// resilience engine. Fault paths only — excluded from the exact-diff
     /// counter set.
     pub guesses_retried: u64,
+    /// Traces minted by solve entry points. Observability plumbing —
+    /// excluded from the exact-diff counter set (DESIGN.md §13).
+    pub traces_started: u64,
+    /// Worker-context switches replayed from parallel telemetry shards.
+    /// Parallel runs only — excluded from the exact-diff counter set.
+    pub worker_switches: u64,
     /// Distribution of marginal benefits at selection time.
     pub marginal_benefit_hist: LogHistogram,
     /// Distribution of consecutive stale pops preceding each selection —
@@ -450,6 +514,8 @@ impl MetricsRecorder {
         self.guesses_committed += other.guesses_committed;
         self.guesses_wasted += other.guesses_wasted;
         self.guesses_retried += other.guesses_retried;
+        self.traces_started += other.traces_started;
+        self.worker_switches += other.worker_switches;
         self.marginal_benefit_hist
             .merge(&other.marginal_benefit_hist);
         self.stale_run_hist.merge(&other.stale_run_hist);
@@ -513,6 +579,14 @@ impl Observer for MetricsRecorder {
         self.guesses_retried += 1;
     }
 
+    fn trace_started(&mut self, _trace_id: trace::TraceId, _entry: &'static str) {
+        self.traces_started += 1;
+    }
+
+    fn worker_switched(&mut self, _worker_id: u32) {
+        self.worker_switches += 1;
+    }
+
     fn phase_ended(&mut self, name: &'static str, seconds: f64) {
         match self.phases.iter_mut().find(|p| p.name == name) {
             Some(p) => {
@@ -536,9 +610,15 @@ impl Observer for MetricsRecorder {
 /// serializer); non-finite floats become JSON `null`. Write errors are
 /// latched rather than panicking mid-solve: the first failure silences the
 /// sink and [`has_failed`](JsonlSink::has_failed) reports it.
+///
+/// Dropping the sink flushes the writer, so a trace file is never left
+/// with buffered-but-unwritten events when the process exits on a panic
+/// or degradation path; callers that want the flush error call
+/// [`flush`](JsonlSink::flush) or [`into_inner`](JsonlSink::into_inner)
+/// explicitly before exiting non-zero.
 #[derive(Debug)]
 pub struct JsonlSink<W: io::Write> {
-    out: W,
+    out: Option<W>,
     start: Instant,
     failed: bool,
     buf: String,
@@ -548,7 +628,7 @@ impl<W: io::Write> JsonlSink<W> {
     /// Wraps a writer; the trace clock starts now.
     pub fn new(out: W) -> JsonlSink<W> {
         JsonlSink {
-            out,
+            out: Some(out),
             start: Instant::now(),
             failed: false,
             buf: String::with_capacity(128),
@@ -560,10 +640,21 @@ impl<W: io::Write> JsonlSink<W> {
         self.failed
     }
 
+    /// Flushes buffered events through to the underlying writer. Called
+    /// automatically on drop (where the error can only be latched); call
+    /// it explicitly before a non-zero process exit to surface the error.
+    pub fn flush(&mut self) -> io::Result<()> {
+        match self.out.as_mut() {
+            Some(out) => out.flush().inspect_err(|_| self.failed = true),
+            None => Ok(()),
+        }
+    }
+
     /// Flushes and returns the underlying writer.
     pub fn into_inner(mut self) -> io::Result<W> {
-        self.out.flush()?;
-        Ok(self.out)
+        let mut out = self.out.take().expect("writer present until taken");
+        out.flush()?;
+        Ok(out)
     }
 
     /// Emits one line: `{"t":<secs>,"event":"<event>"<fields>}\n`.
@@ -580,14 +671,23 @@ impl<W: io::Write> JsonlSink<W> {
             json_f64(t)
         );
         self.buf.push('\n');
-        if self.out.write_all(self.buf.as_bytes()).is_err() {
+        let Some(out) = self.out.as_mut() else { return };
+        if out.write_all(self.buf.as_bytes()).is_err() {
             self.failed = true;
         }
     }
 }
 
+impl<W: io::Write> Drop for JsonlSink<W> {
+    /// Best-effort flush so buffered trace lines survive unwinding; the
+    /// error (if any) is latched in [`has_failed`](JsonlSink::has_failed).
+    fn drop(&mut self) {
+        let _ = self.flush();
+    }
+}
+
 /// Formats an `f64` as a JSON value (non-finite → `null`).
-fn json_f64(v: f64) -> String {
+pub(crate) fn json_f64(v: f64) -> String {
     if v.is_finite() {
         let mut s = format!("{v}");
         if !s.contains(['.', 'e', 'E']) {
@@ -660,6 +760,17 @@ impl<W: io::Write> Observer for JsonlSink<W> {
 
     fn guess_retried(&mut self) {
         self.emit("guess_retried", "");
+    }
+
+    fn trace_started(&mut self, trace_id: trace::TraceId, entry: &'static str) {
+        self.emit(
+            "trace_started",
+            &format!(",\"trace_id\":\"{trace_id}\",\"entry\":\"{entry}\""),
+        );
+    }
+
+    fn worker_switched(&mut self, worker_id: u32) {
+        self.emit("worker_switched", &format!(",\"worker\":{worker_id}"));
     }
 
     fn phase_started(&mut self, name: &'static str) {
@@ -765,6 +876,18 @@ impl Observer for Fanout<'_> {
     fn guess_retried(&mut self) {
         for o in &mut self.observers {
             o.guess_retried();
+        }
+    }
+
+    fn trace_started(&mut self, trace_id: trace::TraceId, entry: &'static str) {
+        for o in &mut self.observers {
+            o.trace_started(trace_id, entry);
+        }
+    }
+
+    fn worker_switched(&mut self, worker_id: u32) {
+        for o in &mut self.observers {
+            o.worker_switched(worker_id);
         }
     }
 
@@ -917,6 +1040,140 @@ mod tests {
         assert_eq!(m.phase_seconds("total"), Some(0.5));
         assert_eq!(m.phases()[0].count, 2);
         assert_eq!(m.phase_seconds("missing"), None);
+    }
+
+    #[test]
+    fn quantile_of_empty_histogram_is_zero() {
+        let h = LogHistogram::new();
+        for q in [0.0, 0.5, 0.99, 1.0] {
+            assert_eq!(h.quantile(q), 0, "q={q}");
+        }
+    }
+
+    #[test]
+    fn quantile_single_bucket_returns_observed_max() {
+        // All observations in one bucket: every quantile is that bucket,
+        // capped at the exact observed max (not the bucket's upper bound).
+        let mut h = LogHistogram::new();
+        for _ in 0..10 {
+            h.record(5); // bucket 3 = [4, 7]
+        }
+        for q in [0.0, 0.01, 0.5, 0.99, 1.0] {
+            assert_eq!(h.quantile(q), 5, "q={q}");
+        }
+        // A single zero: quantiles collapse to the zero bucket.
+        let mut z = LogHistogram::new();
+        z.record(0);
+        assert_eq!(z.quantile(0.5), 0);
+        assert_eq!(z.quantile(1.0), 0);
+    }
+
+    #[test]
+    fn quantile_saturating_top_bucket_is_exact_at_max() {
+        // u64::MAX lives in the saturating top bucket [2^63, u64::MAX];
+        // the estimate must not overflow past the observed max.
+        let mut h = LogHistogram::new();
+        h.record(1);
+        h.record(u64::MAX);
+        assert_eq!(h.quantile(1.0), u64::MAX);
+        assert_eq!(h.quantile(0.5), 1);
+        // Only MAX recorded: every quantile is exactly MAX.
+        let mut m = LogHistogram::new();
+        m.record(u64::MAX);
+        for q in [0.0, 0.5, 1.0] {
+            assert_eq!(m.quantile(q), u64::MAX, "q={q}");
+        }
+    }
+
+    #[test]
+    fn quantile_rank_selection_and_clamping() {
+        // 100 observations: 50 ones, 40 eights, 10 thousand-twenty-fours.
+        let mut h = LogHistogram::new();
+        for _ in 0..50 {
+            h.record(1);
+        }
+        for _ in 0..40 {
+            h.record(8); // bucket 4 = [8, 15]
+        }
+        for _ in 0..10 {
+            h.record(1024); // bucket 11 = [1024, 2047]
+        }
+        assert_eq!(h.quantile(0.5), 1, "rank 50 is the last 1");
+        assert_eq!(h.quantile(0.9), 15, "rank 90 is the last 8's bucket hi");
+        assert_eq!(h.quantile(0.99), 1024, "rank 99 capped at observed max");
+        assert_eq!(h.quantile(1.0), 1024);
+        // Out-of-range q clamps instead of panicking.
+        assert_eq!(h.quantile(-1.0), h.quantile(0.0));
+        assert_eq!(h.quantile(2.0), h.quantile(1.0));
+        // Quantiles are monotone in q.
+        let mut prev = 0;
+        for i in 0..=100 {
+            let v = h.quantile(i as f64 / 100.0);
+            assert!(v >= prev, "quantile not monotone at {i}%");
+            prev = v;
+        }
+    }
+
+    #[test]
+    fn trace_counters_stay_out_of_exact_counters() {
+        let mut m = MetricsRecorder::new();
+        m.trace_started(trace::TraceId::mint("cmc", 1, 2), "cmc");
+        m.worker_switched(1);
+        m.worker_switched(0);
+        assert_eq!(m.traces_started, 1);
+        assert_eq!(m.worker_switches, 2);
+        // Like speculation/retry counters, trace plumbing never touches
+        // the exact-diff counters.
+        assert_eq!(m.guesses, 0);
+        assert_eq!(m.selections, 0);
+        assert_eq!(m.benefits_computed, 0);
+
+        let mut merged = MetricsRecorder::new();
+        merged.merge(&m);
+        assert_eq!(merged.traces_started, 1);
+        assert_eq!(merged.worker_switches, 2);
+    }
+
+    #[test]
+    fn jsonl_sink_emits_trace_events() {
+        let mut sink = JsonlSink::new(Vec::new());
+        let id = trace::TraceId::mint("opt_cmc", 3, 4);
+        sink.trace_started(id, "opt_cmc");
+        sink.worker_switched(2);
+        let text = String::from_utf8(sink.into_inner().unwrap()).unwrap();
+        assert!(
+            text.contains(&format!("\"trace_id\":\"{id}\",\"entry\":\"opt_cmc\"")),
+            "{text}"
+        );
+        assert!(
+            text.contains("\"event\":\"worker_switched\",\"worker\":2"),
+            "{text}"
+        );
+    }
+
+    #[test]
+    fn jsonl_sink_flushes_on_drop() {
+        use std::sync::atomic::{AtomicBool, Ordering};
+        use std::sync::Arc;
+
+        struct FlushProbe(Arc<AtomicBool>);
+        impl io::Write for FlushProbe {
+            fn write(&mut self, buf: &[u8]) -> io::Result<usize> {
+                Ok(buf.len())
+            }
+            fn flush(&mut self) -> io::Result<()> {
+                self.0.store(true, Ordering::SeqCst);
+                Ok(())
+            }
+        }
+
+        let flushed = Arc::new(AtomicBool::new(false));
+        {
+            let mut sink = JsonlSink::new(FlushProbe(Arc::clone(&flushed)));
+            sink.heap_stale_pop();
+            assert!(!flushed.load(Ordering::SeqCst), "no premature flush");
+        }
+        assert!(flushed.load(Ordering::SeqCst), "drop must flush");
     }
 
     #[test]

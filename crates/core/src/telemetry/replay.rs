@@ -20,6 +20,7 @@
 //!   [`MetricsRecorder::merge`](super::MetricsRecorder::merge) /
 //!   [`SpanProfiler::merge`](super::SpanProfiler::merge).
 
+use super::trace::{TraceId, MAIN_WORKER};
 use super::{Observer, PruneReason};
 use std::sync::{Mutex, MutexGuard};
 
@@ -37,6 +38,8 @@ enum Event {
     HeapStalePop,
     Speculation(u64, u64),
     GuessRetried,
+    TraceStarted(TraceId, &'static str),
+    WorkerSwitched(u32),
     PhaseStarted(&'static str),
     PhaseEnded(&'static str, f64),
 }
@@ -82,6 +85,8 @@ impl EventLog {
                 Event::HeapStalePop => obs.heap_stale_pop(),
                 Event::Speculation(committed, wasted) => obs.speculation(committed, wasted),
                 Event::GuessRetried => obs.guess_retried(),
+                Event::TraceStarted(id, entry) => obs.trace_started(id, entry),
+                Event::WorkerSwitched(worker) => obs.worker_switched(worker),
                 Event::PhaseStarted(name) => obs.phase_started(name),
                 Event::PhaseEnded(name, seconds) => obs.phase_ended(name, seconds),
             }
@@ -129,6 +134,14 @@ impl Observer for EventLog {
 
     fn guess_retried(&mut self) {
         self.events.push(Event::GuessRetried);
+    }
+
+    fn trace_started(&mut self, trace_id: TraceId, entry: &'static str) {
+        self.events.push(Event::TraceStarted(trace_id, entry));
+    }
+
+    fn worker_switched(&mut self, worker_id: u32) {
+        self.events.push(Event::WorkerSwitched(worker_id));
     }
 
     fn phase_started(&mut self, name: &'static str) {
@@ -182,11 +195,27 @@ impl ThreadLocalTelemetry {
 
     /// Replays every shard into `obs` in ascending shard order, then
     /// clears the shards for reuse in the next parallel region.
+    ///
+    /// Each non-empty shard's events are bracketed with
+    /// [`Observer::worker_switched`]: shard `i` announces worker `i + 1`
+    /// before its events, and the replay announces
+    /// [`MAIN_WORKER`] once at the end (only if any shard spoke), so the
+    /// receiving observer knows *which thread recorded what* instead of
+    /// seeing an anonymous flattened stream. Empty shards stay silent —
+    /// a region that did no work leaves no trace in the stream.
     pub fn replay<O: Observer + ?Sized>(&self, obs: &mut O) {
-        for shard in &self.shards {
+        let mut switched = false;
+        for (i, shard) in self.shards.iter().enumerate() {
             let mut log = shard.lock().expect("telemetry shard poisoned");
-            log.replay(obs);
-            log.clear();
+            if !log.is_empty() {
+                obs.worker_switched(i as u32 + 1);
+                switched = true;
+                log.replay(obs);
+                log.clear();
+            }
+        }
+        if switched {
+            obs.worker_switched(MAIN_WORKER);
         }
     }
 }
@@ -281,15 +310,53 @@ mod tests {
         assert_eq!(
             log.events,
             vec![
+                Event::WorkerSwitched(1),
                 Event::BenefitComputed(100),
+                Event::WorkerSwitched(2),
                 Event::BenefitComputed(200),
+                Event::WorkerSwitched(3),
                 Event::BenefitComputed(300),
+                Event::WorkerSwitched(MAIN_WORKER),
             ]
         );
         // Shards are cleared for the next region.
         let mut again = EventLog::new();
         tls.replay(&mut again);
         assert!(again.is_empty());
+    }
+
+    #[test]
+    fn replay_skips_empty_shards_and_restores_main_worker() {
+        // Only shard 1 records: the stream is switch(2), events, switch(0);
+        // idle shards 0 and 2 leave no worker announcements behind.
+        let tls = ThreadLocalTelemetry::new(3);
+        tls.shard(1).benefit_computed(7);
+        let mut log = EventLog::new();
+        tls.replay(&mut log);
+        assert_eq!(
+            log.events,
+            vec![
+                Event::WorkerSwitched(2),
+                Event::BenefitComputed(7),
+                Event::WorkerSwitched(MAIN_WORKER),
+            ]
+        );
+        // An all-idle region emits nothing at all — not even switches.
+        let mut silent = EventLog::new();
+        tls.replay(&mut silent);
+        assert!(silent.is_empty());
+    }
+
+    #[test]
+    fn replay_reproduces_trace_events() {
+        let mut log = EventLog::new();
+        let id = crate::telemetry::TraceId::mint("cmc", 10, 20);
+        log.trace_started(id, "cmc");
+        log.worker_switched(3);
+        let mut m = MetricsRecorder::new();
+        log.replay(&mut m);
+        assert_eq!(m.traces_started, 1);
+        assert_eq!(m.worker_switches, 1);
     }
 
     #[test]

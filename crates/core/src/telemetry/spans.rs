@@ -503,6 +503,80 @@ mod tests {
     }
 
     #[test]
+    fn merge_of_four_deep_shards_preserves_time_and_counter_invariants() {
+        // Each worker shard profiles a 4-deep chain total > guess > scan >
+        // chunk with shard-specific times and counters; a fifth stream
+        // merges in a divergent branch (total > guess > select) to prove
+        // path-aligned matching, not positional matching.
+        let drive_shard = |p: &mut SpanProfiler, i: u64| {
+            let secs = 0.1 * (i + 1) as f64;
+            p.phase_started("total");
+            p.phase_started("guess");
+            p.benefit_computed(10 * (i + 1));
+            p.phase_started("scan");
+            p.posting_scanned(100 + i);
+            p.phase_started("chunk");
+            p.heap_stale_pop();
+            p.phase_ended("chunk", secs);
+            p.phase_ended("scan", secs * 2.0);
+            p.phase_ended("guess", secs * 3.0);
+            p.phase_ended("total", secs * 4.0);
+        };
+        let mut merged = SpanProfiler::new();
+        drive_shard(&mut merged, 0);
+        for i in 1..4u64 {
+            let mut shard = SpanProfiler::new();
+            drive_shard(&mut shard, i);
+            merged.merge(&shard);
+        }
+        let mut divergent = SpanProfiler::new();
+        divergent.phase_started("total");
+        divergent.phase_started("guess");
+        divergent.phase_started("select");
+        divergent.set_selected(1, 2, 3.0);
+        divergent.phase_ended("select", 0.01);
+        divergent.phase_ended("guess", 0.02);
+        divergent.phase_ended("total", 0.03);
+        merged.merge(&divergent);
+
+        let tree = merged.tree();
+        // Totals sum across shards at every depth: 0.1+0.2+0.3+0.4 = 1.0
+        // per unit of the per-shard multiplier.
+        let close = |a: f64, b: f64| (a - b).abs() < 1e-12;
+        assert_eq!(tree.count, 5);
+        assert!(
+            close(tree.total_secs, 4.0 * 1.0 + 0.03),
+            "{}",
+            tree.total_secs
+        );
+        let guess = tree.child("guess").expect("guess");
+        assert!(close(guess.total_secs, 3.0 * 1.0 + 0.02));
+        let scan = guess.child("scan").expect("scan");
+        let chunk = scan.child("chunk").expect("chunk");
+        assert!(close(scan.total_secs, 2.0 * 1.0));
+        assert!(close(chunk.total_secs, 1.0));
+        // Self time = total minus direct children, at every level.
+        assert!(close(tree.self_secs(), tree.total_secs - guess.total_secs));
+        assert!(close(
+            guess.self_secs(),
+            guess.total_secs - scan.total_secs - guess.child("select").expect("select").total_secs
+        ));
+        assert_eq!(chunk.self_secs(), chunk.total_secs, "leaf self == total");
+        // Counters attribute to the innermost span of their shard's path
+        // and add across shards — never smeared up or down the tree.
+        assert_eq!(guess.counters.benefits_computed, 10 + 20 + 30 + 40);
+        assert_eq!(scan.counters.postings_scanned, 100 + 101 + 102 + 103);
+        assert_eq!(chunk.counters.heap_stale_pops, 4);
+        assert_eq!(scan.counters.benefits_computed, 0, "no smear down");
+        assert_eq!(tree.counters.postings_scanned, 0, "no smear up");
+        assert_eq!(guess.child("select").unwrap().counters.selections, 1);
+        // Completion counts add shard-wise.
+        assert_eq!(guess.count, 5);
+        assert_eq!(scan.count, 4);
+        assert_eq!(chunk.count, 4);
+    }
+
+    #[test]
     fn counters_nonzero_skips_zeroes() {
         let mut c = SpanCounters::default();
         assert!(c.is_empty());

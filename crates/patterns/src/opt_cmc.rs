@@ -32,8 +32,8 @@ use scwsc_core::engine::{
     panic_message, Certificate, Deadline, DegradeReason, Degraded, EngineError, SolveOutcome,
 };
 use scwsc_core::telemetry::{
-    EventLog, Observer, PhaseSpan, PruneReason, ThreadLocalTelemetry, PHASE_GUESS, PHASE_SCAN,
-    PHASE_TOTAL,
+    pack_k_target, EventLog, Observer, PhaseSpan, PruneReason, ThreadLocalTelemetry, TraceId,
+    PHASE_GUESS, PHASE_SCAN, PHASE_TOTAL,
 };
 use scwsc_core::{coverage_target, BitSet, SolveError, ThreadPool};
 use std::collections::BinaryHeap;
@@ -166,6 +166,10 @@ pub fn opt_cmc_in_within<S: LatticeSpace, O: Observer + ?Sized>(
         }));
     }
     let pool = if pool.is_serial() { None } else { Some(pool) };
+    obs.trace_started(
+        TraceId::mint("opt_cmc", n as u64, pack_k_target(params.k, target)),
+        "opt_cmc",
+    );
     let span = PhaseSpan::enter(obs, PHASE_TOTAL);
     let result = guess_loop_within(space, params, target, pool, deadline, obs);
     span.exit(obs);
@@ -285,6 +289,10 @@ fn solve<S: LatticeSpace, O: Observer + ?Sized>(
             total_cost: 0.0,
         });
     }
+    obs.trace_started(
+        TraceId::mint("opt_cmc", n as u64, pack_k_target(params.k, target)),
+        "opt_cmc",
+    );
     let span = PhaseSpan::enter(obs, PHASE_TOTAL);
     let result = guess_loop(space, params, target, pool, obs);
     span.exit(obs);

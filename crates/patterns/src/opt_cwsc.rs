@@ -22,7 +22,8 @@ use scwsc_core::engine::{
     panic_message, Certificate, Deadline, DegradeReason, Degraded, EngineError, SolveOutcome,
 };
 use scwsc_core::telemetry::{
-    EventLog, Observer, PhaseSpan, PruneReason, PHASE_EXPAND, PHASE_SELECT, PHASE_TOTAL,
+    pack_k_target, EventLog, Observer, PhaseSpan, PruneReason, TraceId, PHASE_EXPAND, PHASE_SELECT,
+    PHASE_TOTAL,
 };
 use scwsc_core::{coverage_target, BitSet, SolveError};
 use std::cmp::Reverse;
@@ -97,6 +98,14 @@ pub fn opt_cwsc_in<S: LatticeSpace, O: Observer + ?Sized>(
             total_cost: 0.0,
         });
     }
+    obs.trace_started(
+        TraceId::mint(
+            "opt_cwsc",
+            space.num_rows() as u64,
+            pack_k_target(k, target),
+        ),
+        "opt_cwsc",
+    );
     let span = PhaseSpan::enter(obs, PHASE_TOTAL);
     let result = match run_in(space, k, target, &Deadline::unbounded(), obs) {
         PatternRound::Done(result) => result,
@@ -154,6 +163,14 @@ pub fn opt_cwsc_in_within<S: LatticeSpace, O: Observer + ?Sized>(
             total_cost: 0.0,
         }));
     }
+    obs.trace_started(
+        TraceId::mint(
+            "opt_cwsc",
+            space.num_rows() as u64,
+            pack_k_target(k, target),
+        ),
+        "opt_cwsc",
+    );
     let span = PhaseSpan::enter(obs, PHASE_TOTAL);
     let mut log = EventLog::new();
     let caught = catch_unwind(AssertUnwindSafe(|| {

@@ -51,3 +51,40 @@ SCWSC_THREADS=4 "$solve" --rows 2000 --k 6 --coverage 0.4 \
 [ "$code" -eq 5 ] || { echo "expected exit 5, got $code"; exit 1; }
 grep -q "certificate verified" target/ci_degraded.err \
   || { echo "missing certificate verification"; exit 1; }
+
+# Flight-recorder smoke (DESIGN.md §13): a persistent injected fault must
+# fail structured (exit 1) AND leave a line-oriented JSON flight dump —
+# header with the latched trace id, events, trailing causal tree — for
+# the post-mortem.
+SCWSC_THREADS=4 "$solve" --rows 2000 --k 6 --coverage 0.4 \
+  --algorithm cmc --fault failguess@1 --flight-dump target/ci_flight.jsonl \
+  > /dev/null 2>> target/ci_fault.err \
+  && { echo "expected fault exit"; exit 1; } || code=$?
+[ "$code" -eq 1 ] || { echo "expected exit 1, got $code"; exit 1; }
+python3 - target/ci_flight.jsonl <<'EOF'
+import json, sys
+lines = open(sys.argv[1]).read().splitlines()
+assert len(lines) >= 2, "dump needs a header and a causal tree"
+header = json.loads(lines[0])
+assert header["flight"] == "scwsc" and header["version"] == 1, header
+assert header["trace_id"] != "0000000000000000", "trace id latched"
+for line in lines[1:]:
+    json.loads(line)  # every line is one JSON object
+assert "causal_tree" in json.loads(lines[-1]), "dump ends with the tree"
+EOF
+
+# Regression-attribution golden (DESIGN.md §13): hand-perturb one span's
+# total time in the quick snapshot; `diff --attribute` must name exactly
+# that span as the top self-time mover.
+python3 - target/BENCH_ci.json target/ci_perturbed.json <<'EOF'
+import json, sys
+snap = json.load(open(sys.argv[1]))
+snap["workloads"][0]["spans"]["total_secs"] += 1000.0
+json.dump(snap, open(sys.argv[2], "w"))
+EOF
+cargo run --release -q -p scwsc-bench --bin scwsc_bench -- \
+  diff target/BENCH_ci.json target/ci_perturbed.json \
+  --counters-only --attribute --top 3 > target/ci_attr.out
+grep -A1 "span self-time movers" target/ci_attr.out | tail -1 \
+  | grep -q '+1000\.0000s.*total' \
+  || { echo "perturbed span is not the top mover"; cat target/ci_attr.out; exit 1; }
