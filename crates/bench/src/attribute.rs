@@ -234,6 +234,7 @@ mod tests {
                 counters,
                 spans,
                 alloc: None,
+                quality: None,
             }],
         }
     }

@@ -4,6 +4,7 @@
 //! ```text
 //! scwsc_bench record [--label L] [--reps N] [--quick] [--suite S] [--out PATH]
 //! scwsc_bench diff BASE NEW [--tolerance F] [--counters-only]
+//! scwsc_bench flight-to-chrome IN OUT
 //! ```
 //!
 //! `record` runs the registered workload suite and writes
@@ -14,6 +15,7 @@
 //! timings and allocations within `--tolerance` (default 0.25).
 
 use scwsc_bench::attribute::attribute;
+use scwsc_bench::chrome_trace::flight_to_chrome;
 use scwsc_bench::diff::{diff, DiffOptions};
 use scwsc_bench::record::record_suite_with_metrics_on;
 use scwsc_bench::registry;
@@ -32,6 +34,7 @@ const USAGE: &str = "\
 usage:
   scwsc_bench record [--label L] [--reps N] [--quick] [--suite full|smoke] [--out PATH] [--threads N] [--export-metrics PATH]
   scwsc_bench diff BASE NEW [--tolerance F] [--counters-only] [--attribute] [--top N]
+  scwsc_bench flight-to-chrome IN OUT
 
 record options:
   --label L     snapshot label and default output name BENCH_<L>.json [default: dev]
@@ -51,13 +54,20 @@ diff options:
   --counters-only compare only the deterministic work counters (CI mode)
   --attribute     walk both span trees and counter maps and print the
                   ranked movers (largest |self-time delta| first)
-  --top N         rows per attribution section [default: 10]";
+  --top N         rows per attribution section [default: 10]
+
+flight-to-chrome:
+  converts a flight-recorder dump (the JSONL written by scwsc_solve
+  --flight-dump) into Chrome tracing JSON: open OUT in chrome://tracing
+  or https://ui.perfetto.dev. One process per worker; causal-tree spans
+  become nested duration events, buffered ring events become instants.";
 
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let result = match args.first().map(String::as_str) {
         Some("record") => cmd_record(&args[1..]),
         Some("diff") => cmd_diff(&args[1..]),
+        Some("flight-to-chrome") => cmd_flight_to_chrome(&args[1..]),
         Some("--help" | "-h" | "help") => {
             println!("{USAGE}");
             return ExitCode::SUCCESS;
@@ -181,6 +191,23 @@ fn cmd_diff(args: &[String]) -> Result<ExitCode, String> {
     } else {
         ExitCode::FAILURE
     })
+}
+
+fn cmd_flight_to_chrome(args: &[String]) -> Result<ExitCode, String> {
+    let [input, output] = args else {
+        return Err(format!(
+            "flight-to-chrome expects exactly two paths (IN OUT)\n{USAGE}"
+        ));
+    };
+    let dump = std::fs::read_to_string(input).map_err(|e| format!("reading {input}: {e}"))?;
+    let trace = flight_to_chrome(&dump).map_err(|e| format!("{input}: {e}"))?;
+    std::fs::write(output, trace.to_pretty()).map_err(|e| format!("writing {output}: {e}"))?;
+    let n = trace
+        .get("traceEvents")
+        .and_then(|t| t.as_arr())
+        .map_or(0, <[_]>::len);
+    eprintln!("wrote {output} ({n} trace events) — load it in chrome://tracing or ui.perfetto.dev");
+    Ok(ExitCode::SUCCESS)
 }
 
 fn load(path: &str) -> Result<Snapshot, String> {

@@ -12,17 +12,18 @@
 use scwsc_bench::cli::{args_or_exit, bail, exit_code, exit_with, required};
 use scwsc_bench::measure::RunParams;
 use scwsc_bench::report::{secs, TextTable};
+use scwsc_core::telemetry::audit::{self, DecisionLedger};
 #[cfg(feature = "fault-inject")]
 use scwsc_core::FaultPlan;
 use scwsc_core::{
-    render_prometheus, Certificate, Deadline, EngineError, Fanout, FlightRecorder, JsonlSink,
-    MetricsRecorder, SloGauges, SolveOutcome, SpanProfiler, Stats, ThreadPool, Threads,
+    coverage_target, render_prometheus, Certificate, Deadline, EngineError, Fanout, FlightRecorder,
+    JsonlSink, MetricsRecorder, SloGauges, SolveOutcome, SpanProfiler, Stats, ThreadPool, Threads,
 };
 use scwsc_data::csv::read_table;
 use scwsc_data::lbl::LblConfig;
 use scwsc_patterns::{
-    opt_cmc_on, opt_cmc_within, opt_cwsc, opt_cwsc_within, verify_certificate_in, CostFn,
-    PatternSolution, PatternSpace, Table,
+    enumerate_all, opt_cmc_on, opt_cmc_within, opt_cwsc, opt_cwsc_within, verify_certificate_in,
+    CostFn, PatternSolution, PatternSpace, Table,
 };
 use std::fs::File;
 use std::io::BufWriter;
@@ -32,7 +33,8 @@ use std::time::Duration;
 const USAGE: &str = "scwsc_solve [--csv PATH | --rows N [--seed N]] \
 [--k N] [--coverage F] [--algorithm cwsc|cmc] [--b F] [--eps F] \
 [--cost-fn max|sum|mean|count] [--threads N] [--trace-jsonl PATH] [--metrics] [--profile] \
-[--deadline-ms N] [--max-ticks N] [--fault SPEC] [--flight-dump PATH] [--metrics-prom PATH]
+[--deadline-ms N] [--max-ticks N] [--fault SPEC] [--flight-dump PATH] [--metrics-prom PATH] \
+[--explain [N]] [--audit-jsonl PATH]
 Solves size-constrained weighted set cover over the table's pattern cube and
 prints the chosen patterns. Without --csv, a synthetic LBL-like trace of
 --rows records is generated. --threads sets the worker count for the cmc
@@ -54,7 +56,15 @@ its JSONL dump (header, events, causal tree) after the run, and a faulted or
 deadline-degraded run dumps automatically (to the --flight-dump path, else
 scwsc-flight.jsonl) before the process exits non-zero. --metrics-prom writes
 the aggregated counters plus the run's SLO gauges (deadline headroom, ticks
-used/budget, degraded flag, retries) in Prometheus text exposition format.";
+used/budget, degraded flag, retries) in Prometheus text exposition format.
+--explain prints the decision audit: every selection round's winner with its
+runners-up, winning margin, tie-break key, and per-element price charging
+(--explain N caps the rounds shown per guess), plus a certified quality
+bound — the dual-feasible lower bound LB on the optimal cost scaled from
+the greedy prices, and the certified ratio cost/LB. --audit-jsonl writes
+the full ledger as line-oriented JSON; the file is byte-identical for any
+--threads value. Both flags materialize the full pattern cube once to
+certify the bound, so prefer them on analysis-sized inputs.";
 
 fn cost_fn_of(name: &str) -> CostFn {
     match name {
@@ -182,6 +192,13 @@ fn main() {
         JsonlSink::new(BufWriter::new(file))
     });
     let mut profiler = args.flag("profile").then(SpanProfiler::new);
+    // `--explain` (bare: all rounds) or `--explain N` (cap per guess).
+    let explain = args.flag("explain") || args.get("explain").is_some();
+    let explain_limit: Option<usize> = args
+        .get("explain")
+        .map(|_| required(args.get_or("explain", 0)));
+    let audit_path = args.get("audit-jsonl");
+    let mut ledger = (explain || audit_path.is_some()).then(DecisionLedger::new);
     let flight = FlightRecorder::new();
     let outcome: Outcome = {
         let mut flight_tap = flight.clone();
@@ -194,6 +211,9 @@ fn main() {
         }
         if let Some(p) = profiler.as_mut() {
             obs.attach(p);
+        }
+        if let Some(l) = ledger.as_mut() {
+            obs.attach(l);
         }
         match (&deadline, algorithm) {
             (None, "cwsc") => match opt_cwsc(&space, params.k, params.coverage, &mut obs) {
@@ -293,6 +313,40 @@ fn main() {
         "considered {} patterns in {} budget guess(es)",
         stats.considered, stats.budget_guesses
     );
+    if let Some(ledger) = &ledger {
+        if let Some(path) = audit_path {
+            let file =
+                File::create(path).unwrap_or_else(|e| bail(&format!("cannot create {path}: {e}")));
+            let mut w = BufWriter::new(file);
+            match ledger.write_jsonl(&mut w) {
+                Ok(()) => eprintln!("audit ledger written to {path}"),
+                Err(e) => bail(&format!("cannot write {path}: {e}")),
+            }
+        }
+        if explain {
+            println!("== decision audit ==");
+            print!(
+                "{}",
+                ledger.render_explain(explain_limit.filter(|&n| n > 0))
+            );
+        }
+        // Certify the greedy prices against the materialized cube: a
+        // dual-feasible lower bound on the optimal cost of any solution
+        // meeting the coverage target (DESIGN.md §14).
+        let cube = enumerate_all(&table, params.cost_fn);
+        let target = coverage_target(table.num_rows(), params.coverage);
+        let cert = audit::certify(&cube.system, &ledger.prices(), target);
+        println!(
+            "certified quality: cost {:.3} >= LB {:.3} (alpha {:.3}) -> ratio {:.3}; \
+             mean winning margin {:.3} over {} round(s)",
+            cert.greedy_cost,
+            cert.lower_bound,
+            cert.alpha,
+            cert.certified_ratio(),
+            ledger.mean_margin(),
+            ledger.rounds_total()
+        );
+    }
     if args.flag("metrics") {
         print_metrics(&metrics);
     }

@@ -89,6 +89,9 @@ pub fn diff(base: &Snapshot, new: &Snapshot, opts: &DiffOptions) -> DiffReport {
         };
         report.compared += 1;
         diff_counters(base_run, new_run, &mut report);
+        // Quality is deterministic (greedy cost and dual bound are functions
+        // of the workload), so the gate stays active under --counters-only.
+        diff_quality(base_run, new_run, opts.tolerance, &mut report);
         if !opts.counters_only {
             diff_timing(base_run, new_run, opts.tolerance, &mut report);
             diff_alloc(base_run, new_run, opts.tolerance, &mut report);
@@ -123,6 +126,45 @@ fn diff_counters(base: &WorkloadRun, new: &WorkloadRun, report: &mut DiffReport)
                 .notes
                 .push(format!("{}: new counter '{key}'", base.name));
         }
+    }
+}
+
+fn diff_quality(base: &WorkloadRun, new: &WorkloadRun, tolerance: f64, report: &mut DiffReport) {
+    let (Some(b), Some(n)) = (&base.quality, &new.quality) else {
+        // One side recorded before the audit ledger existed (schema 1):
+        // nothing to hold the other side to.
+        return;
+    };
+    if b.greedy_cost > 0.0 && n.greedy_cost > b.greedy_cost * (1.0 + tolerance) {
+        report.regressions.push(format!(
+            "{}: greedy cost {:.4} -> {:.4} (+{:.0}%, tolerance {:.0}%)",
+            base.name,
+            b.greedy_cost,
+            n.greedy_cost,
+            100.0 * (n.greedy_cost / b.greedy_cost - 1.0),
+            100.0 * tolerance
+        ));
+    } else if b.greedy_cost > 0.0 && n.greedy_cost < b.greedy_cost * (1.0 - tolerance) {
+        report.notes.push(format!(
+            "{}: greedy cost improved {:.4} -> {:.4}",
+            base.name, b.greedy_cost, n.greedy_cost
+        ));
+    }
+    let (br, nr) = (b.certified_ratio(), n.certified_ratio());
+    if br.is_finite() && nr.is_infinite() {
+        report.regressions.push(format!(
+            "{}: certified bound became uninformative (ratio {:.3} -> inf)",
+            base.name, br
+        ));
+    } else if br.is_finite() && nr > br * (1.0 + tolerance) {
+        report.regressions.push(format!(
+            "{}: certified ratio {:.3} -> {:.3} (+{:.0}%, tolerance {:.0}%)",
+            base.name,
+            br,
+            nr,
+            100.0 * (nr / br - 1.0),
+            100.0 * tolerance
+        ));
     }
 }
 
@@ -178,7 +220,7 @@ fn diff_alloc(base: &WorkloadRun, new: &WorkloadRun, tolerance: f64, report: &mu
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::snapshot::{AllocStats, SpanSnapshot};
+    use crate::snapshot::{AllocStats, QualityStats, SpanSnapshot};
     use std::collections::BTreeMap;
 
     fn run(name: &str, secs: f64, selections: u64, allocs: u64) -> WorkloadRun {
@@ -201,7 +243,23 @@ mod tests {
                 bytes_allocated: allocs * 64,
                 peak_live_bytes: allocs * 16,
             }),
+            quality: Some(QualityStats {
+                greedy_cost: 20.0,
+                lower_bound: 10.0,
+                mean_margin: 0.5,
+                rounds: selections,
+            }),
         }
+    }
+
+    fn with_quality(mut r: WorkloadRun, greedy_cost: f64, lower_bound: f64) -> WorkloadRun {
+        r.quality = Some(QualityStats {
+            greedy_cost,
+            lower_bound,
+            mean_margin: 0.5,
+            rounds: 7,
+        });
+        r
     }
 
     fn snap(runs: Vec<WorkloadRun>) -> Snapshot {
@@ -297,6 +355,48 @@ mod tests {
         let report = diff(&base, &new, &DiffOptions::default());
         assert!(report.ok());
         assert!(report.notes.iter().any(|n| n.contains("no baseline")));
+    }
+
+    #[test]
+    fn quality_gate_fails_on_cost_and_ratio_regressions() {
+        let base = snap(vec![with_quality(run("a", 1.0, 7, 1000), 20.0, 10.0)]);
+        let opts = DiffOptions {
+            tolerance: 0.25,
+            counters_only: true, // quality stays gated even in CI mode
+        };
+        // Within tolerance on both dimensions: clean.
+        let near = snap(vec![with_quality(run("a", 1.0, 7, 1000), 22.0, 10.0)]);
+        assert!(diff(&base, &near, &opts).ok());
+        // Greedy cost blew past tolerance.
+        let costly = snap(vec![with_quality(run("a", 1.0, 7, 1000), 30.0, 15.0)]);
+        let report = diff(&base, &costly, &opts);
+        assert!(!report.ok());
+        assert!(report.regressions[0].contains("greedy cost"));
+        // Bound weakened: same cost, certified ratio 2.0 -> 4.0.
+        let loose = snap(vec![with_quality(run("a", 1.0, 7, 1000), 20.0, 5.0)]);
+        let report = diff(&base, &loose, &opts);
+        assert!(!report.ok());
+        assert!(report.regressions[0].contains("certified ratio"));
+        // Cheaper is a note, never a failure.
+        let better = snap(vec![with_quality(run("a", 1.0, 7, 1000), 10.0, 10.0)]);
+        let report = diff(&base, &better, &opts);
+        assert!(report.ok(), "{}", report.render());
+        assert!(report.notes.iter().any(|n| n.contains("improved")));
+    }
+
+    #[test]
+    fn uninformative_bound_is_a_regression_missing_quality_is_not() {
+        let base = snap(vec![with_quality(run("a", 1.0, 7, 1000), 20.0, 10.0)]);
+        // Finite ratio degrading to infinite (LB collapsed to zero) fails.
+        let dead = snap(vec![with_quality(run("a", 1.0, 7, 1000), 20.0, 0.0)]);
+        let report = diff(&base, &dead, &DiffOptions::default());
+        assert!(!report.ok());
+        assert!(report.regressions[0].contains("uninformative"));
+        // A schema-1 side without quality is tolerated in either direction.
+        let mut old = run("a", 1.0, 7, 1000);
+        old.quality = None;
+        assert!(diff(&snap(vec![old.clone()]), &base, &DiffOptions::default()).ok());
+        assert!(diff(&base, &snap(vec![old]), &DiffOptions::default()).ok());
     }
 
     #[test]

@@ -9,6 +9,7 @@ use crate::measure::{run, Algo, Measurement, RunParams};
 use scwsc_core::algorithms::{
     cmc, cwsc, exact_optimal_with_target, greedy_partial_max_coverage, greedy_weighted_set_cover,
 };
+use scwsc_core::telemetry::audit::{self, DecisionLedger};
 use scwsc_core::{coverage_target, Stats};
 use scwsc_data::lbl::LblConfig;
 use scwsc_data::perturb::{lognormal_rerank, uniform_noise};
@@ -280,6 +281,10 @@ pub struct OptRow {
     pub cmc_covered: usize,
     /// The common coverage target in records.
     pub target: usize,
+    /// Dual-feasible lower bound certified from CWSC's greedy prices.
+    pub lower_bound: f64,
+    /// Certified ratio `cwsc / lower_bound` (∞ when the bound collapses).
+    pub certified: f64,
 }
 
 /// Section VI-D: compares CWSC and CMC to the exact optimum on small
@@ -294,10 +299,12 @@ pub fn vs_optimal(sample_sizes: &[usize], seed: u64, k: usize, coverage: f64) ->
             .expect("root pattern guarantees feasibility")
             .total_cost()
             .value();
-        let cwsc_cost = cwsc(&m.system, k, coverage, &mut Stats::new())
+        let mut ledger = DecisionLedger::new();
+        let cwsc_cost = cwsc(&m.system, k, coverage, &mut ledger)
             .expect("feasible")
             .total_cost()
             .value();
+        let cert = audit::certify(&m.system, &ledger.prices(), target);
         let params = RunParams {
             k,
             coverage,
@@ -311,6 +318,8 @@ pub fn vs_optimal(sample_sizes: &[usize], seed: u64, k: usize, coverage: f64) ->
             cmc: cmc_sol.solution.total_cost().value(),
             cmc_covered: cmc_sol.solution.covered(),
             target,
+            lower_bound: cert.lower_bound,
+            certified: cert.certified_ratio(),
         });
     }
     out
@@ -397,6 +406,14 @@ mod tests {
             assert!(
                 r.optimal <= r.cwsc + 1e-9,
                 "optimum cannot exceed greedy: {r:?}"
+            );
+            assert!(
+                r.lower_bound <= r.optimal + 1e-9,
+                "certified LB must bound the optimum from below: {r:?}"
+            );
+            assert!(
+                r.certified + 1e-9 >= 1.0,
+                "certified ratio is at least 1: {r:?}"
             );
             assert!(
                 r.cmc_covered >= r.target,

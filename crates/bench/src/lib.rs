@@ -13,6 +13,7 @@
 
 pub mod args;
 pub mod attribute;
+pub mod chrome_trace;
 pub mod cli;
 pub mod diff;
 pub mod experiments;

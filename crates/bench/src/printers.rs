@@ -130,8 +130,10 @@ pub fn vs_optimal(rows: &[OptRow]) -> TextTable {
     let mut t = TextTable::new([
         "rows",
         "target",
+        "certified LB",
         "optimal cost",
         "CWSC cost",
+        "certified ratio",
         "CMC cost",
         "CMC covered",
     ]);
@@ -139,8 +141,14 @@ pub fn vs_optimal(rows: &[OptRow]) -> TextTable {
         t.row([
             r.rows.to_string(),
             r.target.to_string(),
+            num(r.lower_bound),
             num(r.optimal),
             num(r.cwsc),
+            if r.certified.is_finite() {
+                num(r.certified)
+            } else {
+                "inf".to_string()
+            },
             num(r.cmc),
             r.cmc_covered.to_string(),
         ]);
@@ -213,9 +221,12 @@ mod tests {
             cmc: 9.5,
             cmc_covered: 15,
             target: 15,
+            lower_bound: 8.0,
+            certified: 11.0 / 8.0,
         }]);
         let text = t.render();
         assert!(text.contains("optimal cost"), "{text}");
+        assert!(text.contains("certified LB"), "{text}");
         assert!(text.contains("9.50"), "{text}");
     }
 

@@ -2,8 +2,10 @@
 
 use crate::measure::run_traced_on;
 use crate::registry::Workload;
-use crate::snapshot::{deterministic_counters, Snapshot, SpanSnapshot, WorkloadRun};
-use scwsc_core::{MetricsRecorder, SpanProfiler, ThreadPool, Threads};
+use crate::snapshot::{deterministic_counters, QualityStats, Snapshot, SpanSnapshot, WorkloadRun};
+use scwsc_core::telemetry::audit::{self, DecisionLedger};
+use scwsc_core::{coverage_target, Fanout, MetricsRecorder, SpanProfiler, ThreadPool, Threads};
+use scwsc_patterns::enumerate_all;
 
 #[cfg(feature = "alloc-stats")]
 use crate::snapshot::AllocStats;
@@ -69,16 +71,20 @@ pub fn record_suite_with_metrics_on(
     for w in suite {
         let mut rep_secs = Vec::with_capacity(reps);
         let mut last: Option<WorkloadRun> = None;
-        for _ in 0..reps {
+        for rep in 0..reps {
             let table = w.gen.table();
             let mut profiler = SpanProfiler::new();
+            let mut ledger = DecisionLedger::new();
             #[cfg(feature = "alloc-stats")]
             let alloc_before = {
                 alloc::reset_peak();
                 alloc::snapshot()
             };
-            let (measurement, metrics) =
-                run_traced_on(w.algo, &table, &w.params, pool, &mut profiler);
+            let (measurement, metrics) = {
+                let mut extra = Fanout::new();
+                extra.attach(&mut profiler).attach(&mut ledger);
+                run_traced_on(w.algo, &table, &w.params, pool, &mut extra)
+            };
             #[cfg(feature = "alloc-stats")]
             let alloc_stats = alloc::is_active()
                 .then(|| AllocStats::from_delta(alloc::snapshot().delta(&alloc_before)));
@@ -89,12 +95,26 @@ pub fn record_suite_with_metrics_on(
             if rep_secs.len() == reps {
                 merged.merge(&metrics);
             }
+            // Certify the last rep only: the dual bound re-enumerates the
+            // pattern cube, which is recording overhead, not solve time.
+            let quality = (rep == reps - 1).then(|| {
+                let cube = enumerate_all(&table, w.params.cost_fn);
+                let target = coverage_target(table.num_rows(), w.params.coverage);
+                let cert = audit::certify(&cube.system, &ledger.prices(), target);
+                QualityStats {
+                    greedy_cost: cert.greedy_cost,
+                    lower_bound: cert.lower_bound,
+                    mean_margin: ledger.mean_margin(),
+                    rounds: ledger.rounds_total() as u64,
+                }
+            });
             last = Some(WorkloadRun {
                 name: w.name.clone(),
                 rep_secs: Vec::new(), // filled in below, once all reps ran
                 counters: deterministic_counters(&metrics),
                 spans: SpanSnapshot::from_node(&profiler.tree()),
                 alloc: alloc_stats,
+                quality,
             });
         }
         let mut run = last.expect("reps >= 1");

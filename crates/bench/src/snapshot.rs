@@ -42,6 +42,40 @@ impl AllocStats {
     }
 }
 
+/// Certified-quality attribution of one workload run (schema 2): the
+/// decision audit's dual-feasible lower bound on the optimal cost,
+/// alongside the greedy cost it certifies and the ledger's mean winning
+/// margin. Lives *outside* the exact-diff counter map — solution quality
+/// compares through its own toleranced gate, and the margin/bound floats
+/// would make exact comparison brittle across rustc versions.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct QualityStats {
+    /// Total charged greedy cost of the final guess.
+    pub greedy_cost: f64,
+    /// Certified lower bound `LB ≤ optimal cost` (0 when uninformative).
+    pub lower_bound: f64,
+    /// Mean winning margin over the final guess's rounds.
+    pub mean_margin: f64,
+    /// Audited selection rounds across all guesses.
+    pub rounds: u64,
+}
+
+impl QualityStats {
+    /// Certified approximation ratio `greedy_cost / LB`: 1 for a free
+    /// solution, infinite when the bound is uninformative — which is why
+    /// the ratio is derived here instead of being stored (JSON has no
+    /// infinity).
+    pub fn certified_ratio(&self) -> f64 {
+        if self.greedy_cost <= 0.0 {
+            1.0
+        } else if self.lower_bound <= 0.0 {
+            f64::INFINITY
+        } else {
+            self.greedy_cost / self.lower_bound
+        }
+    }
+}
+
 /// A serializable copy of one aggregated span-tree node.
 #[derive(Debug, Clone, PartialEq)]
 pub struct SpanSnapshot {
@@ -119,6 +153,9 @@ pub struct WorkloadRun {
     /// Allocator statistics of one rep, when the counting allocator was
     /// installed in the recording process.
     pub alloc: Option<AllocStats>,
+    /// Certified-quality attribution of the last rep (schema 2; `None`
+    /// for snapshots recorded under schema 1).
+    pub quality: Option<QualityStats>,
 }
 
 impl WorkloadRun {
@@ -160,6 +197,17 @@ impl WorkloadRun {
                 ]),
             ));
         }
+        if let Some(q) = &self.quality {
+            entries.push((
+                "quality".into(),
+                Json::Obj(vec![
+                    ("greedy_cost".into(), Json::Num(q.greedy_cost)),
+                    ("lower_bound".into(), Json::Num(q.lower_bound)),
+                    ("mean_margin".into(), Json::Num(q.mean_margin)),
+                    ("rounds".into(), Json::from_u64(q.rounds)),
+                ]),
+            ));
+        }
         Json::Obj(entries)
     }
 
@@ -170,6 +218,15 @@ impl WorkloadRun {
                 allocs: require_u64(a, "allocs")?,
                 bytes_allocated: require_u64(a, "bytes_allocated")?,
                 peak_live_bytes: require_u64(a, "peak_live_bytes")?,
+            }),
+        };
+        let quality = match json.get("quality") {
+            None | Some(Json::Null) => None,
+            Some(q) => Some(QualityStats {
+                greedy_cost: require_f64(q, "greedy_cost")?,
+                lower_bound: require_f64(q, "lower_bound")?,
+                mean_margin: require_f64(q, "mean_margin")?,
+                rounds: require_u64(q, "rounds")?,
             }),
         };
         Ok(WorkloadRun {
@@ -184,6 +241,7 @@ impl WorkloadRun {
             counters: counters_from_json(json.get("counters"))?,
             spans: SpanSnapshot::from_json(json.get("spans").ok_or("workload missing spans")?)?,
             alloc,
+            quality,
         })
     }
 }
@@ -204,10 +262,11 @@ pub struct Snapshot {
 }
 
 impl Snapshot {
-    /// Serializes to the committed `BENCH_*.json` layout.
+    /// Serializes to the committed `BENCH_*.json` layout (schema 2:
+    /// schema 1 plus the optional per-workload `quality` block).
     pub fn to_json(&self) -> Json {
         Json::Obj(vec![
-            ("schema".into(), Json::from_u64(1)),
+            ("schema".into(), Json::from_u64(2)),
             ("label".into(), Json::Str(self.label.clone())),
             ("git_sha".into(), Json::Str(self.git_sha.clone())),
             ("rustc".into(), Json::Str(self.rustc.clone())),
@@ -222,7 +281,9 @@ impl Snapshot {
     /// Parses a snapshot document.
     pub fn from_json(json: &Json) -> Result<Snapshot, String> {
         match json.get("schema").and_then(Json::as_u64) {
-            Some(1) => {}
+            // Schema 2 added the optional `quality` block; schema 1
+            // documents simply parse with `quality: None`.
+            Some(1 | 2) => {}
             other => return Err(format!("unsupported snapshot schema {other:?}")),
         }
         Ok(Snapshot {
@@ -377,6 +438,12 @@ mod tests {
                     bytes_allocated: 1 << 20,
                     peak_live_bytes: 1 << 18,
                 }),
+                quality: Some(QualityStats {
+                    greedy_cost: 28.0,
+                    lower_bound: 14.0,
+                    mean_margin: 0.75,
+                    rounds: 7,
+                }),
             }],
         }
     }
@@ -412,8 +479,57 @@ mod tests {
         let text = sample()
             .to_json()
             .to_pretty()
-            .replace("\"schema\": 1", "\"schema\": 99");
+            .replace("\"schema\": 2", "\"schema\": 99");
         assert!(Snapshot::parse(&text).unwrap_err().contains("schema"));
+    }
+
+    #[test]
+    fn schema_one_documents_parse_without_quality() {
+        let mut snap = sample();
+        snap.workloads[0].quality = None;
+        let text = snap
+            .to_json()
+            .to_pretty()
+            .replace("\"schema\": 2", "\"schema\": 1");
+        let parsed = Snapshot::parse(&text).unwrap();
+        assert_eq!(parsed.workloads[0].quality, None);
+        assert_eq!(parsed, snap);
+    }
+
+    #[test]
+    fn quality_round_trips_and_ratio_is_derived() {
+        let snap = sample();
+        let parsed = Snapshot::parse(&snap.to_json().to_pretty()).unwrap();
+        let q = parsed.workloads[0].quality.unwrap();
+        assert_eq!(q.certified_ratio(), 2.0);
+        // Uninformative bound: the derived ratio is infinite, which is
+        // exactly why the ratio never enters the JSON document.
+        let free = QualityStats {
+            greedy_cost: 1.0,
+            lower_bound: 0.0,
+            mean_margin: 0.0,
+            rounds: 1,
+        };
+        assert!(free.certified_ratio().is_infinite());
+        let zero = QualityStats {
+            greedy_cost: 0.0,
+            lower_bound: 0.0,
+            mean_margin: 0.0,
+            rounds: 0,
+        };
+        assert_eq!(zero.certified_ratio(), 1.0);
+    }
+
+    #[test]
+    fn audit_counters_stay_out_of_the_exact_diff_set() {
+        // `rounds_audited` counts the audit observer's round events; it is
+        // derived from the same stream as `selections` and must not widen
+        // the pinned exact-diff map.
+        let counters = deterministic_counters(&MetricsRecorder::new());
+        assert!(
+            !counters.contains_key("rounds_audited"),
+            "rounds_audited must stay out of the exact-diff set"
+        );
     }
 
     #[test]

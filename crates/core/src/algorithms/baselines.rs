@@ -4,7 +4,7 @@
 use crate::cover_state::CoverState;
 use crate::set_system::{coverage_target, SetId, SetSystem};
 use crate::solution::{Solution, SolveError};
-use crate::telemetry::{pack_k_target, Observer, PhaseSpan, TraceId, PHASE_TOTAL};
+use crate::telemetry::{audit, pack_k_target, Observer, PhaseSpan, TraceId, PHASE_TOTAL};
 
 /// Greedy *partial weighted set cover*: repeatedly picks the set with the
 /// highest marginal gain until the coverage target is met (optimizes cost
@@ -41,12 +41,11 @@ fn wsc_run<O: Observer + ?Sized>(
     let mut chosen: Vec<SetId> = Vec::new();
     let mut rem = target;
     while rem > 0 {
-        let Some(q) = state.argmax_gain(|_| true) else {
+        let top = state.top_gain(audit::TOP, |_| true);
+        let Some((q, newly)) = audit::pick_cover(&mut state, obs, audit::ORDER_GAIN, &top) else {
             return Err(SolveError::NoSolution);
         };
         chosen.push(q);
-        let newly = state.select(q);
-        obs.set_selected(q as u64, newly as u64, system.cost(q).value());
         rem = rem.saturating_sub(newly);
     }
     Ok(Solution::from_sets(system, chosen))
@@ -74,12 +73,11 @@ pub fn greedy_max_coverage<O: Observer + ?Sized>(
     obs.benefit_computed(system.num_sets() as u64);
     let mut chosen: Vec<SetId> = Vec::new();
     for _ in 0..k {
-        let Some(q) = state.argmax_benefit(|_| true) else {
+        let top = state.top_benefit(audit::TOP, |_| true);
+        let Some((q, _)) = audit::pick_cover(&mut state, obs, audit::ORDER_BENEFIT, &top) else {
             break;
         };
         chosen.push(q);
-        let newly = state.select(q);
-        obs.set_selected(q as u64, newly as u64, system.cost(q).value());
     }
     span.exit(obs);
     Solution::from_sets(system, chosen)
@@ -120,12 +118,12 @@ fn pmc_run<O: Observer + ?Sized>(
     let mut chosen: Vec<SetId> = Vec::new();
     let mut rem = target;
     while rem > 0 {
-        let Some(q) = state.argmax_benefit(|_| true) else {
+        let top = state.top_benefit(audit::TOP, |_| true);
+        let Some((q, newly)) = audit::pick_cover(&mut state, obs, audit::ORDER_BENEFIT, &top)
+        else {
             return Err(SolveError::NoSolution);
         };
         chosen.push(q);
-        let newly = state.select(q);
-        obs.set_selected(q as u64, newly as u64, system.cost(q).value());
         rem = rem.saturating_sub(newly);
     }
     Ok(Solution::from_sets(system, chosen))
@@ -158,12 +156,12 @@ pub fn budgeted_max_coverage<O: Observer + ?Sized>(
     let mut spent = 0.0f64;
     let cap = max_sets.unwrap_or(usize::MAX);
     while chosen.len() < cap {
-        let q = state.argmax_gain(|id| spent + system.cost(id).value() <= budget);
-        let Some(q) = q else { break };
+        let top = state.top_gain(audit::TOP, |id| spent + system.cost(id).value() <= budget);
+        let Some((q, _)) = audit::pick_cover(&mut state, obs, audit::ORDER_GAIN, &top) else {
+            break;
+        };
         chosen.push(q);
         spent += system.cost(q).value();
-        let newly = state.select(q);
-        obs.set_selected(q as u64, newly as u64, system.cost(q).value());
     }
     span.exit(obs);
     Solution::from_sets(system, chosen)

@@ -19,8 +19,8 @@ use crate::parallel::{CancelToken, ThreadPool};
 use crate::set_system::{coverage_target, SetId, SetSystem};
 use crate::solution::{Solution, SolveError};
 use crate::telemetry::{
-    pack_k_target, EventLog, Observer, PhaseSpan, ThreadLocalTelemetry, TraceId, PHASE_GUESS,
-    PHASE_INIT, PHASE_SELECT, PHASE_TOTAL,
+    audit, pack_k_target, EventLog, Observer, PhaseSpan, ThreadLocalTelemetry, TraceId,
+    PHASE_GUESS, PHASE_INIT, PHASE_SELECT, PHASE_TOTAL,
 };
 use std::panic::{catch_unwind, resume_unwind, AssertUnwindSafe};
 
@@ -385,13 +385,12 @@ fn run_guess<O: Observer + ?Sized>(
     for level in 0..levels.len() {
         for _ in 0..levels.quota(level) {
             // Line 17: argmax of marginal benefit within the level.
-            let q = state.argmax_benefit(|id| set_level[id as usize] == Some(level));
-            let Some(q) = q else {
+            let top = state.top_benefit(audit::TOP, |id| set_level[id as usize] == Some(level));
+            let Some((q, newly)) = audit::pick_cover(&mut state, obs, audit::ORDER_BENEFIT, &top)
+            else {
                 break; // line 18: level exhausted
             };
             chosen.push(q); // line 19
-            let newly = state.select(q); // lines 20-21, 24-27
-            obs.set_selected(q as u64, newly as u64, system.cost(q).value());
             rem = rem.saturating_sub(newly);
             if rem == 0 {
                 select_span.exit(obs);
@@ -562,8 +561,9 @@ fn exhausted_quotas(levels: &Levels, counts: &[usize]) -> Vec<usize> {
 }
 
 /// Packages an expired guess's partial selection as a degraded outcome
-/// with its certificate.
-fn degrade(
+/// with its certificate, noting the decision in the audit ledger.
+#[allow(clippy::too_many_arguments)]
+fn degrade<O: Observer + ?Sized>(
     system: &SetSystem,
     partial: Vec<SetId>,
     quotas_exhausted: Vec<usize>,
@@ -571,8 +571,10 @@ fn degrade(
     target: usize,
     budget: f64,
     deadline: &Deadline,
+    obs: &mut O,
 ) -> SolveOutcome<CmcOutcome> {
     let solution = Solution::from_sets(system, partial);
+    obs.degrade_decided(reason.as_str(), solution.covered() as u64, target as u64);
     let certificate = Certificate {
         sets_used: solution.size(),
         covered: solution.covered(),
@@ -645,6 +647,7 @@ fn guess_loop_within<O: Observer + ?Sized>(
                     target,
                     budget,
                     deadline,
+                    obs,
                 ));
             }
             GuessOutcome::NotFound => {}
@@ -750,14 +753,13 @@ fn run_guess_within(
                     reason,
                 };
             }
-            let q = state.argmax_benefit(|id| set_level[id as usize] == Some(level));
-            let Some(q) = q else {
+            let top = state.top_benefit(audit::TOP, |id| set_level[id as usize] == Some(level));
+            let Some((q, newly)) = audit::pick_cover(&mut state, log, audit::ORDER_BENEFIT, &top)
+            else {
                 break; // level exhausted
             };
             chosen.push(q);
             counts[level] += 1;
-            let newly = state.select(q);
-            log.set_selected(q as u64, newly as u64, system.cost(q).value());
             rem = rem.saturating_sub(newly);
             if rem == 0 {
                 select_span.exit(log);
@@ -936,6 +938,7 @@ fn guess_loop_speculative<O: Observer + ?Sized>(
                         target,
                         budgets[j],
                         deadline,
+                        obs,
                     )));
                     break;
                 }
@@ -1008,7 +1011,7 @@ fn run_guess_masked(
                     reason,
                 };
             }
-            let q = scan::masked_argmax(
+            let top = scan::masked_top(
                 pool,
                 &tls,
                 system,
@@ -1017,16 +1020,19 @@ fn run_guess_masked(
                 |id| set_level[id as usize] == Some(level),
                 |_| true,
                 benefit_order,
+                audit::TOP,
             );
             tls.replay(log);
-            let Some(q) = q else {
+            let Some(q) = audit::record_cover_round(log, audit::ORDER_BENEFIT, &top) else {
                 break; // level exhausted
             };
-            chosen.push(q.id);
+            let win = top[0];
+            audit::charge_masked(log, system, &covered, win);
+            chosen.push(q);
             counts[level] += 1;
-            covered.union_with(&masks[q.id as usize]);
-            log.set_selected(q.id as u64, q.mben as u64, q.cost.value());
-            rem = rem.saturating_sub(q.mben);
+            covered.union_with(&masks[q as usize]);
+            log.set_selected(q as u64, win.mben as u64, win.cost.value());
+            rem = rem.saturating_sub(win.mben);
             if rem == 0 {
                 select_span.exit(log);
                 return GuessOutcome::Found(Solution::from_sets(system, chosen));

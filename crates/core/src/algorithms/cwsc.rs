@@ -18,7 +18,7 @@ use crate::parallel::ThreadPool;
 use crate::set_system::{coverage_target, SetId, SetSystem};
 use crate::solution::{Solution, SolveError};
 use crate::telemetry::{
-    pack_k_target, EventLog, Observer, PhaseSpan, ThreadLocalTelemetry, TraceId, PHASE_INIT,
+    audit, pack_k_target, EventLog, Observer, PhaseSpan, ThreadLocalTelemetry, TraceId, PHASE_INIT,
     PHASE_SELECT, PHASE_TOTAL,
 };
 use std::panic::{catch_unwind, AssertUnwindSafe};
@@ -224,6 +224,7 @@ pub fn cwsc_with_target_within<O: Observer + ?Sized>(
                     .map_err(EngineError::Solve),
                 RoundOutcome::Expired { partial, reason } => {
                     let solution = Solution::from_sets(system, partial);
+                    obs.degrade_decided(reason.as_str(), solution.covered() as u64, target as u64);
                     let certificate = Certificate {
                         sets_used: solution.size(),
                         covered: solution.covered(),
@@ -283,14 +284,14 @@ fn run_within_serial(
         }
         let i_u = i as u64;
         let rem_u = rem as u64;
-        let q = state.argmax_gain(|id| i_u * state.marginal_benefit(id) as u64 >= rem_u);
-        let Some(q) = q else {
+        let top = state.top_gain(audit::TOP, |id| {
+            i_u * state.marginal_benefit(id) as u64 >= rem_u
+        });
+        let Some((q, newly)) = audit::pick_cover(&mut state, log, audit::ORDER_GAIN, &top) else {
             select_span.exit(log);
             return RoundOutcome::Done(Err(SolveError::NoSolution));
         };
         chosen.push(q);
-        let newly = state.select(q);
-        log.set_selected(q as u64, newly as u64, system.cost(q).value());
         rem = rem.saturating_sub(newly);
         if rem == 0 {
             select_span.exit(log);
@@ -333,7 +334,7 @@ fn run_within_masked(
         }
         let i_u = i as u64;
         let rem_u = rem as u64;
-        let q = scan::masked_argmax(
+        let top = scan::masked_top(
             pool,
             &tls,
             system,
@@ -342,16 +343,19 @@ fn run_within_masked(
             |_| true,
             |mben| i_u * mben as u64 >= rem_u,
             gain_order,
+            audit::TOP,
         );
         tls.replay(log);
-        let Some(q) = q else {
+        let Some(q) = audit::record_cover_round(log, audit::ORDER_GAIN, &top) else {
             select_span.exit(log);
             return RoundOutcome::Done(Err(SolveError::NoSolution));
         };
-        chosen.push(q.id);
-        covered.union_with(&masks[q.id as usize]);
-        log.set_selected(q.id as u64, q.mben as u64, q.cost.value());
-        rem = rem.saturating_sub(q.mben);
+        let win = top[0];
+        audit::charge_masked(log, system, &covered, win);
+        chosen.push(q);
+        covered.union_with(&masks[q as usize]);
+        log.set_selected(q as u64, win.mben as u64, win.cost.value());
+        rem = rem.saturating_sub(win.mben);
         if rem == 0 {
             select_span.exit(log);
             return RoundOutcome::Done(Ok(Solution::from_sets(system, chosen)));
@@ -386,7 +390,7 @@ fn run_parallel<O: Observer + ?Sized>(
     for i in (1..=k).rev() {
         let i_u = i as u64;
         let rem_u = rem as u64;
-        let q = scan::masked_argmax(
+        let top = scan::masked_top(
             pool,
             &tls,
             system,
@@ -395,18 +399,21 @@ fn run_parallel<O: Observer + ?Sized>(
             |_| true,
             |mben| i_u * mben as u64 >= rem_u,
             gain_order,
+            audit::TOP,
         );
         tls.replay(obs);
-        let Some(q) = q else {
+        let Some(q) = audit::record_cover_round(obs, audit::ORDER_GAIN, &top) else {
             select_span.exit(obs);
             return Err(SolveError::NoSolution);
         };
-        chosen.push(q.id);
-        // The recount is against the pre-union mask, so q.mben is exactly
-        // the serial `newly`.
-        covered.union_with(&masks[q.id as usize]);
-        obs.set_selected(q.id as u64, q.mben as u64, q.cost.value());
-        rem = rem.saturating_sub(q.mben);
+        // The recount is against the pre-union mask, so win.mben is
+        // exactly the serial `newly`.
+        let win = top[0];
+        audit::charge_masked(obs, system, &covered, win);
+        chosen.push(q);
+        covered.union_with(&masks[q as usize]);
+        obs.set_selected(q as u64, win.mben as u64, win.cost.value());
+        rem = rem.saturating_sub(win.mben);
         if rem == 0 {
             select_span.exit(obs);
             return Ok(Solution::from_sets(system, chosen));
@@ -441,14 +448,15 @@ fn run<O: Observer + ?Sized>(
         // evaluated in exact integer arithmetic.
         let i_u = i as u64;
         let rem_u = rem as u64;
-        let q = state.argmax_gain(|id| i_u * state.marginal_benefit(id) as u64 >= rem_u);
-        let Some(q) = q else {
+        let top = state.top_gain(audit::TOP, |id| {
+            i_u * state.marginal_benefit(id) as u64 >= rem_u
+        });
+        // line 08 + lines 09, 11-15 (pick_cover selects and updates MBens)
+        let Some((q, newly)) = audit::pick_cover(&mut state, obs, audit::ORDER_GAIN, &top) else {
             select_span.exit(obs);
             return Err(SolveError::NoSolution); // line 07
         };
-        chosen.push(q); // line 08
-        let newly = state.select(q); // lines 09, 11-15 (state updates MBens)
-        obs.set_selected(q as u64, newly as u64, system.cost(q).value());
+        chosen.push(q);
         rem = rem.saturating_sub(newly);
         if rem == 0 {
             select_span.exit(obs);

@@ -12,7 +12,7 @@
 //! for any thread count (DESIGN.md §11).
 
 use crate::bitset::BitSet;
-use crate::cover_state::Candidate;
+use crate::cover_state::{push_top, Candidate};
 use crate::parallel::ThreadPool;
 use crate::set_system::{SetId, SetSystem};
 use crate::telemetry::{PhaseSpan, ThreadLocalTelemetry, PHASE_SCAN};
@@ -96,6 +96,64 @@ where
     )
 }
 
+/// Parallel top-`cap` scan: like [`masked_argmax`] but returns the best
+/// `cap` candidates best-first — the winner plus the audit ledger's
+/// runners-up. Each chunk keeps its own sorted top list; chunk lists fold
+/// in ascending chunk order through [`push_top`], and because the
+/// canonical comparators are total orders the merged list is exactly the
+/// serial scan's top-`cap` prefix for any thread count.
+#[allow(clippy::too_many_arguments)]
+pub fn masked_top<F, E, C>(
+    pool: &ThreadPool,
+    tls: &ThreadLocalTelemetry,
+    system: &SetSystem,
+    masks: &[BitSet],
+    covered: &BitSet,
+    filter: F,
+    eligible: E,
+    order: C,
+    cap: usize,
+) -> Vec<Candidate>
+where
+    F: Fn(SetId) -> bool + Sync,
+    E: Fn(usize) -> bool + Sync,
+    C: Fn(Candidate, Candidate) -> Ordering + Sync,
+{
+    pool.par_chunks_reduce(
+        masks.len(),
+        |chunk, range| {
+            let mut shard = tls.shard(chunk);
+            let span = PhaseSpan::enter(&mut *shard, PHASE_SCAN);
+            let mut top: Vec<Candidate> = Vec::with_capacity(cap);
+            for id in range {
+                let id = id as SetId;
+                if !filter(id) {
+                    continue;
+                }
+                let mben = masks[id as usize].difference_count(covered);
+                if mben == 0 || !eligible(mben) {
+                    continue;
+                }
+                let cand = Candidate {
+                    id,
+                    mben,
+                    cost: system.cost(id),
+                };
+                push_top(&mut top, cand, cap, &order);
+            }
+            span.exit(&mut *shard);
+            Some(top)
+        },
+        |mut a, b| {
+            for c in b {
+                push_top(&mut a, c, cap, &order);
+            }
+            a
+        },
+    )
+    .unwrap_or_default()
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -167,6 +225,49 @@ mod tests {
             let c = par_b.unwrap();
             assert_eq!(c.mben, newly, "recount equals incremental mben");
             covered.union_with(&masks[q as usize]);
+        }
+    }
+
+    #[test]
+    fn masked_top_matches_serial_top_for_any_thread_count() {
+        let sys = system();
+        for threads in [1usize, 2, 4] {
+            let pool = ThreadPool::new(Threads::new(threads));
+            let masks = build_masks(&pool, &sys);
+            let tls = ThreadLocalTelemetry::new(pool.threads());
+            let mut state = CoverState::new(&sys);
+            let mut covered = BitSet::new(sys.num_elements());
+            loop {
+                let serial_b = state.top_benefit(4, |_| true);
+                let par_b = masked_top(
+                    &pool,
+                    &tls,
+                    &sys,
+                    &masks,
+                    &covered,
+                    |_| true,
+                    |_| true,
+                    benefit_order,
+                    4,
+                );
+                assert_eq!(par_b, serial_b, "benefit top @ {threads} threads");
+                let serial_g = state.top_gain(4, |_| true);
+                let par_g = masked_top(
+                    &pool,
+                    &tls,
+                    &sys,
+                    &masks,
+                    &covered,
+                    |_| true,
+                    |_| true,
+                    gain_order,
+                    4,
+                );
+                assert_eq!(par_g, serial_g, "gain top @ {threads} threads");
+                let Some(&win) = serial_g.first() else { break };
+                state.select(win.id);
+                covered.union_with(&masks[win.id as usize]);
+            }
         }
     }
 

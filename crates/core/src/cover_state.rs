@@ -52,6 +52,32 @@ pub fn gain_order(a: Candidate, b: Candidate) -> Ordering {
         .then_with(|| benefit_order(a, b))
 }
 
+/// Inserts `cand` into `top`, kept best-first under `order` and capped at
+/// `cap` entries. Because the canonical comparators are *total* orders
+/// (id is the final tie-break), the resulting list is the unique sorted
+/// top-`cap` prefix of whatever candidate set was pushed — independent of
+/// push order, which is what makes audit runner-up lists identical across
+/// serial scans and chunk-merged parallel scans.
+pub fn push_top(
+    top: &mut Vec<Candidate>,
+    cand: Candidate,
+    cap: usize,
+    order: impl Fn(Candidate, Candidate) -> Ordering,
+) {
+    if cap == 0 {
+        return;
+    }
+    let pos = top
+        .iter()
+        .position(|&b| order(cand, b) == Ordering::Greater)
+        .unwrap_or(top.len());
+    if pos >= cap {
+        return;
+    }
+    top.insert(pos, cand);
+    top.truncate(cap);
+}
+
 /// Mutable greedy state: covered elements plus exact marginal benefits.
 pub struct CoverState<'a> {
     system: &'a SetSystem,
@@ -231,6 +257,48 @@ impl<'a> CoverState<'a> {
         best
     }
 
+    /// The best `cap` active candidates by marginal benefit (canonical
+    /// order, best first). `top_benefit(cap, f)[0]` is exactly
+    /// [`argmax_benefit`](CoverState::argmax_benefit)`(f)` — the extra
+    /// entries are the audit ledger's runners-up.
+    pub fn top_benefit(&self, cap: usize, mut filter: impl FnMut(SetId) -> bool) -> Vec<Candidate> {
+        let mut top = Vec::with_capacity(cap);
+        for id in 0..self.mben.len() as SetId {
+            if !self.active[id as usize] || self.mben[id as usize] == 0 || !filter(id) {
+                continue;
+            }
+            push_top(&mut top, self.candidate(id), cap, benefit_order);
+        }
+        top
+    }
+
+    /// The best `cap` active candidates by marginal gain (canonical order,
+    /// best first); `top_gain(cap, f)[0]` equals
+    /// [`argmax_gain`](CoverState::argmax_gain)`(f)`.
+    pub fn top_gain(&self, cap: usize, mut filter: impl FnMut(SetId) -> bool) -> Vec<Candidate> {
+        let mut top = Vec::with_capacity(cap);
+        for id in 0..self.mben.len() as SetId {
+            if !self.active[id as usize] || self.mben[id as usize] == 0 || !filter(id) {
+                continue;
+            }
+            push_top(&mut top, self.candidate(id), cap, gain_order);
+        }
+        top
+    }
+
+    /// The elements `id` would newly cover if selected now — the elements
+    /// the audit ledger prices when the set wins a round. Call *before*
+    /// [`select`](CoverState::select); the list's length equals `select`'s
+    /// return value.
+    pub fn newly_elements(&self, id: SetId) -> Vec<u32> {
+        self.system
+            .members(id)
+            .iter()
+            .copied()
+            .filter(|&e| !self.covered.contains(e as usize))
+            .collect()
+    }
+
     /// This set as a [`Candidate`] under the current marginal benefits.
     #[inline]
     pub fn candidate(&self, id: SetId) -> Candidate {
@@ -370,6 +438,131 @@ mod tests {
         assert_eq!(st.argmax_benefit(|_| true), None);
         assert_eq!(st.argmax_gain(|_| true), None);
         assert_eq!(st.covered_count(), 6);
+    }
+
+    #[test]
+    fn top_scans_agree_with_argmax_and_sort_canonically() {
+        let sys = system();
+        let mut st = CoverState::new(&sys);
+        loop {
+            let top_b = st.top_benefit(4, |_| true);
+            assert_eq!(top_b.first().map(|c| c.id), st.argmax_benefit(|_| true));
+            for w in top_b.windows(2) {
+                assert_eq!(benefit_order(w[0], w[1]), Ordering::Greater);
+            }
+            let top_g = st.top_gain(4, |_| true);
+            assert_eq!(top_g.first().map(|c| c.id), st.argmax_gain(|_| true));
+            for w in top_g.windows(2) {
+                assert_eq!(gain_order(w[0], w[1]), Ordering::Greater);
+            }
+            let Some(&win) = top_g.first() else { break };
+            let newly = st.newly_elements(win.id);
+            assert_eq!(newly.len(), win.mben, "recount equals fresh mben");
+            assert_eq!(st.select(win.id), newly.len());
+        }
+        assert!(st.top_gain(4, |_| true).is_empty());
+    }
+
+    #[test]
+    fn top_scans_respect_cap_and_filter() {
+        let sys = system();
+        let st = CoverState::new(&sys);
+        assert_eq!(st.top_benefit(1, |_| true).len(), 1);
+        assert_eq!(st.top_benefit(0, |_| true).len(), 0);
+        let filtered = st.top_gain(4, |id| id != 3);
+        assert!(filtered.iter().all(|c| c.id != 3));
+    }
+
+    /// Exhaustive permutation sweep: pushing equal-gain-ratio candidates
+    /// in every possible order yields the identical top list, so the audit
+    /// ledger's runner-up lists (and the margins/tie-break keys derived
+    /// from them) cannot depend on candidate iteration order.
+    #[test]
+    fn push_top_is_permutation_invariant_on_equal_ratios() {
+        fn permutations(mut items: Vec<Candidate>, k: usize, out: &mut Vec<Vec<Candidate>>) {
+            if k <= 1 {
+                out.push(items);
+                return;
+            }
+            for i in 0..k {
+                permutations(items.clone(), k - 1, out);
+                if k % 2 == 0 {
+                    items.swap(i, k - 1);
+                } else {
+                    items.swap(0, k - 1);
+                }
+            }
+        }
+        let cand = |id: SetId, mben: usize, cost: f64| Candidate {
+            id,
+            mben,
+            cost: Cost::new(cost).unwrap(),
+        };
+        // All five candidates share gain ratio 1.0; two pairs also tie on
+        // benefit, exercising the cost and id tie-break levels.
+        let cands = vec![
+            cand(4, 2, 2.0),
+            cand(1, 2, 2.0),
+            cand(3, 4, 4.0),
+            cand(0, 4, 4.0),
+            cand(2, 1, 1.0),
+        ];
+        for &order in &[
+            gain_order as fn(Candidate, Candidate) -> Ordering,
+            benefit_order,
+        ] {
+            let mut reference = cands.clone();
+            reference.sort_by(|&a, &b| order(b, a));
+            reference.truncate(4);
+            let mut perms = Vec::new();
+            permutations(cands.clone(), cands.len(), &mut perms);
+            assert_eq!(perms.len(), 120, "5! orderings");
+            for perm in perms {
+                let mut top = Vec::new();
+                for c in perm {
+                    push_top(&mut top, c, 4, order);
+                }
+                assert_eq!(top, reference, "order-independent top list");
+            }
+        }
+    }
+
+    #[test]
+    fn push_top_merges_chunked_lists_like_one_scan() {
+        // Folding per-chunk top lists through push_top reproduces the
+        // single-scan list — the parallel masked_top merge contract.
+        let cand = |id: SetId, mben: usize, cost: f64| Candidate {
+            id,
+            mben,
+            cost: Cost::new(cost).unwrap(),
+        };
+        let all = vec![
+            cand(0, 3, 1.0),
+            cand(1, 3, 1.0),
+            cand(2, 7, 9.0),
+            cand(3, 1, 4.0),
+            cand(4, 6, 2.0),
+            cand(5, 3, 1.0),
+        ];
+        let mut whole = Vec::new();
+        for &c in &all {
+            push_top(&mut whole, c, 4, gain_order);
+        }
+        for split in 1..all.len() {
+            let (lo, hi) = all.split_at(split);
+            let mut a = Vec::new();
+            for &c in lo {
+                push_top(&mut a, c, 4, gain_order);
+            }
+            let mut b = Vec::new();
+            for &c in hi {
+                push_top(&mut b, c, 4, gain_order);
+            }
+            for c in b {
+                push_top(&mut a, c, 4, gain_order);
+            }
+            assert_eq!(a, whole, "split at {split}");
+        }
     }
 
     #[test]

@@ -66,8 +66,9 @@ pub use solution::{
 };
 pub use stats::Stats;
 pub use telemetry::{
-    parse_prometheus, render_prometheus, CausalNode, EventLog, Fanout, FlightRecorder, JsonlSink,
-    LogHistogram, MetricsRecorder, NoopObserver, Observer, PhaseMetric, PhaseSpan, PruneReason,
-    SloGauges, SpanCounters, SpanNode, SpanProfiler, ThreadLocalTelemetry, TraceContext, TraceId,
-    MAIN_WORKER, PHASE_EXPAND, PHASE_GUESS, PHASE_INIT, PHASE_SCAN, PHASE_SELECT, PHASE_TOTAL,
+    audit, parse_prometheus, render_prometheus, CausalNode, EventLog, Fanout, FlightRecorder,
+    JsonlSink, LogHistogram, MetricsRecorder, NoopObserver, Observer, PhaseMetric, PhaseSpan,
+    PruneReason, SloGauges, SpanCounters, SpanNode, SpanProfiler, ThreadLocalTelemetry,
+    TraceContext, TraceId, MAIN_WORKER, PHASE_EXPAND, PHASE_GUESS, PHASE_INIT, PHASE_SCAN,
+    PHASE_SELECT, PHASE_TOTAL,
 };

@@ -31,6 +31,9 @@
 //! | `subtree_pruned` | a whole lattice subtree was cut (pattern solvers) |
 //! | `posting_scanned` | index posting entries were scanned to expand a node |
 //! | `heap_stale_pop` | the lazy-greedy heap popped a stale entry and re-scored it |
+//! | `round_decided` | a selection round resolved: winner + runners-up + tie-break |
+//! | `price_charged` | the winner's weight was split across its newly covered elements |
+//! | `degrade_decided` | the engine degraded a solve (deadline/tick budget/cancel) |
 //! | `guess_retried` | a panicked budget guess was contained and retried serially |
 //! | `trace_started` | a solve entry point minted its deterministic [`TraceId`] |
 //! | `worker_switched` | subsequent events were recorded by another worker (shard replay) |
@@ -42,12 +45,14 @@ use std::time::Instant;
 
 #[cfg(feature = "alloc-stats")]
 pub mod alloc;
+pub mod audit;
 pub mod export;
 pub mod flight;
 pub mod replay;
 pub mod spans;
 pub mod trace;
 
+pub use audit::{AuditCandidate, DecisionLedger, QualityCertificate};
 pub use export::{parse_prometheus, render_prometheus, SloGauges};
 pub use flight::{CausalNode, FlightRecorder};
 pub use replay::{EventLog, ThreadLocalTelemetry};
@@ -175,6 +180,38 @@ pub trait Observer {
 
     /// The lazy-greedy heap popped a stale entry and had to re-score it.
     fn heap_stale_pop(&mut self) {}
+
+    /// A selection round resolved: `winner` beat `runners_up` (best first,
+    /// at most [`audit::RUNNERS_UP`]) under `order`
+    /// ([`audit::ORDER_BENEFIT`] or [`audit::ORDER_GAIN`]). Emitted once
+    /// per `set_selected`, *before* it, by every greedy solver; the
+    /// [`DecisionLedger`](audit::DecisionLedger) derives margins and
+    /// tie-break keys from it. The derived counter is **excluded** from
+    /// the exact-diff set (audit plumbing, not algorithmic work).
+    fn round_decided(
+        &mut self,
+        order: &'static str,
+        winner: &audit::AuditCandidate,
+        runners_up: &[audit::AuditCandidate],
+    ) {
+        let _ = (order, winner, runners_up);
+    }
+
+    /// The winning set's weight `cost` was charged uniformly across the
+    /// `elements` it newly covered — the greedy price vector behind
+    /// [`audit::certify`]. Emitted right after the matching
+    /// [`round_decided`](Observer::round_decided).
+    fn price_charged(&mut self, set_id: u64, elements: &[u32], cost: f64) {
+        let _ = (set_id, elements, cost);
+    }
+
+    /// The resilience engine decided to degrade a solve (`reason` is the
+    /// stable `DegradeReason::as_str` string) with `covered` of `target`
+    /// elements covered. Fires only on deadline/fault paths, which a
+    /// healthy run never takes — excluded from the exact-diff set.
+    fn degrade_decided(&mut self, reason: &'static str, covered: u64, target: u64) {
+        let _ = (reason, covered, target);
+    }
 
     /// A speculative budget-guess window resolved: `committed` guesses had
     /// their telemetry committed (identical to what a serial run would
@@ -449,6 +486,9 @@ pub struct MetricsRecorder {
     /// Worker-context switches replayed from parallel telemetry shards.
     /// Parallel runs only — excluded from the exact-diff counter set.
     pub worker_switches: u64,
+    /// Selection rounds audited (`round_decided` events). Audit plumbing —
+    /// excluded from the exact-diff counter set like the trace counters.
+    pub rounds_audited: u64,
     /// Distribution of marginal benefits at selection time.
     pub marginal_benefit_hist: LogHistogram,
     /// Distribution of consecutive stale pops preceding each selection —
@@ -516,6 +556,7 @@ impl MetricsRecorder {
         self.guesses_retried += other.guesses_retried;
         self.traces_started += other.traces_started;
         self.worker_switches += other.worker_switches;
+        self.rounds_audited += other.rounds_audited;
         self.marginal_benefit_hist
             .merge(&other.marginal_benefit_hist);
         self.stale_run_hist.merge(&other.stale_run_hist);
@@ -585,6 +626,15 @@ impl Observer for MetricsRecorder {
 
     fn worker_switched(&mut self, _worker_id: u32) {
         self.worker_switches += 1;
+    }
+
+    fn round_decided(
+        &mut self,
+        _order: &'static str,
+        _winner: &audit::AuditCandidate,
+        _runners_up: &[audit::AuditCandidate],
+    ) {
+        self.rounds_audited += 1;
     }
 
     fn phase_ended(&mut self, name: &'static str, seconds: f64) {
@@ -751,6 +801,48 @@ impl<W: io::Write> Observer for JsonlSink<W> {
         self.emit("heap_stale_pop", "");
     }
 
+    fn round_decided(
+        &mut self,
+        order: &'static str,
+        winner: &audit::AuditCandidate,
+        runners_up: &[audit::AuditCandidate],
+    ) {
+        let mut f = format!(
+            ",\"order\":\"{order}\",\"winner\":{},\"runners_up\":[",
+            audit::cand_json(winner)
+        );
+        for (i, r) in runners_up.iter().enumerate() {
+            if i > 0 {
+                f.push(',');
+            }
+            f.push_str(&audit::cand_json(r));
+        }
+        f.push(']');
+        self.emit("round_decided", &f);
+    }
+
+    fn price_charged(&mut self, set_id: u64, elements: &[u32], cost: f64) {
+        let mut f = format!(
+            ",\"set\":{set_id},\"cost\":{},\"elements\":[",
+            json_f64(cost)
+        );
+        for (i, e) in elements.iter().enumerate() {
+            if i > 0 {
+                f.push(',');
+            }
+            let _ = write!(f, "{e}");
+        }
+        f.push(']');
+        self.emit("price_charged", &f);
+    }
+
+    fn degrade_decided(&mut self, reason: &'static str, covered: u64, target: u64) {
+        self.emit(
+            "degrade_decided",
+            &format!(",\"reason\":\"{reason}\",\"covered\":{covered},\"target\":{target}"),
+        );
+    }
+
     fn speculation(&mut self, committed: u64, wasted: u64) {
         self.emit(
             "speculation",
@@ -864,6 +956,29 @@ impl Observer for Fanout<'_> {
     fn heap_stale_pop(&mut self) {
         for o in &mut self.observers {
             o.heap_stale_pop();
+        }
+    }
+
+    fn round_decided(
+        &mut self,
+        order: &'static str,
+        winner: &audit::AuditCandidate,
+        runners_up: &[audit::AuditCandidate],
+    ) {
+        for o in &mut self.observers {
+            o.round_decided(order, winner, runners_up);
+        }
+    }
+
+    fn price_charged(&mut self, set_id: u64, elements: &[u32], cost: f64) {
+        for o in &mut self.observers {
+            o.price_charged(set_id, elements, cost);
+        }
+    }
+
+    fn degrade_decided(&mut self, reason: &'static str, covered: u64, target: u64) {
+        for o in &mut self.observers {
+            o.degrade_decided(reason, covered, target);
         }
     }
 

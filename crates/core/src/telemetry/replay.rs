@@ -20,6 +20,7 @@
 //!   [`MetricsRecorder::merge`](super::MetricsRecorder::merge) /
 //!   [`SpanProfiler::merge`](super::SpanProfiler::merge).
 
+use super::audit::AuditCandidate;
 use super::trace::{TraceId, MAIN_WORKER};
 use super::{Observer, PruneReason};
 use std::sync::{Mutex, MutexGuard};
@@ -36,6 +37,9 @@ enum Event {
     SubtreePruned(PruneReason),
     PostingScanned(u64),
     HeapStalePop,
+    RoundDecided(&'static str, AuditCandidate, Vec<AuditCandidate>),
+    PriceCharged(u64, Vec<u32>, f64),
+    DegradeDecided(&'static str, u64, u64),
     Speculation(u64, u64),
     GuessRetried,
     TraceStarted(TraceId, &'static str),
@@ -83,6 +87,15 @@ impl EventLog {
                 Event::SubtreePruned(reason) => obs.subtree_pruned(reason),
                 Event::PostingScanned(entries) => obs.posting_scanned(entries),
                 Event::HeapStalePop => obs.heap_stale_pop(),
+                Event::RoundDecided(order, ref winner, ref runners) => {
+                    obs.round_decided(order, winner, runners)
+                }
+                Event::PriceCharged(set_id, ref elements, cost) => {
+                    obs.price_charged(set_id, elements, cost)
+                }
+                Event::DegradeDecided(reason, covered, target) => {
+                    obs.degrade_decided(reason, covered, target)
+                }
                 Event::Speculation(committed, wasted) => obs.speculation(committed, wasted),
                 Event::GuessRetried => obs.guess_retried(),
                 Event::TraceStarted(id, entry) => obs.trace_started(id, entry),
@@ -126,6 +139,26 @@ impl Observer for EventLog {
 
     fn heap_stale_pop(&mut self) {
         self.events.push(Event::HeapStalePop);
+    }
+
+    fn round_decided(
+        &mut self,
+        order: &'static str,
+        winner: &AuditCandidate,
+        runners_up: &[AuditCandidate],
+    ) {
+        self.events
+            .push(Event::RoundDecided(order, *winner, runners_up.to_vec()));
+    }
+
+    fn price_charged(&mut self, set_id: u64, elements: &[u32], cost: f64) {
+        self.events
+            .push(Event::PriceCharged(set_id, elements.to_vec(), cost));
+    }
+
+    fn degrade_decided(&mut self, reason: &'static str, covered: u64, target: u64) {
+        self.events
+            .push(Event::DegradeDecided(reason, covered, target));
     }
 
     fn speculation(&mut self, committed: u64, wasted: u64) {
@@ -235,7 +268,20 @@ mod tests {
         obs.subtree_pruned(PruneReason::CostBound);
         obs.posting_scanned(17);
         obs.heap_stale_pop();
+        let winner = AuditCandidate {
+            id: 3,
+            benefit: 5,
+            weight: 1.5,
+        };
+        let runner = AuditCandidate {
+            id: 1,
+            benefit: 2,
+            weight: 1.0,
+        };
+        obs.round_decided("gain", &winner, &[runner]);
         obs.set_selected(3, 5, 1.5);
+        obs.price_charged(3, &[0, 4, 7], 1.5);
+        obs.degrade_decided("tick_budget", 3, 9);
         obs.speculation(2, 1);
         obs.guess_retried();
         obs.phase_ended(PHASE_TOTAL, 0.5);
@@ -245,7 +291,7 @@ mod tests {
     fn replay_reproduces_metrics_exactly() {
         let mut log = EventLog::new();
         drive(&mut log);
-        assert_eq!(log.len(), 12);
+        assert_eq!(log.len(), 15);
 
         let mut direct = MetricsRecorder::new();
         drive(&mut direct);
@@ -262,8 +308,22 @@ mod tests {
         assert_eq!(replayed.guesses_committed, direct.guesses_committed);
         assert_eq!(replayed.guesses_wasted, direct.guesses_wasted);
         assert_eq!(replayed.guesses_retried, direct.guesses_retried);
+        assert_eq!(replayed.rounds_audited, direct.rounds_audited);
         assert_eq!(replayed.marginal_benefit_hist, direct.marginal_benefit_hist);
         assert_eq!(replayed.phases(), direct.phases());
+    }
+
+    #[test]
+    fn replay_reproduces_audit_ledger_exactly() {
+        use crate::telemetry::audit::DecisionLedger;
+        let mut log = EventLog::new();
+        drive(&mut log);
+        let mut direct = DecisionLedger::new();
+        drive(&mut direct);
+        let mut replayed = DecisionLedger::new();
+        log.replay(&mut replayed);
+        assert_eq!(direct.guesses(), replayed.guesses());
+        assert_eq!(direct.prices(), replayed.prices());
     }
 
     #[test]

@@ -32,8 +32,8 @@ use scwsc_core::engine::{
     panic_message, Certificate, Deadline, DegradeReason, Degraded, EngineError, SolveOutcome,
 };
 use scwsc_core::telemetry::{
-    pack_k_target, EventLog, Observer, PhaseSpan, PruneReason, ThreadLocalTelemetry, TraceId,
-    PHASE_GUESS, PHASE_SCAN, PHASE_TOTAL,
+    audit, pack_k_target, EventLog, Observer, PhaseSpan, PruneReason, ThreadLocalTelemetry,
+    TraceId, PHASE_GUESS, PHASE_SCAN, PHASE_TOTAL,
 };
 use scwsc_core::{coverage_target, BitSet, SolveError, ThreadPool};
 use std::collections::BinaryHeap;
@@ -239,6 +239,7 @@ fn guess_loop_within<S: LatticeSpace, O: Observer + ?Sized>(
                 quotas_exhausted,
                 reason,
             } => {
+                obs.degrade_decided(reason.as_str(), partial.covered as u64, target as u64);
                 let certificate = Certificate {
                     sets_used: partial.size(),
                     covered: partial.covered,
@@ -560,6 +561,43 @@ fn run_guess<S: LatticeSpace, O: Observer + ?Sized>(
 
         let selectable = level.is_some_and(|l| counts[l] < levels.quota(l));
         if selectable {
+            // Audit the pick before mutating: runners-up are the next heap
+            // entries still in C. Their stored scores may be stale upper
+            // bounds (lazy revalidation), i.e. optimistic — the ledger
+            // notes the heap's view, which is deterministic because the
+            // heap order is total and the pop/re-push cycle below restores
+            // the heap exactly.
+            let mut popped: Vec<HeapEntry> = Vec::with_capacity(audit::RUNNERS_UP);
+            while popped.len() < audit::RUNNERS_UP {
+                let Some(e) = heap.pop() else { break };
+                popped.push(e);
+            }
+            let runners: Vec<audit::AuditCandidate> = popped
+                .iter()
+                .filter(|e| in_c[e.id as usize])
+                .map(|e| audit::AuditCandidate {
+                    id: e.id as u64,
+                    benefit: e.mben as u64,
+                    weight: lattice.costs[e.id as usize],
+                })
+                .collect();
+            for e in popped {
+                heap.push(e);
+            }
+            let winner = audit::AuditCandidate {
+                id: entry.id as u64,
+                benefit: current as u64,
+                weight: q_cost,
+            };
+            obs.round_decided(audit::ORDER_BENEFIT, &winner, &runners);
+            let newly: Vec<u32> = lattice.rows[id]
+                .iter()
+                .copied()
+                .filter(|&r| !covered.contains(r as usize))
+                .collect();
+            debug_assert_eq!(newly.len(), current, "fresh recount priced exactly");
+            obs.price_charged(entry.id as u64, &newly, q_cost);
+
             // Lines 21-25: select q.
             let l = level.expect("selectable implies a level");
             counts[l] += 1;

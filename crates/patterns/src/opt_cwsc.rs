@@ -14,7 +14,7 @@
 //! exactly the same patterns in the same order as running the unoptimized
 //! CWSC over the full materialization; the property tests assert this.
 
-use crate::candidates::{gain_order, CandidatePool};
+use crate::candidates::{gain_order, CandId, CandidatePool};
 use crate::pattern::Pattern;
 use crate::pattern_solution::PatternSolution;
 use crate::space::{LatticeSpace, PatternSpace};
@@ -22,8 +22,8 @@ use scwsc_core::engine::{
     panic_message, Certificate, Deadline, DegradeReason, Degraded, EngineError, SolveOutcome,
 };
 use scwsc_core::telemetry::{
-    pack_k_target, EventLog, Observer, PhaseSpan, PruneReason, TraceId, PHASE_EXPAND, PHASE_SELECT,
-    PHASE_TOTAL,
+    audit, pack_k_target, EventLog, Observer, PhaseSpan, PruneReason, TraceId, PHASE_EXPAND,
+    PHASE_SELECT, PHASE_TOTAL,
 };
 use scwsc_core::{coverage_target, BitSet, SolveError};
 use std::cmp::Reverse;
@@ -184,6 +184,7 @@ pub fn opt_cwsc_in_within<S: LatticeSpace, O: Observer + ?Sized>(
                     .map(SolveOutcome::Complete)
                     .map_err(EngineError::Solve),
                 PatternRound::Expired { partial, reason } => {
+                    obs.degrade_decided(reason.as_str(), partial.covered as u64, target as u64);
                     let certificate = Certificate {
                         sets_used: partial.size(),
                         covered: partial.covered,
@@ -326,30 +327,52 @@ fn run_in<S: LatticeSpace, O: Observer + ?Sized>(
         }
         expand_span.exit(obs);
 
-        // Line 21: argmax of marginal gain over C.
+        // Line 21: argmax of marginal gain over C, kept as a sorted
+        // best-first top list so the audit ledger records the runners-up
+        // alongside the winner.
         let select_span = PhaseSpan::enter(obs, PHASE_SELECT);
-        let mut best: Option<usize> = None;
+        let mut top: Vec<CandId> = Vec::with_capacity(audit::TOP);
         for id in pool.alive_ids() {
-            best = Some(match best {
-                None => id,
-                Some(b) => {
-                    if gain_order(pool.get(id), pool.get(b)) == std::cmp::Ordering::Greater {
-                        id
-                    } else {
-                        b
-                    }
-                }
+            let pos = top.iter().position(|&t| {
+                gain_order(pool.get(id), pool.get(t)) == std::cmp::Ordering::Greater
             });
+            match pos {
+                Some(p) => top.insert(p, id),
+                None if top.len() < audit::TOP => top.push(id),
+                None => continue,
+            }
+            top.truncate(audit::TOP);
         }
-        let Some(q_id) = best else {
+        let Some(&q_id) = top.first() else {
             select_span.exit(obs);
             return PatternRound::Done(Err(SolveError::NoSolution)); // line 22
         };
+        // Pattern-space candidates audit under their pool id; ties beyond
+        // cost actually break on the pattern ordering the pool id mirrors
+        // (insertion is parents-before-children, deterministic).
+        let as_audit = |id: CandId| {
+            let c = pool.get(id);
+            audit::AuditCandidate {
+                id: id as u64,
+                benefit: c.mben as u64,
+                weight: c.cost,
+            }
+        };
+        let runners: Vec<audit::AuditCandidate> = top[1..].iter().map(|&id| as_audit(id)).collect();
+        obs.round_decided(audit::ORDER_GAIN, &as_audit(q_id), &runners);
 
         // Lines 23-26: select q.
         let q = pool.get(q_id);
         let q_mben = q.mben;
         let q_cost = q.cost;
+        let newly: Vec<u32> = q
+            .rows
+            .iter()
+            .copied()
+            .filter(|&r| !covered.contains(r as usize))
+            .collect();
+        debug_assert_eq!(newly.len(), q_mben, "recount kept mben current");
+        obs.price_charged(q_id as u64, &newly, q_cost);
         solution.patterns.push(q.pattern.clone());
         solution.total_cost += q.cost;
         selected.push(q.pattern.clone());

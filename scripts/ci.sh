@@ -88,3 +88,43 @@ cargo run --release -q -p scwsc-bench --bin scwsc_bench -- \
 grep -A1 "span self-time movers" target/ci_attr.out | tail -1 \
   | grep -q '+1000\.0000s.*total' \
   || { echo "perturbed span is not the top mover"; cat target/ci_attr.out; exit 1; }
+
+# Decision-audit golden smoke (DESIGN.md §14): --explain must narrate the
+# ledger (winner, runners-up, margins, prices) and end with a certified
+# quality line whose lower bound the binary derived from its own prices.
+"$solve" --rows 300 --seed 7 --k 5 --coverage 0.5 --algorithm cmc \
+  --explain 3 > target/ci_explain.out 2> /dev/null
+for marker in "== decision audit ==" "runner-up" "margin" "charged " \
+  "certified quality:" "LB "; do
+  grep -q "$marker" target/ci_explain.out \
+    || { echo "--explain output missing '$marker'"; cat target/ci_explain.out; exit 1; }
+done
+
+# Audit replay parity (DESIGN.md §14): the decision ledger is part of the
+# deterministic event stream, so a 4-thread solve must write a
+# byte-identical --audit-jsonl to the serial one.
+SCWSC_THREADS=1 "$solve" --rows 1000 --seed 11 --k 6 --coverage 0.5 \
+  --algorithm cmc --audit-jsonl target/ci_audit_t1.jsonl > /dev/null 2>&1
+SCWSC_THREADS=4 "$solve" --rows 1000 --seed 11 --k 6 --coverage 0.5 \
+  --algorithm cmc --audit-jsonl target/ci_audit_t4.jsonl > /dev/null 2>&1
+cmp target/ci_audit_t1.jsonl target/ci_audit_t4.jsonl \
+  || { echo "audit ledger differs across thread counts"; exit 1; }
+
+# Quality-regression gate (DESIGN.md §14): the committed schema-2 baseline
+# carries certified greedy cost and lower bound per workload; the fresh
+# quick recording must not regress either (checked even --counters-only).
+cargo run --release -q -p scwsc-bench --bin scwsc_bench -- \
+  diff BENCH_pr7.json target/BENCH_ci.json --counters-only
+
+# flight-to-chrome smoke: the post-mortem dump from the resilience gate
+# must convert to a loadable Chrome tracing JSON with real events.
+cargo run --release -q -p scwsc-bench --bin scwsc_bench -- \
+  flight-to-chrome target/ci_flight.jsonl target/ci_flight.chrome.json
+python3 - target/ci_flight.chrome.json <<'EOF'
+import json, sys
+trace = json.load(open(sys.argv[1]))
+events = trace["traceEvents"]
+assert any(e["ph"] == "X" for e in events), "no duration spans"
+assert any(e["ph"] == "i" for e in events), "no instant events"
+assert any(e["ph"] == "M" for e in events), "no process names"
+EOF
