@@ -22,12 +22,30 @@ pub struct SpanMover {
     pub base_self_secs: f64,
     /// Self seconds in the new snapshot (0.0 when the span vanished).
     pub new_self_secs: f64,
+    /// Whether the span exists in the baseline tree at all.
+    pub in_base: bool,
+    /// Whether the span exists in the new tree at all.
+    pub in_new: bool,
 }
 
 impl SpanMover {
     /// Signed self-time change, new minus base.
     pub fn delta(&self) -> f64 {
         self.new_self_secs - self.base_self_secs
+    }
+
+    /// How the before/after column renders. A span present on only one
+    /// side (a feature toggled on, like `scan_prune` under `SCWSC_PRUNE`)
+    /// is labelled rather than "diffed" against a zero that was never
+    /// measured — `0.0000s -> 0.0031s` reads as a regression when it is
+    /// really a new instrument.
+    fn side_label(&self) -> String {
+        match (self.in_base, self.in_new) {
+            (true, true) => format!("{:.4}s -> {:.4}s", self.base_self_secs, self.new_self_secs),
+            (false, true) => format!("new span: {:.4}s", self.new_self_secs),
+            (true, false) => format!("vanished: was {:.4}s", self.base_self_secs),
+            (false, false) => unreachable!("mover from a span on neither side"),
+        }
     }
 }
 
@@ -70,10 +88,9 @@ impl Attribution {
         }
         for m in self.spans.iter().take(top) {
             out.push_str(&format!(
-                "  {:+10.4}s  {:.4}s -> {:.4}s  {}  {}\n",
+                "  {:+10.4}s  {}  {}  {}\n",
                 m.delta(),
-                m.base_self_secs,
-                m.new_self_secs,
+                m.side_label(),
                 m.workload,
                 m.path
             ));
@@ -158,6 +175,8 @@ fn walk_pair(
             path: path.to_string(),
             base_self_secs: base_self,
             new_self_secs: new_self,
+            in_base: base.is_some(),
+            in_new: new.is_some(),
         });
     }
     // Visit the union of child names, preserving base-side order and
@@ -286,6 +305,54 @@ mod tests {
             .unwrap();
         assert_eq!(select.base_self_secs, 0.0);
         assert_eq!(select.new_self_secs, 0.6);
+        assert!(!select.in_base && select.in_new);
+    }
+
+    #[test]
+    fn one_sided_scan_prune_span_renders_as_new_not_as_regression() {
+        // Golden render: turning SCWSC_PRUNE on makes scan_prune spans
+        // appear where the baseline (recorded with pruning off) has none.
+        // The mover must read "new span", never "0.0000s -> ...".
+        let base = snap(base_tree(), BTreeMap::new());
+        let pruned = span(
+            "total",
+            1.0,
+            vec![span(
+                "guess",
+                0.6,
+                vec![span("scan", 0.4, vec![]), span("scan_prune", 0.1, vec![])],
+            )],
+        );
+        let new = snap(pruned, BTreeMap::new());
+        let text = attribute(&base, &new).render(10);
+        assert!(
+            text.contains("new span: 0.1000s  w  total/guess/scan_prune"),
+            "one-sided span labelled as new:\n{text}"
+        );
+        assert!(
+            !text.contains("0.0000s -> 0.1000s"),
+            "must not diff a never-measured side against zero:\n{text}"
+        );
+        // And the reverse direction (baseline had it, new does not).
+        let text = attribute(&new, &base).render(10);
+        assert!(
+            text.contains("vanished: was 0.1000s  w  total/guess/scan_prune"),
+            "one-sided span labelled as vanished:\n{text}"
+        );
+        // Both-sided movers keep the arrow format the CI golden greps for.
+        let slower = snap(
+            span(
+                "total",
+                2.0,
+                vec![span("guess", 0.6, vec![span("scan", 0.5, vec![])])],
+            ),
+            BTreeMap::new(),
+        );
+        let text = attribute(&snap(base_tree(), BTreeMap::new()), &slower).render(10);
+        assert!(
+            text.contains("0.4000s -> 1.4000s  w  total"),
+            "two-sided movers keep the arrow format:\n{text}"
+        );
     }
 
     #[test]

@@ -32,7 +32,7 @@ static ALLOC: scwsc_core::telemetry::alloc::CountingAlloc =
 
 const USAGE: &str = "\
 usage:
-  scwsc_bench record [--label L] [--reps N] [--quick] [--suite full|smoke] [--out PATH] [--threads N] [--export-metrics PATH]
+  scwsc_bench record [--label L] [--reps N] [--quick] [--suite full|smoke] [--only SUBSTR] [--out PATH] [--threads N] [--export-metrics PATH]
   scwsc_bench diff BASE NEW [--tolerance F] [--counters-only] [--attribute] [--top N]
   scwsc_bench flight-to-chrome IN OUT
 
@@ -42,6 +42,9 @@ record options:
   --quick       one rep per workload (counters are unaffected: the
                 workloads themselves never shrink)
   --suite S     workload suite: full | smoke [default: full]
+  --only SUBSTR restrict the suite to workloads whose name contains
+                SUBSTR (timing probes; such snapshots are not valid
+                CI baselines)
   --out PATH    output path [default: BENCH_<label>.json]
   --threads N   worker threads for the solver fan-outs; 1 = serial
                 [default: $SCWSC_THREADS, else all cores]. Deterministic
@@ -88,6 +91,7 @@ fn cmd_record(args: &[String]) -> Result<ExitCode, String> {
     let mut reps = 5usize;
     let mut quick = false;
     let mut suite_name = "full".to_string();
+    let mut only: Option<String> = None;
     let mut out: Option<String> = None;
     let mut threads = Threads::from_env();
     let mut export_metrics: Option<String> = None;
@@ -103,6 +107,7 @@ fn cmd_record(args: &[String]) -> Result<ExitCode, String> {
             }
             "--quick" => quick = true,
             "--suite" => suite_name = take(&mut it, "--suite")?,
+            "--only" => only = Some(take(&mut it, "--only")?),
             "--out" => out = Some(take(&mut it, "--out")?),
             "--threads" => {
                 threads = Threads::new(
@@ -120,8 +125,16 @@ fn cmd_record(args: &[String]) -> Result<ExitCode, String> {
     if quick {
         reps = 1;
     }
-    let suite = registry::suite(&suite_name)
+    let mut suite = registry::suite(&suite_name)
         .ok_or_else(|| format!("unknown suite '{suite_name}' (expected full|smoke)"))?;
+    if let Some(pat) = &only {
+        suite.retain(|w| w.name.contains(pat.as_str()));
+        if suite.is_empty() {
+            return Err(format!(
+                "--only '{pat}' matches no workload in '{suite_name}'"
+            ));
+        }
+    }
     let path = out.unwrap_or_else(|| format!("BENCH_{label}.json"));
 
     let pool = ThreadPool::new(threads);

@@ -15,6 +15,24 @@
 
 use crate::snapshot::{Snapshot, WorkloadRun};
 
+/// Counters that are recorded in snapshots but never compared exactly.
+///
+/// The pruned-scan advisories depend on chunk boundaries (thread count) and
+/// on whether `SCWSC_PRUNE` is set: with more threads each chunk has its own
+/// running champion, so a candidate pruned at `t1` may be counted exactly at
+/// `t4` and vice versa. They document how much work the scan skipped; any
+/// drift is surfaced as a note, not a regression, so the t1-vs-t4 and
+/// PRUNE=0-vs-1 gates stay byte-stable on the exact counters alone.
+pub const ADVISORY_COUNTERS: &[&str] = &[
+    "scan_candidates_pruned",
+    "scan_bounds_refreshed",
+    "scan_sketch_inconclusive",
+];
+
+fn is_advisory(key: &str) -> bool {
+    ADVISORY_COUNTERS.contains(&key)
+}
+
 /// Knobs of one diff run.
 #[derive(Debug, Clone, Copy)]
 pub struct DiffOptions {
@@ -109,6 +127,17 @@ pub fn diff(base: &Snapshot, new: &Snapshot, opts: &DiffOptions) -> DiffReport {
 
 fn diff_counters(base: &WorkloadRun, new: &WorkloadRun, report: &mut DiffReport) {
     for (key, &base_v) in &base.counters {
+        if is_advisory(key) {
+            if let Some(&new_v) = new.counters.get(key) {
+                if new_v != base_v {
+                    report.notes.push(format!(
+                        "{}: advisory counter '{key}' {base_v} -> {new_v}",
+                        base.name
+                    ));
+                }
+            }
+            continue;
+        }
         match new.counters.get(key) {
             None => report
                 .regressions
@@ -397,6 +426,44 @@ mod tests {
         old.quality = None;
         assert!(diff(&snap(vec![old.clone()]), &base, &DiffOptions::default()).ok());
         assert!(diff(&base, &snap(vec![old]), &DiffOptions::default()).ok());
+    }
+
+    #[test]
+    fn advisory_counters_drift_as_notes_not_regressions() {
+        let mut base_run = run("a", 1.0, 7, 1000);
+        base_run
+            .counters
+            .insert("scan_candidates_pruned".to_string(), 900);
+        base_run
+            .counters
+            .insert("scan_bounds_refreshed".to_string(), 40);
+        let mut new_run = run("a", 1.0, 7, 1000);
+        // t4 run prunes a different subset than t1: values drift, and one
+        // advisory key can even go missing (PRUNE=0 records zeros, but an
+        // old-schema snapshot may lack the key entirely).
+        new_run
+            .counters
+            .insert("scan_candidates_pruned".to_string(), 123);
+        let report = diff(
+            &snap(vec![base_run]),
+            &snap(vec![new_run]),
+            &DiffOptions::default(),
+        );
+        assert!(report.ok(), "{}", report.render());
+        assert!(report
+            .notes
+            .iter()
+            .any(|n| n.contains("advisory counter 'scan_candidates_pruned' 900 -> 123")));
+        // But an exact counter drifting by the same amount still fails.
+        let mut bad = run("a", 1.0, 9, 1000);
+        bad.counters.insert("scan_candidates_pruned".to_string(), 1);
+        let report = diff(
+            &snap(vec![run("a", 1.0, 7, 1000)]),
+            &snap(vec![bad]),
+            &DiffOptions::default(),
+        );
+        assert!(!report.ok());
+        assert!(report.regressions[0].contains("selections"));
     }
 
     #[test]

@@ -337,6 +337,22 @@ pub fn deterministic_counters(metrics: &MetricsRecorder) -> BTreeMap<String, u64
             metrics.subtrees_pruned[reason.index()],
         );
     }
+    // Pruned-scan advisories are *recorded* so snapshots document how much
+    // work the scan skipped, but `diff` never compares them exactly: which
+    // candidates get pruned depends on chunk-local champions (thread
+    // count) and on `SCWSC_PRUNE`. See `diff::ADVISORY_COUNTERS`.
+    counters.insert(
+        "scan_candidates_pruned".to_string(),
+        metrics.scan_candidates_pruned,
+    );
+    counters.insert(
+        "scan_bounds_refreshed".to_string(),
+        metrics.scan_bounds_refreshed,
+    );
+    counters.insert(
+        "scan_sketch_inconclusive".to_string(),
+        metrics.scan_sketch_inconclusive,
+    );
     counters
 }
 
@@ -539,7 +555,25 @@ mod tests {
         assert!(counters.contains_key("benefits_computed"));
         assert!(counters.contains_key("candidates_pruned_below_floor"));
         assert!(counters.contains_key("subtrees_pruned_cost_bound"));
-        assert_eq!(counters.len(), 7 + 2 * PruneReason::all().len());
+        // 7 scalar counters + per-reason prune counters + the 3 recorded
+        // (advisory-only) pruned-scan counters.
+        assert_eq!(counters.len(), 7 + 2 * PruneReason::all().len() + 3);
+    }
+
+    #[test]
+    fn pruned_scan_advisories_are_recorded_but_advisory_in_diff() {
+        // The scan advisories are a function of thread count and
+        // SCWSC_PRUNE, not of the algorithm: they are recorded for
+        // documentation but every one of them must be on the diff's
+        // advisory skip list, or the t1-vs-t4 and PRUNE=0-vs-1 gates
+        // would spuriously fail.
+        let counters = deterministic_counters(&MetricsRecorder::new());
+        for advisory in crate::diff::ADVISORY_COUNTERS {
+            assert!(
+                counters.contains_key(*advisory),
+                "{advisory} should be recorded in snapshots"
+            );
+        }
     }
 
     #[test]

@@ -11,7 +11,7 @@
 
 use crate::algorithms::scan;
 use crate::bitset::BitSet;
-use crate::cover_state::{benefit_order, CoverState};
+use crate::cover_state::CoverState;
 use crate::engine::{
     panic_message, Certificate, Deadline, DegradeReason, Degraded, EngineError, SolveOutcome,
 };
@@ -979,6 +979,9 @@ fn run_guess_masked(
 ) -> GuessOutcome {
     let init_span = PhaseSpan::enter(log, PHASE_INIT);
     let mut covered = BitSet::new(system.num_elements());
+    // Bounds are only valid while `covered` grows, so each guess gets a
+    // fresh pruned-scan state (guesses restart coverage from empty).
+    let mut pruned = scan::PrunedScan::new(masks);
     log.benefit_computed(system.num_sets() as u64);
     init_span.exit(log);
 
@@ -1011,16 +1014,19 @@ fn run_guess_masked(
                     reason,
                 };
             }
-            let top = scan::masked_top(
+            let top = scan::masked_top_pruned(
                 pool,
                 &tls,
                 system,
                 masks,
+                &mut pruned,
                 &covered,
                 |id| set_level[id as usize] == Some(level),
                 |_| true,
-                benefit_order,
+                0,
+                scan::ScanOrder::Benefit,
                 audit::TOP,
+                log,
             );
             tls.replay(log);
             let Some(q) = audit::record_cover_round(log, audit::ORDER_BENEFIT, &top) else {

@@ -10,7 +10,7 @@
 
 use crate::algorithms::scan;
 use crate::bitset::BitSet;
-use crate::cover_state::{gain_order, CoverState};
+use crate::cover_state::CoverState;
 use crate::engine::{
     panic_message, Certificate, Deadline, DegradeReason, Degraded, EngineError, SolveOutcome,
 };
@@ -315,6 +315,7 @@ fn run_within_masked(
     log.guess_started(None);
     let init_span = PhaseSpan::enter(log, PHASE_INIT);
     let masks = scan::build_masks(pool, system);
+    let mut pruned = scan::PrunedScan::new(&masks);
     let mut covered = BitSet::new(system.num_elements());
     log.benefit_computed(system.num_sets() as u64);
     init_span.exit(log);
@@ -334,16 +335,21 @@ fn run_within_masked(
         }
         let i_u = i as u64;
         let rem_u = rem as u64;
-        let top = scan::masked_top(
+        // Smallest mben passing the `i·|MBen| >= rem` floor below.
+        let floor = rem.div_ceil(i);
+        let top = scan::masked_top_pruned(
             pool,
             &tls,
             system,
             &masks,
+            &mut pruned,
             &covered,
             |_| true,
             |mben| i_u * mben as u64 >= rem_u,
-            gain_order,
+            floor,
+            scan::ScanOrder::Gain,
             audit::TOP,
+            log,
         );
         tls.replay(log);
         let Some(q) = audit::record_cover_round(log, audit::ORDER_GAIN, &top) else {
@@ -378,6 +384,7 @@ fn run_parallel<O: Observer + ?Sized>(
 
     let init_span = PhaseSpan::enter(obs, PHASE_INIT);
     let masks = scan::build_masks(pool, system);
+    let mut pruned = scan::PrunedScan::new(&masks);
     let mut covered = BitSet::new(system.num_elements());
     obs.benefit_computed(system.num_sets() as u64);
     init_span.exit(obs);
@@ -390,16 +397,21 @@ fn run_parallel<O: Observer + ?Sized>(
     for i in (1..=k).rev() {
         let i_u = i as u64;
         let rem_u = rem as u64;
-        let top = scan::masked_top(
+        // Smallest mben passing the `i·|MBen| >= rem` floor below.
+        let floor = rem.div_ceil(i);
+        let top = scan::masked_top_pruned(
             pool,
             &tls,
             system,
             &masks,
+            &mut pruned,
             &covered,
             |_| true,
             |mben| i_u * mben as u64 >= rem_u,
-            gain_order,
+            floor,
+            scan::ScanOrder::Gain,
             audit::TOP,
+            obs,
         );
         tls.replay(obs);
         let Some(q) = audit::record_cover_round(obs, audit::ORDER_GAIN, &top) else {

@@ -10,6 +10,34 @@ use std::fmt;
 
 const WORD_BITS: usize = 64;
 
+/// Words per block in the blocked popcount kernels: 8 × 64 bits = 512 bits,
+/// one cache line on x86-64. Block granularity is what [`BlockSummary`]
+/// summarises and what the `_limited` kernels use as their early-exit
+/// checkpoint.
+const BLOCK_WORDS: usize = 8;
+
+/// Fused word-pair popcount: `Σ popcount(f(a[i], b[i]))`, 4-wide unrolled
+/// with independent accumulators so the compiler can autovectorize the
+/// `f` + popcount chain without `std::simd`.
+#[inline]
+fn count_words<F: Fn(u64, u64) -> u64>(a: &[u64], b: &[u64], f: F) -> usize {
+    debug_assert_eq!(a.len(), b.len());
+    let mut ca = a.chunks_exact(4);
+    let mut cb = b.chunks_exact(4);
+    let (mut c0, mut c1, mut c2, mut c3) = (0usize, 0usize, 0usize, 0usize);
+    for (wa, wb) in (&mut ca).zip(&mut cb) {
+        c0 += f(wa[0], wb[0]).count_ones() as usize;
+        c1 += f(wa[1], wb[1]).count_ones() as usize;
+        c2 += f(wa[2], wb[2]).count_ones() as usize;
+        c3 += f(wa[3], wb[3]).count_ones() as usize;
+    }
+    let mut rest = 0usize;
+    for (x, y) in ca.remainder().iter().zip(cb.remainder()) {
+        rest += f(*x, *y).count_ones() as usize;
+    }
+    c0 + c1 + c2 + c3 + rest
+}
+
 /// A fixed-capacity set of `usize` ids in `0..len`, stored one bit per id.
 #[derive(Clone, PartialEq, Eq, Hash)]
 pub struct BitSet {
@@ -77,6 +105,29 @@ impl BitSet {
         self.words[i / WORD_BITS] & (1u64 << (i % WORD_BITS)) != 0
     }
 
+    /// [`contains`](BitSet::contains) minus the release-mode range assert,
+    /// for hot scan loops whose ids were validated against the universe
+    /// once up front. Debug builds still panic on out-of-range ids; the
+    /// public `contains`/`insert` keep their unconditional panicking
+    /// contract.
+    #[inline]
+    pub(crate) fn contains_hot(&self, i: usize) -> bool {
+        debug_assert!(i < self.len, "bit index {i} out of range {}", self.len);
+        (self.words[i / WORD_BITS] >> (i % WORD_BITS)) & 1 != 0
+    }
+
+    /// [`insert`](BitSet::insert) minus the release-mode range assert —
+    /// same contract as [`contains_hot`](BitSet::contains_hot).
+    #[inline]
+    pub(crate) fn insert_hot(&mut self, i: usize) -> bool {
+        debug_assert!(i < self.len, "bit index {i} out of range {}", self.len);
+        let word = &mut self.words[i / WORD_BITS];
+        let mask = 1u64 << (i % WORD_BITS);
+        let was_unset = *word & mask == 0;
+        *word |= mask;
+        was_unset
+    }
+
     /// Number of set bits.
     pub fn count_ones(&self) -> usize {
         self.words.iter().map(|w| w.count_ones() as usize).sum()
@@ -142,11 +193,7 @@ impl BitSet {
     /// Panics if capacities differ.
     pub fn intersection_count(&self, other: &BitSet) -> usize {
         assert_eq!(self.len, other.len, "bitset capacity mismatch");
-        self.words
-            .iter()
-            .zip(&other.words)
-            .map(|(a, b)| (a & b).count_ones() as usize)
-            .sum()
+        count_words(&self.words, &other.words, |a, b| a & b)
     }
 
     /// `|self \ other|` without materializing the difference.
@@ -160,11 +207,102 @@ impl BitSet {
     /// Panics if capacities differ.
     pub fn difference_count(&self, other: &BitSet) -> usize {
         assert_eq!(self.len, other.len, "bitset capacity mismatch");
-        self.words
-            .iter()
-            .zip(&other.words)
-            .map(|(a, b)| (a & !b).count_ones() as usize)
-            .sum()
+        count_words(&self.words, &other.words, |a, b| a & !b)
+    }
+
+    /// `|self \ other|` with an early-exit threshold: aborts block by
+    /// block as soon as the running count plus `summary`'s remaining
+    /// set-bit suffix proves the result is `< threshold`.
+    ///
+    /// `summary` must be [`BlockSummary::of`] **this** bitset (the
+    /// left-hand side): since `|self \ other|` over any word range is at
+    /// most `self`'s set bits in that range, the suffix is a valid upper
+    /// bound on the remaining contribution. Empty `self` blocks are
+    /// skipped outright and trailing empty blocks end the scan, so the
+    /// full-scan case is never slower than [`difference_count`].
+    ///
+    /// A `threshold` of 0 disables the exit and always returns
+    /// [`LimitedCount::Exact`].
+    ///
+    /// # Panics
+    /// Panics if capacities differ.
+    pub fn difference_count_limited(
+        &self,
+        other: &BitSet,
+        summary: &BlockSummary,
+        threshold: usize,
+    ) -> LimitedCount {
+        assert_eq!(self.len, other.len, "bitset capacity mismatch");
+        self.count_limited(other, summary, threshold, |a, b| a & !b)
+    }
+
+    /// `|self ∩ other|` with an early-exit threshold; the limited
+    /// counterpart of [`intersection_count`](BitSet::intersection_count).
+    /// `summary` must describe **this** bitset — see
+    /// [`difference_count_limited`](BitSet::difference_count_limited).
+    ///
+    /// # Panics
+    /// Panics if capacities differ.
+    pub fn intersection_count_limited(
+        &self,
+        other: &BitSet,
+        summary: &BlockSummary,
+        threshold: usize,
+    ) -> LimitedCount {
+        assert_eq!(self.len, other.len, "bitset capacity mismatch");
+        self.count_limited(other, summary, threshold, |a, b| a & b)
+    }
+
+    /// Shared blocked early-exit kernel behind the `_limited` variants.
+    /// `f(a, b)` must satisfy `popcount(f(a, b)) <= popcount(a)` for the
+    /// suffix bound to be valid (`a & b` and `a & !b` both do).
+    fn count_limited<F: Fn(u64, u64) -> u64 + Copy>(
+        &self,
+        other: &BitSet,
+        summary: &BlockSummary,
+        threshold: usize,
+        f: F,
+    ) -> LimitedCount {
+        debug_assert_eq!(
+            summary.counts.len(),
+            self.words.len().div_ceil(BLOCK_WORDS),
+            "summary does not describe this bitset"
+        );
+        let mut count = 0usize;
+        let pairs = self
+            .words
+            .chunks(BLOCK_WORDS)
+            .zip(other.words.chunks(BLOCK_WORDS));
+        for (j, (wa, wb)) in pairs.enumerate() {
+            if summary.block_count(j) != 0 {
+                count += count_words(wa, wb, f);
+            }
+            let remaining = summary.after(j);
+            if remaining == 0 {
+                return LimitedCount::Exact(count);
+            }
+            if count + remaining < threshold {
+                // The caller only learns "provably short", so resolve
+                // zero-vs-nonzero exactly: the first surviving word ends
+                // the probe.
+                let from = (j + 1) * BLOCK_WORDS;
+                let nonzero = count > 0
+                    || self.words[from..]
+                        .iter()
+                        .zip(&other.words[from..])
+                        .any(|(a, b)| f(*a, *b) != 0);
+                return LimitedCount::Short { nonzero };
+            }
+        }
+        LimitedCount::Exact(count)
+    }
+
+    /// Read-only view of the backing words (bit `i` lives at
+    /// `words()[i / 64] >> (i % 64) & 1`). Bits beyond
+    /// [`len`](BitSet::len) in the last word are always zero.
+    #[inline]
+    pub fn words(&self) -> &[u64] {
+        &self.words
     }
 
     /// Arg-max of `|self ∩ other|` over `others`: returns
@@ -179,12 +317,21 @@ impl BitSet {
     where
         I: IntoIterator<Item = &'a BitSet>,
     {
+        // One summary of the probe serves every candidate: each candidate
+        // count runs limited at `best + 1`, so a candidate that provably
+        // cannot exceed the champion aborts early. `Short` means
+        // `count <= best`, which the exact scan would have discarded too
+        // (lowest index keeps winning ties), so results are identical.
+        let summary = BlockSummary::of(self);
         let mut best: Option<(usize, usize)> = None;
         for (i, other) in others.into_iter().enumerate() {
-            let count = self.intersection_count(other);
-            match best {
-                Some((_, bc)) if bc >= count => {}
-                _ => best = Some((i, count)),
+            let threshold = best.map_or(0, |(_, bc)| bc + 1);
+            match self.intersection_count_limited(other, &summary, threshold) {
+                LimitedCount::Exact(count) => match best {
+                    Some((_, bc)) if bc >= count => {}
+                    _ => best = Some((i, count)),
+                },
+                LimitedCount::Short { .. } => {}
             }
         }
         best
@@ -222,6 +369,80 @@ impl BitSet {
     pub fn to_vec(&self) -> Vec<usize> {
         self.iter_ones().collect()
     }
+}
+
+/// Per-block set-bit summary of one [`BitSet`]: the coarse "sketch" the
+/// pruned scan consults before (or instead of) an exact masked count.
+///
+/// `counts[j]` is the popcount of block `j` ([`BLOCK_WORDS`] words);
+/// `suffix[j]` is the popcount of blocks `j..`. Both are upper bounds on
+/// any masked count restricted to those blocks, which is what makes the
+/// `_limited` kernels' early exit sound.
+#[derive(Clone, Debug, Default)]
+pub struct BlockSummary {
+    counts: Vec<u32>,
+    /// `suffix.len() == counts.len() + 1`; the extra trailing 0 lets the
+    /// kernels ask "bits after block j" without a branch.
+    suffix: Vec<u32>,
+}
+
+impl BlockSummary {
+    /// Builds the summary of `set`'s current contents.
+    pub fn of(set: &BitSet) -> BlockSummary {
+        let mut s = BlockSummary::default();
+        s.rebuild(set);
+        s
+    }
+
+    /// Recomputes the summary in place (capacity may differ from the
+    /// previous build).
+    pub fn rebuild(&mut self, set: &BitSet) {
+        let blocks = set.words.len().div_ceil(BLOCK_WORDS);
+        self.counts.clear();
+        self.counts.reserve(blocks);
+        for block in set.words.chunks(BLOCK_WORDS) {
+            self.counts.push(block.iter().map(|w| w.count_ones()).sum());
+        }
+        self.suffix.clear();
+        self.suffix.resize(blocks + 1, 0);
+        for j in (0..blocks).rev() {
+            self.suffix[j] = self.suffix[j + 1] + self.counts[j];
+        }
+    }
+
+    /// Total set bits of the summarized set (at build time).
+    #[inline]
+    pub fn total(&self) -> usize {
+        self.suffix.first().copied().unwrap_or(0) as usize
+    }
+
+    /// Set bits strictly after block `j`.
+    #[inline]
+    fn after(&self, j: usize) -> usize {
+        self.suffix[j + 1] as usize
+    }
+
+    /// Set bits inside block `j`.
+    #[inline]
+    fn block_count(&self, j: usize) -> usize {
+        self.counts[j] as usize
+    }
+}
+
+/// Outcome of a `_limited` masked count.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum LimitedCount {
+    /// The kernel ran to completion (or hit a provably-empty suffix);
+    /// this is the exact count.
+    Exact(usize),
+    /// The kernel aborted early: the count is provably below the
+    /// threshold. `nonzero` reports — exactly — whether the full count
+    /// is at least 1, so callers can distinguish "worthless now" from
+    /// "exhausted" without a second pass.
+    Short {
+        /// Whether the aborted count would have been `>= 1`.
+        nonzero: bool,
+    },
 }
 
 impl fmt::Debug for BitSet {
@@ -432,5 +653,159 @@ mod tests {
     fn debug_format_lists_members() {
         let b: BitSet = [2usize, 4].into_iter().collect();
         assert_eq!(format!("{b:?}"), "{2, 4}");
+    }
+
+    /// Deterministic pseudo-random bitset (splitmix-style) for kernel
+    /// cross-checks without an RNG dependency.
+    fn scrambled(len: usize, mut seed: u64, keep_one_in: u64) -> BitSet {
+        let mut b = BitSet::new(len);
+        for i in 0..len {
+            seed = seed
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
+            if (seed >> 33).is_multiple_of(keep_one_in) {
+                b.insert(i);
+            }
+        }
+        b
+    }
+
+    fn naive_diff(a: &BitSet, b: &BitSet) -> usize {
+        a.iter_ones().filter(|&i| !b.contains(i)).count()
+    }
+
+    #[test]
+    fn blocked_kernels_match_naive_counts() {
+        for &len in &[1usize, 63, 64, 65, 255, 256, 512, 513, 4001] {
+            for seed in 0..3u64 {
+                let a = scrambled(len, seed + 1, 3);
+                let b = scrambled(len, seed + 77, 2);
+                assert_eq!(a.difference_count(&b), naive_diff(&a, &b));
+                assert_eq!(
+                    a.intersection_count(&b),
+                    a.iter_ones().filter(|&i| b.contains(i)).count()
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn limited_count_exact_when_threshold_not_binding() {
+        let a = scrambled(4001, 5, 3);
+        let b = scrambled(4001, 9, 2);
+        let summary = BlockSummary::of(&a);
+        let exact = a.difference_count(&b);
+        // Threshold 0 disables the exit; threshold == exact is reachable.
+        assert_eq!(
+            a.difference_count_limited(&b, &summary, 0),
+            LimitedCount::Exact(exact)
+        );
+        assert_eq!(
+            a.difference_count_limited(&b, &summary, exact),
+            LimitedCount::Exact(exact)
+        );
+        assert_eq!(
+            a.intersection_count_limited(&b, &summary, 0),
+            LimitedCount::Exact(a.intersection_count(&b))
+        );
+    }
+
+    #[test]
+    fn limited_count_short_is_sound_and_reports_nonzero() {
+        let a = scrambled(4001, 13, 4);
+        let b = scrambled(4001, 21, 2);
+        let summary = BlockSummary::of(&a);
+        let exact = a.difference_count(&b);
+        assert!(exact > 0, "fixture must have survivors");
+        match a.difference_count_limited(&b, &summary, usize::MAX) {
+            LimitedCount::Short { nonzero } => assert!(nonzero),
+            LimitedCount::Exact(_) => panic!("unreachable threshold must abort"),
+        }
+        // Every threshold must either return the exact count or a sound
+        // "short" verdict (exact < threshold).
+        for threshold in [1, exact / 2, exact, exact + 1, exact * 2 + 1] {
+            match a.difference_count_limited(&b, &summary, threshold) {
+                LimitedCount::Exact(n) => assert_eq!(n, exact),
+                LimitedCount::Short { nonzero } => {
+                    assert!(exact < threshold);
+                    assert_eq!(nonzero, exact > 0);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn limited_count_nonzero_false_only_when_empty_difference() {
+        let a = scrambled(1000, 3, 3);
+        let mut b = a.clone();
+        b.fill();
+        let summary = BlockSummary::of(&a);
+        match a.difference_count_limited(&b, &summary, usize::MAX) {
+            // a \ full = empty; an unreachable threshold may abort or
+            // finish at 0 depending on block layout.
+            LimitedCount::Short { nonzero } => assert!(!nonzero),
+            LimitedCount::Exact(n) => assert_eq!(n, 0),
+        }
+    }
+
+    #[test]
+    fn block_summary_totals_and_rebuild() {
+        let a = scrambled(4001, 31, 3);
+        let mut s = BlockSummary::of(&a);
+        assert_eq!(s.total(), a.count_ones());
+        let smaller = scrambled(100, 7, 2);
+        s.rebuild(&smaller);
+        assert_eq!(s.total(), smaller.count_ones());
+    }
+
+    #[test]
+    fn max_intersection_count_matches_serial_on_random_sets() {
+        let probe = scrambled(2000, 1, 3);
+        let others: Vec<BitSet> = (0..40).map(|i| scrambled(2000, i + 50, 4)).collect();
+        let serial = others
+            .iter()
+            .enumerate()
+            .map(|(i, o)| (i, probe.intersection_count(o)))
+            .fold(None, |best: Option<(usize, usize)>, cand| match best {
+                Some((_, bc)) if bc >= cand.1 => best,
+                _ => Some(cand),
+            });
+        assert_eq!(probe.max_intersection_count(&others), serial);
+    }
+
+    #[test]
+    fn words_view_exposes_tail_invariant() {
+        let mut b = BitSet::new(70);
+        b.fill();
+        assert_eq!(b.words().len(), 2);
+        assert_eq!(b.words()[1], (1u64 << 6) - 1, "tail bits stay zero");
+    }
+
+    #[test]
+    fn hot_accessors_agree_with_checked_ones() {
+        let mut b = scrambled(300, 2, 3);
+        for i in 0..300 {
+            assert_eq!(b.contains_hot(i), b.contains(i));
+        }
+        b.remove(7);
+        assert!(b.insert_hot(7), "hot insert reports previously-unset");
+        assert!(!b.insert_hot(7), "hot insert reports already-set");
+        assert!(b.contains(7));
+    }
+
+    #[cfg(debug_assertions)]
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn hot_contains_panics_out_of_range_in_debug() {
+        let b = BitSet::new(10);
+        b.contains_hot(10);
+    }
+
+    #[cfg(debug_assertions)]
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn hot_insert_panics_out_of_range_in_debug() {
+        let mut b = BitSet::new(10);
+        b.insert_hot(10);
     }
 }

@@ -193,9 +193,12 @@ impl<'a> CoverState<'a> {
         self.active[id as usize] = false;
         let mut newly = 0usize;
         // Split borrows: we mutate covered/mben while reading the system.
+        // `insert_hot`: member ids were validated against the universe by
+        // the SetSystem builder, so the release-mode range assert in
+        // `BitSet::insert` is pure overhead here (debug builds still check).
         for &e in self.system.members(id) {
             let e = e as usize;
-            if self.covered.insert(e) {
+            if self.covered.insert_hot(e) {
                 newly += 1;
                 for &s in &self.incidence[e] {
                     let m = &mut self.mben[s as usize];
@@ -291,11 +294,12 @@ impl<'a> CoverState<'a> {
     /// [`select`](CoverState::select); the list's length equals `select`'s
     /// return value.
     pub fn newly_elements(&self, id: SetId) -> Vec<u32> {
+        // `contains_hot`: builder-validated ids, see `select`.
         self.system
             .members(id)
             .iter()
             .copied()
-            .filter(|&e| !self.covered.contains(e as usize))
+            .filter(|&e| !self.covered.contains_hot(e as usize))
             .collect()
     }
 
@@ -486,7 +490,7 @@ mod tests {
             }
             for i in 0..k {
                 permutations(items.clone(), k - 1, out);
-                if k % 2 == 0 {
+                if k.is_multiple_of(2) {
                     items.swap(i, k - 1);
                 } else {
                     items.swap(0, k - 1);

@@ -9,7 +9,15 @@
 //! (`argmax_benefit`) is the faithful-pseudocode path; this heap is the
 //! alternative strategy measured by the `lazy_greedy` ablation bench.
 //!
+//! The stale scores here are the same bound type the pruned scan path
+//! ([`PrunedScan`]) keeps per set: a last exact value that submodularity
+//! turns into a monotone non-increasing upper bound (DESIGN.md §15). The
+//! scan uses its bounds to skip exact recounts; this heap additionally
+//! exposes [`drop_below`](LazyGreedy::drop_below) to discard entries whose
+//! upper bound already fails an eligibility floor without rescoring them.
+//!
 //! [`CoverState`]: crate::cover_state::CoverState
+//! [`PrunedScan`]: crate::algorithms::scan::PrunedScan
 
 use crate::engine::{Deadline, DegradeReason};
 use crate::telemetry::{NoopObserver, Observer};
@@ -97,6 +105,25 @@ impl LazyGreedy {
     /// selection that changes marginal benefits.
     pub fn invalidate(&mut self) {
         self.epoch += 1;
+    }
+
+    /// Discards every entry whose (possibly stale) score is already below
+    /// `floor`, reporting the count as a `scan_pruned` advisory event.
+    ///
+    /// Sound for the same reason the pruned scan's bound test is: a stale
+    /// score is an upper bound on the current one, so an entry below the
+    /// floor now can never satisfy it later. Use when the selection loop
+    /// carries an eligibility floor (e.g. CWSC's `rem/i`) to shed dead
+    /// heap weight without paying a rescore per entry. Returns the number
+    /// of entries dropped.
+    pub fn drop_below<O: Observer + ?Sized>(&mut self, floor: f64, obs: &mut O) -> usize {
+        let before = self.heap.len();
+        self.heap.retain(|e| e.score >= floor);
+        let dropped = before - self.heap.len();
+        if dropped > 0 {
+            obs.scan_pruned(dropped as u64);
+        }
+        dropped
     }
 
     /// Pops the candidate with the maximum *current* score.
@@ -270,6 +297,30 @@ mod tests {
         assert_eq!(id, 1);
         assert_eq!(m.heap_stale_pops, lg.recomputations);
         assert!(m.heap_stale_pops >= 1);
+    }
+
+    #[test]
+    fn drop_below_sheds_only_provably_ineligible_entries() {
+        use crate::telemetry::MetricsRecorder;
+        let mut lg = LazyGreedy::with_candidates([
+            (0, 10.0, 0.0),
+            (1, 5.0, 0.0),
+            (2, 2.0, 0.0),
+            (3, 1.0, 0.0),
+        ]);
+        let mut m = MetricsRecorder::new();
+        let dropped = lg.drop_below(5.0, &mut m);
+        assert_eq!(dropped, 2);
+        assert_eq!(lg.len(), 2);
+        assert_eq!(m.scan_candidates_pruned, 2);
+        // Survivors pop in order; the dropped ids never resurface.
+        assert_eq!(lg.pop_max(|_| unreachable!()).unwrap().0, 0);
+        assert_eq!(lg.pop_max(|_| unreachable!()).unwrap().0, 1);
+        assert!(lg.pop_max(|_| Some((0.0, 0.0))).is_none());
+        // Dropping nothing stays silent.
+        let mut lg2 = LazyGreedy::with_candidates([(0, 3.0, 0.0)]);
+        assert_eq!(lg2.drop_below(1.0, &mut m), 0);
+        assert_eq!(m.scan_candidates_pruned, 2);
     }
 
     #[test]

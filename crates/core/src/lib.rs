@@ -53,7 +53,7 @@ pub mod solution;
 pub mod stats;
 pub mod telemetry;
 
-pub use bitset::BitSet;
+pub use bitset::{BitSet, BlockSummary, LimitedCount};
 pub use cost::{Cost, CostError};
 pub use cover_state::{Candidate, CoverState};
 #[cfg(feature = "fault-inject")]

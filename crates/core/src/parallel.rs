@@ -37,6 +37,26 @@ use std::time::Duration;
 /// Environment variable consulted by [`Threads::from_env`].
 pub const THREADS_ENV: &str = "SCWSC_THREADS";
 
+/// Environment variable consulted by [`prune_from_env`]: set `SCWSC_PRUNE=0`
+/// to force every scan down the exact (unpruned) path. Any other value —
+/// including unset — leaves the sketch-pruned scan enabled. The pruned and
+/// exact paths select identical sets and emit identical exact counters by
+/// construction (DESIGN.md §15); the switch exists for A/B gating in CI and
+/// for perf debugging, not for correctness.
+pub const PRUNE_ENV: &str = "SCWSC_PRUNE";
+
+/// Whether the sketch-pruned scan path is enabled (default: yes; `0` or
+/// `false` disables).
+pub fn prune_from_env() -> bool {
+    match std::env::var(PRUNE_ENV) {
+        Ok(v) => {
+            let v = v.trim();
+            v != "0" && !v.eq_ignore_ascii_case("false")
+        }
+        Err(_) => true,
+    }
+}
+
 /// How many OS threads a solver may use.
 ///
 /// The value is always at least 1; `Threads::new(0)` is clamped to 1 so a

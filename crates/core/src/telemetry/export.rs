@@ -114,7 +114,7 @@ fn summary(out: &mut String, name: &str, help: &str, hist: &LogHistogram) {
 /// `reason` label.
 pub fn render_prometheus(metrics: &MetricsRecorder, slo: Option<&SloGauges>) -> String {
     let mut out = String::new();
-    let counters: [(&str, u64, &str); 10] = [
+    let counters: [(&str, u64, &str); 13] = [
         (
             "scwsc_guesses_total",
             metrics.guesses,
@@ -164,6 +164,21 @@ pub fn render_prometheus(metrics: &MetricsRecorder, slo: Option<&SloGauges>) -> 
             "scwsc_worker_switches_total",
             metrics.worker_switches,
             "Worker-context switches replayed from telemetry shards.",
+        ),
+        (
+            "scwsc_scan_candidates_pruned_total",
+            metrics.scan_candidates_pruned,
+            "Scan candidates disposed of without a completed exact count.",
+        ),
+        (
+            "scwsc_scan_bounds_refreshed_total",
+            metrics.scan_bounds_refreshed,
+            "Stale scan upper bounds replaced by fresh exact counts.",
+        ),
+        (
+            "scwsc_scan_sketch_inconclusive_total",
+            metrics.scan_sketch_inconclusive,
+            "Bound/sketch probes that fell back to the full exact count.",
         ),
     ];
     for (name, value, help) in counters {

@@ -39,7 +39,7 @@
 //! `{"causal_tree": …}` object — trivially greppable, trivially parseable.
 
 use super::trace::{TraceContext, TraceId, MAIN_WORKER};
-use super::{json_f64, Observer, PruneReason, PHASE_SCAN};
+use super::{json_f64, Observer, PruneReason, PHASE_SCAN, PHASE_SCAN_PRUNE};
 use std::collections::VecDeque;
 use std::fmt::Write as _;
 use std::io;
@@ -391,19 +391,20 @@ impl CausalNode {
 
     /// The thread-count-invariant shape of this tree, for comparing a
     /// parallel run against its serial twin: per-worker
-    /// [`PHASE_SCAN`] chunk spans fold into their parent (a serial run
-    /// does the same work inline, without the span), worker ids and span
-    /// ids are zeroed (assignment order differs when scan spans consume
-    /// ids), and timings are dropped. What remains — span names, nesting,
-    /// counts, and deterministic event tallies — must be identical for
-    /// `Threads(1)` and `Threads(N)` by the determinism contract
-    /// (DESIGN.md §11).
+    /// [`PHASE_SCAN`] and [`PHASE_SCAN_PRUNE`] chunk spans fold into
+    /// their parent (a serial run does the same work inline, without the
+    /// span, and the pruned spans additionally come and go with
+    /// `SCWSC_PRUNE`), worker ids and span ids are zeroed (assignment
+    /// order differs when scan spans consume ids), and timings are
+    /// dropped. What remains — span names, nesting, counts, and
+    /// deterministic event tallies — must be identical for `Threads(1)`
+    /// and `Threads(N)` by the determinism contract (DESIGN.md §11).
     pub fn normalized(&self) -> CausalNode {
         let mut events = self.events;
         let mut children = Vec::new();
         for c in &self.children {
             let n = c.normalized();
-            if n.name == PHASE_SCAN {
+            if n.name == PHASE_SCAN || n.name == PHASE_SCAN_PRUNE {
                 // Fold: the chunk's work happened inline in a serial run.
                 events += n.events;
                 children.extend(n.children);
@@ -733,6 +734,11 @@ mod tests {
         r.phase_started(PHASE_SCAN);
         r.benefit_computed(6);
         r.phase_ended(PHASE_SCAN, 0.02);
+        // A pruned-scan chunk: carries no events (the scan's advisory
+        // counters are applied on the calling thread after the reduce).
+        r.worker_switched(1);
+        r.phase_started(PHASE_SCAN_PRUNE);
+        r.phase_ended(PHASE_SCAN_PRUNE, 0.005);
         r.worker_switched(MAIN_WORKER);
         r.set_selected(3, 5, 1.0);
         r.phase_ended(PHASE_GUESS, 0.5);
@@ -753,6 +759,11 @@ mod tests {
         assert_eq!(scan.events, 2, "one benefit event per chunk");
         assert_eq!(scan.worker_id, 1, "first opener");
         assert!(scan.secs > 0.0);
+        let prune = guess
+            .child(PHASE_SCAN_PRUNE)
+            .expect("scan_prune under guess");
+        assert_eq!(prune.count, 1);
+        assert_eq!(prune.events, 0, "advisories never ride the chunks");
         // Main-thread events stayed on the guess span.
         assert_eq!(guess.events, 2, "benefit_computed(10) + set_selected");
         // Span ids are arrival-ordered and parents link up.

@@ -82,6 +82,13 @@ pub const PHASE_SELECT: &str = "select";
 /// span); serial runs never produce it.
 pub const PHASE_SCAN: &str = "scan";
 
+/// Span name of one worker's chunk of a **pruned** benefit scan (the
+/// bound/sketch-gated variant of [`PHASE_SCAN`]). One-sided by design:
+/// a run with `SCWSC_PRUNE=0` (or an older baseline snapshot) never
+/// produces it, which `scwsc_bench diff --attribute` labels as a "new"
+/// span rather than a mover against zero.
+pub const PHASE_SCAN_PRUNE: &str = "scan_prune";
+
 /// Why a candidate (or lattice subtree) was discarded before selection.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum PruneReason {
@@ -248,6 +255,31 @@ pub trait Observer {
     /// run never switches workers.
     fn worker_switched(&mut self, worker_id: u32) {
         let _ = worker_id;
+    }
+
+    /// `count` scan candidates were disposed of *without* a completed
+    /// exact masked count: a stale upper bound, block-summary sketch, or
+    /// early-exit kernel proved they could not change the round's
+    /// decision (DESIGN.md §15). Pruned-scan runs only; how many fire
+    /// depends on chunking, so the derived counter is **excluded** from
+    /// the exact-diff set.
+    fn scan_pruned(&mut self, count: u64) {
+        let _ = count;
+    }
+
+    /// `count` stale scan upper bounds were replaced by fresh exact
+    /// counts. Advisory like [`scan_pruned`](Observer::scan_pruned) —
+    /// excluded from the exact-diff set.
+    fn bound_refreshed(&mut self, count: u64) {
+        let _ = count;
+    }
+
+    /// `count` bound/sketch probes were inconclusive and fell back to the
+    /// full exact count. Advisory like
+    /// [`scan_pruned`](Observer::scan_pruned) — excluded from the
+    /// exact-diff set.
+    fn sketch_inconclusive(&mut self, count: u64) {
+        let _ = count;
     }
 
     /// A named span opened. Pair with [`phase_ended`](Observer::phase_ended).
@@ -489,6 +521,16 @@ pub struct MetricsRecorder {
     /// Selection rounds audited (`round_decided` events). Audit plumbing —
     /// excluded from the exact-diff counter set like the trace counters.
     pub rounds_audited: u64,
+    /// Scan candidates disposed of without a completed exact masked count
+    /// (bound/sketch/early-exit decided). Pruned-scan runs only; varies
+    /// with chunking — excluded from the exact-diff counter set.
+    pub scan_candidates_pruned: u64,
+    /// Stale scan upper bounds replaced by fresh exact counts. Advisory —
+    /// excluded from the exact-diff counter set.
+    pub scan_bounds_refreshed: u64,
+    /// Bound/sketch probes that fell back to the full exact count.
+    /// Advisory — excluded from the exact-diff counter set.
+    pub scan_sketch_inconclusive: u64,
     /// Distribution of marginal benefits at selection time.
     pub marginal_benefit_hist: LogHistogram,
     /// Distribution of consecutive stale pops preceding each selection —
@@ -557,6 +599,9 @@ impl MetricsRecorder {
         self.traces_started += other.traces_started;
         self.worker_switches += other.worker_switches;
         self.rounds_audited += other.rounds_audited;
+        self.scan_candidates_pruned += other.scan_candidates_pruned;
+        self.scan_bounds_refreshed += other.scan_bounds_refreshed;
+        self.scan_sketch_inconclusive += other.scan_sketch_inconclusive;
         self.marginal_benefit_hist
             .merge(&other.marginal_benefit_hist);
         self.stale_run_hist.merge(&other.stale_run_hist);
@@ -635,6 +680,18 @@ impl Observer for MetricsRecorder {
         _runners_up: &[audit::AuditCandidate],
     ) {
         self.rounds_audited += 1;
+    }
+
+    fn scan_pruned(&mut self, count: u64) {
+        self.scan_candidates_pruned += count;
+    }
+
+    fn bound_refreshed(&mut self, count: u64) {
+        self.scan_bounds_refreshed += count;
+    }
+
+    fn sketch_inconclusive(&mut self, count: u64) {
+        self.scan_sketch_inconclusive += count;
     }
 
     fn phase_ended(&mut self, name: &'static str, seconds: f64) {
@@ -1003,6 +1060,24 @@ impl Observer for Fanout<'_> {
     fn worker_switched(&mut self, worker_id: u32) {
         for o in &mut self.observers {
             o.worker_switched(worker_id);
+        }
+    }
+
+    fn scan_pruned(&mut self, count: u64) {
+        for o in &mut self.observers {
+            o.scan_pruned(count);
+        }
+    }
+
+    fn bound_refreshed(&mut self, count: u64) {
+        for o in &mut self.observers {
+            o.bound_refreshed(count);
+        }
+    }
+
+    fn sketch_inconclusive(&mut self, count: u64) {
+        for o in &mut self.observers {
+            o.sketch_inconclusive(count);
         }
     }
 

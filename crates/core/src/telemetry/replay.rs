@@ -46,6 +46,9 @@ enum Event {
     WorkerSwitched(u32),
     PhaseStarted(&'static str),
     PhaseEnded(&'static str, f64),
+    ScanPruned(u64),
+    BoundRefreshed(u64),
+    SketchInconclusive(u64),
 }
 
 /// An [`Observer`] that records the event stream for later replay.
@@ -102,6 +105,9 @@ impl EventLog {
                 Event::WorkerSwitched(worker) => obs.worker_switched(worker),
                 Event::PhaseStarted(name) => obs.phase_started(name),
                 Event::PhaseEnded(name, seconds) => obs.phase_ended(name, seconds),
+                Event::ScanPruned(count) => obs.scan_pruned(count),
+                Event::BoundRefreshed(count) => obs.bound_refreshed(count),
+                Event::SketchInconclusive(count) => obs.sketch_inconclusive(count),
             }
         }
     }
@@ -183,6 +189,18 @@ impl Observer for EventLog {
 
     fn phase_ended(&mut self, name: &'static str, seconds: f64) {
         self.events.push(Event::PhaseEnded(name, seconds));
+    }
+
+    fn scan_pruned(&mut self, count: u64) {
+        self.events.push(Event::ScanPruned(count));
+    }
+
+    fn bound_refreshed(&mut self, count: u64) {
+        self.events.push(Event::BoundRefreshed(count));
+    }
+
+    fn sketch_inconclusive(&mut self, count: u64) {
+        self.events.push(Event::SketchInconclusive(count));
     }
 }
 
@@ -417,6 +435,20 @@ mod tests {
         log.replay(&mut m);
         assert_eq!(m.traces_started, 1);
         assert_eq!(m.worker_switches, 1);
+    }
+
+    #[test]
+    fn replay_reproduces_pruned_scan_advisories() {
+        let mut log = EventLog::new();
+        log.scan_pruned(11);
+        log.bound_refreshed(5);
+        log.sketch_inconclusive(2);
+        log.scan_pruned(4);
+        let mut m = MetricsRecorder::new();
+        log.replay(&mut m);
+        assert_eq!(m.scan_candidates_pruned, 15);
+        assert_eq!(m.scan_bounds_refreshed, 5);
+        assert_eq!(m.scan_sketch_inconclusive, 2);
     }
 
     #[test]

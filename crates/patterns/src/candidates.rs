@@ -10,7 +10,8 @@
 use crate::fxhash::FxHashMap;
 use crate::pattern::Pattern;
 use crate::table::RowId;
-use scwsc_core::BitSet;
+use scwsc_core::telemetry::Observer;
+use scwsc_core::{BitSet, BlockSummary, LimitedCount};
 use std::cmp::Ordering;
 
 /// A materialized candidate pattern.
@@ -30,11 +31,20 @@ pub struct Candidate {
 pub type CandId = usize;
 
 /// The candidate set `C`: patterns with cached marginal benefits.
+///
+/// Alongside each candidate's sorted row list, the pool materializes a
+/// row [`BitSet`] mask plus its [`BlockSummary`], so every recount is a
+/// blocked-popcount `|rows \ covered|` kernel instead of a per-row
+/// membership loop, and [`recount_all_pruned`](CandidatePool::recount_all_pruned)
+/// can abort a recount the moment it proves the result lands below the
+/// next eligibility floor (DESIGN.md §15).
 #[derive(Debug, Default)]
 pub struct CandidatePool {
     cands: Vec<Candidate>,
     by_pattern: FxHashMap<Pattern, CandId>,
     alive: Vec<bool>,
+    masks: Vec<BitSet>,
+    summaries: Vec<BlockSummary>,
 }
 
 impl CandidatePool {
@@ -58,10 +68,11 @@ impl CandidatePool {
             self.recount(id, covered);
             return id;
         }
-        let mben = rows
-            .iter()
-            .filter(|&&r| !covered.contains(r as usize))
-            .count();
+        let mut mask = BitSet::new(covered.len());
+        for &r in &rows {
+            mask.insert(r as usize);
+        }
+        let mben = mask.difference_count(covered);
         let id = self.cands.len();
         self.by_pattern.insert(pattern.clone(), id);
         self.cands.push(Candidate {
@@ -70,6 +81,8 @@ impl CandidatePool {
             cost,
             mben,
         });
+        self.summaries.push(BlockSummary::of(&mask));
+        self.masks.push(mask);
         self.alive.push(true);
         id
     }
@@ -127,11 +140,7 @@ impl CandidatePool {
     /// returns the new value.
     pub fn recount(&mut self, id: CandId, covered: &BitSet) -> usize {
         let c = &mut self.cands[id];
-        c.mben = c
-            .rows
-            .iter()
-            .filter(|&&r| !covered.contains(r as usize))
-            .count();
+        c.mben = self.masks[id].difference_count(covered);
         c.mben
     }
 
@@ -143,6 +152,73 @@ impl CandidatePool {
                 self.alive[id] = false;
             }
         }
+    }
+
+    /// [`recount_all`](CandidatePool::recount_all) fused with the *next*
+    /// round's eligibility floor: a recount may early-exit as soon as the
+    /// block-summary remainder proves the candidate lands below `floor`.
+    ///
+    /// Observationally identical to an exact recount followed by the
+    /// caller's floor sweep:
+    ///
+    /// * `Exact(0)` drops the candidate silently — exactly the exact
+    ///   path's zero-drop.
+    /// * `Short {nonzero: false}` proves the count is zero (the early exit
+    ///   scanned the remaining words), so the candidate drops silently too.
+    /// * `Short {nonzero: true}` proves `0 < mben < floor`; the candidate
+    ///   stays alive with its benefit clamped to 1, which the caller's
+    ///   floor sweep then prunes with the same `BelowFloor` event the
+    ///   exact value would have produced (`floor >= 2` whenever a short
+    ///   nonzero count is possible, so 1 is always below it). A clamped
+    ///   candidate that is instead *revived* later gets an exact
+    ///   [`recount`](CandidatePool::recount) on insertion.
+    ///
+    /// Advisory telemetry: one `scan_pruned` per early-exited recount, one
+    /// `bound_refreshed` per completed exact recount. With `floor <= 1`
+    /// this is just the kernel recount (no early exit is possible).
+    pub fn recount_all_pruned<O: Observer + ?Sized>(
+        &mut self,
+        covered: &BitSet,
+        floor: usize,
+        obs: &mut O,
+    ) {
+        let mut pruned = 0u64;
+        let mut refreshed = 0u64;
+        for id in 0..self.cands.len() {
+            if !self.alive[id] {
+                continue;
+            }
+            match self.masks[id].difference_count_limited(covered, &self.summaries[id], floor) {
+                LimitedCount::Exact(n) => {
+                    refreshed += 1;
+                    self.cands[id].mben = n;
+                    if n == 0 {
+                        self.alive[id] = false;
+                    }
+                }
+                LimitedCount::Short { nonzero: false } => {
+                    pruned += 1;
+                    self.cands[id].mben = 0;
+                    self.alive[id] = false;
+                }
+                LimitedCount::Short { nonzero: true } => {
+                    pruned += 1;
+                    self.cands[id].mben = 1;
+                }
+            }
+        }
+        if pruned > 0 {
+            obs.scan_pruned(pruned);
+        }
+        if refreshed > 0 {
+            obs.bound_refreshed(refreshed);
+        }
+    }
+
+    /// The row mask of candidate `id` (used by the optimized CMC's
+    /// delta recounts).
+    pub fn mask(&self, id: CandId) -> &BitSet {
+        &self.masks[id]
     }
 }
 
@@ -232,6 +308,65 @@ mod tests {
         assert_eq!(pool.alive_count(), 1);
         let alive: Vec<_> = pool.alive_ids().collect();
         assert_eq!(pool.get(alive[0]).mben, 2);
+    }
+
+    #[test]
+    fn pruned_recount_matches_exact_with_floor_semantics() {
+        use scwsc_core::telemetry::MetricsRecorder;
+        let n = 2048;
+        let mut seed = 0x5ca1ab1eu64;
+        let mut lcg = move || {
+            seed = seed
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
+            seed >> 33
+        };
+        let empty = BitSet::new(n);
+        let mut exact = CandidatePool::new();
+        let mut pruned = CandidatePool::new();
+        for i in 0..60u32 {
+            let len = 1 + (lcg() as usize % 400);
+            let rows: Vec<RowId> = (0..len).map(|_| (lcg() % n as u64) as RowId).collect();
+            let mut rows = rows;
+            rows.sort_unstable();
+            rows.dedup();
+            let pat = Pattern::new(vec![Some(i)]);
+            exact.insert(pat.clone(), rows.clone(), 1.0 + i as f64, &empty);
+            pruned.insert(pat, rows, 1.0 + i as f64, &empty);
+        }
+        let mut covered = BitSet::new(n);
+        for _ in 0..n / 2 {
+            covered.insert((lcg() % n as u64) as usize);
+        }
+        let mut m = MetricsRecorder::new();
+        for floor in [0usize, 1, 8, 64, 400] {
+            exact.recount_all(&covered);
+            pruned.recount_all_pruned(&covered, floor, &mut m);
+            for id in 0..60 {
+                assert_eq!(
+                    exact.is_alive(id),
+                    pruned.is_alive(id),
+                    "floor {floor} id {id}: liveness must agree"
+                );
+                if !exact.is_alive(id) {
+                    continue;
+                }
+                let (e, p) = (exact.get(id).mben, pruned.get(id).mben);
+                if e >= floor {
+                    assert_eq!(p, e, "floor {floor} id {id}: survivors stay exact");
+                } else {
+                    // Below the floor the pruned count may be clamped, but
+                    // stays nonzero and below the floor — exactly what the
+                    // caller's BelowFloor sweep needs.
+                    assert!(
+                        p > 0 && p < floor.max(1),
+                        "floor {floor} id {id}: {p} vs {e}"
+                    );
+                }
+            }
+        }
+        assert!(m.scan_candidates_pruned > 0, "early exits fired");
+        assert!(m.scan_bounds_refreshed > 0);
     }
 
     #[test]

@@ -473,6 +473,12 @@ impl LatticeSpace for HierarchicalSpace<'_> {
         HierarchicalSpace::parents(self, pattern)
     }
 
+    fn num_parents(&self, pattern: &Pattern) -> usize {
+        // One parent per non-wildcard attribute (step it up one
+        // hierarchy level, which may be the wildcard root).
+        pattern.specificity()
+    }
+
     fn benefit(&self, pattern: &Pattern) -> Vec<RowId> {
         HierarchicalSpace::benefit(self, pattern)
     }

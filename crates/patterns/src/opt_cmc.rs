@@ -31,6 +31,7 @@ use scwsc_core::algorithms::cmc::{CmcParams, Levels};
 use scwsc_core::engine::{
     panic_message, Certificate, Deadline, DegradeReason, Degraded, EngineError, SolveOutcome,
 };
+use scwsc_core::parallel::prune_from_env;
 use scwsc_core::telemetry::{
     audit, pack_k_target, EventLog, Observer, PhaseSpan, PruneReason, ThreadLocalTelemetry,
     TraceId, PHASE_GUESS, PHASE_SCAN, PHASE_TOTAL,
@@ -45,6 +46,11 @@ const PAR_RECOUNT_MIN: usize = 4096;
 /// Minimum number of newly eligible children before their benefit
 /// recounts fan out over the pool.
 const PAR_CHILDREN_MIN: usize = 4;
+/// Maximum heap-entry staleness (in selections) served by the epoch-delta
+/// refresh; older entries fall back to a full blocked recount. Each delta
+/// round costs one `O(n/64)` intersection, so past a few rounds the full
+/// difference count is cheaper.
+const DELTA_MAX_ROUNDS: usize = 4;
 
 /// Runs the optimized CMC (Fig. 4) over a pattern space.
 ///
@@ -197,20 +203,26 @@ fn guess_loop_within<S: LatticeSpace, O: Observer + ?Sized>(
     };
 
     let mut lattice = Lattice::new(space);
+    let mut queue = BucketQueue::new();
     let mut guess_index = 0u64;
 
     loop {
         guess_index += 1;
-        let attempt = |log: &mut EventLog, lattice: &mut Lattice<'_, S>| -> GuessResult {
+        let attempt = |log: &mut EventLog,
+                       lattice: &mut Lattice<'_, S>,
+                       queue: &mut BucketQueue|
+         -> GuessResult {
             log.guess_started(Some(budget));
             let guess_span = PhaseSpan::enter(log, PHASE_GUESS);
             deadline.fault_guess(guess_index);
-            let found = run_guess(lattice, params, budget, target, pool, deadline, log);
+            let found = run_guess(lattice, queue, params, budget, target, pool, deadline, log);
             guess_span.exit(log);
             found
         };
         let mut log = EventLog::new();
-        let found = match catch_unwind(AssertUnwindSafe(|| attempt(&mut log, &mut lattice))) {
+        let found = match catch_unwind(AssertUnwindSafe(|| {
+            attempt(&mut log, &mut lattice, &mut queue)
+        })) {
             Ok(found) => {
                 log.replay(obs);
                 found
@@ -221,7 +233,9 @@ fn guess_loop_within<S: LatticeSpace, O: Observer + ?Sized>(
                 // fewer first-materialization events on the rerun.
                 obs.guess_retried();
                 let mut retry_log = EventLog::new();
-                match catch_unwind(AssertUnwindSafe(|| attempt(&mut retry_log, &mut lattice))) {
+                match catch_unwind(AssertUnwindSafe(|| {
+                    attempt(&mut retry_log, &mut lattice, &mut queue)
+                })) {
                     Ok(found) => {
                         retry_log.replay(obs);
                         found
@@ -324,6 +338,7 @@ fn guess_loop<S: LatticeSpace, O: Observer + ?Sized>(
     };
 
     let mut lattice = Lattice::new(space);
+    let mut queue = BucketQueue::new();
 
     loop {
         obs.guess_started(Some(budget));
@@ -332,6 +347,7 @@ fn guess_loop<S: LatticeSpace, O: Observer + ?Sized>(
         let guess_span = PhaseSpan::enter(obs, PHASE_GUESS);
         let found = run_guess(
             &mut lattice,
+            &mut queue,
             params,
             budget,
             target,
@@ -361,14 +377,139 @@ fn guess_loop<S: LatticeSpace, O: Observer + ?Sized>(
 struct Lattice<'a, S: LatticeSpace> {
     space: &'a S,
     patterns: Vec<Pattern>,
-    rows: Vec<Vec<RowId>>,
+    /// All row lists back to back; `rows[id]` spans into this arena.
+    /// A pattern's row list is written once at materialization and never
+    /// resized, so one backing allocation replaces a `Vec` per pattern —
+    /// the dominant allocator traffic of the lattice build (and of its
+    /// drop).
+    row_arena: Vec<RowId>,
+    /// `(offset, len)` of each pattern's row list in `row_arena`.
+    rows: Vec<(u32, u32)>,
+    /// Row bitmask per pattern, for blocked-popcount recounts. Lazy:
+    /// only the (few) patterns the pruned refresh actually kernels over
+    /// — popped stale entries with long row lists — pay the `O(num_rows)`
+    /// bits; most materialized patterns are scored once from their row
+    /// list and never need one.
+    masks: Vec<Option<BitSet>>,
     costs: Vec<f64>,
     /// Number of parents (= specificity): used for the pending-parents
     /// gating that implements line 33 without per-check hashing.
     num_parents: Vec<u8>,
-    /// children[id] = Some(child ids) once expanded.
-    children: Vec<Option<Vec<u32>>>,
-    by_pattern: FxHashMap<Pattern, u32>,
+    /// Child-id lists back to back, same once-written story as rows.
+    child_arena: Vec<u32>,
+    /// children[id] = Some((offset, len)) into `child_arena` once expanded.
+    children: Vec<Option<(u32, u32)>>,
+    by_pattern: Dedup,
+    /// Expansion scratch: the walk reads the parent's rows while new
+    /// children extend `row_arena` (which may reallocate), so the
+    /// parent's span is copied out here first. Reused across expansions.
+    parent_scratch: Vec<RowId>,
+    /// Expansion scratch for the child-id list under construction.
+    kids_scratch: Vec<u32>,
+}
+
+/// Pattern-to-id dedup map. When the space's value domain packs into a
+/// `u64` ([`LatticeSpace::packed_key_bits`]), keys are single integers
+/// — one `u64` hash per child visit instead of hashing a boxed
+/// option-slice, on the hottest lookup of the lattice build.
+enum Dedup {
+    Packed {
+        /// `shifts[attr]` = bit offset of that attribute's field in the
+        /// key, so a child key is `parent_key | (value + 1) << shift` —
+        /// one OR on the hottest lookup of the lattice build.
+        shifts: Vec<u32>,
+        map: FxHashMap<u64, u32>,
+    },
+    General(FxHashMap<Pattern, u32>),
+}
+
+impl Dedup {
+    fn new<S: LatticeSpace>(space: &S) -> Dedup {
+        match space.packed_key_bits() {
+            Some(bits) => {
+                // Field of attr `i` sits above the fields of all later
+                // attributes (the fold order `key() `used before).
+                let mut shifts = vec![0u32; bits.len()];
+                let mut acc = 0;
+                for i in (0..bits.len()).rev() {
+                    shifts[i] = acc;
+                    acc += bits[i];
+                }
+                Dedup::Packed {
+                    shifts,
+                    map: FxHashMap::default(),
+                }
+            }
+            None => Dedup::General(FxHashMap::default()),
+        }
+    }
+
+    fn key(shifts: &[u32], pattern: &Pattern) -> u64 {
+        shifts
+            .iter()
+            .zip(pattern.values())
+            .map(|(&shift, v)| v.map_or(0, |x| (x as u64 + 1) << shift))
+            .fold(0, |key, field| key | field)
+    }
+
+    /// The packed key of `pattern`, when packed keys are in use.
+    /// Computed once per expansion; children derive theirs from it.
+    fn full_key(&self, pattern: &Pattern) -> Option<u64> {
+        match self {
+            Dedup::Packed { shifts, .. } => Some(Self::key(shifts, pattern)),
+            Dedup::General(_) => None,
+        }
+    }
+
+    fn insert(&mut self, pattern: &Pattern, id: u32) {
+        match self {
+            Dedup::Packed { shifts, map } => {
+                map.insert(Self::key(shifts, pattern), id);
+            }
+            Dedup::General(map) => {
+                map.insert(pattern.clone(), id);
+            }
+        }
+    }
+
+    /// Lookup of the child reached from `parent_key` by setting `attr`
+    /// to `value`; `child` backs the non-packed fallback.
+    fn get_child(
+        &self,
+        parent_key: Option<u64>,
+        attr: usize,
+        value: u32,
+        child: &Pattern,
+    ) -> Option<u32> {
+        match self {
+            Dedup::Packed { shifts, map } => {
+                let key = parent_key.expect("packed dedup always has a parent key")
+                    | ((value as u64 + 1) << shifts[attr]);
+                map.get(&key).copied()
+            }
+            Dedup::General(map) => map.get(child).copied(),
+        }
+    }
+
+    fn insert_child(
+        &mut self,
+        parent_key: Option<u64>,
+        attr: usize,
+        value: u32,
+        child: &Pattern,
+        id: u32,
+    ) {
+        match self {
+            Dedup::Packed { shifts, map } => {
+                let key = parent_key.expect("packed dedup always has a parent key")
+                    | ((value as u64 + 1) << shifts[attr]);
+                map.insert(key, id);
+            }
+            Dedup::General(map) => {
+                map.insert(child.clone(), id);
+            }
+        }
+    }
 }
 
 impl<'a, S: LatticeSpace> Lattice<'a, S> {
@@ -376,51 +517,118 @@ impl<'a, S: LatticeSpace> Lattice<'a, S> {
         let root = space.root();
         let root_rows = space.root_rows();
         let root_cost = space.cost(&root_rows);
-        let mut by_pattern = FxHashMap::default();
-        by_pattern.insert(root.clone(), 0u32);
+        let mut by_pattern = Dedup::new(space);
+        by_pattern.insert(&root, 0u32);
         Lattice {
             space,
             num_parents: vec![0],
             patterns: vec![root],
-            rows: vec![root_rows],
+            rows: vec![(0, root_rows.len() as u32)],
+            row_arena: root_rows,
+            masks: vec![None],
             costs: vec![root_cost],
+            child_arena: Vec::new(),
             children: vec![None],
             by_pattern,
+            parent_scratch: Vec::new(),
+            kids_scratch: Vec::new(),
         }
+    }
+
+    /// The row list of pattern `id`.
+    #[inline]
+    fn rows_of(&self, id: u32) -> &[RowId] {
+        let (off, len) = self.rows[id as usize];
+        &self.row_arena[off as usize..off as usize + len as usize]
+    }
+
+    /// The cached child ids of pattern `id`, if expanded.
+    #[inline]
+    fn children_of(&self, id: u32) -> Option<&[u32]> {
+        self.children[id as usize]
+            .map(|(off, len)| &self.child_arena[off as usize..off as usize + len as usize])
+    }
+
+    fn mask_of(n: usize, rows: &[RowId]) -> BitSet {
+        let mut mask = BitSet::new(n);
+        for &r in rows {
+            mask.insert(r as usize);
+        }
+        mask
+    }
+
+    /// Row lists shorter than this recount faster through the postings
+    /// loop: the blocked kernel always touches ~`num_rows / 64` words,
+    /// so it only wins once the list holds a couple of rows per word.
+    fn kernel_min_rows(&self) -> usize {
+        self.space.num_rows().div_ceil(32)
+    }
+
+    /// The row mask of `id`, materialized on first use.
+    fn mask(&mut self, id: u32) -> &BitSet {
+        if self.masks[id as usize].is_none() {
+            let mask = Self::mask_of(self.space.num_rows(), self.rows_of(id));
+            self.masks[id as usize] = Some(mask);
+        }
+        self.masks[id as usize].as_ref().expect("just filled")
     }
 
     fn root_cost(&self) -> f64 {
         self.costs[0]
     }
 
-    /// Ids of `id`'s non-empty children, materializing them on first use.
-    fn children_of(&mut self, id: u32) -> Vec<u32> {
-        if let Some(kids) = &self.children[id as usize] {
-            return kids.clone();
+    /// Materializes `id`'s non-empty children on first use. After this
+    /// returns, `children[id]` is `Some`; callers borrow the cached id
+    /// slice directly instead of cloning it per visit (every guess
+    /// re-walks the lattice, so the clone was a per-pop allocation).
+    ///
+    /// Children are visited through [`LatticeSpace::for_each_child`], so
+    /// pattern and row storage is allocated only for children seen for
+    /// the first time — in a diamond lattice most children are already
+    /// cached under another parent.
+    fn ensure_children(&mut self, id: u32) {
+        if self.children[id as usize].is_some() {
+            return;
         }
-        let expanded = self
-            .space
-            .children_with_rows(&self.patterns[id as usize], &self.rows[id as usize]);
-        let mut kids = Vec::with_capacity(expanded.len());
-        for (child, child_rows) in expanded {
-            let child_id = match self.by_pattern.get(&child) {
-                Some(&cid) => cid,
-                None => {
-                    let cid = self.patterns.len() as u32;
-                    self.by_pattern.insert(child.clone(), cid);
-                    self.num_parents
-                        .push(self.space.parents(&child).len() as u8);
-                    self.patterns.push(child);
-                    self.costs.push(self.space.cost(&child_rows));
-                    self.rows.push(child_rows);
-                    self.children.push(None);
-                    cid
-                }
-            };
-            kids.push(child_id);
-        }
-        self.children[id as usize] = Some(kids.clone());
-        kids
+        let space = self.space;
+        // Copy the parent's pattern and rows out for the walk: the child
+        // pushes below may reallocate the backing storage.
+        let parent = self.patterns[id as usize].clone();
+        let mut parent_rows = std::mem::take(&mut self.parent_scratch);
+        parent_rows.clear();
+        parent_rows.extend_from_slice(self.rows_of(id));
+        let parent_key = self.by_pattern.full_key(&parent);
+        let mut kids = std::mem::take(&mut self.kids_scratch);
+        kids.clear();
+        space.for_each_child(
+            &parent,
+            &parent_rows,
+            &mut |attr, value, child, child_rows| {
+                let child_id = match self.by_pattern.get_child(parent_key, attr, value, child) {
+                    Some(cid) => cid,
+                    None => {
+                        let cid = self.patterns.len() as u32;
+                        self.by_pattern
+                            .insert_child(parent_key, attr, value, child, cid);
+                        self.num_parents.push(space.num_parents(child) as u8);
+                        self.patterns.push(child.clone());
+                        self.costs.push(space.cost(child_rows));
+                        self.masks.push(None);
+                        let off = u32::try_from(self.row_arena.len()).expect("row arena fits u32");
+                        self.row_arena.extend_from_slice(child_rows);
+                        self.rows.push((off, child_rows.len() as u32));
+                        self.children.push(None);
+                        cid
+                    }
+                };
+                kids.push(child_id);
+            },
+        );
+        let off = u32::try_from(self.child_arena.len()).expect("child arena fits u32");
+        self.child_arena.extend_from_slice(&kids);
+        self.children[id as usize] = Some((off, kids.len() as u32));
+        self.kids_scratch = kids;
+        self.parent_scratch = parent_rows;
     }
 }
 
@@ -467,6 +675,7 @@ enum GuessResult {
 #[allow(clippy::too_many_arguments)]
 fn run_guess<S: LatticeSpace, O: Observer + ?Sized>(
     lattice: &mut Lattice<'_, S>,
+    heap: &mut BucketQueue,
     params: &CmcParams,
     budget: f64,
     target: usize,
@@ -486,6 +695,13 @@ fn run_guess<S: LatticeSpace, O: Observer + ?Sized>(
     let max_selections = levels.max_selections();
 
     let mut covered = BitSet::new(n);
+    // Pruned-refresh state: each selection appends the newly covered rows
+    // as a mask, so a heap entry computed `epoch - entry.epoch` selections
+    // ago refreshes by subtracting exact per-selection intersection counts
+    // (the newly sets are disjoint) instead of recounting from scratch.
+    let prune = prune_from_env();
+    let mut epoch = 0usize;
+    let mut newly_masks: Vec<BitSet> = Vec::new();
     // Per-guess per-pattern state, keyed by lattice id (lazily grown).
     let len = lattice.patterns.len();
     let mut in_c = vec![false; len];
@@ -500,14 +716,17 @@ fn run_guess<S: LatticeSpace, O: Observer + ?Sized>(
     in_c[0] = true;
     obs.benefit_computed(1);
 
-    // Max-heap on (mben, cheaper first, older first), with lazy
+    // Max-queue on (mben, cheaper first, older first), with lazy
     // revalidation: marginal benefits only decrease, so a stale entry is
     // an upper bound and the first fresh pop is the true argmax (line 18).
-    let mut heap: BinaryHeap<HeapEntry> = BinaryHeap::new();
+    // Reset up front so a previous guess that returned early (or
+    // panicked under fault injection) cannot leak entries into this one.
+    heap.reset(lattice.rows_of(0).len());
     heap.push(HeapEntry {
-        mben: lattice.rows[0].len(),
+        mben: lattice.rows_of(0).len(),
         cost_bits: lattice.costs[0].to_bits(),
         id: 0,
+        epoch: 0,
     });
 
     let mut solution = PatternSolution {
@@ -516,6 +735,11 @@ fn run_guess<S: LatticeSpace, O: Observer + ?Sized>(
         total_cost: 0.0,
     };
     let mut rem = target; // line 14
+                          // Expansion scratch, reused across pops: thousands of patterns are
+                          // visited per guess, and a fresh Vec pair per visit is pure
+                          // allocator traffic.
+    let mut eligible: Vec<u32> = Vec::new();
+    let mut mbens: Vec<usize> = Vec::new();
 
     while let Some(entry) = heap.pop() {
         if let Err(reason) = deadline.checkpoint() {
@@ -538,7 +762,39 @@ fn run_guess<S: LatticeSpace, O: Observer + ?Sized>(
             obs.heap_stale_pop();
             continue; // stale duplicate of a removed candidate
         }
-        let current = recount(&lattice.rows[id], &covered, pool);
+        let current = if !prune {
+            recount(lattice.rows_of(entry.id), &covered, pool)
+        } else if entry.epoch == epoch {
+            // Coverage only grows at selections, so an entry pushed this
+            // epoch is provably current — skip the recount outright.
+            obs.scan_pruned(1);
+            entry.mben
+        } else if lattice.rows_of(entry.id).len() < lattice.kernel_min_rows() {
+            // Short row list: the postings recount beats every
+            // mask-based path, and no mask is ever materialized.
+            obs.bound_refreshed(1);
+            recount(lattice.rows_of(entry.id), &covered, None)
+        } else if epoch - entry.epoch <= DELTA_MAX_ROUNDS {
+            // Exact delta: the per-selection newly sets are disjoint, so
+            // the entry's stale count minus its overlap with each newer
+            // selection is the fresh count — no full recount needed.
+            let stale = entry.mben;
+            let mask = lattice.mask(entry.id);
+            let overlap: usize = newly_masks[entry.epoch..epoch]
+                .iter()
+                .map(|nm| mask.intersection_count(nm))
+                .sum();
+            obs.scan_pruned(1);
+            stale - overlap
+        } else {
+            obs.bound_refreshed(1);
+            lattice.mask(entry.id).difference_count(&covered)
+        };
+        debug_assert_eq!(
+            current,
+            recount(lattice.rows_of(entry.id), &covered, None),
+            "pruned refresh is exact"
+        );
         if current == 0 {
             in_c[id] = false; // lines 28-29 analogue
             obs.candidate_pruned(PruneReason::Exhausted);
@@ -550,6 +806,7 @@ fn run_guess<S: LatticeSpace, O: Observer + ?Sized>(
                 mben: current,
                 cost_bits: entry.cost_bits,
                 id: entry.id,
+                epoch,
             });
             continue;
         }
@@ -590,7 +847,8 @@ fn run_guess<S: LatticeSpace, O: Observer + ?Sized>(
                 weight: q_cost,
             };
             obs.round_decided(audit::ORDER_BENEFIT, &winner, &runners);
-            let newly: Vec<u32> = lattice.rows[id]
+            let newly: Vec<u32> = lattice
+                .rows_of(entry.id)
                 .iter()
                 .copied()
                 .filter(|&r| !covered.contains(r as usize))
@@ -606,8 +864,16 @@ fn run_guess<S: LatticeSpace, O: Observer + ?Sized>(
             solution.patterns.push(lattice.patterns[id].clone());
             solution.total_cost += q_cost;
             obs.set_selected(entry.id as u64, current as u64, q_cost);
-            for &r in &lattice.rows[id] {
+            for &r in lattice.rows_of(entry.id) {
                 covered.insert(r as usize);
+            }
+            if prune {
+                let mut nm = BitSet::new(n);
+                for &r in &newly {
+                    nm.insert(r as usize);
+                }
+                newly_masks.push(nm);
+                epoch += 1;
             }
             solution.covered = covered.count_ones();
             rem = rem.saturating_sub(current);
@@ -618,7 +884,7 @@ fn run_guess<S: LatticeSpace, O: Observer + ?Sized>(
         } else {
             // Lines 30-35: visit q and expand its children.
             visited[id] = true;
-            if lattice.children[id].is_none() {
+            if lattice.children_of(entry.id).is_none() {
                 // First materialization: children_with_rows partitions q's
                 // row list once per wildcard attribute.
                 let wildcards = lattice.patterns[id]
@@ -626,10 +892,14 @@ fn run_guess<S: LatticeSpace, O: Observer + ?Sized>(
                     .iter()
                     .filter(|v| v.is_none())
                     .count();
-                obs.posting_scanned((lattice.rows[id].len() * wildcards) as u64);
+                obs.posting_scanned((lattice.rows_of(entry.id).len() * wildcards) as u64);
             }
-            let mut eligible: Vec<u32> = Vec::new();
-            for child_id in lattice.children_of(entry.id) {
+            lattice.ensure_children(entry.id);
+            eligible.clear();
+            for &child_id in lattice
+                .children_of(entry.id)
+                .expect("ensure_children just ran")
+            {
                 let cid = child_id as usize;
                 if pending.len() <= cid {
                     // Newly materialized: extend per-guess state.
@@ -658,9 +928,11 @@ fn run_guess<S: LatticeSpace, O: Observer + ?Sized>(
             // replayed here so the spans nest under the open guess span;
             // counter events fire in child order below, identical to
             // scoring inline.
-            let mbens: Vec<usize> = match pool {
+            mbens.clear();
+            match pool {
                 Some(pool) if eligible.len() >= PAR_CHILDREN_MIN => {
-                    let rows = &lattice.rows;
+                    let spans = &lattice.rows;
+                    let arena = &lattice.row_arena;
                     let covered = &covered;
                     let per_chunk = eligible.len().div_ceil(pool.threads());
                     let chunks: Vec<(usize, &[u32])> =
@@ -672,7 +944,8 @@ fn run_guess<S: LatticeSpace, O: Observer + ?Sized>(
                         let mbens: Vec<usize> = chunk
                             .iter()
                             .map(|&cid| {
-                                rows[cid as usize]
+                                let (off, len) = spans[cid as usize];
+                                arena[off as usize..off as usize + len as usize]
                                     .iter()
                                     .filter(|&&r| !covered.contains(r as usize))
                                     .count()
@@ -682,12 +955,13 @@ fn run_guess<S: LatticeSpace, O: Observer + ?Sized>(
                         mbens
                     });
                     tls.replay(obs);
-                    scored.concat()
+                    mbens.extend(scored.into_iter().flatten());
                 }
-                _ => eligible
-                    .iter()
-                    .map(|&cid| recount(&lattice.rows[cid as usize], &covered, pool))
-                    .collect(),
+                _ => mbens.extend(
+                    eligible
+                        .iter()
+                        .map(|&cid| recount(lattice.rows_of(cid), &covered, pool)),
+                ),
             };
             for (&child_id, &child_mben) in eligible.iter().zip(&mbens) {
                 let cid = child_id as usize;
@@ -705,11 +979,78 @@ fn run_guess<S: LatticeSpace, O: Observer + ?Sized>(
                     mben: child_mben,
                     cost_bits: lattice.costs[cid].to_bits(),
                     id: child_id,
+                    epoch,
                 });
             }
         }
     }
     GuessResult::NotFound
+}
+
+/// Deterministic bucket priority queue over [`HeapEntry`], keyed by the
+/// integer marginal benefit (bounded by `n`). Pop order is exactly the
+/// binary heap's total order — (mben desc, cost asc, id asc): within
+/// one guess a pattern enters the candidate set once and every re-push
+/// carries a strictly smaller benefit, so two live entries for one id
+/// never share a bucket and the `(cost, id)` min-heaps per bucket
+/// complete the order. Both queue ends are near-O(1): the max cursor
+/// only descends (the root starts at bucket `n`, re-pushes and child
+/// pushes never exceed the popping bucket), and the per-bucket heaps
+/// stay tiny compared to one global heap over every candidate. Reused
+/// across guesses so bucket capacity amortizes.
+struct BucketQueue {
+    /// buckets[mben] = min-heap of `(cost_bits, id, epoch)`.
+    buckets: Vec<BinaryHeap<std::cmp::Reverse<(u64, u32, usize)>>>,
+    /// Highest possibly non-empty bucket.
+    max: usize,
+    len: usize,
+}
+
+impl BucketQueue {
+    fn new() -> BucketQueue {
+        BucketQueue {
+            buckets: Vec::new(),
+            max: 0,
+            len: 0,
+        }
+    }
+
+    /// Empties the queue and guarantees buckets `0..=max_mben` exist.
+    fn reset(&mut self, max_mben: usize) {
+        for bucket in &mut self.buckets {
+            bucket.clear();
+        }
+        if self.buckets.len() <= max_mben {
+            self.buckets.resize_with(max_mben + 1, BinaryHeap::new);
+        }
+        self.max = 0;
+        self.len = 0;
+    }
+
+    fn push(&mut self, entry: HeapEntry) {
+        self.max = self.max.max(entry.mben);
+        self.len += 1;
+        self.buckets[entry.mben].push(std::cmp::Reverse((entry.cost_bits, entry.id, entry.epoch)));
+    }
+
+    fn pop(&mut self) -> Option<HeapEntry> {
+        if self.len == 0 {
+            return None;
+        }
+        while self.buckets[self.max].is_empty() {
+            self.max -= 1;
+        }
+        let std::cmp::Reverse((cost_bits, id, epoch)) = self.buckets[self.max]
+            .pop()
+            .expect("bucket at the max cursor is non-empty");
+        self.len -= 1;
+        Some(HeapEntry {
+            mben: self.max,
+            cost_bits,
+            id,
+            epoch,
+        })
+    }
 }
 
 /// Heap entry: candidate keyed by (mben desc, cost asc, id asc).
@@ -722,6 +1063,10 @@ struct HeapEntry {
     /// `f64::to_bits` of a non-negative cost orders like the number.
     cost_bits: u64,
     id: u32,
+    /// Selection count when `mben` was computed. NOT part of the ordering
+    /// — it only lets the pruned refresh subtract the exact per-selection
+    /// coverage deltas instead of recounting from scratch.
+    epoch: usize,
 }
 
 impl PartialEq for HeapEntry {

@@ -21,9 +21,10 @@ use crate::space::{LatticeSpace, PatternSpace};
 use scwsc_core::engine::{
     panic_message, Certificate, Deadline, DegradeReason, Degraded, EngineError, SolveOutcome,
 };
+use scwsc_core::parallel::prune_from_env;
 use scwsc_core::telemetry::{
     audit, pack_k_target, EventLog, Observer, PhaseSpan, PruneReason, TraceId, PHASE_EXPAND,
-    PHASE_SELECT, PHASE_TOTAL,
+    PHASE_SCAN_PRUNE, PHASE_SELECT, PHASE_TOTAL,
 };
 use scwsc_core::{coverage_target, BitSet, SolveError};
 use std::cmp::Reverse;
@@ -228,6 +229,7 @@ fn run_in<S: LatticeSpace, O: Observer + ?Sized>(
 ) -> PatternRound {
     // Like flat CWSC, the optimized variant is a single round.
     obs.guess_started(None);
+    let prune = prune_from_env();
     let n = space.num_rows();
     let mut covered = BitSet::new(n);
     let mut solution = PatternSolution {
@@ -388,7 +390,19 @@ fn run_in<S: LatticeSpace, O: Observer + ?Sized>(
             return PatternRound::Done(Ok(solution)); // line 25
         }
         // Lines 27-30: refresh marginal benefits, dropping exhausted ones.
-        pool.recount_all(&covered);
+        // When pruning is on, the recount is fused with the *next* round's
+        // eligibility floor ⌈rem/(i-1)⌉ so recounts provably landing below
+        // it can stop at the first proving block (the survivors' benefits
+        // and the BelowFloor sweep above stay identical — see
+        // `CandidatePool::recount_all_pruned`).
+        if prune {
+            let next_floor = if i > 1 { rem.div_ceil(i - 1) } else { 0 };
+            let prune_span = PhaseSpan::enter(obs, PHASE_SCAN_PRUNE);
+            pool.recount_all_pruned(&covered, next_floor, obs);
+            prune_span.exit(obs);
+        } else {
+            pool.recount_all(&covered);
+        }
         select_span.exit(obs);
     }
 

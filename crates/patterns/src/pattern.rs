@@ -109,6 +109,13 @@ impl Pattern {
         Pattern::new(vals)
     }
 
+    /// Overwrites the value at `attr` in place (`None` = `ALL`).
+    /// Crate-internal: lattice walkers drive one scratch pattern as a
+    /// reusable child cursor instead of allocating a pattern per child.
+    pub(crate) fn set(&mut self, attr: usize, value: Option<ValueId>) {
+        self.values[attr] = value;
+    }
+
     /// Whether `other` is this pattern with exactly one wildcard filled in.
     pub fn is_parent_of(&self, other: &Pattern) -> bool {
         if self.num_attrs() != other.num_attrs() {

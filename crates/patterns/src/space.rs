@@ -8,10 +8,32 @@
 //! never rescans the table).
 
 use crate::cost_fn::CostFn;
-use crate::fxhash::FxHashMap;
+use crate::dictionary::ValueId;
 use crate::index::InvertedIndex;
 use crate::pattern::Pattern;
 use crate::table::{RowId, Table};
+
+/// The `(attribute, value)` specialization step from `parent` to its
+/// direct child `child`: the one attribute where a wildcard was filled
+/// in — or, in hierarchy-enriched lattices, where an already-set value
+/// was refined to a deeper node.
+fn child_step(parent: &Pattern, child: &Pattern) -> (usize, ValueId) {
+    parent
+        .values()
+        .iter()
+        .zip(child.values())
+        .enumerate()
+        .find_map(|(attr, (p, c))| match (p, c) {
+            (None, Some(v)) => Some((attr, *v)),
+            (Some(p), Some(v)) if p != v => Some((attr, *v)),
+            _ => None,
+        })
+        .expect("child refines exactly one parent attribute")
+}
+
+/// Callback for [`LatticeSpace::for_each_child`]: receives the
+/// `(attribute, value)` step, the child pattern, and its benefit rows.
+pub type ChildVisitor<'a> = dyn FnMut(usize, ValueId, &Pattern, &[RowId]) + 'a;
 
 /// The lattice operations the optimized algorithms (Figures 3–4) need.
 ///
@@ -52,8 +74,43 @@ pub trait LatticeSpace {
         parent_rows: &[RowId],
     ) -> Vec<(Pattern, Vec<RowId>)>;
 
+    /// Visits each non-empty child with its benefit rows, in exactly the
+    /// order `children_with_rows` returns them, without requiring an
+    /// owned `Vec` per child. The callback also receives the
+    /// `(attribute, value)` step that produced the child from the
+    /// parent, letting callers with packed pattern keys derive the
+    /// child's key from the parent's in O(1). Lattice caches use this
+    /// to skip the row copy for children they already hold: in a
+    /// diamond-shaped lattice most children are reached from several
+    /// parents, and the `children_with_rows` path materializes (and
+    /// then drops) a fresh row vector for every duplicate encounter.
+    fn for_each_child(&self, pattern: &Pattern, parent_rows: &[RowId], f: &mut ChildVisitor<'_>) {
+        for (child, rows) in self.children_with_rows(pattern, parent_rows) {
+            let (attr, value) = child_step(pattern, &child);
+            f(attr, value, &child, &rows);
+        }
+    }
+
     /// The parents of `pattern` in the lattice.
     fn parents(&self, pattern: &Pattern) -> Vec<Pattern>;
+
+    /// `parents(pattern).len()` without necessarily materializing the
+    /// parents. Spaces whose parent count is known in closed form
+    /// (both shipped spaces produce exactly one parent per non-wildcard
+    /// attribute) override this to skip the allocation — it runs once
+    /// per materialized lattice node.
+    fn num_parents(&self, pattern: &Pattern) -> usize {
+        self.parents(pattern).len()
+    }
+
+    /// Per-attribute bit widths under which every pattern of this space
+    /// packs injectively into one `u64` (field `value_id + 1`, wildcard
+    /// `0`), or `None` when the value domain is unbounded or too wide.
+    /// Lattice caches use this to key their dedup maps by integer
+    /// instead of hashing boxed pattern slices on every child visit.
+    fn packed_key_bits(&self) -> Option<Vec<u32>> {
+        None
+    }
 
     /// `Ben(p)` — used by verification and display, not by the solvers
     /// (they only ever bucket parent rows).
@@ -88,8 +145,28 @@ impl LatticeSpace for PatternSpace<'_> {
         PatternSpace::children_with_rows(self, pattern, parent_rows)
     }
 
+    fn for_each_child(&self, pattern: &Pattern, parent_rows: &[RowId], f: &mut ChildVisitor<'_>) {
+        PatternSpace::for_each_child(self, pattern, parent_rows, f)
+    }
+
     fn parents(&self, pattern: &Pattern) -> Vec<Pattern> {
         pattern.parents()
+    }
+
+    fn num_parents(&self, pattern: &Pattern) -> usize {
+        // One parent per non-wildcard attribute (re-wildcard it).
+        pattern.specificity()
+    }
+
+    fn packed_key_bits(&self) -> Option<Vec<u32>> {
+        let bits: Vec<u32> = (0..self.table.num_attrs())
+            .map(|attr| {
+                // Field holds value_id + 1 in [1, len]; 0 is the wildcard.
+                let len = self.table.dictionary(attr).len() as u64;
+                u64::BITS - len.leading_zeros()
+            })
+            .collect();
+        (bits.iter().sum::<u32>() <= u64::BITS).then_some(bits)
     }
 
     fn benefit(&self, pattern: &Pattern) -> Vec<RowId> {
@@ -132,33 +209,91 @@ impl<'a> PatternSpace<'a> {
         self.cost_fn.evaluate(self.table, rows)
     }
 
-    /// The non-empty children of `pattern` with their benefit sets,
-    /// computed by bucketing `parent_rows` (which must be `Ben(pattern)`).
-    /// Children are returned in deterministic `(attribute, value)` order;
-    /// each child's rows stay sorted because the parent's were.
+    /// The non-empty children of `pattern` with their benefit sets, in
+    /// deterministic `(attribute, value)` order. Builds on
+    /// [`PatternSpace::for_each_child`]; callers that cache patterns
+    /// (and so mostly re-encounter children they already hold) should
+    /// use the visitor directly and skip these per-child allocations.
     pub fn children_with_rows(
         &self,
         pattern: &Pattern,
         parent_rows: &[RowId],
     ) -> Vec<(Pattern, Vec<RowId>)> {
         let mut out = Vec::new();
+        self.for_each_child(pattern, parent_rows, &mut |_, _, child, rows| {
+            out.push((child.clone(), rows.to_vec()));
+        });
+        out
+    }
+
+    /// Visits the non-empty children of `pattern` with their benefit
+    /// rows, computed by partitioning `parent_rows` (which must be
+    /// `Ben(pattern)`). Children arrive in deterministic
+    /// `(attribute, value)` order; each child's rows stay sorted because
+    /// sorting the `(value, row)` pairs orders rows ascending within
+    /// each value run — the same order bucketing the (sorted) parent
+    /// rows produced. Two reused buffers and one in-place child cursor
+    /// replace the per-value hash-map buckets the first version used:
+    /// this runs on every lattice expansion, and the per-child
+    /// allocations dominated the expansion profile.
+    pub fn for_each_child(
+        &self,
+        pattern: &Pattern,
+        parent_rows: &[RowId],
+        f: &mut ChildVisitor<'_>,
+    ) {
+        // Stack offset buffers cover every realistic dictionary; wider
+        // domains spill to the heap once per call.
+        const STACK_CARD: usize = 256;
+        let mut child = pattern.clone(); // reusable cursor
+                                         // Counting-sort scratch, reused across attributes: `sorted`
+                                         // holds the rows grouped by value, `starts` the exclusive
+                                         // prefix offsets, `cursor` the scatter positions.
+        let mut sorted: Vec<RowId> = vec![0; parent_rows.len()];
+        let mut starts_buf = [0u32; STACK_CARD + 1];
+        let mut cursor_buf = [0u32; STACK_CARD];
+        let mut starts_heap: Vec<u32> = Vec::new();
+        let mut cursor_heap: Vec<u32> = Vec::new();
         for attr in 0..pattern.num_attrs() {
             if pattern.get(attr).is_some() {
                 continue; // not a wildcard: cannot specialize here
             }
             let column = self.table.column(attr);
-            let mut buckets: FxHashMap<u32, Vec<RowId>> = FxHashMap::default();
+            let card = self.table.dictionary(attr).len();
+            let (starts, cursor) = if card <= STACK_CARD {
+                starts_buf[..=card].fill(0);
+                (&mut starts_buf[..=card], &mut cursor_buf[..card])
+            } else {
+                starts_heap.clear();
+                starts_heap.resize(card + 1, 0);
+                cursor_heap.resize(card, 0);
+                (&mut starts_heap[..], &mut cursor_heap[..])
+            };
+            // Group by value in two O(n + card) passes. The scatter walks
+            // `parent_rows` in (ascending) order, so each value's run
+            // stays sorted — the same order bucketing produced.
             for &row in parent_rows {
-                buckets.entry(column[row as usize]).or_default().push(row);
+                starts[column[row as usize] as usize + 1] += 1;
             }
-            let mut values: Vec<u32> = buckets.keys().copied().collect();
-            values.sort_unstable();
-            for v in values {
-                let rows = buckets.remove(&v).expect("key came from the map");
-                out.push((pattern.child(attr, v), rows));
+            for v in 0..card {
+                starts[v + 1] += starts[v];
             }
+            cursor.copy_from_slice(&starts[..card]);
+            for &row in parent_rows {
+                let v = column[row as usize] as usize;
+                sorted[cursor[v] as usize] = row;
+                cursor[v] += 1;
+            }
+            for value in 0..card {
+                let (lo, hi) = (starts[value] as usize, starts[value + 1] as usize);
+                if lo == hi {
+                    continue; // value absent from the parent: empty child
+                }
+                child.set(attr, Some(value as u32));
+                f(attr, value as u32, &child, &sorted[lo..hi]);
+            }
+            child.set(attr, None);
         }
-        out
     }
 }
 

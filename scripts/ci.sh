@@ -29,6 +29,16 @@ SCWSC_THREADS=1 cargo run --release -q -p scwsc-bench --bin scwsc_bench -- \
 cargo run --release -q -p scwsc-bench --bin scwsc_bench -- \
   diff target/BENCH_ci_t1.json target/BENCH_ci_t4.json --counters-only
 
+# Pruned-scan A/B gate (DESIGN.md §15): with the sketch-pruned scan
+# forced off, the smoke suite must reproduce the pruned run's exact
+# counters — pruning may only change *how* benefits are counted, never
+# what any solver does. The scan_* advisory counters are note-level in
+# the diff by design (they measure the pruning itself).
+SCWSC_PRUNE=0 SCWSC_THREADS=1 cargo run --release -q -p scwsc-bench --bin scwsc_bench -- \
+  record --quick --suite smoke --label ci-noprune --out target/BENCH_ci_noprune.json
+cargo run --release -q -p scwsc-bench --bin scwsc_bench -- \
+  diff target/BENCH_ci_t1.json target/BENCH_ci_noprune.json --counters-only
+
 # Resilience gate (DESIGN.md §12). First the full test suite with the
 # deterministic fault injector compiled in, including the snapshot test
 # that keeps the retry/speculation counters out of the exact-diff set.
@@ -109,12 +119,18 @@ SCWSC_THREADS=4 "$solve" --rows 1000 --seed 11 --k 6 --coverage 0.5 \
   --algorithm cmc --audit-jsonl target/ci_audit_t4.jsonl > /dev/null 2>&1
 cmp target/ci_audit_t1.jsonl target/ci_audit_t4.jsonl \
   || { echo "audit ledger differs across thread counts"; exit 1; }
+# ... and across the prune toggle (DESIGN.md §15): skipped counts must
+# never reach the ledger, so SCWSC_PRUNE=0 writes the same bytes.
+SCWSC_PRUNE=0 SCWSC_THREADS=1 "$solve" --rows 1000 --seed 11 --k 6 --coverage 0.5 \
+  --algorithm cmc --audit-jsonl target/ci_audit_noprune.jsonl > /dev/null 2>&1
+cmp target/ci_audit_t1.jsonl target/ci_audit_noprune.jsonl \
+  || { echo "audit ledger differs across prune toggle"; exit 1; }
 
 # Quality-regression gate (DESIGN.md §14): the committed schema-2 baseline
 # carries certified greedy cost and lower bound per workload; the fresh
 # quick recording must not regress either (checked even --counters-only).
 cargo run --release -q -p scwsc-bench --bin scwsc_bench -- \
-  diff BENCH_pr7.json target/BENCH_ci.json --counters-only
+  diff BENCH_pr8.json target/BENCH_ci.json --counters-only
 
 # flight-to-chrome smoke: the post-mortem dump from the resilience gate
 # must convert to a loadable Chrome tracing JSON with real events.
