@@ -20,8 +20,12 @@ use scwsc_bench::diff::{diff, DiffOptions};
 use scwsc_bench::record::record_suite_with_metrics_on;
 use scwsc_bench::registry;
 use scwsc_bench::snapshot::Snapshot;
+use scwsc_bench::soak::{soak, SoakOptions};
+use scwsc_bench::trend::{discover, load_timeline};
 use scwsc_core::{render_prometheus, ThreadPool, Threads};
+use std::path::PathBuf;
 use std::process::ExitCode;
+use std::time::Duration;
 
 // Installed here, not in the library: allocation statistics only move in
 // binaries that opt into the counting allocator.
@@ -34,6 +38,8 @@ const USAGE: &str = "\
 usage:
   scwsc_bench record [--label L] [--reps N] [--quick] [--suite full|smoke] [--only SUBSTR] [--out PATH] [--threads N] [--export-metrics PATH]
   scwsc_bench diff BASE NEW [--tolerance F] [--counters-only] [--attribute] [--top N]
+  scwsc_bench soak [--iters N] [--workload SUBSTR] [--suite full|smoke] [--window W] [--threads N] [--timeline PATH] [--stall-after-ms MS]
+  scwsc_bench trend [PATHS...] [--dir DIR] [--gate]
   scwsc_bench flight-to-chrome IN OUT
 
 record options:
@@ -59,6 +65,27 @@ diff options:
                   ranked movers (largest |self-time delta| first)
   --top N         rows per attribution section [default: 10]
 
+soak options (continuous-telemetry endurance loop, DESIGN.md §16):
+  --iters N       full suite iterations [default: 50]
+  --workload SUBSTR  restrict the suite to workloads whose name contains
+                  SUBSTR
+  --suite S       workload suite: full | smoke [default: smoke]
+  --window W      sliding-window width in solves [default: 8]
+  --threads N     worker threads for the solver fan-outs [default:
+                  $SCWSC_THREADS, else all cores]
+  --timeline PATH write a windowed-metrics JSONL timeline (one line per
+                  iteration)
+  --stall-after-ms MS  watchdog stall threshold [default: 5000]
+  exits non-zero when any invariant breaks: non-monotone counters,
+  drifting windowed quantiles, leaked allocator bytes, or a stall.
+
+trend options (cross-snapshot trajectory, DESIGN.md §16):
+  PATHS...   explicit BENCH_*.json files; when omitted, every
+             BENCH_*.json under --dir is loaded
+  --dir DIR  directory to scan [default: .]
+  --gate     exit non-zero when any workload's latest median regresses
+             >10% against its best-ever median
+
 flight-to-chrome:
   converts a flight-recorder dump (the JSONL written by scwsc_solve
   --flight-dump) into Chrome tracing JSON: open OUT in chrome://tracing
@@ -70,6 +97,8 @@ fn main() -> ExitCode {
     let result = match args.first().map(String::as_str) {
         Some("record") => cmd_record(&args[1..]),
         Some("diff") => cmd_diff(&args[1..]),
+        Some("soak") => cmd_soak(&args[1..]),
+        Some("trend") => cmd_trend(&args[1..]),
         Some("flight-to-chrome") => cmd_flight_to_chrome(&args[1..]),
         Some("--help" | "-h" | "help") => {
             println!("{USAGE}");
@@ -200,6 +229,92 @@ fn cmd_diff(args: &[String]) -> Result<ExitCode, String> {
         print!("{}", attribute(&base, &new).render(top));
     }
     Ok(if report.ok() {
+        ExitCode::SUCCESS
+    } else {
+        ExitCode::FAILURE
+    })
+}
+
+fn cmd_soak(args: &[String]) -> Result<ExitCode, String> {
+    let mut opts = SoakOptions::default();
+    let mut suite_name = "smoke".to_string();
+    let mut only: Option<String> = None;
+    let mut threads = Threads::from_env();
+    let mut it = args.iter();
+    while let Some(arg) = it.next() {
+        match arg.as_str() {
+            "--iters" => {
+                opts.iters = take(&mut it, "--iters")?
+                    .parse()
+                    .map_err(|_| "--iters expects a positive integer".to_string())?
+            }
+            "--workload" => only = Some(take(&mut it, "--workload")?),
+            "--suite" => suite_name = take(&mut it, "--suite")?,
+            "--window" => {
+                opts.window = take(&mut it, "--window")?
+                    .parse()
+                    .map_err(|_| "--window expects a positive integer".to_string())?
+            }
+            "--threads" => {
+                threads = Threads::new(
+                    take(&mut it, "--threads")?
+                        .parse()
+                        .map_err(|_| "--threads expects a positive integer".to_string())?,
+                )
+            }
+            "--timeline" => opts.timeline = Some(PathBuf::from(take(&mut it, "--timeline")?)),
+            "--stall-after-ms" => {
+                opts.stall_after = Duration::from_millis(
+                    take(&mut it, "--stall-after-ms")?
+                        .parse()
+                        .map_err(|_| "--stall-after-ms expects milliseconds".to_string())?,
+                )
+            }
+            other => return Err(format!("unknown soak option '{other}'\n{USAGE}")),
+        }
+    }
+    let mut suite = registry::suite(&suite_name)
+        .ok_or_else(|| format!("unknown suite '{suite_name}' (expected full|smoke)"))?;
+    if let Some(pat) = &only {
+        suite.retain(|w| w.name.contains(pat.as_str()));
+        if suite.is_empty() {
+            return Err(format!(
+                "--workload '{pat}' matches no workload in '{suite_name}'"
+            ));
+        }
+    }
+    let pool = ThreadPool::new(threads);
+    eprintln!(
+        "soaking suite '{suite_name}' ({} workloads, {} iterations, window {}, {} thread(s))",
+        suite.len(),
+        opts.iters,
+        opts.window,
+        pool.threads()
+    );
+    let report = soak(&suite, &opts, &pool, |line| eprintln!("  {line}"))?;
+    println!("{}", report.render());
+    Ok(ExitCode::SUCCESS)
+}
+
+fn cmd_trend(args: &[String]) -> Result<ExitCode, String> {
+    let mut paths: Vec<PathBuf> = Vec::new();
+    let mut dir = ".".to_string();
+    let mut gate = false;
+    let mut it = args.iter();
+    while let Some(arg) = it.next() {
+        match arg.as_str() {
+            "--gate" => gate = true,
+            "--dir" => dir = take(&mut it, "--dir")?,
+            other if !other.starts_with("--") => paths.push(PathBuf::from(other)),
+            other => return Err(format!("unknown trend option '{other}'\n{USAGE}")),
+        }
+    }
+    if paths.is_empty() {
+        paths = discover(std::path::Path::new(&dir))?;
+    }
+    let report = load_timeline(&paths)?;
+    print!("{}", report.render());
+    Ok(if report.ok() || !gate {
         ExitCode::SUCCESS
     } else {
         ExitCode::FAILURE

@@ -18,6 +18,7 @@ use scwsc_core::FaultPlan;
 use scwsc_core::{
     coverage_target, render_prometheus, Certificate, Deadline, EngineError, Fanout, FlightRecorder,
     JsonlSink, MetricsRecorder, SloGauges, SolveOutcome, SpanProfiler, Stats, ThreadPool, Threads,
+    Watchdog,
 };
 use scwsc_data::csv::read_table;
 use scwsc_data::lbl::LblConfig;
@@ -27,14 +28,14 @@ use scwsc_patterns::{
 };
 use std::fs::File;
 use std::io::BufWriter;
-use std::path::Path;
+use std::path::{Path, PathBuf};
 use std::time::Duration;
 
 const USAGE: &str = "scwsc_solve [--csv PATH | --rows N [--seed N]] \
 [--k N] [--coverage F] [--algorithm cwsc|cmc] [--b F] [--eps F] \
 [--cost-fn max|sum|mean|count] [--threads N] [--trace-jsonl PATH] [--metrics] [--profile] \
-[--deadline-ms N] [--max-ticks N] [--fault SPEC] [--flight-dump PATH] [--metrics-prom PATH] \
-[--explain [N]] [--audit-jsonl PATH]
+[--deadline-ms N] [--max-ticks N] [--fault SPEC] [--watchdog MS] [--flight-dump PATH] \
+[--metrics-prom PATH] [--explain [N]] [--audit-jsonl PATH]
 Solves size-constrained weighted set cover over the table's pattern cube and
 prints the chosen patterns. Without --csv, a synthetic LBL-like trace of
 --rows records is generated. --threads sets the worker count for the cmc
@@ -45,8 +46,14 @@ solve by wall clock and --max-ticks by a deterministic work-tick budget; on
 expiry the best partial solution prints with its certificate and the process
 exits with code 5 (exit codes: 2 bad args, 3 bad input, 4 infeasible, 5
 deadline-degraded). --fault injects a deterministic fault schedule
-(comma-separated panic@TICK, cancel@TICK, panicguess@I, failguess@I, or
-seed:N; requires a build with --features fault-inject). --trace-jsonl streams
+(comma-separated panic@TICK, cancel@TICK, panicguess@I, failguess@I,
+stall@TICK:MS, or seed:N; requires a build with --features fault-inject).
+--watchdog MS arms a liveness watchdog: a background monitor watches
+observer events plus engine checkpoint ticks, and when an armed solve
+makes no progress for MS milliseconds it records a stall_detected event
+and dumps the flight recording at that moment (to <--flight-dump
+PATH>.stall, else scwsc-stall-flight.jsonl) without interrupting the
+solve. --trace-jsonl streams
 every solver event as one JSON object per line; --metrics prints aggregated
 counters and per-phase timings; --profile prints the run's aggregated span
 tree (per-phase total/self wall-clock with counter attribution; parallel
@@ -54,7 +61,7 @@ runs show the per-chunk scan spans merged under their round). A flight
 recorder of recent enriched events always rides along: --flight-dump writes
 its JSONL dump (header, events, causal tree) after the run, and a faulted or
 deadline-degraded run dumps automatically (to the --flight-dump path, else
-scwsc-flight.jsonl) before the process exits non-zero. --metrics-prom writes
+scwsc-<trace-id>-flight.jsonl) before the process exits non-zero. --metrics-prom writes
 the aggregated counters plus the run's SLO gauges (deadline headroom, ticks
 used/budget, degraded flag, retries) in Prometheus text exposition format.
 --explain prints the decision audit: every selection round's winner with its
@@ -94,8 +101,8 @@ fn load(args: &scwsc_bench::Args) -> Table {
 }
 
 /// Parses a `--fault` schedule: comma-separated `panic@TICK`,
-/// `cancel@TICK`, `panicguess@INDEX`, `failguess@INDEX`, or a single
-/// `seed:N` deriving a pseudo-random plan.
+/// `cancel@TICK`, `panicguess@INDEX`, `failguess@INDEX`,
+/// `stall@TICK:MS`, or a single `seed:N` deriving a pseudo-random plan.
 #[cfg(feature = "fault-inject")]
 fn parse_fault(spec: &str) -> FaultPlan {
     let number = |part: &str, text: &str| -> u64 {
@@ -112,11 +119,17 @@ fn parse_fault(spec: &str) -> FaultPlan {
             plan.panic_guess_once(number(part, i))
         } else if let Some(i) = part.strip_prefix("failguess@") {
             plan.fail_guess(number(part, i))
+        } else if let Some(spec) = part.strip_prefix("stall@") {
+            let (tick, ms) = spec
+                .split_once(':')
+                .unwrap_or_else(|| bail(&format!("bad fault spec {part:?}: use stall@TICK:MS")));
+            plan.stall_at_tick(number(part, tick), number(part, ms))
         } else if let Some(n) = part.strip_prefix("seed:") {
             FaultPlan::from_seed(number(part, n))
         } else {
             bail(&format!(
-                "bad fault spec {part:?} (use panic@T, cancel@T, panicguess@I, failguess@I, seed:N)"
+                "bad fault spec {part:?} (use panic@T, cancel@T, panicguess@I, failguess@I, \
+                 stall@T:MS, seed:N)"
             ))
         };
     }
@@ -200,8 +213,29 @@ fn main() {
     let audit_path = args.get("audit-jsonl");
     let mut ledger = (explain || audit_path.is_some()).then(DecisionLedger::new);
     let flight = FlightRecorder::new();
+    let flight_path = args.get("flight-dump");
+    // `--watchdog MS`: arm the liveness watchdog around the solve. It
+    // shares the flight recorder's ring, so a stall dump carries the
+    // events leading up to the hang.
+    let watchdog = args.get("watchdog").map(|_| {
+        let ms: u64 = required(args.get_or("watchdog", 0));
+        let mut dog = Watchdog::new(Duration::from_millis(ms)).with_flight(flight.clone());
+        if let Some(d) = &deadline {
+            dog = dog.with_probe(d.tick_probe());
+        }
+        // The stall dump gets its own file: the end-of-run dump reuses
+        // the --flight-dump path, and by then the ring may have evicted
+        // the events surrounding the stall.
+        let stall_path = match flight_path {
+            Some(path) => format!("{path}.stall"),
+            None => "scwsc-stall-flight.jsonl".to_string(),
+        };
+        dog.with_dump_path(PathBuf::from(stall_path))
+    });
+    let monitor = watchdog.as_ref().map(Watchdog::monitor);
     let outcome: Outcome = {
         let mut flight_tap = flight.clone();
+        let mut dog_tap = watchdog.clone();
         let mut obs = Fanout::new();
         obs.attach(&mut stats)
             .attach(&mut metrics)
@@ -214,6 +248,9 @@ fn main() {
         }
         if let Some(l) = ledger.as_mut() {
             obs.attach(l);
+        }
+        if let Some(d) = dog_tap.as_mut() {
+            obs.attach(d);
         }
         match (&deadline, algorithm) {
             (None, "cwsc") => match opt_cwsc(&space, params.k, params.coverage, &mut obs) {
@@ -245,12 +282,25 @@ fn main() {
     // Post-mortem observability runs before ANY exit below:
     // `process::exit` skips destructors, so the sink must flush here, and
     // the flight dump is most valuable exactly when the run went wrong.
+    drop(monitor);
+    if let Some(dog) = &watchdog {
+        metrics.stalls_detected += dog.stalls();
+        if dog.stalls() > 0 {
+            eprintln!(
+                "watchdog: {} stall(s) detected during trace {}",
+                dog.stalls(),
+                dog.trace_id()
+            );
+        }
+    }
     let degraded = matches!(&outcome, Outcome::Solved(_, Some(_)));
-    let flight_path = args.get("flight-dump");
     if let Some(path) = flight_path {
         dump_flight(&flight, Path::new(path));
     } else if degraded || matches!(&outcome, Outcome::Faulted(_)) {
-        dump_flight(&flight, Path::new("scwsc-flight.jsonl"));
+        // The trace id in the name keeps concurrent post-mortems from
+        // clobbering each other (and matches the *-flight.jsonl ignore).
+        let name = format!("scwsc-{}-flight.jsonl", flight.trace_id());
+        dump_flight(&flight, Path::new(&name));
     }
     if let Some(path) = args.get("metrics-prom") {
         let unbounded = Deadline::unbounded();

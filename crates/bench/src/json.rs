@@ -91,6 +91,42 @@ impl Json {
         out
     }
 
+    /// Serializes on a single line with no whitespace — the JSONL form
+    /// used by the soak timeline.
+    pub fn to_compact(&self) -> String {
+        let mut out = String::new();
+        self.write_compact(&mut out);
+        out
+    }
+
+    fn write_compact(&self, out: &mut String) {
+        match self {
+            Json::Null | Json::Bool(_) | Json::Num(_) | Json::Str(_) => self.write(out, 0),
+            Json::Arr(items) => {
+                out.push('[');
+                for (i, item) in items.iter().enumerate() {
+                    if i > 0 {
+                        out.push(',');
+                    }
+                    item.write_compact(out);
+                }
+                out.push(']');
+            }
+            Json::Obj(entries) => {
+                out.push('{');
+                for (i, (key, value)) in entries.iter().enumerate() {
+                    if i > 0 {
+                        out.push(',');
+                    }
+                    write_escaped(out, key);
+                    out.push(':');
+                    value.write_compact(out);
+                }
+                out.push('}');
+            }
+        }
+    }
+
     fn write(&self, out: &mut String, depth: usize) {
         match self {
             Json::Null => out.push_str("null"),
@@ -457,6 +493,22 @@ mod tests {
         ] {
             assert!(Json::parse(bad).is_err(), "{bad:?} should fail");
         }
+    }
+
+    #[test]
+    fn compact_form_round_trips_on_one_line() {
+        let doc = Json::Obj(vec![
+            ("iter".into(), Json::from_u64(3)),
+            ("p99".into(), Json::Num(1.5)),
+            (
+                "tags".into(),
+                Json::Arr(vec![Json::Str("a\"b".into()), Json::Null]),
+            ),
+        ]);
+        let line = doc.to_compact();
+        assert!(!line.contains('\n'));
+        assert_eq!(line, r#"{"iter":3,"p99":1.5,"tags":["a\"b",null]}"#);
+        assert_eq!(Json::parse(&line).unwrap(), doc);
     }
 
     #[test]

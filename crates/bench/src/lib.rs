@@ -24,6 +24,8 @@ pub mod record;
 pub mod registry;
 pub mod report;
 pub mod snapshot;
+pub mod soak;
+pub mod trend;
 
 pub use args::Args;
 pub use measure::{run, Algo, Measurement, RunParams};

@@ -606,6 +606,27 @@ mod tests {
     }
 
     #[test]
+    fn telemetry_window_counters_stay_out_of_the_exact_diff_set() {
+        // The liveness watchdog fires on wall-clock stalls and the
+        // sliding windows roll over with serving cadence — continuous-
+        // operation telemetry, not algorithmic work. Pinning any of it
+        // into the exact-diff map would make the BENCH gate depend on
+        // machine speed and soak history.
+        let counters = deterministic_counters(&MetricsRecorder::new());
+        for volatile in [
+            "stalls_detected",
+            "window_rollovers",
+            "window_solves",
+            "soak_iterations",
+        ] {
+            assert!(
+                !counters.contains_key(volatile),
+                "{volatile} must stay out of the exact-diff set"
+            );
+        }
+    }
+
+    #[test]
     fn span_snapshot_copies_node_tree() {
         let mut profiler = scwsc_core::SpanProfiler::new();
         use scwsc_core::Observer as _;

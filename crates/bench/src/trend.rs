@@ -1,0 +1,402 @@
+//! Cross-snapshot perf-trend analytics behind `scwsc_bench trend`
+//! (DESIGN.md §16).
+//!
+//! `diff` compares exactly two snapshots; `trend` reads *every* committed
+//! `BENCH_*.json` (schema 1 and 2), orders them chronologically by git
+//! commit time, and renders per-workload trajectories — median runtime,
+//! allocator traffic, and certified quality ratio — with per-hop deltas.
+//! A workload whose latest median regresses more than
+//! [`REGRESSION_THRESHOLD`] against its best-ever median is flagged;
+//! under `--gate` any flag fails the run, which is how CI notices a slow
+//! leak of performance that no single two-snapshot diff would catch.
+
+use crate::report::TextTable;
+use crate::snapshot::Snapshot;
+use std::path::{Path, PathBuf};
+use std::process::Command;
+
+/// Latest-vs-best-ever runtime ratio above which a workload is flagged
+/// as regressed (`1.10` = 10% slower than its best recorded median).
+pub const REGRESSION_THRESHOLD: f64 = 1.10;
+
+/// One snapshot file placed on the timeline.
+#[derive(Debug, Clone)]
+pub struct TrendPoint {
+    /// File the snapshot came from.
+    pub path: PathBuf,
+    /// Snapshot label (column header in the tables).
+    pub label: String,
+    /// Unix seconds of the file's last git commit (or file mtime when the
+    /// file is untracked), used only for ordering.
+    pub committed_at: u64,
+    /// The parsed snapshot.
+    pub snapshot: Snapshot,
+}
+
+/// A workload's latest median regressing against its best-ever median.
+#[derive(Debug, Clone)]
+pub struct Regression {
+    /// Workload name.
+    pub workload: String,
+    /// Best-ever median seconds and the label it came from.
+    pub best: (f64, String),
+    /// Latest median seconds and the label it came from.
+    pub latest: (f64, String),
+}
+
+impl Regression {
+    /// Latest / best runtime ratio.
+    pub fn ratio(&self) -> f64 {
+        self.latest.0 / self.best.0
+    }
+}
+
+/// The assembled trajectory report.
+#[derive(Debug, Clone)]
+pub struct TrendReport {
+    /// Snapshots in chronological order.
+    pub points: Vec<TrendPoint>,
+    /// Workloads flagged against [`REGRESSION_THRESHOLD`].
+    pub regressions: Vec<Regression>,
+}
+
+/// Lists `BENCH_*.json` files directly under `dir`, sorted by name for a
+/// deterministic starting order before the chronological sort.
+pub fn discover(dir: &Path) -> Result<Vec<PathBuf>, String> {
+    let mut found = Vec::new();
+    let entries = std::fs::read_dir(dir).map_err(|e| format!("reading {}: {e}", dir.display()))?;
+    for entry in entries {
+        let entry = entry.map_err(|e| format!("reading {}: {e}", dir.display()))?;
+        let name = entry.file_name();
+        let name = name.to_string_lossy();
+        if name.starts_with("BENCH_") && name.ends_with(".json") {
+            found.push(entry.path());
+        }
+    }
+    found.sort();
+    Ok(found)
+}
+
+/// The file's last git commit time (`%ct`), falling back to filesystem
+/// mtime for untracked files so a freshly recorded snapshot still sorts
+/// after the committed history.
+fn committed_at(path: &Path) -> u64 {
+    let from_git = Command::new("git")
+        .args(["log", "-1", "--format=%ct", "--"])
+        .arg(path)
+        .current_dir(path.parent().unwrap_or(Path::new(".")))
+        .output()
+        .ok()
+        .filter(|o| o.status.success())
+        .and_then(|o| String::from_utf8(o.stdout).ok())
+        .and_then(|s| s.trim().parse::<u64>().ok());
+    from_git.unwrap_or_else(|| {
+        std::fs::metadata(path)
+            .and_then(|m| m.modified())
+            .ok()
+            .and_then(|t| t.duration_since(std::time::UNIX_EPOCH).ok())
+            .map(|d| d.as_secs())
+            .unwrap_or(0)
+    })
+}
+
+/// Loads and chronologically orders the given snapshot files.
+pub fn load_timeline(paths: &[PathBuf]) -> Result<TrendReport, String> {
+    if paths.is_empty() {
+        return Err("no BENCH_*.json snapshots found".to_string());
+    }
+    let mut points = Vec::with_capacity(paths.len());
+    for path in paths {
+        let text = std::fs::read_to_string(path)
+            .map_err(|e| format!("reading {}: {e}", path.display()))?;
+        let snapshot =
+            Snapshot::parse(&text).map_err(|e| format!("parsing {}: {e}", path.display()))?;
+        points.push(TrendPoint {
+            path: path.clone(),
+            label: snapshot.label.clone(),
+            committed_at: committed_at(path),
+            snapshot,
+        });
+    }
+    // Stable sort: files with equal commit times keep their name order.
+    points.sort_by_key(|p| p.committed_at);
+    let regressions = find_regressions(&points);
+    Ok(TrendReport {
+        points,
+        regressions,
+    })
+}
+
+/// Workload names across all points, in first-seen chronological order.
+fn workload_names(points: &[TrendPoint]) -> Vec<String> {
+    let mut names: Vec<String> = Vec::new();
+    for point in points {
+        for w in &point.snapshot.workloads {
+            if !names.iter().any(|n| n == &w.name) {
+                names.push(w.name.clone());
+            }
+        }
+    }
+    names
+}
+
+fn find_regressions(points: &[TrendPoint]) -> Vec<Regression> {
+    let Some(latest) = points.last() else {
+        return Vec::new();
+    };
+    let mut out = Vec::new();
+    for name in workload_names(points) {
+        let Some(last_run) = latest.snapshot.workload(&name) else {
+            continue; // workload dropped from the suite; nothing to gate
+        };
+        let mut best: Option<(f64, String)> = None;
+        for point in points {
+            if let Some(run) = point.snapshot.workload(&name) {
+                let median = run.median_secs();
+                if median > 0.0 && best.as_ref().is_none_or(|(b, _)| median < *b) {
+                    best = Some((median, point.label.clone()));
+                }
+            }
+        }
+        let Some(best) = best else { continue };
+        let latest_median = last_run.median_secs();
+        if latest_median > best.0 * REGRESSION_THRESHOLD {
+            out.push(Regression {
+                workload: name,
+                best,
+                latest: (latest_median, latest.label.clone()),
+            });
+        }
+    }
+    out
+}
+
+/// A first-column cell, then "value (delta%)" cells against the previous
+/// point that had the workload.
+fn delta_cell(value: f64, prev: Option<f64>, fmt: impl Fn(f64) -> String) -> String {
+    match prev {
+        Some(p) if p > 0.0 => {
+            let pct = (value / p - 1.0) * 100.0;
+            format!("{} ({:+.1}%)", fmt(value), pct)
+        }
+        _ => fmt(value),
+    }
+}
+
+impl TrendReport {
+    /// True when no workload regressed past the threshold.
+    pub fn ok(&self) -> bool {
+        self.regressions.is_empty()
+    }
+
+    fn table(
+        &self,
+        names: &[String],
+        value: impl Fn(&crate::snapshot::WorkloadRun) -> Option<f64>,
+        fmt: impl Fn(f64) -> String,
+    ) -> TextTable {
+        let mut header = vec!["workload".to_string()];
+        header.extend(self.points.iter().map(|p| p.label.clone()));
+        let mut table = TextTable::new(header);
+        for name in names {
+            let mut cells = vec![name.clone()];
+            let mut prev: Option<f64> = None;
+            for point in &self.points {
+                match point.snapshot.workload(name).and_then(&value) {
+                    Some(v) => {
+                        cells.push(delta_cell(v, prev, &fmt));
+                        prev = Some(v);
+                    }
+                    None => cells.push("-".to_string()),
+                }
+            }
+            table.row(cells);
+        }
+        table
+    }
+
+    /// Renders the trajectory tables and the regression verdict.
+    pub fn render(&self) -> String {
+        let names = workload_names(&self.points);
+        let mut out = String::new();
+        out.push_str("snapshots (chronological):\n");
+        for point in &self.points {
+            out.push_str(&format!(
+                "  {}  {}  ({})\n",
+                point.label,
+                point
+                    .snapshot
+                    .git_sha
+                    .get(..12)
+                    .unwrap_or(&point.snapshot.git_sha),
+                point.path.display()
+            ));
+        }
+        out.push_str("\nmedian runtime (secs):\n");
+        out.push_str(
+            &self
+                .table(&names, |w| Some(w.median_secs()), crate::report::secs)
+                .render(),
+        );
+        out.push_str("\nallocated bytes:\n");
+        out.push_str(
+            &self
+                .table(
+                    &names,
+                    |w| w.alloc.as_ref().map(|a| a.bytes_allocated as f64),
+                    |v| format!("{}", v as u64),
+                )
+                .render(),
+        );
+        out.push_str("\ncertified ratio (greedy cost / lower bound):\n");
+        out.push_str(
+            &self
+                .table(
+                    &names,
+                    |w| {
+                        w.quality
+                            .as_ref()
+                            .map(|q| q.certified_ratio())
+                            .filter(|r| r.is_finite())
+                    },
+                    |v| format!("{v:.4}"),
+                )
+                .render(),
+        );
+        out.push('\n');
+        if self.regressions.is_empty() {
+            out.push_str(&format!(
+                "no workload regresses >{:.0}% vs its best-ever median\n",
+                (REGRESSION_THRESHOLD - 1.0) * 100.0
+            ));
+        } else {
+            out.push_str("REGRESSED workloads (latest vs best-ever median):\n");
+            for r in &self.regressions {
+                out.push_str(&format!(
+                    "  {}: {} ({}) -> {} ({}), {:.1}% over best\n",
+                    r.workload,
+                    crate::report::secs(r.best.0),
+                    r.best.1,
+                    crate::report::secs(r.latest.0),
+                    r.latest.1,
+                    (r.ratio() - 1.0) * 100.0
+                ));
+            }
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::snapshot::{SpanSnapshot, WorkloadRun};
+    use std::collections::BTreeMap;
+
+    fn snap(label: &str, runs: &[(&str, f64)]) -> Snapshot {
+        Snapshot {
+            label: label.to_string(),
+            git_sha: "deadbeef".to_string(),
+            rustc: "rustc test".to_string(),
+            reps: 1,
+            workloads: runs
+                .iter()
+                .map(|(name, secs)| WorkloadRun {
+                    name: name.to_string(),
+                    rep_secs: vec![*secs],
+                    counters: BTreeMap::new(),
+                    spans: SpanSnapshot {
+                        name: "total".to_string(),
+                        count: 1,
+                        total_secs: *secs,
+                        counters: BTreeMap::new(),
+                        children: Vec::new(),
+                    },
+                    alloc: None,
+                    quality: None,
+                })
+                .collect(),
+        }
+    }
+
+    fn point(label: &str, at: u64, runs: &[(&str, f64)]) -> TrendPoint {
+        TrendPoint {
+            path: PathBuf::from(format!("BENCH_{label}.json")),
+            label: label.to_string(),
+            committed_at: at,
+            snapshot: snap(label, runs),
+        }
+    }
+
+    #[test]
+    fn flags_latest_median_regressing_past_threshold() {
+        let points = vec![
+            point("seed", 1, &[("a", 0.100), ("b", 0.200)]),
+            point("pr3", 2, &[("a", 0.090), ("b", 0.150)]),
+            point("pr7", 3, &[("a", 0.095), ("b", 0.180)]),
+        ];
+        let regs = find_regressions(&points);
+        // a: latest 0.095 vs best 0.090 = +5.6%, under threshold.
+        // b: latest 0.180 vs best 0.150 = +20%, flagged.
+        assert_eq!(regs.len(), 1);
+        assert_eq!(regs[0].workload, "b");
+        assert_eq!(regs[0].best.1, "pr3");
+        assert!((regs[0].ratio() - 1.2).abs() < 1e-9);
+    }
+
+    #[test]
+    fn dropped_and_added_workloads_do_not_flag() {
+        let points = vec![
+            point("seed", 1, &[("gone", 0.1), ("kept", 0.1)]),
+            point("next", 2, &[("kept", 0.1), ("new", 0.3)]),
+        ];
+        let regs = find_regressions(&points);
+        assert!(regs.is_empty(), "{regs:?}");
+        let report = TrendReport {
+            points,
+            regressions: regs,
+        };
+        assert!(report.ok());
+        let rendered = report.render();
+        assert!(rendered.contains("gone"));
+        assert!(rendered.contains("no workload regresses"));
+    }
+
+    #[test]
+    fn per_hop_deltas_render_against_previous_point() {
+        let report = TrendReport {
+            points: vec![
+                point("seed", 1, &[("a", 0.200)]),
+                point("next", 2, &[("a", 0.100)]),
+            ],
+            regressions: Vec::new(),
+        };
+        let rendered = report.render();
+        assert!(rendered.contains("(-50.0%)"), "{rendered}");
+    }
+
+    #[test]
+    fn committed_snapshots_load_in_chronological_order_and_gate_clean() {
+        // The repo's own committed history is the acceptance fixture.
+        let root = Path::new(env!("CARGO_MANIFEST_DIR")).join("../..");
+        let paths = discover(&root).expect("repo root readable");
+        if paths.len() < 2 {
+            return; // fresh checkout without committed snapshots
+        }
+        let report = load_timeline(&paths).expect("snapshots parse");
+        assert!(
+            report
+                .points
+                .windows(2)
+                .all(|w| w[0].committed_at <= w[1].committed_at),
+            "chronological order"
+        );
+        assert!(
+            report.ok(),
+            "committed snapshots gate clean: {:?}",
+            report.regressions
+        );
+        let rendered = report.render();
+        assert!(rendered.contains("median runtime"));
+    }
+}

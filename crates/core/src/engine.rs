@@ -40,6 +40,7 @@ use crate::parallel::CancelToken;
 use crate::solution::SolveError;
 use std::fmt;
 use std::sync::atomic::{AtomicU64, AtomicU8, Ordering};
+use std::sync::Arc;
 use std::time::{Duration, Instant};
 
 /// Why a solve was degraded (or a [`Deadline::checkpoint`] call failed).
@@ -101,7 +102,9 @@ pub struct Deadline {
     wall: Option<Instant>,
     wall_budget: Option<Duration>,
     max_ticks: Option<u64>,
-    ticks: AtomicU64,
+    // Shared (not inline) so a detached TickProbe can watch progress
+    // from another thread while the solver owns the deadline.
+    ticks: Arc<AtomicU64>,
     token: CancelToken,
     reason: AtomicU8,
     #[cfg(feature = "fault-inject")]
@@ -154,6 +157,17 @@ impl Deadline {
         self.ticks.load(Ordering::Relaxed)
     }
 
+    /// A detached handle onto this deadline's tick counter, readable from
+    /// any thread for as long as the probe lives — the liveness
+    /// [`Watchdog`](crate::telemetry::watchdog::Watchdog) polls one to
+    /// tell "stalled" apart from "working but quiet". Reading a probe
+    /// never consumes ticks.
+    pub fn tick_probe(&self) -> TickProbe {
+        TickProbe {
+            ticks: Arc::clone(&self.ticks),
+        }
+    }
+
     /// The tick budget, when one was set.
     pub fn max_ticks(&self) -> Option<u64> {
         self.max_ticks
@@ -204,6 +218,7 @@ impl Deadline {
                 self.expire(DegradeReason::Cancelled);
             }
             plan.maybe_panic(t);
+            plan.maybe_stall(t);
         }
         if let Some(max) = self.max_ticks {
             if t > max {
@@ -263,6 +278,23 @@ impl Deadline {
     }
 }
 
+/// A read-only, thread-detachable view of a [`Deadline`]'s tick counter
+/// (obtained via [`Deadline::tick_probe`]). The liveness watchdog polls
+/// one to distinguish a solver that stopped emitting observer events but
+/// keeps passing `checkpoint()`s (quiet progress) from one that stopped
+/// ticking entirely (a stall).
+#[derive(Debug, Clone)]
+pub struct TickProbe {
+    ticks: Arc<AtomicU64>,
+}
+
+impl TickProbe {
+    /// Checkpoints the probed deadline has consumed so far.
+    pub fn ticks(&self) -> u64 {
+        self.ticks.load(Ordering::Relaxed)
+    }
+}
+
 /// A deterministic, seeded fault injector attached to a [`Deadline`].
 ///
 /// Compiled only under the `fault-inject` feature so production builds
@@ -281,8 +313,13 @@ pub struct FaultPlan {
     /// Persistent: every attempt of this guess panics; the retry fails too
     /// and the solver reports [`EngineError::Panicked`].
     fail_guess: Option<u64>,
+    /// One-shot `(tick, millis)`: the first checkpoint with tick ≥ `tick`
+    /// sleeps `millis` before returning — a liveness stall, not an
+    /// outcome change (the solve completes normally afterwards).
+    stall_at_tick: Option<(u64, u64)>,
     panic_fired: std::sync::atomic::AtomicBool,
     guess_panic_fired: std::sync::atomic::AtomicBool,
+    stall_fired: std::sync::atomic::AtomicBool,
 }
 
 #[cfg(feature = "fault-inject")]
@@ -315,6 +352,15 @@ impl FaultPlan {
     /// fault the retry cannot recover from.
     pub fn fail_guess(mut self, index: u64) -> FaultPlan {
         self.fail_guess = Some(index);
+        self
+    }
+
+    /// Sleep `millis` (once) at the first checkpoint with tick ≥ `tick` —
+    /// a pure liveness stall for exercising the watchdog. Deliberately
+    /// *not* tick-addressed for speculation purposes: a sleep changes no
+    /// outcome, so it must not force serial guessing.
+    pub fn stall_at_tick(mut self, tick: u64, millis: u64) -> FaultPlan {
+        self.stall_at_tick = Some((tick, millis));
         self
     }
 
@@ -358,6 +404,14 @@ impl FaultPlan {
         if let Some(n) = self.panic_at_tick {
             if tick >= n && !self.panic_fired.swap(true, Ordering::SeqCst) {
                 panic!("injected fault: worker panic at tick {tick}");
+            }
+        }
+    }
+
+    fn maybe_stall(&self, tick: u64) {
+        if let Some((n, millis)) = self.stall_at_tick {
+            if tick >= n && !self.stall_fired.swap(true, Ordering::SeqCst) {
+                std::thread::sleep(Duration::from_millis(millis));
             }
         }
     }
@@ -606,6 +660,22 @@ mod tests {
     }
 
     #[test]
+    fn tick_probe_sees_progress_without_consuming_it() {
+        let d = Deadline::unbounded().with_tick_budget(5);
+        let probe = d.tick_probe();
+        assert_eq!(probe.ticks(), 0);
+        assert_eq!(d.checkpoint(), Ok(()));
+        assert_eq!(d.checkpoint(), Ok(()));
+        assert_eq!(probe.ticks(), 2, "probe observes checkpoints");
+        for _ in 0..10 {
+            let _ = probe.ticks(); // reads never tick
+        }
+        assert_eq!(d.ticks(), 2);
+        drop(d);
+        assert_eq!(probe.ticks(), 2, "probe outlives the deadline");
+    }
+
+    #[test]
     fn degrade_reason_names() {
         assert_eq!(DegradeReason::WallClock.as_str(), "wall_clock");
         assert_eq!(DegradeReason::TickBudget.as_str(), "tick_budget");
@@ -731,6 +801,25 @@ mod tests {
                 let err = catch_unwind(AssertUnwindSafe(|| d.fault_guess(1)));
                 assert!(err.is_err(), "every attempt panics");
             }
+        }
+
+        #[test]
+        fn stall_fires_once_and_changes_no_outcome() {
+            let d = Deadline::unbounded().with_fault_plan(FaultPlan::new().stall_at_tick(2, 30));
+            assert!(!d.tick_deterministic(), "a sleep is not tick-addressed");
+            assert_eq!(d.checkpoint(), Ok(()));
+            let before = Instant::now();
+            assert_eq!(d.checkpoint(), Ok(()), "stalled but not degraded");
+            assert!(
+                before.elapsed() >= Duration::from_millis(30),
+                "tick 2 slept"
+            );
+            let before = Instant::now();
+            assert_eq!(d.checkpoint(), Ok(()));
+            assert!(
+                before.elapsed() < Duration::from_millis(30),
+                "one-shot: later ticks do not sleep"
+            );
         }
 
         #[test]

@@ -58,7 +58,9 @@ pub use cost::{Cost, CostError};
 pub use cover_state::{Candidate, CoverState};
 #[cfg(feature = "fault-inject")]
 pub use engine::FaultPlan;
-pub use engine::{Certificate, Deadline, DegradeReason, Degraded, EngineError, SolveOutcome};
+pub use engine::{
+    Certificate, Deadline, DegradeReason, Degraded, EngineError, SolveOutcome, TickProbe,
+};
 pub use parallel::{CancelToken, Scope, ThreadPool, Threads};
 pub use set_system::{coverage_target, BuildError, ElementId, SetId, SetSystem, WeightedSet};
 pub use solution::{
@@ -66,9 +68,10 @@ pub use solution::{
 };
 pub use stats::Stats;
 pub use telemetry::{
-    audit, parse_prometheus, render_prometheus, CausalNode, EventLog, Fanout, FlightRecorder,
-    JsonlSink, LogHistogram, MetricsRecorder, NoopObserver, Observer, PhaseMetric, PhaseSpan,
-    PruneReason, SloGauges, SpanCounters, SpanNode, SpanProfiler, ThreadLocalTelemetry,
-    TraceContext, TraceId, MAIN_WORKER, PHASE_EXPAND, PHASE_GUESS, PHASE_INIT, PHASE_SCAN,
-    PHASE_SELECT, PHASE_TOTAL,
+    audit, parse_prometheus, render_prometheus, render_prometheus_windowed, CausalNode,
+    EntryWindow, EventLog, Fanout, FlightRecorder, JsonlSink, LogHistogram, MetricsRecorder,
+    NoopObserver, Observer, PhaseMetric, PhaseSpan, PruneReason, RollingHistogram, SloGauges,
+    SolveSample, SolveWindows, SpanCounters, SpanNode, SpanProfiler, ThreadLocalTelemetry,
+    TraceContext, TraceId, Watchdog, WatchdogMonitor, WindowedCounter, MAIN_WORKER, PHASE_EXPAND,
+    PHASE_GUESS, PHASE_INIT, PHASE_SCAN, PHASE_SELECT, PHASE_TOTAL,
 };

@@ -18,6 +18,7 @@
 //! [Prometheus text exposition format]:
 //!     https://prometheus.io/docs/instrumenting/exposition_formats/
 
+use super::window::{EntryWindow, SolveWindows};
 use super::{LogHistogram, MetricsRecorder, PruneReason};
 use crate::engine::Deadline;
 use std::fmt::Write as _;
@@ -39,6 +40,11 @@ pub struct SloGauges {
     pub degraded: bool,
     /// Contained panic retries the resilience engine performed.
     pub retries: u64,
+    /// Fraction of solves inside the sliding window that degraded —
+    /// `Some` only for mid-run captures via
+    /// [`capture_windowed`](SloGauges::capture_windowed); the classic
+    /// per-solve [`capture`](SloGauges::capture) leaves it `None`.
+    pub windowed_degraded_rate: Option<f64>,
 }
 
 impl SloGauges {
@@ -58,7 +64,23 @@ impl SloGauges {
             tick_budget: deadline.max_ticks(),
             degraded,
             retries: metrics.guesses_retried,
+            windowed_degraded_rate: None,
         }
+    }
+
+    /// Mid-run capture for a long-lived process: like
+    /// [`capture`](SloGauges::capture), but the degraded flag is derived
+    /// from the deadline's latched expiry (no outcome value exists yet
+    /// mid-run) and the windowed degraded rate is folded in from the
+    /// continuous [`SolveWindows`] aggregation.
+    pub fn capture_windowed(
+        deadline: &Deadline,
+        metrics: &MetricsRecorder,
+        windows: &SolveWindows,
+    ) -> SloGauges {
+        let mut slo = SloGauges::capture(deadline, deadline.expired().is_some(), metrics);
+        slo.windowed_degraded_rate = Some(windows.global().degraded_rate());
+        slo
     }
 
     /// Fraction of the tick budget still unspent (1.0 when unbounded).
@@ -114,7 +136,7 @@ fn summary(out: &mut String, name: &str, help: &str, hist: &LogHistogram) {
 /// `reason` label.
 pub fn render_prometheus(metrics: &MetricsRecorder, slo: Option<&SloGauges>) -> String {
     let mut out = String::new();
-    let counters: [(&str, u64, &str); 13] = [
+    let counters: [(&str, u64, &str); 14] = [
         (
             "scwsc_guesses_total",
             metrics.guesses,
@@ -179,6 +201,11 @@ pub fn render_prometheus(metrics: &MetricsRecorder, slo: Option<&SloGauges>) -> 
             "scwsc_scan_sketch_inconclusive_total",
             metrics.scan_sketch_inconclusive,
             "Bound/sketch probes that fell back to the full exact count.",
+        ),
+        (
+            "scwsc_stalls_detected_total",
+            metrics.stalls_detected,
+            "Stalls flagged by the liveness watchdog.",
         ),
     ];
     for (name, value, help) in counters {
@@ -311,6 +338,132 @@ pub fn render_prometheus(metrics: &MetricsRecorder, slo: Option<&SloGauges>) -> 
             "Contained panic retries performed by the resilience engine.",
         );
         let _ = writeln!(out, "scwsc_slo_retries_total {}", slo.retries);
+        if let Some(rate) = slo.windowed_degraded_rate {
+            family(
+                &mut out,
+                "scwsc_slo_windowed_degraded_rate",
+                "gauge",
+                "Fraction of solves inside the sliding window that degraded.",
+            );
+            let _ = writeln!(
+                out,
+                "scwsc_slo_windowed_degraded_rate {}",
+                sample_value(rate)
+            );
+        }
+    }
+    out
+}
+
+/// Appends the windowed series of one [`EntryWindow`] under the `entry`
+/// label (`"all"` for the global view).
+fn entry_series(out: &mut String, entry: &str, w: &EntryWindow) {
+    let _ = writeln!(out, "scwsc_window_solves{{entry=\"{entry}\"}} {}", w.solves);
+    let _ = writeln!(
+        out,
+        "scwsc_window_degraded_solves{{entry=\"{entry}\"}} {}",
+        w.degraded_solves
+    );
+    let _ = writeln!(
+        out,
+        "scwsc_window_degraded_rate{{entry=\"{entry}\"}} {}",
+        sample_value(w.degraded_rate())
+    );
+    let _ = writeln!(
+        out,
+        "scwsc_window_selections_per_solve{{entry=\"{entry}\"}} {}",
+        sample_value(w.selections.rate_per_solve())
+    );
+    let _ = writeln!(
+        out,
+        "scwsc_window_benefits_per_solve{{entry=\"{entry}\"}} {}",
+        sample_value(w.benefits.rate_per_solve())
+    );
+    let _ = writeln!(
+        out,
+        "scwsc_window_benefits_high_watermark{{entry=\"{entry}\"}} {}",
+        w.benefits.high_watermark()
+    );
+    for (q, label) in QUANTILES {
+        let _ = writeln!(
+            out,
+            "scwsc_window_benefits{{entry=\"{entry}\",quantile=\"{label}\"}} {}",
+            w.benefits_hist.quantile(q)
+        );
+    }
+}
+
+/// Renders the continuous sliding-window series *in addition to* what
+/// [`render_prometheus`] emits: windowed per-solve rates, degraded rates,
+/// p50/p90/p99 benefit quantiles, and high-watermarks, per entry point
+/// (`entry="all"` is the global window) plus the window-rollover counter.
+/// A long-lived `/metrics` endpoint returns
+/// `render_prometheus(..) + render_prometheus_windowed(..)` concatenated.
+pub fn render_prometheus_windowed(
+    metrics: &MetricsRecorder,
+    slo: Option<&SloGauges>,
+    windows: &SolveWindows,
+) -> String {
+    let mut out = render_prometheus(metrics, slo);
+    family(
+        &mut out,
+        "scwsc_window_rollovers_total",
+        "counter",
+        "Solves that evicted an older solve from the sliding window.",
+    );
+    let _ = writeln!(out, "scwsc_window_rollovers_total {}", windows.rollovers());
+    family(
+        &mut out,
+        "scwsc_window_width",
+        "gauge",
+        "Configured sliding-window width, in solves.",
+    );
+    let _ = writeln!(out, "scwsc_window_width {}", windows.window());
+    family(
+        &mut out,
+        "scwsc_window_solves",
+        "counter",
+        "Solves finalized, per entry point (entry=\"all\" is global).",
+    );
+    family(
+        &mut out,
+        "scwsc_window_degraded_solves",
+        "counter",
+        "Degraded solves finalized, per entry point.",
+    );
+    family(
+        &mut out,
+        "scwsc_window_degraded_rate",
+        "gauge",
+        "Fraction of windowed solves that degraded, per entry point.",
+    );
+    family(
+        &mut out,
+        "scwsc_window_selections_per_solve",
+        "gauge",
+        "Mean selections per windowed solve, per entry point.",
+    );
+    family(
+        &mut out,
+        "scwsc_window_benefits_per_solve",
+        "gauge",
+        "Mean benefit computations per windowed solve, per entry point.",
+    );
+    family(
+        &mut out,
+        "scwsc_window_benefits_high_watermark",
+        "gauge",
+        "Largest single-solve benefit-computation count ever observed.",
+    );
+    family(
+        &mut out,
+        "scwsc_window_benefits",
+        "summary",
+        "Benefit computations per solve over the sliding window.",
+    );
+    entry_series(&mut out, "all", windows.global());
+    for (entry, w) in windows.entries() {
+        entry_series(&mut out, entry, w);
     }
     out
 }
@@ -429,6 +582,7 @@ mod tests {
             tick_budget: Some(100),
             degraded: true,
             retries: 2,
+            windowed_degraded_rate: None,
         };
         let text = render_prometheus(&metrics, Some(&slo));
 
@@ -491,6 +645,76 @@ mod tests {
         let text = render_prometheus(&recorded_metrics(), None);
         assert!(!text.contains("scwsc_slo_"), "{text}");
         assert!(text.contains("scwsc_guesses_total 1"), "{text}");
+        // Per-solve captures never carry the windowed rate gauge.
+        let slo = SloGauges::capture(&Deadline::unbounded(), false, &recorded_metrics());
+        let text = render_prometheus(&recorded_metrics(), Some(&slo));
+        assert!(!text.contains("scwsc_slo_windowed_degraded_rate"), "{text}");
+    }
+
+    #[test]
+    fn windowed_render_emits_per_entry_series() {
+        use crate::telemetry::window::{SolveSample, SolveWindows};
+
+        let mut windows = SolveWindows::with_window(2);
+        windows.observe(
+            Some("cmc"),
+            SolveSample {
+                selections: 3,
+                benefits_computed: 10,
+                degraded: false,
+            },
+        );
+        windows.observe(
+            Some("cmc"),
+            SolveSample {
+                selections: 5,
+                benefits_computed: 30,
+                degraded: true,
+            },
+        );
+        windows.observe(
+            Some("opt_cwsc"),
+            SolveSample {
+                selections: 1,
+                benefits_computed: 4,
+                degraded: false,
+            },
+        );
+        let metrics = recorded_metrics();
+        let deadline = Deadline::unbounded();
+        let slo = SloGauges::capture_windowed(&deadline, &metrics, &windows);
+        let text = render_prometheus_windowed(&metrics, Some(&slo), &windows);
+        let samples = parse_prometheus(&text).expect("own output parses");
+        let get = |name: &str, labels: &[(&str, &str)]| {
+            find_sample(&samples, name, labels)
+                .unwrap_or_else(|| panic!("missing {name} {labels:?}"))
+                .value
+        };
+        // The totals block is still present alongside the windowed series.
+        assert_eq!(get("scwsc_guesses_total", &[]), 1.0);
+        assert_eq!(get("scwsc_stalls_detected_total", &[]), 0.0);
+        // Global window: 3 solves through width 2 → 1 rollover; the
+        // window holds the last 2 solves (degraded + clean → rate 0.5).
+        assert_eq!(get("scwsc_window_rollovers_total", &[]), 1.0);
+        assert_eq!(get("scwsc_window_width", &[]), 2.0);
+        assert_eq!(get("scwsc_window_solves", &[("entry", "all")]), 3.0);
+        assert_eq!(get("scwsc_window_degraded_rate", &[("entry", "all")]), 0.5);
+        // Per-entry breakdown.
+        assert_eq!(get("scwsc_window_solves", &[("entry", "cmc")]), 2.0);
+        assert_eq!(get("scwsc_window_solves", &[("entry", "opt_cwsc")]), 1.0);
+        assert_eq!(
+            get("scwsc_window_benefits_high_watermark", &[("entry", "cmc")]),
+            30.0
+        );
+        assert_eq!(
+            get(
+                "scwsc_window_benefits",
+                &[("entry", "opt_cwsc"), ("quantile", "0.99")]
+            ),
+            4.0
+        );
+        // capture_windowed folded the global windowed rate into the SLO.
+        assert_eq!(get("scwsc_slo_windowed_degraded_rate", &[]), 0.5);
     }
 
     #[test]

@@ -69,6 +69,7 @@ enum EventKind {
     GuessRetried,
     TraceStarted(TraceId, &'static str),
     WorkerSwitched(u32),
+    StallDetected(u64, f64),
     PhaseStarted(&'static str),
     PhaseEnded(&'static str, f64),
 }
@@ -89,6 +90,7 @@ impl EventKind {
             EventKind::GuessRetried => "guess_retried",
             EventKind::TraceStarted(..) => "trace_started",
             EventKind::WorkerSwitched(_) => "worker_switched",
+            EventKind::StallDetected(..) => "stall_detected",
             EventKind::PhaseStarted(_) => "phase_started",
             EventKind::PhaseEnded(..) => "phase_ended",
         }
@@ -125,6 +127,10 @@ impl EventKind {
                 format!(",\"trace_id\":\"{id}\",\"entry\":\"{entry}\"")
             }
             EventKind::WorkerSwitched(worker) => format!(",\"worker_to\":{worker}"),
+            EventKind::StallDetected(ticks, stalled_secs) => format!(
+                ",\"ticks\":{ticks},\"stalled_secs\":{}",
+                json_f64(stalled_secs)
+            ),
             EventKind::PhaseStarted(name) => format!(",\"name\":\"{name}\""),
             EventKind::PhaseEnded(name, seconds) => {
                 format!(",\"name\":\"{name}\",\"seconds\":{}", json_f64(seconds))
@@ -689,6 +695,10 @@ impl Observer for FlightRecorder {
             state.context()
         };
         self.record(ctx, EventKind::WorkerSwitched(worker_id));
+    }
+
+    fn stall_detected(&mut self, ticks: u64, stalled_secs: f64) {
+        self.data(EventKind::StallDetected(ticks, stalled_secs));
     }
 
     fn phase_started(&mut self, name: &'static str) {

@@ -37,6 +37,7 @@
 //! | `guess_retried` | a panicked budget guess was contained and retried serially |
 //! | `trace_started` | a solve entry point minted its deterministic [`TraceId`] |
 //! | `worker_switched` | subsequent events were recorded by another worker (shard replay) |
+//! | `stall_detected` | the liveness [`Watchdog`](watchdog::Watchdog) saw no progress within its deadline headroom |
 //! | `phase_started` / `phase_ended` | a named span (e.g. [`PHASE_TOTAL`]) opened / closed |
 
 use std::fmt::Write as _;
@@ -51,13 +52,17 @@ pub mod flight;
 pub mod replay;
 pub mod spans;
 pub mod trace;
+pub mod watchdog;
+pub mod window;
 
 pub use audit::{AuditCandidate, DecisionLedger, QualityCertificate};
-pub use export::{parse_prometheus, render_prometheus, SloGauges};
+pub use export::{parse_prometheus, render_prometheus, render_prometheus_windowed, SloGauges};
 pub use flight::{CausalNode, FlightRecorder};
 pub use replay::{EventLog, ThreadLocalTelemetry};
 pub use spans::{SpanCounters, SpanNode, SpanProfiler};
 pub use trace::{pack_k_target, TraceContext, TraceId, MAIN_WORKER};
+pub use watchdog::{Watchdog, WatchdogMonitor};
+pub use window::{EntryWindow, RollingHistogram, SolveSample, SolveWindows, WindowedCounter};
 
 /// Span name covering a solver's whole run; [`Stats`](crate::stats::Stats)
 /// copies its duration into `elapsed_secs`.
@@ -280,6 +285,16 @@ pub trait Observer {
     /// exact-diff set.
     fn sketch_inconclusive(&mut self, count: u64) {
         let _ = count;
+    }
+
+    /// The liveness [`Watchdog`](watchdog::Watchdog) observed no solve
+    /// progress (no events, no engine `checkpoint()` ticks) for
+    /// `stalled_secs` wall-clock seconds; `ticks` is the engine tick
+    /// count at detection time. Fires only on stalled solves, which a
+    /// healthy run never produces — **excluded** from the exact-diff
+    /// set, like the other fault-path counters.
+    fn stall_detected(&mut self, ticks: u64, stalled_secs: f64) {
+        let _ = (ticks, stalled_secs);
     }
 
     /// A named span opened. Pair with [`phase_ended`](Observer::phase_ended).
@@ -531,6 +546,10 @@ pub struct MetricsRecorder {
     /// Bound/sketch probes that fell back to the full exact count.
     /// Advisory — excluded from the exact-diff counter set.
     pub scan_sketch_inconclusive: u64,
+    /// Stalls flagged by the liveness watchdog (no progress within
+    /// deadline headroom). Fault/overload paths only — excluded from the
+    /// exact-diff counter set.
+    pub stalls_detected: u64,
     /// Distribution of marginal benefits at selection time.
     pub marginal_benefit_hist: LogHistogram,
     /// Distribution of consecutive stale pops preceding each selection —
@@ -602,6 +621,7 @@ impl MetricsRecorder {
         self.scan_candidates_pruned += other.scan_candidates_pruned;
         self.scan_bounds_refreshed += other.scan_bounds_refreshed;
         self.scan_sketch_inconclusive += other.scan_sketch_inconclusive;
+        self.stalls_detected += other.stalls_detected;
         self.marginal_benefit_hist
             .merge(&other.marginal_benefit_hist);
         self.stale_run_hist.merge(&other.stale_run_hist);
@@ -692,6 +712,10 @@ impl Observer for MetricsRecorder {
 
     fn sketch_inconclusive(&mut self, count: u64) {
         self.scan_sketch_inconclusive += count;
+    }
+
+    fn stall_detected(&mut self, _ticks: u64, _stalled_secs: f64) {
+        self.stalls_detected += 1;
     }
 
     fn phase_ended(&mut self, name: &'static str, seconds: f64) {
@@ -922,6 +946,16 @@ impl<W: io::Write> Observer for JsonlSink<W> {
         self.emit("worker_switched", &format!(",\"worker\":{worker_id}"));
     }
 
+    fn stall_detected(&mut self, ticks: u64, stalled_secs: f64) {
+        self.emit(
+            "stall_detected",
+            &format!(
+                ",\"ticks\":{ticks},\"stalled_secs\":{}",
+                json_f64(stalled_secs)
+            ),
+        );
+    }
+
     fn phase_started(&mut self, name: &'static str) {
         self.emit("phase_started", &format!(",\"name\":\"{name}\""));
     }
@@ -1078,6 +1112,12 @@ impl Observer for Fanout<'_> {
     fn sketch_inconclusive(&mut self, count: u64) {
         for o in &mut self.observers {
             o.sketch_inconclusive(count);
+        }
+    }
+
+    fn stall_detected(&mut self, ticks: u64, stalled_secs: f64) {
+        for o in &mut self.observers {
+            o.stall_detected(ticks, stalled_secs);
         }
     }
 

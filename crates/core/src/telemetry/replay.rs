@@ -49,6 +49,7 @@ enum Event {
     ScanPruned(u64),
     BoundRefreshed(u64),
     SketchInconclusive(u64),
+    StallDetected(u64, f64),
 }
 
 /// An [`Observer`] that records the event stream for later replay.
@@ -108,6 +109,9 @@ impl EventLog {
                 Event::ScanPruned(count) => obs.scan_pruned(count),
                 Event::BoundRefreshed(count) => obs.bound_refreshed(count),
                 Event::SketchInconclusive(count) => obs.sketch_inconclusive(count),
+                Event::StallDetected(ticks, stalled_secs) => {
+                    obs.stall_detected(ticks, stalled_secs)
+                }
             }
         }
     }
@@ -201,6 +205,10 @@ impl Observer for EventLog {
 
     fn sketch_inconclusive(&mut self, count: u64) {
         self.events.push(Event::SketchInconclusive(count));
+    }
+
+    fn stall_detected(&mut self, ticks: u64, stalled_secs: f64) {
+        self.events.push(Event::StallDetected(ticks, stalled_secs));
     }
 }
 

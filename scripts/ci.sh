@@ -3,6 +3,11 @@
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
+# Auto-dumped post-mortems from earlier local runs must never end up in a
+# commit: the default dump name is trace-id-suffixed (and gitignored), but
+# clear any legacy fixed-name dump too.
+rm -f scwsc-flight.jsonl scwsc-*-flight.jsonl
+
 cargo build --release
 cargo test -q
 cargo fmt --check
@@ -82,6 +87,43 @@ for line in lines[1:]:
     json.loads(line)  # every line is one JSON object
 assert "causal_tree" in json.loads(lines[-1]), "dump ends with the tree"
 EOF
+
+# Liveness-watchdog smoke (DESIGN.md §16): a fault-injected mid-solve
+# stall (400 ms sleep at tick 5) must be caught by a 100 ms watchdog,
+# which records a stall_detected event and auto-dumps the flight
+# recording at that moment — while the solve itself still completes.
+SCWSC_THREADS=1 "$solve" --rows 2000 --k 5 --fault stall@5:400 --watchdog 100 \
+  --flight-dump target/ci_watchdog_flight.jsonl > /dev/null 2> target/ci_watchdog.err
+grep -q "watchdog: 1 stall(s) detected" target/ci_watchdog.err \
+  || { echo "watchdog missed the injected stall"; cat target/ci_watchdog.err; exit 1; }
+grep -q '"kind": *"stall_detected"\|stall_detected' target/ci_watchdog_flight.jsonl.stall \
+  || { echo "stall dump lacks the stall_detected event"; exit 1; }
+
+# Soak smoke (DESIGN.md §16): five iterations of the smoke suite through
+# the windowed-telemetry loop must hold every continuous-operation
+# invariant — monotone counters, stable windowed quantiles, zero leaked
+# allocator bytes, zero stalls — and leave a parsable JSONL timeline.
+bench=target/release/scwsc_bench
+SCWSC_THREADS=1 "$bench" soak --iters 5 --suite smoke \
+  --timeline target/ci_soak_timeline.jsonl > target/ci_soak.out 2> /dev/null
+grep -q "soak ok:.*0 stalls" target/ci_soak.out \
+  || { echo "soak smoke failed"; cat target/ci_soak.out; exit 1; }
+python3 - target/ci_soak_timeline.jsonl <<'EOF'
+import json, sys
+lines = open(sys.argv[1]).read().splitlines()
+assert len(lines) == 5, f"expected 5 timeline lines, got {len(lines)}"
+for i, line in enumerate(lines):
+    row = json.loads(line)
+    assert row["iter"] == i + 1 and row["stalls"] == 0, row
+EOF
+
+# Perf-trend gate (DESIGN.md §16): the committed BENCH_*.json history must
+# load chronologically and no workload's latest median may regress >10%
+# against its best-ever median.
+"$bench" trend --gate > target/ci_trend.out \
+  || { echo "trend gate flagged a regression"; cat target/ci_trend.out; exit 1; }
+grep -q "median runtime" target/ci_trend.out \
+  || { echo "trend output incomplete"; cat target/ci_trend.out; exit 1; }
 
 # Regression-attribution golden (DESIGN.md §13): hand-perturb one span's
 # total time in the quick snapshot; `diff --attribute` must name exactly

@@ -7,8 +7,9 @@
 use proptest::prelude::*;
 use scwsc::prelude::*;
 use scwsc::sets::algorithms::cmc::Levels;
+use scwsc::sets::algorithms::cmc_on;
 use scwsc::sets::telemetry::Observer;
-use scwsc::sets::Fanout;
+use scwsc::sets::{Fanout, SolveWindows, ThreadPool, Threads};
 
 /// Minimal event recorder: exactly what the properties below inspect.
 #[derive(Default)]
@@ -144,6 +145,42 @@ proptest! {
         }
     }
 
+    /// Sliding-window telemetry parity (DESIGN.md §16): feeding the same
+    /// sequence of solves through [`SolveWindows`] yields bit-identical
+    /// windowed counters, high-watermarks, and quantile histograms for
+    /// `Threads(1)` and `Threads(4)` — including across window rollovers,
+    /// because windows advance on solve-sequence boundaries, never wall
+    /// clock, and the per-solve samples are deterministic counters.
+    #[test]
+    fn windowed_telemetry_is_thread_count_invariant(
+        systems in proptest::collection::vec(arb_system(), 5..=8),
+        k in 1usize..=5,
+        coverage in 0.0f64..=1.0,
+    ) {
+        // A window smaller than the solve count forces rollovers.
+        let window = 3;
+        let mut serial = SolveWindows::with_window(window);
+        let mut pooled = SolveWindows::with_window(window);
+        let pool = ThreadPool::new(Threads::new(4));
+        let params = CmcParams::classic(k, coverage, 1.0);
+        for system in &systems {
+            let r1 = {
+                let mut obs = Fanout::new();
+                obs.attach(&mut serial);
+                cmc(system, &params, &mut obs)
+            };
+            let r2 = {
+                let mut obs = Fanout::new();
+                obs.attach(&mut pooled);
+                cmc_on(system, &params, &pool, &mut obs)
+            };
+            prop_assert_eq!(r1.is_ok(), r2.is_ok());
+        }
+        prop_assert_eq!(serial.solves(), systems.len() as u64);
+        prop_assert!(serial.rollovers() > 0, "windows rolled over");
+        prop_assert_eq!(&serial, &pooled);
+    }
+
     /// The optimized pattern-lattice CWSC reports the same invariants over
     /// its own event vocabulary: one budget-less guess, selections equal to
     /// the solution size, and Stats agreement.
@@ -160,5 +197,54 @@ proptest! {
         prop_assert_eq!(rec.selections, u64::from(stats.selections));
         prop_assert!(rec.budgets.len() <= 1);
         prop_assert!(rec.budgets.iter().all(Option::is_none));
+    }
+}
+
+/// Windowed parity must also hold when solves *degrade*: a fault-injected
+/// tick budget forces the engine down the degradation ladder, and the
+/// degraded-rate windows still come out bit-identical across thread
+/// counts (tick-addressed deadlines are tick-deterministic by contract).
+#[cfg(feature = "fault-inject")]
+mod degraded_windows {
+    use super::*;
+    use scwsc::sets::algorithms::cmc_within;
+    use scwsc::sets::{Deadline, FaultPlan};
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(48))]
+
+        #[test]
+        fn windowed_telemetry_parity_holds_for_degraded_solves(
+            systems in proptest::collection::vec(arb_system(), 4..=6),
+            k in 1usize..=4,
+            ticks in 1u64..=12,
+            cancel_at in 1u64..=20,
+        ) {
+            let window = 3;
+            let mut serial = SolveWindows::with_window(window);
+            let mut pooled = SolveWindows::with_window(window);
+            let serial_pool = ThreadPool::new(Threads::serial());
+            let quad_pool = ThreadPool::new(Threads::new(4));
+            let params = CmcParams::classic(k, 0.9, 1.0);
+            for system in &systems {
+                let deadline = || {
+                    Deadline::unbounded()
+                        .with_tick_budget(ticks)
+                        .with_fault_plan(FaultPlan::new().cancel_at_tick(cancel_at))
+                };
+                let r1 = {
+                    let mut obs = Fanout::new();
+                    obs.attach(&mut serial);
+                    cmc_within(system, &params, &serial_pool, &deadline(), &mut obs)
+                };
+                let r2 = {
+                    let mut obs = Fanout::new();
+                    obs.attach(&mut pooled);
+                    cmc_within(system, &params, &quad_pool, &deadline(), &mut obs)
+                };
+                prop_assert_eq!(r1.is_ok(), r2.is_ok());
+            }
+            prop_assert_eq!(&serial, &pooled);
+        }
     }
 }
