@@ -1,128 +1,5 @@
-//! Tiny `--key value` argument parser for the experiment binaries.
-//!
-//! No external CLI crate is in the approved dependency set, and the
-//! harness needs only `--rows 100000 --seed 7`-style overrides, so this
-//! does exactly that: `--key value` pairs and `--flag` booleans.
+//! Re-export of the `--key value` argument parser that moved to
+//! [`scwsc_core::cli`] when `scwsc_serve` needed it (DESIGN.md §17).
+//! Kept as a module so `crate::args::Args` paths stay valid.
 
-use std::collections::BTreeMap;
-
-/// Parsed command-line arguments.
-#[derive(Debug, Clone, Default)]
-pub struct Args {
-    values: BTreeMap<String, String>,
-    flags: Vec<String>,
-}
-
-impl Args {
-    /// Parses from an iterator of raw arguments (skip the program name
-    /// before calling, or use [`Args::from_env`]).
-    pub fn parse(raw: impl IntoIterator<Item = String>) -> Result<Args, String> {
-        let mut out = Args::default();
-        let mut iter = raw.into_iter().peekable();
-        while let Some(arg) = iter.next() {
-            let Some(key) = arg.strip_prefix("--") else {
-                return Err(format!("unexpected positional argument {arg:?}"));
-            };
-            if key.is_empty() {
-                return Err("empty flag name".to_owned());
-            }
-            match iter.peek() {
-                Some(next) if !next.starts_with("--") => {
-                    let value = iter.next().expect("peeked");
-                    out.values.insert(key.to_owned(), value);
-                }
-                _ => out.flags.push(key.to_owned()),
-            }
-        }
-        Ok(out)
-    }
-
-    /// Parses the process arguments.
-    pub fn from_env() -> Result<Args, String> {
-        Args::parse(std::env::args().skip(1))
-    }
-
-    /// A `--flag` with no value.
-    pub fn flag(&self, name: &str) -> bool {
-        self.flags.iter().any(|f| f == name)
-    }
-
-    /// A string value.
-    pub fn get(&self, name: &str) -> Option<&str> {
-        self.values.get(name).map(String::as_str)
-    }
-
-    /// A parsed value with a default.
-    pub fn get_or<T: std::str::FromStr>(&self, name: &str, default: T) -> Result<T, String> {
-        match self.values.get(name) {
-            None => Ok(default),
-            Some(v) => v
-                .parse()
-                .map_err(|_| format!("--{name}: cannot parse {v:?}")),
-        }
-    }
-
-    /// A comma-separated list value with a default.
-    pub fn get_list_or<T>(&self, name: &str, default: &[T]) -> Result<Vec<T>, String>
-    where
-        T: std::str::FromStr + Clone,
-    {
-        match self.values.get(name) {
-            None => Ok(default.to_vec()),
-            Some(v) => v
-                .split(',')
-                .map(|part| {
-                    part.trim()
-                        .parse()
-                        .map_err(|_| format!("--{name}: cannot parse {part:?}"))
-                })
-                .collect(),
-        }
-    }
-}
-
-#[cfg(test)]
-mod tests {
-    use super::*;
-
-    fn parse(args: &[&str]) -> Args {
-        Args::parse(args.iter().map(|s| (*s).to_owned())).unwrap()
-    }
-
-    #[test]
-    fn key_value_pairs() {
-        let a = parse(&["--rows", "5000", "--seed", "7"]);
-        assert_eq!(a.get_or("rows", 0usize).unwrap(), 5000);
-        assert_eq!(a.get_or("seed", 0u64).unwrap(), 7);
-        assert_eq!(a.get_or("missing", 42u32).unwrap(), 42);
-    }
-
-    #[test]
-    fn flags() {
-        let a = parse(&["--full", "--rows", "10"]);
-        assert!(a.flag("full"));
-        assert!(!a.flag("quick"));
-        assert_eq!(a.get_or("rows", 0usize).unwrap(), 10);
-    }
-
-    #[test]
-    fn lists() {
-        let a = parse(&["--sizes", "10, 20,30"]);
-        assert_eq!(a.get_list_or("sizes", &[1usize]).unwrap(), vec![10, 20, 30]);
-        assert_eq!(a.get_list_or("other", &[1usize, 2]).unwrap(), vec![1, 2]);
-    }
-
-    #[test]
-    fn errors() {
-        assert!(Args::parse(["positional".to_owned()]).is_err());
-        let a = parse(&["--rows", "abc"]);
-        assert!(a.get_or("rows", 0usize).is_err());
-    }
-
-    #[test]
-    fn get_raw() {
-        let a = parse(&["--name", "hello"]);
-        assert_eq!(a.get("name"), Some("hello"));
-        assert_eq!(a.get("other"), None);
-    }
-}
+pub use scwsc_core::cli::Args;

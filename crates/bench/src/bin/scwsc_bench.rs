@@ -19,6 +19,7 @@ use scwsc_bench::chrome_trace::flight_to_chrome;
 use scwsc_bench::diff::{diff, DiffOptions};
 use scwsc_bench::record::record_suite_with_metrics_on;
 use scwsc_bench::registry;
+use scwsc_bench::serve_load::{self, LoadOptions};
 use scwsc_bench::snapshot::Snapshot;
 use scwsc_bench::soak::{soak, SoakOptions};
 use scwsc_bench::trend::{discover, load_timeline};
@@ -40,6 +41,7 @@ usage:
   scwsc_bench diff BASE NEW [--tolerance F] [--counters-only] [--attribute] [--top N]
   scwsc_bench soak [--iters N] [--workload SUBSTR] [--suite full|smoke] [--window W] [--threads N] [--timeline PATH] [--stall-after-ms MS]
   scwsc_bench trend [PATHS...] [--dir DIR] [--gate]
+  scwsc_bench serve-load [--addr HOST:PORT] [--connections N] [--requests N] [--distinct N] [--deadline-ms MS] [--max-ticks N] [--retries N] [--timeout-ms MS] [--merge-snapshot PATH] [--label L] [--expect-clean]
   scwsc_bench flight-to-chrome IN OUT
 
 record options:
@@ -86,6 +88,27 @@ trend options (cross-snapshot trajectory, DESIGN.md §16):
   --gate     exit non-zero when any workload's latest median regresses
              >10% against its best-ever median
 
+serve-load options (client load generator against a running scwsc_serve,
+DESIGN.md §17):
+  --addr HOST:PORT  server to load [default: 127.0.0.1:7575]
+  --connections N   concurrent connections, barrier-released as one
+                    burst [default: 4]
+  --requests N      requests per connection [default: 64]
+  --distinct N      distinct queries in the deterministic mix (small =
+                    cache-heavy, large = admission-heavy) [default: 8]
+  --deadline-ms MS  caller deadline forwarded per request
+  --max-ticks N     caller tick-budget cap forwarded per request
+  --retries N       retries per rejected request, sleeping the server's
+                    retry_after_ms hint between attempts [default: 0]
+  --timeout-ms MS   per-response wait before declaring the request
+                    dropped [default: 30000]
+  --merge-snapshot PATH  append/replace a 'serve/load' workload in the
+                    BENCH_*.json at PATH (created under --label if absent)
+  --label L         label for a freshly created snapshot [default: serve]
+  --expect-clean    exit non-zero unless the serving contract held:
+                    zero dropped, every degrade certified, every
+                    rejection carrying retry_after_ms
+
 flight-to-chrome:
   converts a flight-recorder dump (the JSONL written by scwsc_solve
   --flight-dump) into Chrome tracing JSON: open OUT in chrome://tracing
@@ -99,6 +122,7 @@ fn main() -> ExitCode {
         Some("diff") => cmd_diff(&args[1..]),
         Some("soak") => cmd_soak(&args[1..]),
         Some("trend") => cmd_trend(&args[1..]),
+        Some("serve-load") => cmd_serve_load(&args[1..]),
         Some("flight-to-chrome") => cmd_flight_to_chrome(&args[1..]),
         Some("--help" | "-h" | "help") => {
             println!("{USAGE}");
@@ -315,6 +339,70 @@ fn cmd_trend(args: &[String]) -> Result<ExitCode, String> {
     let report = load_timeline(&paths)?;
     print!("{}", report.render());
     Ok(if report.ok() || !gate {
+        ExitCode::SUCCESS
+    } else {
+        ExitCode::FAILURE
+    })
+}
+
+fn cmd_serve_load(args: &[String]) -> Result<ExitCode, String> {
+    let mut options = LoadOptions::default();
+    let mut merge_snapshot: Option<String> = None;
+    let mut label = "serve".to_string();
+    let mut expect_clean = false;
+    let parse_num = |flag: &str, value: String| -> Result<u64, String> {
+        value
+            .parse()
+            .map_err(|_| format!("{flag} expects a non-negative integer"))
+    };
+    let mut it = args.iter();
+    while let Some(arg) = it.next() {
+        match arg.as_str() {
+            "--addr" => options.addr = take(&mut it, "--addr")?,
+            "--connections" => {
+                options.connections =
+                    parse_num("--connections", take(&mut it, "--connections")?)?.max(1) as usize
+            }
+            "--requests" => {
+                options.requests = parse_num("--requests", take(&mut it, "--requests")?)? as usize
+            }
+            "--distinct" => {
+                options.distinct =
+                    parse_num("--distinct", take(&mut it, "--distinct")?)?.max(1) as usize
+            }
+            "--deadline-ms" => {
+                options.deadline_ms =
+                    Some(parse_num("--deadline-ms", take(&mut it, "--deadline-ms")?)?)
+            }
+            "--max-ticks" => {
+                options.max_ticks = Some(parse_num("--max-ticks", take(&mut it, "--max-ticks")?)?)
+            }
+            "--retries" => {
+                options.retries = parse_num("--retries", take(&mut it, "--retries")?)? as u32
+            }
+            "--timeout-ms" => {
+                options.timeout = Duration::from_millis(parse_num(
+                    "--timeout-ms",
+                    take(&mut it, "--timeout-ms")?,
+                )?)
+            }
+            "--merge-snapshot" => merge_snapshot = Some(take(&mut it, "--merge-snapshot")?),
+            "--label" => label = take(&mut it, "--label")?,
+            "--expect-clean" => expect_clean = true,
+            other => return Err(format!("unknown serve-load option '{other}'\n{USAGE}")),
+        }
+    }
+    eprintln!(
+        "serve-load: {} connections x {} requests ({} distinct queries) against {}",
+        options.connections, options.requests, options.distinct, options.addr
+    );
+    let report = serve_load::run(&options)?;
+    print!("{}", report.render());
+    if let Some(path) = merge_snapshot {
+        serve_load::merge_into_snapshot(&path, &label, &options, &report)?;
+        eprintln!("merged 'serve/load' workload into {path}");
+    }
+    Ok(if report.ok() || !expect_clean {
         ExitCode::SUCCESS
     } else {
         ExitCode::FAILURE

@@ -42,7 +42,9 @@ prints the chosen patterns. Without --csv, a synthetic LBL-like trace of
 solver's parallel fan-outs (1 = serial; default $SCWSC_THREADS, else all
 cores) — the solution and all counters are identical for any value; cwsc is
 a single sequential round and always runs serial. --deadline-ms bounds the
-solve by wall clock and --max-ticks by a deterministic work-tick budget; on
+solve by wall clock (when the flag is absent the SCWSC_DEADLINE_MS
+environment variable supplies the same bound; an explicit flag always wins
+over the environment) and --max-ticks by a deterministic work-tick budget; on
 expiry the best partial solution prints with its certificate and the process
 exits with code 5 (exit codes: 2 bad args, 3 bad input, 4 infeasible, 5
 deadline-degraded). --fault injects a deterministic fault schedule
@@ -136,13 +138,27 @@ fn parse_fault(spec: &str) -> FaultPlan {
     plan
 }
 
-/// Builds the run's [`Deadline`] from `--deadline-ms`, `--max-ticks`, and
-/// `--fault`; `None` when no resilience flag was given (classic path).
+/// Builds the run's [`Deadline`] from `--deadline-ms` (falling back to
+/// the `SCWSC_DEADLINE_MS` environment variable), `--max-ticks`, and
+/// `--fault`; `None` when no resilience bound was given (classic path).
 fn deadline_of(args: &scwsc_bench::Args) -> Option<Deadline> {
     let mut deadline = Deadline::unbounded();
     let mut bounded = false;
+    // The flag wins over the environment: SCWSC_DEADLINE_MS sets a
+    // fleet-wide default (e.g. exported by an operator for every run in
+    // a shell), an explicit --deadline-ms overrides it per invocation.
+    let env_deadline_ms = std::env::var("SCWSC_DEADLINE_MS").ok().map(|raw| {
+        raw.parse::<u64>().unwrap_or_else(|_| {
+            bail(&format!(
+                "SCWSC_DEADLINE_MS must be an integer, got {raw:?}"
+            ))
+        })
+    });
     if args.get("deadline-ms").is_some() {
         let ms: u64 = required(args.get_or("deadline-ms", 0));
+        deadline = deadline.with_wall_clock(Duration::from_millis(ms));
+        bounded = true;
+    } else if let Some(ms) = env_deadline_ms {
         deadline = deadline.with_wall_clock(Duration::from_millis(ms));
         bounded = true;
     }

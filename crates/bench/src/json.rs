@@ -1,518 +1,6 @@
-//! A minimal JSON value, writer, and parser for `BENCH_*.json` snapshots.
-//!
-//! The build environment has no registry access (see `vendor/README.md`),
-//! so the snapshot pipeline serializes by hand rather than through a JSON
-//! crate. The subset implemented here is exactly what snapshots need:
-//! objects with ordered keys, arrays, strings, finite numbers, booleans,
-//! and null. Numbers are written with enough precision (`{:?}` on `f64`)
-//! to round-trip exactly; `u64` counters round-trip losslessly up to
-//! 2^53, far above any counter a benchmark run produces.
+//! Re-export of the hand-rolled JSON value that moved to
+//! [`scwsc_core::json`] when the serving layer needed it (DESIGN.md §17).
+//! Kept as a module so `crate::json::Json` paths throughout the bench
+//! crate (and its tests) stay valid.
 
-use std::fmt::Write as _;
-
-/// A parsed or to-be-written JSON value.
-#[derive(Debug, Clone, PartialEq)]
-pub enum Json {
-    /// `null`.
-    Null,
-    /// `true` / `false`.
-    Bool(bool),
-    /// Any JSON number (always carried as `f64`).
-    Num(f64),
-    /// A string.
-    Str(String),
-    /// An array.
-    Arr(Vec<Json>),
-    /// An object; insertion order is preserved on write.
-    Obj(Vec<(String, Json)>),
-}
-
-impl Json {
-    /// Builds a number from a counter, panicking if it would lose
-    /// precision (counters beyond 2^53 would indicate a bug anyway).
-    pub fn from_u64(v: u64) -> Json {
-        assert!(v <= (1u64 << 53), "counter {v} exceeds f64 precision");
-        Json::Num(v as f64)
-    }
-
-    /// Looks up a key in an object.
-    pub fn get(&self, key: &str) -> Option<&Json> {
-        match self {
-            Json::Obj(entries) => entries.iter().find(|(k, _)| k == key).map(|(_, v)| v),
-            _ => None,
-        }
-    }
-
-    /// The value as a string, if it is one.
-    pub fn as_str(&self) -> Option<&str> {
-        match self {
-            Json::Str(s) => Some(s),
-            _ => None,
-        }
-    }
-
-    /// The value as a float, if it is a number.
-    pub fn as_f64(&self) -> Option<f64> {
-        match self {
-            Json::Num(n) => Some(*n),
-            _ => None,
-        }
-    }
-
-    /// The value as a counter, if it is a non-negative integral number.
-    pub fn as_u64(&self) -> Option<u64> {
-        match self {
-            Json::Num(n) if *n >= 0.0 && n.fract() == 0.0 => Some(*n as u64),
-            _ => None,
-        }
-    }
-
-    /// The value's elements, if it is an array.
-    pub fn as_arr(&self) -> Option<&[Json]> {
-        match self {
-            Json::Arr(items) => Some(items),
-            _ => None,
-        }
-    }
-
-    /// The value's entries, if it is an object.
-    pub fn as_obj(&self) -> Option<&[(String, Json)]> {
-        match self {
-            Json::Obj(entries) => Some(entries),
-            _ => None,
-        }
-    }
-
-    /// Pretty-prints with two-space indentation and a trailing newline.
-    pub fn to_pretty(&self) -> String {
-        let mut out = String::new();
-        self.write(&mut out, 0);
-        out.push('\n');
-        out
-    }
-
-    /// Serializes on a single line with no whitespace — the JSONL form
-    /// used by the soak timeline.
-    pub fn to_compact(&self) -> String {
-        let mut out = String::new();
-        self.write_compact(&mut out);
-        out
-    }
-
-    fn write_compact(&self, out: &mut String) {
-        match self {
-            Json::Null | Json::Bool(_) | Json::Num(_) | Json::Str(_) => self.write(out, 0),
-            Json::Arr(items) => {
-                out.push('[');
-                for (i, item) in items.iter().enumerate() {
-                    if i > 0 {
-                        out.push(',');
-                    }
-                    item.write_compact(out);
-                }
-                out.push(']');
-            }
-            Json::Obj(entries) => {
-                out.push('{');
-                for (i, (key, value)) in entries.iter().enumerate() {
-                    if i > 0 {
-                        out.push(',');
-                    }
-                    write_escaped(out, key);
-                    out.push(':');
-                    value.write_compact(out);
-                }
-                out.push('}');
-            }
-        }
-    }
-
-    fn write(&self, out: &mut String, depth: usize) {
-        match self {
-            Json::Null => out.push_str("null"),
-            Json::Bool(b) => {
-                let _ = write!(out, "{b}");
-            }
-            Json::Num(n) => {
-                assert!(n.is_finite(), "JSON numbers must be finite, got {n}");
-                if n.fract() == 0.0 && n.abs() < (1u64 << 53) as f64 {
-                    let _ = write!(out, "{}", *n as i64);
-                } else {
-                    let _ = write!(out, "{n:?}");
-                }
-            }
-            Json::Str(s) => write_escaped(out, s),
-            Json::Arr(items) => {
-                if items.is_empty() {
-                    out.push_str("[]");
-                    return;
-                }
-                out.push('[');
-                for (i, item) in items.iter().enumerate() {
-                    if i > 0 {
-                        out.push(',');
-                    }
-                    out.push('\n');
-                    indent(out, depth + 1);
-                    item.write(out, depth + 1);
-                }
-                out.push('\n');
-                indent(out, depth);
-                out.push(']');
-            }
-            Json::Obj(entries) => {
-                if entries.is_empty() {
-                    out.push_str("{}");
-                    return;
-                }
-                out.push('{');
-                for (i, (key, value)) in entries.iter().enumerate() {
-                    if i > 0 {
-                        out.push(',');
-                    }
-                    out.push('\n');
-                    indent(out, depth + 1);
-                    write_escaped(out, key);
-                    out.push_str(": ");
-                    value.write(out, depth + 1);
-                }
-                out.push('\n');
-                indent(out, depth);
-                out.push('}');
-            }
-        }
-    }
-
-    /// Parses a complete JSON document (trailing whitespace allowed,
-    /// trailing garbage rejected).
-    pub fn parse(text: &str) -> Result<Json, ParseError> {
-        let mut p = Parser {
-            bytes: text.as_bytes(),
-            pos: 0,
-        };
-        p.skip_ws();
-        let value = p.value()?;
-        p.skip_ws();
-        if p.pos != p.bytes.len() {
-            return Err(p.err("trailing characters after document"));
-        }
-        Ok(value)
-    }
-}
-
-fn indent(out: &mut String, depth: usize) {
-    for _ in 0..depth {
-        out.push_str("  ");
-    }
-}
-
-fn write_escaped(out: &mut String, s: &str) {
-    out.push('"');
-    for c in s.chars() {
-        match c {
-            '"' => out.push_str("\\\""),
-            '\\' => out.push_str("\\\\"),
-            '\n' => out.push_str("\\n"),
-            '\r' => out.push_str("\\r"),
-            '\t' => out.push_str("\\t"),
-            c if (c as u32) < 0x20 => {
-                let _ = write!(out, "\\u{:04x}", c as u32);
-            }
-            c => out.push(c),
-        }
-    }
-    out.push('"');
-}
-
-/// A parse failure with its byte offset.
-#[derive(Debug, Clone, PartialEq, Eq)]
-pub struct ParseError {
-    /// Byte offset where parsing failed.
-    pub offset: usize,
-    /// What went wrong.
-    pub message: String,
-}
-
-impl std::fmt::Display for ParseError {
-    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        write!(
-            f,
-            "JSON parse error at byte {}: {}",
-            self.offset, self.message
-        )
-    }
-}
-
-impl std::error::Error for ParseError {}
-
-struct Parser<'a> {
-    bytes: &'a [u8],
-    pos: usize,
-}
-
-impl Parser<'_> {
-    fn err(&self, message: &str) -> ParseError {
-        ParseError {
-            offset: self.pos,
-            message: message.to_string(),
-        }
-    }
-
-    fn peek(&self) -> Option<u8> {
-        self.bytes.get(self.pos).copied()
-    }
-
-    fn skip_ws(&mut self) {
-        while matches!(self.peek(), Some(b' ' | b'\t' | b'\n' | b'\r')) {
-            self.pos += 1;
-        }
-    }
-
-    fn expect(&mut self, byte: u8) -> Result<(), ParseError> {
-        if self.peek() == Some(byte) {
-            self.pos += 1;
-            Ok(())
-        } else {
-            Err(self.err(&format!("expected '{}'", byte as char)))
-        }
-    }
-
-    fn literal(&mut self, text: &str, value: Json) -> Result<Json, ParseError> {
-        if self.bytes[self.pos..].starts_with(text.as_bytes()) {
-            self.pos += text.len();
-            Ok(value)
-        } else {
-            Err(self.err(&format!("expected '{text}'")))
-        }
-    }
-
-    fn value(&mut self) -> Result<Json, ParseError> {
-        match self.peek() {
-            Some(b'n') => self.literal("null", Json::Null),
-            Some(b't') => self.literal("true", Json::Bool(true)),
-            Some(b'f') => self.literal("false", Json::Bool(false)),
-            Some(b'"') => Ok(Json::Str(self.string()?)),
-            Some(b'[') => self.array(),
-            Some(b'{') => self.object(),
-            Some(c) if c == b'-' || c.is_ascii_digit() => self.number(),
-            _ => Err(self.err("expected a JSON value")),
-        }
-    }
-
-    fn array(&mut self) -> Result<Json, ParseError> {
-        self.expect(b'[')?;
-        let mut items = Vec::new();
-        self.skip_ws();
-        if self.peek() == Some(b']') {
-            self.pos += 1;
-            return Ok(Json::Arr(items));
-        }
-        loop {
-            self.skip_ws();
-            items.push(self.value()?);
-            self.skip_ws();
-            match self.peek() {
-                Some(b',') => self.pos += 1,
-                Some(b']') => {
-                    self.pos += 1;
-                    return Ok(Json::Arr(items));
-                }
-                _ => return Err(self.err("expected ',' or ']'")),
-            }
-        }
-    }
-
-    fn object(&mut self) -> Result<Json, ParseError> {
-        self.expect(b'{')?;
-        let mut entries = Vec::new();
-        self.skip_ws();
-        if self.peek() == Some(b'}') {
-            self.pos += 1;
-            return Ok(Json::Obj(entries));
-        }
-        loop {
-            self.skip_ws();
-            let key = self.string()?;
-            self.skip_ws();
-            self.expect(b':')?;
-            self.skip_ws();
-            let value = self.value()?;
-            entries.push((key, value));
-            self.skip_ws();
-            match self.peek() {
-                Some(b',') => self.pos += 1,
-                Some(b'}') => {
-                    self.pos += 1;
-                    return Ok(Json::Obj(entries));
-                }
-                _ => return Err(self.err("expected ',' or '}'")),
-            }
-        }
-    }
-
-    fn string(&mut self) -> Result<String, ParseError> {
-        self.expect(b'"')?;
-        let mut out = String::new();
-        loop {
-            let Some(c) = self.peek() else {
-                return Err(self.err("unterminated string"));
-            };
-            self.pos += 1;
-            match c {
-                b'"' => return Ok(out),
-                b'\\' => {
-                    let Some(esc) = self.peek() else {
-                        return Err(self.err("unterminated escape"));
-                    };
-                    self.pos += 1;
-                    match esc {
-                        b'"' => out.push('"'),
-                        b'\\' => out.push('\\'),
-                        b'/' => out.push('/'),
-                        b'n' => out.push('\n'),
-                        b'r' => out.push('\r'),
-                        b't' => out.push('\t'),
-                        b'b' => out.push('\u{8}'),
-                        b'f' => out.push('\u{c}'),
-                        b'u' => {
-                            let hex = self
-                                .bytes
-                                .get(self.pos..self.pos + 4)
-                                .and_then(|h| std::str::from_utf8(h).ok())
-                                .and_then(|h| u32::from_str_radix(h, 16).ok())
-                                .ok_or_else(|| self.err("bad \\u escape"))?;
-                            self.pos += 4;
-                            // Snapshots never contain surrogate pairs;
-                            // map unpaired surrogates to the replacement
-                            // character instead of failing.
-                            out.push(char::from_u32(hex).unwrap_or('\u{fffd}'));
-                        }
-                        _ => return Err(self.err("unknown escape")),
-                    }
-                }
-                c if c < 0x80 => out.push(c as char),
-                _ => {
-                    // Multi-byte UTF-8: the input is a &str, so the
-                    // remaining continuation bytes are valid; re-decode
-                    // from the start byte.
-                    let start = self.pos - 1;
-                    let s = std::str::from_utf8(&self.bytes[start..])
-                        .map_err(|_| self.err("invalid UTF-8"))?;
-                    let ch = s.chars().next().ok_or_else(|| self.err("empty char"))?;
-                    out.push(ch);
-                    self.pos = start + ch.len_utf8();
-                }
-            }
-        }
-    }
-
-    fn number(&mut self) -> Result<Json, ParseError> {
-        let start = self.pos;
-        if self.peek() == Some(b'-') {
-            self.pos += 1;
-        }
-        while matches!(self.peek(), Some(c) if c.is_ascii_digit() || matches!(c, b'.' | b'e' | b'E' | b'+' | b'-'))
-        {
-            self.pos += 1;
-        }
-        let text = std::str::from_utf8(&self.bytes[start..self.pos]).expect("ascii digits");
-        let n: f64 = text
-            .parse()
-            .map_err(|_| self.err(&format!("bad number '{text}'")))?;
-        if !n.is_finite() {
-            return Err(self.err("number out of range"));
-        }
-        Ok(Json::Num(n))
-    }
-}
-
-#[cfg(test)]
-mod tests {
-    use super::*;
-
-    #[test]
-    fn round_trips_nested_document() {
-        let doc = Json::Obj(vec![
-            ("label".into(), Json::Str("seed".into())),
-            ("ok".into(), Json::Bool(true)),
-            ("nothing".into(), Json::Null),
-            ("reps".into(), Json::from_u64(5)),
-            ("median_secs".into(), Json::Num(0.012345678901234567)),
-            (
-                "workloads".into(),
-                Json::Arr(vec![
-                    Json::Obj(vec![("name".into(), Json::Str("fig5/1000".into()))]),
-                    Json::Arr(vec![]),
-                    Json::Obj(vec![]),
-                ]),
-            ),
-        ]);
-        let text = doc.to_pretty();
-        assert_eq!(Json::parse(&text).unwrap(), doc);
-    }
-
-    #[test]
-    fn round_trips_escapes_and_unicode() {
-        let doc = Json::Obj(vec![(
-            "s".into(),
-            Json::Str("a\"b\\c\nd\te\u{1}λ—🦀".into()),
-        )]);
-        assert_eq!(Json::parse(&doc.to_pretty()).unwrap(), doc);
-    }
-
-    #[test]
-    fn integers_print_without_fraction() {
-        assert_eq!(Json::from_u64(12345).to_pretty(), "12345\n");
-        assert_eq!(Json::Num(-3.0).to_pretty(), "-3\n");
-        assert_eq!(Json::Num(0.5).to_pretty(), "0.5\n");
-    }
-
-    #[test]
-    fn accessors() {
-        let doc = Json::parse(r#"{"a": 3, "b": [1.5, "x"], "c": -1}"#).unwrap();
-        assert_eq!(doc.get("a").and_then(Json::as_u64), Some(3));
-        assert_eq!(doc.get("c").and_then(Json::as_u64), None, "negative");
-        let arr = doc.get("b").and_then(Json::as_arr).unwrap();
-        assert_eq!(arr[0].as_f64(), Some(1.5));
-        assert_eq!(arr[1].as_str(), Some("x"));
-        assert!(doc.get("missing").is_none());
-    }
-
-    #[test]
-    fn rejects_malformed_documents() {
-        for bad in [
-            "",
-            "{",
-            "[1,",
-            "{\"a\" 1}",
-            "tru",
-            "1 2",
-            "\"unterminated",
-            "{\"a\":}",
-            "nan",
-        ] {
-            assert!(Json::parse(bad).is_err(), "{bad:?} should fail");
-        }
-    }
-
-    #[test]
-    fn compact_form_round_trips_on_one_line() {
-        let doc = Json::Obj(vec![
-            ("iter".into(), Json::from_u64(3)),
-            ("p99".into(), Json::Num(1.5)),
-            (
-                "tags".into(),
-                Json::Arr(vec![Json::Str("a\"b".into()), Json::Null]),
-            ),
-        ]);
-        let line = doc.to_compact();
-        assert!(!line.contains('\n'));
-        assert_eq!(line, r#"{"iter":3,"p99":1.5,"tags":["a\"b",null]}"#);
-        assert_eq!(Json::parse(&line).unwrap(), doc);
-    }
-
-    #[test]
-    fn parses_scientific_notation() {
-        assert_eq!(Json::parse("1.5e-3").unwrap().as_f64(), Some(0.0015));
-    }
-}
+pub use scwsc_core::json::{Json, ParseError};

@@ -23,6 +23,7 @@ pub mod printers;
 pub mod record;
 pub mod registry;
 pub mod report;
+pub mod serve_load;
 pub mod snapshot;
 pub mod soak;
 pub mod trend;

@@ -217,7 +217,12 @@ impl CmcParams {
         }
     }
 
-    fn target(&self, n: usize) -> usize {
+    /// The element target this parameter block chases over a universe of
+    /// `n` elements (`ŝ·n`, discounted by `1−1/e` when
+    /// [`discount_coverage`](CmcParams::discount_coverage) is set) — the
+    /// same number the solver compares progress against, exposed so the
+    /// serving layer can report it per answer.
+    pub fn coverage_target(&self, n: usize) -> usize {
         let fraction = if self.discount_coverage {
             self.coverage_fraction * CMC_COVERAGE_DISCOUNT
         } else {
@@ -283,7 +288,7 @@ pub fn cmc<O: Observer + ?Sized>(
         "budget growth factor b must be positive"
     );
 
-    let target = params.target(system.num_elements());
+    let target = params.coverage_target(system.num_elements());
     if target == 0 {
         return Ok(CmcOutcome {
             solution: Solution::from_sets(system, Vec::new()),
@@ -439,7 +444,7 @@ pub fn cmc_on<O: Observer + ?Sized>(
         params.budget_growth > 0.0,
         "budget growth factor b must be positive"
     );
-    let target = params.target(system.num_elements());
+    let target = params.coverage_target(system.num_elements());
     if target == 0 {
         return Ok(CmcOutcome {
             solution: Solution::from_sets(system, Vec::new()),
@@ -504,7 +509,7 @@ pub fn cmc_within<O: Observer + ?Sized>(
         params.budget_growth > 0.0,
         "budget growth factor b must be positive"
     );
-    let target = params.target(system.num_elements());
+    let target = params.coverage_target(system.num_elements());
     if target == 0 {
         return Ok(SolveOutcome::Complete(CmcOutcome {
             solution: Solution::from_sets(system, Vec::new()),

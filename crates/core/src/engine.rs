@@ -317,6 +317,14 @@ pub struct FaultPlan {
     /// sleeps `millis` before returning — a liveness stall, not an
     /// outcome change (the solve completes normally afterwards).
     stall_at_tick: Option<(u64, u64)>,
+    /// Service layer `(request, millis)`: reading (1-based) request
+    /// `request` stalls `millis` mid-read — a slow client whose bytes
+    /// trickle in. The wait counts as queue time, so the request's solve
+    /// deadline shrinks accordingly.
+    slow_read: Option<(u64, u64)>,
+    /// Service layer: the connection drops mid-request — after (1-based)
+    /// request `request` is read, before any response byte is written.
+    disconnect_at: Option<u64>,
     panic_fired: std::sync::atomic::AtomicBool,
     guess_panic_fired: std::sync::atomic::AtomicBool,
     stall_fired: std::sync::atomic::AtomicBool,
@@ -362,6 +370,34 @@ impl FaultPlan {
     pub fn stall_at_tick(mut self, tick: u64, millis: u64) -> FaultPlan {
         self.stall_at_tick = Some((tick, millis));
         self
+    }
+
+    /// Service-layer fault: reading (1-based) request `request` stalls
+    /// `millis` mid-read, simulating a slow client. Consumed by
+    /// `scwsc_serve`'s connection loop, not by the solve engine.
+    pub fn slow_read(mut self, request: u64, millis: u64) -> FaultPlan {
+        self.slow_read = Some((request, millis));
+        self
+    }
+
+    /// Service-layer fault: the connection is dropped after (1-based)
+    /// request `request` is read and before any response is written.
+    /// Consumed by `scwsc_serve`'s connection loop.
+    pub fn disconnect_at(mut self, request: u64) -> FaultPlan {
+        self.disconnect_at = Some(request);
+        self
+    }
+
+    /// The injected read stall for (1-based) request `seq`, if any.
+    pub fn slow_read_before(&self, seq: u64) -> Option<Duration> {
+        self.slow_read
+            .filter(|&(n, _)| n == seq)
+            .map(|(_, millis)| Duration::from_millis(millis))
+    }
+
+    /// Whether the connection should drop mid-request `seq` (1-based).
+    pub fn disconnects(&self, seq: u64) -> bool {
+        self.disconnect_at == Some(seq)
     }
 
     /// A deterministic pseudo-random plan: the same seed always yields the

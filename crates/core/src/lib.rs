@@ -41,15 +41,18 @@
 
 pub mod algorithms;
 pub mod bitset;
+pub mod cli;
 pub mod cost;
 pub mod cover_state;
 pub mod engine;
 pub mod incremental;
+pub mod json;
 pub mod lazy_greedy;
 pub mod multiweight;
 pub mod parallel;
 pub mod set_system;
 pub mod solution;
+pub mod solver;
 pub mod stats;
 pub mod telemetry;
 
@@ -59,13 +62,16 @@ pub use cover_state::{Candidate, CoverState};
 #[cfg(feature = "fault-inject")]
 pub use engine::FaultPlan;
 pub use engine::{
-    Certificate, Deadline, DegradeReason, Degraded, EngineError, SolveOutcome, TickProbe,
+    panic_message, Certificate, Deadline, DegradeReason, Degraded, EngineError, SolveOutcome,
+    TickProbe,
 };
+pub use json::Json;
 pub use parallel::{CancelToken, Scope, ThreadPool, Threads};
 pub use set_system::{coverage_target, BuildError, ElementId, SetId, SetSystem, WeightedSet};
 pub use solution::{
     verify, verify_certificate, CertificateCheck, Requirements, Solution, SolveError, Verification,
 };
+pub use solver::{Algorithm, Answer, CostModel, Query, Solver, SystemInstance};
 pub use stats::Stats;
 pub use telemetry::{
     audit, parse_prometheus, render_prometheus, render_prometheus_windowed, CausalNode,

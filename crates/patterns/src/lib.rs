@@ -42,6 +42,7 @@ pub mod enumerate;
 pub mod fxhash;
 pub mod hierarchy;
 pub mod index;
+pub mod instance;
 pub mod opt_cmc;
 pub mod opt_cwsc;
 pub mod pattern;
@@ -56,6 +57,7 @@ pub use dictionary::{Dictionary, ValueId};
 pub use enumerate::{enumerate_all, MaterializedPatterns};
 pub use hierarchy::{enumerate_hierarchical, hier_cmc, hier_cwsc, HierarchicalSpace, Hierarchy};
 pub use index::InvertedIndex;
+pub use instance::PatternInstance;
 pub use opt_cmc::{
     opt_cmc, opt_cmc_in, opt_cmc_in_on, opt_cmc_in_within, opt_cmc_on, opt_cmc_within,
 };

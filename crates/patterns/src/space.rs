@@ -118,9 +118,14 @@ pub trait LatticeSpace {
 }
 
 /// Lattice navigation handle over one table.
+///
+/// The inverted index is behind an [`Arc`] so long-lived holders (the
+/// serving layer's `PatternInstance`) can build it once and stamp out a
+/// cheap per-query `PatternSpace` — same table, same index, per-query
+/// cost function — via [`PatternSpace::with_index`].
 pub struct PatternSpace<'a> {
     table: &'a Table,
-    index: InvertedIndex,
+    index: std::sync::Arc<InvertedIndex>,
     cost_fn: CostFn,
 }
 
@@ -179,9 +184,29 @@ impl<'a> PatternSpace<'a> {
     pub fn new(table: &'a Table, cost_fn: CostFn) -> PatternSpace<'a> {
         PatternSpace {
             table,
-            index: InvertedIndex::build(table),
+            index: std::sync::Arc::new(InvertedIndex::build(table)),
             cost_fn,
         }
+    }
+
+    /// Wraps the table around an already-built index — O(1), no scan.
+    /// The index must have been built from this same table.
+    pub fn with_index(
+        table: &'a Table,
+        index: std::sync::Arc<InvertedIndex>,
+        cost_fn: CostFn,
+    ) -> PatternSpace<'a> {
+        PatternSpace {
+            table,
+            index,
+            cost_fn,
+        }
+    }
+
+    /// A shareable handle to the inverted index, for constructing further
+    /// spaces over the same table without re-indexing.
+    pub fn index_handle(&self) -> std::sync::Arc<InvertedIndex> {
+        std::sync::Arc::clone(&self.index)
     }
 
     /// The underlying table.

@@ -1,0 +1,265 @@
+//! LRU result cache keyed by canonicalized query (DESIGN.md §17).
+//!
+//! Repeated solves over the same instance are the serving layer's common
+//! case (Alexa's iteratively reweighted greedy re-queries one instance
+//! per reweighting round), so complete answers are cached and hits
+//! bypass admission entirely — a cache hit costs one hash lookup under a
+//! short lock, never a queue slot or tick grant.
+//!
+//! Canonicalization rules (the cache key, also the brownout-independent
+//! identity of a query):
+//!
+//! * algorithm and cost function by their stable lowercase names;
+//! * `k` in decimal; floats (`coverage`, `b`, `eps`) via Rust's `{:?}`,
+//!   which round-trips `f64` exactly, with `-0.0` normalized to `0.0`;
+//! * CWSC forces `b = eps = 1.0` — it ignores both, so spelling them
+//!   differently must not split cache entries;
+//! * deadlines and tick budgets are **excluded**: budgets shape *when* a
+//!   query is answered, not *what* the answer is — and only complete
+//!   (budget-independent) answers are ever inserted.
+//!
+//! Degraded answers are never cached: they depend on the budget that
+//! truncated them.
+//!
+//! The store is a classic O(1) LRU: a slab of doubly-linked entries plus
+//! a `HashMap` from key to slab index.
+
+use scwsc_core::solver::{Algorithm, Answer, Query};
+use std::collections::HashMap;
+
+/// The canonical cache key of `query` (see module docs for the rules).
+pub fn canonical_key(query: &Query) -> String {
+    let (b, eps) = match query.algorithm {
+        // CWSC ignores the CMC knobs: canonicalize them away.
+        Algorithm::Cwsc => (1.0, 1.0),
+        Algorithm::Cmc => (query.b, query.eps),
+    };
+    let norm = |x: f64| if x == 0.0 { 0.0 } else { x };
+    format!(
+        "{}|k={}|cov={:?}|b={:?}|eps={:?}|cost={}",
+        query.algorithm.as_str(),
+        query.k,
+        norm(query.coverage),
+        norm(b),
+        norm(eps),
+        query.cost.as_str()
+    )
+}
+
+const NIL: usize = usize::MAX;
+
+struct Entry {
+    key: String,
+    value: Answer,
+    prev: usize,
+    next: usize,
+}
+
+/// A fixed-capacity LRU map from canonical query keys to complete
+/// answers. Not internally synchronized — the server wraps it in a
+/// `Mutex` (the critical sections are a hash lookup and two pointer
+/// swaps).
+pub struct ResultCache {
+    capacity: usize,
+    map: HashMap<String, usize>,
+    slab: Vec<Entry>,
+    head: usize,
+    tail: usize,
+    hits: u64,
+    misses: u64,
+    evictions: u64,
+}
+
+impl ResultCache {
+    /// A cache holding at most `capacity` answers. Capacity 0 disables
+    /// caching (every lookup misses, inserts are dropped).
+    pub fn new(capacity: usize) -> ResultCache {
+        ResultCache {
+            capacity,
+            map: HashMap::new(),
+            slab: Vec::new(),
+            head: NIL,
+            tail: NIL,
+            hits: 0,
+            misses: 0,
+            evictions: 0,
+        }
+    }
+
+    /// Entries currently held.
+    pub fn len(&self) -> usize {
+        self.map.len()
+    }
+
+    /// Whether the cache is empty.
+    pub fn is_empty(&self) -> bool {
+        self.map.is_empty()
+    }
+
+    /// `(hits, misses, evictions)` since construction.
+    pub fn stats(&self) -> (u64, u64, u64) {
+        (self.hits, self.misses, self.evictions)
+    }
+
+    /// Looks up `key`, refreshing its recency on a hit.
+    pub fn get(&mut self, key: &str) -> Option<Answer> {
+        match self.map.get(key).copied() {
+            Some(i) => {
+                self.hits += 1;
+                self.detach(i);
+                self.push_front(i);
+                Some(self.slab[i].value.clone())
+            }
+            None => {
+                self.misses += 1;
+                None
+            }
+        }
+    }
+
+    /// Inserts (or refreshes) `key`, evicting the least-recently-used
+    /// entry when full.
+    pub fn insert(&mut self, key: String, value: Answer) {
+        if self.capacity == 0 {
+            return;
+        }
+        if let Some(&i) = self.map.get(&key) {
+            self.slab[i].value = value;
+            self.detach(i);
+            self.push_front(i);
+            return;
+        }
+        let index = if self.map.len() >= self.capacity {
+            // Recycle the LRU slot in place.
+            let tail = self.tail;
+            self.detach(tail);
+            self.map.remove(&self.slab[tail].key);
+            self.evictions += 1;
+            self.slab[tail].key.clone_from(&key);
+            self.slab[tail].value = value;
+            tail
+        } else {
+            self.slab.push(Entry {
+                key: key.clone(),
+                value,
+                prev: NIL,
+                next: NIL,
+            });
+            self.slab.len() - 1
+        };
+        self.map.insert(key, index);
+        self.push_front(index);
+    }
+
+    fn detach(&mut self, i: usize) {
+        let (prev, next) = (self.slab[i].prev, self.slab[i].next);
+        if prev != NIL {
+            self.slab[prev].next = next;
+        } else if self.head == i {
+            self.head = next;
+        }
+        if next != NIL {
+            self.slab[next].prev = prev;
+        } else if self.tail == i {
+            self.tail = prev;
+        }
+        self.slab[i].prev = NIL;
+        self.slab[i].next = NIL;
+    }
+
+    fn push_front(&mut self, i: usize) {
+        self.slab[i].prev = NIL;
+        self.slab[i].next = self.head;
+        if self.head != NIL {
+            self.slab[self.head].prev = i;
+        }
+        self.head = i;
+        if self.tail == NIL {
+            self.tail = i;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use scwsc_core::solver::CostModel;
+
+    fn answer(cost: f64) -> Answer {
+        Answer {
+            size: 1,
+            covered: 1,
+            target: 1,
+            total_cost: cost,
+            labels: vec!["set#0".into()],
+            certified: None,
+        }
+    }
+
+    #[test]
+    fn canonical_key_is_deadline_free_and_cwsc_normalizes_knobs() {
+        let mut a = Query::cwsc(5, 0.4);
+        let mut b = Query::cwsc(5, 0.4);
+        b.b = 3.0;
+        b.eps = 0.5;
+        assert_eq!(canonical_key(&a), canonical_key(&b), "cwsc ignores b/eps");
+        a.algorithm = Algorithm::Cmc;
+        b.algorithm = Algorithm::Cmc;
+        assert_ne!(canonical_key(&a), canonical_key(&b), "cmc does not");
+        let mut c = Query::cmc(5, 0.4);
+        c.cost = CostModel::Sum;
+        assert_ne!(canonical_key(&Query::cmc(5, 0.4)), canonical_key(&c));
+    }
+
+    #[test]
+    fn canonical_key_distinguishes_close_floats_exactly() {
+        let a = Query::cwsc(5, 0.1 + 0.2);
+        let b = Query::cwsc(5, 0.3);
+        assert_ne!(canonical_key(&a), canonical_key(&b));
+        assert_eq!(canonical_key(&a), canonical_key(&Query::cwsc(5, 0.1 + 0.2)));
+    }
+
+    #[test]
+    fn lru_evicts_least_recently_used() {
+        let mut cache = ResultCache::new(2);
+        cache.insert("a".into(), answer(1.0));
+        cache.insert("b".into(), answer(2.0));
+        assert!(cache.get("a").is_some(), "refresh a");
+        cache.insert("c".into(), answer(3.0)); // evicts b
+        assert!(cache.get("b").is_none());
+        assert!(cache.get("a").is_some());
+        assert!(cache.get("c").is_some());
+        assert_eq!(cache.len(), 2);
+        let (hits, misses, evictions) = cache.stats();
+        assert_eq!((hits, misses, evictions), (3, 1, 1));
+    }
+
+    #[test]
+    fn reinsert_refreshes_value_and_recency() {
+        let mut cache = ResultCache::new(2);
+        cache.insert("a".into(), answer(1.0));
+        cache.insert("b".into(), answer(2.0));
+        cache.insert("a".into(), answer(9.0));
+        cache.insert("c".into(), answer(3.0)); // evicts b, not a
+        assert_eq!(cache.get("a").unwrap().total_cost, 9.0);
+        assert!(cache.get("b").is_none());
+    }
+
+    #[test]
+    fn zero_capacity_disables_caching() {
+        let mut cache = ResultCache::new(0);
+        cache.insert("a".into(), answer(1.0));
+        assert!(cache.get("a").is_none());
+        assert!(cache.is_empty());
+    }
+
+    #[test]
+    fn single_slot_cycles_correctly() {
+        let mut cache = ResultCache::new(1);
+        for (i, key) in ["a", "b", "c", "a"].iter().enumerate() {
+            cache.insert((*key).into(), answer(i as f64));
+            assert_eq!(cache.len(), 1);
+            assert_eq!(cache.get(key).unwrap().total_cost, i as f64);
+        }
+    }
+}

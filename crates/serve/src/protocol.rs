@@ -1,0 +1,434 @@
+//! The `scwsc_serve` wire protocol: one JSON object per line, both ways.
+//!
+//! Requests name a [`Query`] plus an optional caller deadline; responses
+//! carry one of four statuses:
+//!
+//! * `complete` — the solver finished inside its budgets;
+//! * `degraded` — a deadline expired first; the partial answer rides
+//!   along with its certificate, re-verified by the instance
+//!   (`answer.certified`);
+//! * `rejected` — admission shed the request *without running it*; the
+//!   mandatory `retry_after_ms` tells the caller when to come back;
+//! * `error` — the request was malformed or the solve failed
+//!   structurally (infeasible instance, exhausted retries).
+//!
+//! Every admitted request is answered `complete`, `degraded`, or
+//! `error` — never dropped. The encoding is the hand-rolled
+//! [`scwsc_core::json`] (the vendored-deps constraint bans serde_json).
+
+use scwsc_core::json::Json;
+use scwsc_core::solver::{Algorithm, Answer, CostModel, Query};
+use scwsc_core::Certificate;
+
+/// One request line.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Request {
+    /// Caller-chosen correlation id, echoed verbatim in the response.
+    pub id: u64,
+    /// What to solve.
+    pub query: Query,
+    /// Caller's end-to-end deadline. Queue wait is charged against it:
+    /// the solve gets whatever remains at admission. `None` uses the
+    /// server default (0 = no wall-clock bound).
+    pub deadline_ms: Option<u64>,
+    /// Caller's tick-budget cap. The grant is `min(this, server budget)`
+    /// after brownout shrinking — callers can lower their budget, never
+    /// raise it past the server's.
+    pub max_ticks: Option<u64>,
+}
+
+impl Request {
+    /// A request wrapping `query` with server-default budgets.
+    pub fn new(id: u64, query: Query) -> Request {
+        Request {
+            id,
+            query,
+            deadline_ms: None,
+            max_ticks: None,
+        }
+    }
+
+    /// Serializes to one compact line (no trailing newline).
+    pub fn to_line(&self) -> String {
+        let mut obj = vec![
+            ("id".into(), Json::from_u64(self.id)),
+            (
+                "algorithm".into(),
+                Json::Str(self.query.algorithm.as_str().into()),
+            ),
+            ("k".into(), Json::from_u64(self.query.k as u64)),
+            ("coverage".into(), Json::Num(self.query.coverage)),
+            ("b".into(), Json::Num(self.query.b)),
+            ("eps".into(), Json::Num(self.query.eps)),
+            ("cost_fn".into(), Json::Str(self.query.cost.as_str().into())),
+        ];
+        if let Some(ms) = self.deadline_ms {
+            obj.push(("deadline_ms".into(), Json::from_u64(ms)));
+        }
+        if let Some(t) = self.max_ticks {
+            obj.push(("max_ticks".into(), Json::from_u64(t)));
+        }
+        Json::Obj(obj).to_compact()
+    }
+
+    /// Parses one request line. `default_id` is used when the caller
+    /// omitted `id` (typically the server's request sequence number).
+    pub fn parse(line: &str, default_id: u64) -> Result<Request, String> {
+        let json = Json::parse(line).map_err(|e| e.to_string())?;
+        let algorithm = match json.get("algorithm").and_then(Json::as_str) {
+            None => Algorithm::Cwsc,
+            Some(s) => Algorithm::parse(s).ok_or_else(|| format!("unknown algorithm {s:?}"))?,
+        };
+        let cost = match json.get("cost_fn").and_then(Json::as_str) {
+            None => CostModel::Max,
+            Some(s) => CostModel::parse(s).ok_or_else(|| format!("unknown cost_fn {s:?}"))?,
+        };
+        let k = json
+            .get("k")
+            .and_then(Json::as_u64)
+            .ok_or("request missing k")? as usize;
+        let coverage = json
+            .get("coverage")
+            .and_then(Json::as_f64)
+            .ok_or("request missing coverage")?;
+        if !(coverage > 0.0 && coverage <= 1.0) {
+            return Err(format!("coverage must be in (0, 1], got {coverage}"));
+        }
+        Ok(Request {
+            id: json.get("id").and_then(Json::as_u64).unwrap_or(default_id),
+            query: Query {
+                algorithm,
+                k,
+                coverage,
+                b: json.get("b").and_then(Json::as_f64).unwrap_or(1.0),
+                eps: json.get("eps").and_then(Json::as_f64).unwrap_or(1.0),
+                cost,
+            },
+            deadline_ms: json.get("deadline_ms").and_then(Json::as_u64),
+            max_ticks: json.get("max_ticks").and_then(Json::as_u64),
+        })
+    }
+}
+
+/// Response status, the caller's contract (see module docs).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Status {
+    /// Solved inside the budgets.
+    Complete,
+    /// Deadline expired; certified partial answer attached.
+    Degraded,
+    /// Shed at admission; `retry_after_ms` is set.
+    Rejected,
+    /// Malformed request or structural solve failure.
+    Error,
+}
+
+impl Status {
+    /// Stable lowercase wire name.
+    pub fn as_str(self) -> &'static str {
+        match self {
+            Status::Complete => "complete",
+            Status::Degraded => "degraded",
+            Status::Rejected => "rejected",
+            Status::Error => "error",
+        }
+    }
+
+    /// Parses the wire name.
+    pub fn parse(s: &str) -> Option<Status> {
+        match s {
+            "complete" => Some(Status::Complete),
+            "degraded" => Some(Status::Degraded),
+            "rejected" => Some(Status::Rejected),
+            "error" => Some(Status::Error),
+            _ => None,
+        }
+    }
+}
+
+/// One response line.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Response {
+    /// Echo of the request id.
+    pub id: u64,
+    /// Outcome class.
+    pub status: Status,
+    /// The solution (complete or certified-partial).
+    pub answer: Option<Answer>,
+    /// The degrade certificate, when status is `degraded`.
+    pub certificate: Option<Certificate>,
+    /// Set on `rejected`: milliseconds the caller should wait.
+    pub retry_after_ms: Option<u64>,
+    /// Whether the answer came from the result cache (bypassing
+    /// admission entirely).
+    pub cached: bool,
+    /// Brownout tier the request was served under (0 = full budgets).
+    pub tier: u8,
+    /// Solve attempts (2 = one panic was isolated and retried).
+    pub attempts: u32,
+    /// Milliseconds spent queued before the solve started.
+    pub queue_ms: f64,
+    /// Milliseconds the solve itself took.
+    pub solve_ms: f64,
+    /// Human-readable diagnostic, when status is `error`.
+    pub error: Option<String>,
+}
+
+impl Response {
+    /// A rejection with the mandatory retry hint.
+    pub fn rejected(id: u64, retry_after_ms: u64, queue_ms: f64, tier: u8) -> Response {
+        Response {
+            id,
+            status: Status::Rejected,
+            answer: None,
+            certificate: None,
+            retry_after_ms: Some(retry_after_ms),
+            cached: false,
+            tier,
+            attempts: 0,
+            queue_ms,
+            solve_ms: 0.0,
+            error: None,
+        }
+    }
+
+    /// An error response (parse failure, infeasibility, exhausted retry).
+    pub fn error(id: u64, message: String) -> Response {
+        Response {
+            id,
+            status: Status::Error,
+            answer: None,
+            certificate: None,
+            retry_after_ms: None,
+            cached: false,
+            tier: 0,
+            attempts: 0,
+            queue_ms: 0.0,
+            solve_ms: 0.0,
+            error: Some(message),
+        }
+    }
+
+    /// Serializes to one compact line (no trailing newline).
+    pub fn to_line(&self) -> String {
+        let mut obj = vec![
+            ("id".into(), Json::from_u64(self.id)),
+            ("status".into(), Json::Str(self.status.as_str().into())),
+        ];
+        if let Some(ms) = self.retry_after_ms {
+            obj.push(("retry_after_ms".into(), Json::from_u64(ms)));
+        }
+        if let Some(answer) = &self.answer {
+            obj.push(("answer".into(), answer_to_json(answer)));
+        }
+        if let Some(cert) = &self.certificate {
+            obj.push(("certificate".into(), cert_to_json(cert)));
+        }
+        obj.push(("cached".into(), Json::Bool(self.cached)));
+        obj.push(("tier".into(), Json::from_u64(u64::from(self.tier))));
+        obj.push(("attempts".into(), Json::from_u64(u64::from(self.attempts))));
+        obj.push(("queue_ms".into(), Json::Num(self.queue_ms)));
+        obj.push(("solve_ms".into(), Json::Num(self.solve_ms)));
+        if let Some(e) = &self.error {
+            obj.push(("error".into(), Json::Str(e.clone())));
+        }
+        Json::Obj(obj).to_compact()
+    }
+
+    /// Parses one response line (the client half of the protocol).
+    pub fn parse(line: &str) -> Result<Response, String> {
+        let json = Json::parse(line).map_err(|e| e.to_string())?;
+        let status = json
+            .get("status")
+            .and_then(Json::as_str)
+            .and_then(Status::parse)
+            .ok_or("response missing status")?;
+        Ok(Response {
+            id: json.get("id").and_then(Json::as_u64).unwrap_or(0),
+            status,
+            answer: json.get("answer").map(answer_from_json).transpose()?,
+            certificate: json.get("certificate").map(cert_from_json).transpose()?,
+            retry_after_ms: json.get("retry_after_ms").and_then(Json::as_u64),
+            cached: json.get("cached") == Some(&Json::Bool(true)),
+            tier: json.get("tier").and_then(Json::as_u64).unwrap_or(0) as u8,
+            attempts: json.get("attempts").and_then(Json::as_u64).unwrap_or(0) as u32,
+            queue_ms: json.get("queue_ms").and_then(Json::as_f64).unwrap_or(0.0),
+            solve_ms: json.get("solve_ms").and_then(Json::as_f64).unwrap_or(0.0),
+            error: json.get("error").and_then(Json::as_str).map(str::to_string),
+        })
+    }
+}
+
+fn answer_to_json(a: &Answer) -> Json {
+    let mut obj = vec![
+        ("size".into(), Json::from_u64(a.size as u64)),
+        ("covered".into(), Json::from_u64(a.covered as u64)),
+        ("target".into(), Json::from_u64(a.target as u64)),
+        ("total_cost".into(), Json::Num(a.total_cost)),
+        (
+            "labels".into(),
+            Json::Arr(a.labels.iter().map(|l| Json::Str(l.clone())).collect()),
+        ),
+    ];
+    if let Some(certified) = a.certified {
+        obj.push(("certified".into(), Json::Bool(certified)));
+    }
+    Json::Obj(obj)
+}
+
+fn answer_from_json(json: &Json) -> Result<Answer, String> {
+    Ok(Answer {
+        size: json
+            .get("size")
+            .and_then(Json::as_u64)
+            .ok_or("answer missing size")? as usize,
+        covered: json
+            .get("covered")
+            .and_then(Json::as_u64)
+            .ok_or("answer missing covered")? as usize,
+        target: json.get("target").and_then(Json::as_u64).unwrap_or(0) as usize,
+        total_cost: json
+            .get("total_cost")
+            .and_then(Json::as_f64)
+            .ok_or("answer missing total_cost")?,
+        labels: json
+            .get("labels")
+            .and_then(Json::as_arr)
+            .unwrap_or(&[])
+            .iter()
+            .filter_map(Json::as_str)
+            .map(str::to_string)
+            .collect(),
+        certified: match json.get("certified") {
+            Some(Json::Bool(b)) => Some(*b),
+            _ => None,
+        },
+    })
+}
+
+fn cert_to_json(c: &Certificate) -> Json {
+    Json::Obj(vec![
+        ("sets_used".into(), Json::from_u64(c.sets_used as u64)),
+        ("covered".into(), Json::from_u64(c.covered as u64)),
+        ("target".into(), Json::from_u64(c.target as u64)),
+        ("total_cost".into(), Json::Num(c.total_cost)),
+        (
+            "quotas_exhausted".into(),
+            Json::Arr(
+                c.quotas_exhausted
+                    .iter()
+                    .map(|&q| Json::from_u64(q as u64))
+                    .collect(),
+            ),
+        ),
+        ("ticks".into(), Json::from_u64(c.ticks)),
+        ("reason".into(), Json::Str(c.reason.as_str().into())),
+    ])
+}
+
+fn cert_from_json(json: &Json) -> Result<Certificate, String> {
+    use scwsc_core::DegradeReason;
+    let reason = match json.get("reason").and_then(Json::as_str) {
+        Some("wall_clock") => DegradeReason::WallClock,
+        Some("tick_budget") => DegradeReason::TickBudget,
+        Some("cancelled") => DegradeReason::Cancelled,
+        other => return Err(format!("unknown degrade reason {other:?}")),
+    };
+    Ok(Certificate {
+        sets_used: json.get("sets_used").and_then(Json::as_u64).unwrap_or(0) as usize,
+        covered: json.get("covered").and_then(Json::as_u64).unwrap_or(0) as usize,
+        target: json.get("target").and_then(Json::as_u64).unwrap_or(0) as usize,
+        total_cost: json.get("total_cost").and_then(Json::as_f64).unwrap_or(0.0),
+        quotas_exhausted: json
+            .get("quotas_exhausted")
+            .and_then(Json::as_arr)
+            .unwrap_or(&[])
+            .iter()
+            .filter_map(Json::as_u64)
+            .map(|q| q as usize)
+            .collect(),
+        ticks: json.get("ticks").and_then(Json::as_u64).unwrap_or(0),
+        reason,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn request_round_trips() {
+        let req = Request {
+            id: 42,
+            query: Query::cmc(5, 0.4),
+            deadline_ms: Some(250),
+            max_ticks: Some(10_000),
+        };
+        let line = req.to_line();
+        assert!(!line.contains('\n'));
+        assert_eq!(Request::parse(&line, 0).unwrap(), req);
+    }
+
+    #[test]
+    fn request_defaults_fill_in() {
+        let req = Request::parse(r#"{"k": 3, "coverage": 0.5}"#, 7).unwrap();
+        assert_eq!(req.id, 7);
+        assert_eq!(req.query.algorithm, Algorithm::Cwsc);
+        assert_eq!(req.query.cost, CostModel::Max);
+        assert_eq!(req.query.b, 1.0);
+        assert_eq!(req.deadline_ms, None);
+    }
+
+    #[test]
+    fn request_rejects_bad_fields() {
+        assert!(Request::parse("{}", 0).is_err(), "missing k");
+        assert!(Request::parse(r#"{"k":1}"#, 0).is_err(), "missing coverage");
+        assert!(Request::parse(r#"{"k":1,"coverage":0.0}"#, 0).is_err());
+        assert!(Request::parse(r#"{"k":1,"coverage":1.5}"#, 0).is_err());
+        assert!(Request::parse(r#"{"k":1,"coverage":0.5,"algorithm":"x"}"#, 0).is_err());
+        assert!(Request::parse(r#"{"k":1,"coverage":0.5,"cost_fn":"lp"}"#, 0).is_err());
+        assert!(Request::parse("not json", 0).is_err());
+    }
+
+    #[test]
+    fn response_round_trips_with_answer_and_certificate() {
+        let resp = Response {
+            id: 9,
+            status: Status::Degraded,
+            answer: Some(Answer {
+                size: 2,
+                covered: 10,
+                target: 20,
+                total_cost: 3.5,
+                labels: vec!["(A, *)".into(), "(*, West)".into()],
+                certified: Some(true),
+            }),
+            certificate: Some(Certificate {
+                sets_used: 2,
+                covered: 10,
+                target: 20,
+                total_cost: 3.5,
+                quotas_exhausted: vec![0, 2],
+                ticks: 17,
+                reason: scwsc_core::DegradeReason::TickBudget,
+            }),
+            retry_after_ms: None,
+            cached: false,
+            tier: 1,
+            attempts: 1,
+            queue_ms: 0.25,
+            solve_ms: 1.5,
+            error: None,
+        };
+        assert_eq!(Response::parse(&resp.to_line()).unwrap(), resp);
+    }
+
+    #[test]
+    fn rejection_carries_retry_after() {
+        let resp = Response::rejected(3, 40, 0.0, 2);
+        let parsed = Response::parse(&resp.to_line()).unwrap();
+        assert_eq!(parsed.status, Status::Rejected);
+        assert_eq!(parsed.retry_after_ms, Some(40));
+        assert_eq!(parsed.tier, 2);
+    }
+}

@@ -1,0 +1,195 @@
+//! Property tests for the serving layer (DESIGN.md §17).
+//!
+//! The service contract under test, for *any* query mix and any
+//! (possibly hopeless) budget:
+//!
+//! * **degrade, don't drop** — a dispatched request with an
+//!   insufficient tick budget comes back `degraded` with a certificate
+//!   the instance re-verified, or `complete`; never a panic, never an
+//!   unstructured error, never a hang;
+//! * **thread-count invariance** — serve always grants tick budgets, so
+//!   every solve runs tick-deterministic and the full response stream
+//!   (statuses, answers, certificates, brownout tiers) is identical
+//!   through a `Threads(1)` pool and a `Threads(4)` pool.
+
+use proptest::prelude::*;
+use scwsc_core::solver::{Algorithm, CostModel, Query};
+use scwsc_core::{FlightRecorder, SetSystem, SystemInstance, ThreadPool, Threads};
+use scwsc_patterns::{PatternInstance, Table};
+use scwsc_serve::{AdmissionConfig, Request, ServerConfig, ServerState, Status};
+use std::sync::Arc;
+use std::time::Duration;
+
+/// A feasible random set system (universe set always present).
+fn arb_system() -> impl Strategy<Value = SetSystem> {
+    (2usize..=10, 1usize..=8).prop_flat_map(|(n, sets)| {
+        let set = (
+            proptest::collection::btree_set(0u32..n as u32, 1..=n),
+            0u32..50,
+        );
+        proptest::collection::vec(set, sets).prop_map(move |sets| {
+            let mut b = SetSystem::builder(n);
+            for (members, cost) in sets {
+                b.add_set(members, f64::from(cost));
+            }
+            b.add_universe_set(60.0);
+            b.build().unwrap()
+        })
+    })
+}
+
+/// A small random table for the pattern-instance path.
+fn arb_table() -> impl Strategy<Value = Table> {
+    (1usize..=3, 1usize..=12).prop_flat_map(|(attrs, rows)| {
+        let row = (proptest::collection::vec(0u8..3, attrs), 0u8..40);
+        proptest::collection::vec(row, rows).prop_map(move |rows| {
+            let names: Vec<String> = (0..attrs).map(|a| format!("a{a}")).collect();
+            let refs: Vec<&str> = names.iter().map(String::as_str).collect();
+            let mut b = Table::builder(&refs, "m");
+            for (vals, measure) in rows {
+                let svals: Vec<String> = vals.iter().map(|v| format!("v{v}")).collect();
+                let srefs: Vec<&str> = svals.iter().map(String::as_str).collect();
+                b.push_row(&srefs, f64::from(measure)).unwrap();
+            }
+            b.build()
+        })
+    })
+}
+
+/// A random query against a universe of `n` elements. Coverage comes
+/// from a small integer grid so the same query re-derives exactly.
+fn arb_query() -> impl Strategy<Value = Query> {
+    (
+        prop_oneof![Just(Algorithm::Cwsc), Just(Algorithm::Cmc)],
+        1usize..=4,
+        1u32..=9,
+        prop_oneof![
+            Just(CostModel::Max),
+            Just(CostModel::Sum),
+            Just(CostModel::Mean),
+            Just(CostModel::Count)
+        ],
+    )
+        .prop_map(|(algorithm, k, cov, cost)| Query {
+            algorithm,
+            k,
+            coverage: f64::from(cov) / 10.0,
+            b: 1.0,
+            eps: 1.0,
+            cost,
+        })
+}
+
+/// Serving config for the properties: no wall clock (fully
+/// deterministic), near-instant distress admission so hopeless budgets
+/// resolve fast, cache off so every dispatch exercises the gate.
+fn prop_config() -> ServerConfig {
+    ServerConfig {
+        default_deadline_ms: 0,
+        cache_capacity: 0,
+        admission: AdmissionConfig {
+            max_queue_wait: Duration::from_millis(1),
+            ..AdmissionConfig::default()
+        },
+        ..ServerConfig::default()
+    }
+}
+
+fn state_with(solver: Arc<dyn scwsc_core::Solver>, threads: Threads) -> ServerState {
+    ServerState::new(
+        solver,
+        ThreadPool::new(threads),
+        prop_config(),
+        FlightRecorder::new(),
+        None,
+    )
+}
+
+/// Strips the wall-clock-dependent fields so responses compare
+/// structurally across thread counts.
+fn shape(mut response: scwsc_serve::Response) -> scwsc_serve::Response {
+    response.queue_ms = 0.0;
+    response.solve_ms = 0.0;
+    response
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(16))]
+
+    /// Any feasible query under any starvation-level tick budget comes
+    /// back `complete` or certified `degraded` — never panicked, never
+    /// hung, never dropped.
+    #[test]
+    fn insufficient_budget_degrades_never_panics(
+        system in arb_system(),
+        queries in proptest::collection::vec((arb_query(), 0u64..=20), 1..8),
+    ) {
+        let elements = system.num_elements();
+        let state = state_with(
+            Arc::new(SystemInstance::new(Arc::new(system))),
+            Threads::serial(),
+        );
+        for (i, (query, ticks)) in queries.into_iter().enumerate() {
+            let mut request = Request::new(i as u64, query);
+            request.max_ticks = Some(ticks);
+            let response = state.dispatch(&request);
+            match response.status {
+                Status::Complete => prop_assert!(response.answer.is_some()),
+                Status::Degraded => {
+                    let answer = response.answer.as_ref().expect("degraded answer");
+                    prop_assert_eq!(
+                        answer.certified, Some(true),
+                        "certificate must re-verify: {:?}", response
+                    );
+                    prop_assert!(response.certificate.is_some());
+                    let cert = response.certificate.as_ref().unwrap();
+                    prop_assert!(cert.covered <= elements);
+                }
+                Status::Error => {
+                    // Structural infeasibility is a legal outcome for a
+                    // random query (e.g. coverage unreachable with k
+                    // sets); a panic or a drop is not.
+                    let message = response.error.clone().unwrap_or_default();
+                    prop_assert!(
+                        message.contains("solve failed"),
+                        "only structural solve errors allowed, got {:?}", message
+                    );
+                }
+                Status::Rejected => prop_assert!(
+                    false, "sequential dispatch can never fill the queue"
+                ),
+            }
+        }
+    }
+
+    /// The full response stream is invariant across thread counts:
+    /// serve always grants tick budgets, so every solve runs in
+    /// tick-deterministic mode and `Threads(1)` ≡ `Threads(4)` — same
+    /// statuses, answers, certificates, tiers, and attempt counts.
+    #[test]
+    fn thread_count_invariance_through_dispatch(
+        table in arb_table(),
+        queries in proptest::collection::vec((arb_query(), 0u64..=200), 1..8),
+    ) {
+        let serial = state_with(
+            Arc::new(PatternInstance::new(table.clone())),
+            Threads::serial(),
+        );
+        let threaded = state_with(
+            Arc::new(PatternInstance::new(table)),
+            Threads::new(4),
+        );
+        for (i, (query, ticks)) in queries.into_iter().enumerate() {
+            let mut request = Request::new(i as u64, query);
+            request.max_ticks = Some(ticks);
+            let a = shape(serial.dispatch(&request));
+            let b = shape(threaded.dispatch(&request));
+            prop_assert_eq!(a, b);
+        }
+        prop_assert_eq!(
+            serial.gate_snapshot().tier,
+            threaded.gate_snapshot().tier,
+            "brownout tiers driven by the same deterministic samples"
+        );
+    }
+}

@@ -7,6 +7,13 @@ cd "$(dirname "$0")/.."
 # commit: the default dump name is trace-id-suffixed (and gitignored), but
 # clear any legacy fixed-name dump too.
 rm -f scwsc-flight.jsonl scwsc-*-flight.jsonl
+# ... and fail hard if one was ever force-added past the gitignore (the
+# trace-id suffix means every stray has a fresh name, so match the shape,
+# not a fixed list).
+if git ls-files | grep -E '(^|/)scwsc-([0-9a-f]+-)?flight\.jsonl$|-flight\.jsonl$'; then
+  echo "committed flight-recorder dump(s) found (see above); git rm them"
+  exit 1
+fi
 
 cargo build --release
 cargo test -q
@@ -116,6 +123,76 @@ for i, line in enumerate(lines):
     row = json.loads(line)
     assert row["iter"] == i + 1 and row["stalls"] == 0, row
 EOF
+
+# Serving gate (DESIGN.md §17): boot scwsc_serve on a fixture instance,
+# burst it with the serve-load reference client, and require the serving
+# contract end to end — zero dropped requests, every degraded answer
+# certificate-verified, every rejection carrying retry_after_ms — then a
+# clean SIGTERM drain that flushes the Prometheus exposition.
+cargo build --release -q -p scwsc-serve --features fault-inject
+serve=target/release/scwsc_serve
+SCWSC_THREADS=2 "$serve" --rows 2000 --seed 7 --addr 127.0.0.1:0 \
+  --base-ticks 20000 --metrics-prom target/ci_serve.prom \
+  2> target/ci_serve.err &
+serve_pid=$!
+for _ in $(seq 100); do
+  grep -q "listening on" target/ci_serve.err 2>/dev/null && break
+  sleep 0.1
+done
+port=$(sed -n 's/.*listening on 127\.0\.0\.1:\([0-9]*\).*/\1/p' target/ci_serve.err)
+[ -n "$port" ] || { echo "scwsc_serve failed to boot"; cat target/ci_serve.err; exit 1; }
+"$bench" serve-load --addr "127.0.0.1:$port" --connections 4 --requests 32 \
+  --distinct 8 --max-ticks 30000 --retries 3 --timeout-ms 60000 --expect-clean \
+  > target/ci_serve_load.out \
+  || { echo "serve-load contract violated"; cat target/ci_serve_load.out; exit 1; }
+grep -q "contract: OK" target/ci_serve_load.out \
+  || { echo "serve-load summary incomplete"; cat target/ci_serve_load.out; exit 1; }
+kill -TERM "$serve_pid"
+wait "$serve_pid" \
+  || { echo "scwsc_serve SIGTERM drain failed"; cat target/ci_serve.err; exit 1; }
+grep -q "drained —.*clean=true" target/ci_serve.err \
+  || { echo "drain summary missing"; cat target/ci_serve.err; exit 1; }
+grep -q "scwsc_window_solves" target/ci_serve.prom \
+  || { echo "drain did not flush windowed metrics"; exit 1; }
+
+# Service-fault smoke: a deterministically injected mid-request disconnect
+# (the server severs request 3's connection before writing the response)
+# must cost exactly that one in-flight answer — the client reconnects, the
+# remaining requests complete, and the server still drains cleanly with
+# the severed write accounted.
+SCWSC_THREADS=1 "$serve" --rows 1000 --seed 7 --addr 127.0.0.1:0 \
+  --fault disconnect@3 2> target/ci_serve_fault.err &
+serve_pid=$!
+for _ in $(seq 100); do
+  grep -q "listening on" target/ci_serve_fault.err 2>/dev/null && break
+  sleep 0.1
+done
+port=$(sed -n 's/.*listening on 127\.0\.0\.1:\([0-9]*\).*/\1/p' target/ci_serve_fault.err)
+[ -n "$port" ] || { echo "faulted scwsc_serve failed to boot"; exit 1; }
+"$bench" serve-load --addr "127.0.0.1:$port" --connections 1 --requests 6 \
+  --distinct 6 --max-ticks 30000 --timeout-ms 10000 > target/ci_serve_fault.out
+grep -q "6 sent, 5 answered, 1 dropped" target/ci_serve_fault.out \
+  || { echo "disconnect fault not isolated to one request"; cat target/ci_serve_fault.out; exit 1; }
+kill -TERM "$serve_pid"
+wait "$serve_pid" \
+  || { echo "faulted scwsc_serve drain failed"; cat target/ci_serve_fault.err; exit 1; }
+grep -q "failed writes 1" target/ci_serve_fault.err \
+  || { echo "severed write not accounted"; cat target/ci_serve_fault.err; exit 1; }
+
+# SCWSC_DEADLINE_MS smoke: the environment variable supplies the default
+# wall-clock deadline (an explicit --deadline-ms always wins). A zero
+# budget from the environment must degrade with a verified certificate
+# (exit 5) exactly like the flag; the flag then overrides it back to an
+# unhurried complete solve.
+SCWSC_DEADLINE_MS=0 "$solve" --rows 2000 --k 6 --coverage 0.4 \
+  --algorithm cmc > /dev/null 2> target/ci_env_deadline.err \
+  && { echo "expected env-deadline degradation"; exit 1; } || code=$?
+[ "$code" -eq 5 ] || { echo "expected exit 5, got $code"; exit 1; }
+grep -q "certificate verified" target/ci_env_deadline.err \
+  || { echo "env deadline missing certificate verification"; exit 1; }
+SCWSC_DEADLINE_MS=0 "$solve" --rows 2000 --k 6 --coverage 0.4 \
+  --algorithm cmc --deadline-ms 600000 > /dev/null 2>&1 \
+  || { echo "--deadline-ms must override SCWSC_DEADLINE_MS"; exit 1; }
 
 # Perf-trend gate (DESIGN.md §16): the committed BENCH_*.json history must
 # load chronologically and no workload's latest median may regress >10%
